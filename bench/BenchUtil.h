@@ -1,0 +1,99 @@
+//===- BenchUtil.h - shared benchmark-harness helpers -----------*- C++ -*-===//
+//
+// Part of the Proteus reproduction project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Helpers shared by the per-table/per-figure harnesses: standard run
+/// configurations for the paper's modes (AOT / Proteus cold / Proteus warm
+/// cache / Jitify, and the section 4.5 None/LB/RCF/LB+RCF specialization
+/// modes), plus simple fixed-width table printing.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PROTEUS_BENCH_BENCHUTIL_H
+#define PROTEUS_BENCH_BENCHUTIL_H
+
+#include "hecbench/Benchmark.h"
+#include "support/FileSystem.h"
+#include "support/StringUtils.h"
+
+#include <cstdio>
+#include <memory>
+
+namespace proteus {
+namespace bench {
+
+/// Persistent-cache root for a (program, arch) pair under a harness-owned
+/// temporary directory.
+inline std::string cacheDirFor(const std::string &Root,
+                               const std::string &Program, GpuArch Arch) {
+  std::string Dir = Root + "/" + Program + "-" + gpuArchName(Arch);
+  fs::createDirectories(Dir);
+  return Dir;
+}
+
+/// Runs \p B under AOT.
+inline hecbench::RunResult runAot(const hecbench::Benchmark &B,
+                                  GpuArch Arch) {
+  hecbench::RunConfig C;
+  C.Arch = Arch;
+  C.Mode = hecbench::ExecMode::AOT;
+  return runBenchmark(B, C);
+}
+
+/// Runs \p B under Proteus. \p Cold clears the persistent cache first
+/// (full dynamic-compilation overhead); warm reuses cache-jit-*.o files
+/// from a previous run, like a fresh process start with a populated cache.
+inline hecbench::RunResult runProteus(const hecbench::Benchmark &B,
+                                      GpuArch Arch,
+                                      const std::string &CacheDir, bool Cold,
+                                      bool EnableRCF = true,
+                                      bool EnableLB = true) {
+  hecbench::RunConfig C;
+  C.Arch = Arch;
+  C.Mode = hecbench::ExecMode::Proteus;
+  C.Jit.CacheDir = CacheDir;
+  C.Jit.EnableRCF = EnableRCF;
+  C.Jit.EnableLaunchBounds = EnableLB;
+  C.ColdCache = Cold;
+  return runBenchmark(B, C);
+}
+
+/// Runs \p B under the Jitify-sim baseline (nvptx-sim only).
+inline hecbench::RunResult runJitify(const hecbench::Benchmark &B) {
+  hecbench::RunConfig C;
+  C.Arch = GpuArch::NvPtxSim;
+  C.Mode = hecbench::ExecMode::Jitify;
+  return runBenchmark(B, C);
+}
+
+/// Prints a row of fixed-width cells.
+inline void printRow(const std::vector<std::string> &Cells,
+                     const std::vector<int> &Widths) {
+  for (size_t I = 0; I != Cells.size(); ++I)
+    std::printf("%-*s", I < Widths.size() ? Widths[I] : 12,
+                Cells[I].c_str());
+  std::printf("\n");
+}
+
+inline std::string fmtSeconds(double S) { return formatString("%.4f", S); }
+inline std::string fmtSpeedup(double S) { return formatString("%.2fx", S); }
+
+/// Aborts the harness with a message when a run fails — benchmark binaries
+/// must never report numbers from failed/unverified runs.
+inline const hecbench::RunResult &
+checked(const hecbench::RunResult &R, const std::string &What) {
+  if (!R.Ok || !R.Verified) {
+    std::fprintf(stderr, "FATAL: %s failed: %s\n", What.c_str(),
+                 R.Error.c_str());
+    std::exit(1);
+  }
+  return R;
+}
+
+} // namespace bench
+} // namespace proteus
+
+#endif // PROTEUS_BENCH_BENCHUTIL_H

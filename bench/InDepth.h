@@ -1,0 +1,81 @@
+//===- InDepth.h - per-kernel specialization-mode analysis ------*- C++ -*-===//
+//
+// Part of the Proteus reproduction project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The common engine behind the Figure 7-11 reproductions: runs one
+/// benchmark under the paper's section 4.5 modes — AOT, None (JIT without
+/// specialization), LB only, RCF only, LB+RCF — and prints per-kernel
+/// durations and hardware counters (rocprof/nvprof-sim equivalents).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PROTEUS_BENCH_INDEPTH_H
+#define PROTEUS_BENCH_INDEPTH_H
+
+#include "BenchUtil.h"
+
+#include <cinttypes>
+
+namespace proteus {
+namespace bench {
+
+struct ModeProfile {
+  std::string Mode;
+  std::map<std::string, gpu::LaunchStats> Kernels;
+  double KernelSeconds = 0;
+};
+
+/// Runs \p B under one specialization mode on \p Arch.
+inline ModeProfile profileMode(const hecbench::Benchmark &B, GpuArch Arch,
+                               const std::string &Mode,
+                               const std::string &CacheRoot) {
+  hecbench::RunConfig C;
+  C.Arch = Arch;
+  std::string Dir = cacheDirFor(CacheRoot, B.name() + "-" + Mode, Arch);
+  if (Mode == "AOT") {
+    C.Mode = hecbench::ExecMode::AOT;
+  } else {
+    C.Mode = hecbench::ExecMode::Proteus;
+    C.Jit.CacheDir = Dir;
+    C.Jit.EnableRCF = Mode == "RCF" || Mode == "LB+RCF";
+    C.Jit.EnableLaunchBounds = Mode == "LB" || Mode == "LB+RCF";
+  }
+  hecbench::RunResult R = checked(runBenchmark(B, C), B.name() + " " + Mode);
+  ModeProfile P;
+  P.Mode = Mode;
+  P.Kernels = R.Profile;
+  P.KernelSeconds = R.KernelSeconds;
+  return P;
+}
+
+/// Prints the full in-depth table for \p B on \p Arch (all five modes).
+inline void printInDepth(const hecbench::Benchmark &B, GpuArch Arch,
+                         const std::string &CacheRoot) {
+  static const char *Modes[] = {"AOT", "None", "LB", "RCF", "LB+RCF"};
+  std::printf("\n--- %s on %s ---\n", B.name().c_str(), gpuArchName(Arch));
+  std::printf("%-8s %-10s %12s %14s %12s %12s %8s %8s %8s %7s %7s %7s %7s"
+              " %7s\n",
+              "mode", "kernel", "duration(s)", "instructions", "VALUInsts",
+              "SALUInsts", "spill.ld", "spill.st", "regs", "occup", "L2hit",
+              "IPC", "VALUbsy", "stall");
+  for (const char *Mode : Modes) {
+    ModeProfile P = profileMode(B, Arch, Mode, CacheRoot);
+    for (const auto &[Kernel, S] : P.Kernels) {
+      std::printf("%-8s %-10s %12.6f %14" PRIu64 " %12" PRIu64
+                  " %12" PRIu64 " %8" PRIu64 " %8" PRIu64 " %8u %6.1f%% "
+                  "%6.1f%% %7.2f %6.1f%% %6.1f%%\n",
+                  Mode, Kernel.c_str(), S.DurationSec, S.TotalInstrs,
+                  S.VALUInsts, S.SALUInsts, S.SpillLoads, S.SpillStores,
+                  S.RegsUsed, 100.0 * S.Occupancy, 100.0 * S.l2HitRatio(),
+                  S.IPC, S.VALUBusyPct, S.StallPct);
+    }
+  }
+}
+
+} // namespace bench
+} // namespace proteus
+
+#endif // PROTEUS_BENCH_INDEPTH_H

@@ -1,0 +1,26 @@
+//===- figure10_rsbench.cpp - paper Figure 10 reproduction -------------------===//
+//
+// Part of the Proteus reproduction project.
+//
+//===----------------------------------------------------------------------===//
+//
+// In-depth analysis of RSBENCH (paper Figure 10): kernel duration and
+// hardware counters under AOT and the JIT specialization modes
+// None/LB/RCF/LB+RCF, on both simulated architectures.
+//
+//===----------------------------------------------------------------------===//
+
+#include "InDepth.h"
+
+using namespace proteus;
+using namespace proteus::bench;
+
+int main() {
+  std::string Root = fs::makeTempDirectory("proteus-figure10_rsbench");
+  auto B = hecbench::makeRsbenchBenchmark();
+  std::printf("=== Figure 10: in-depth analysis of %s ===\n",
+              B->name().c_str());
+  printInDepth(*B, GpuArch::AmdGcnSim, Root);
+  printInDepth(*B, GpuArch::NvPtxSim, Root);
+  return 0;
+}

@@ -1,0 +1,26 @@
+//===- figure11_sw4ck.cpp - paper Figure 11 reproduction -------------------===//
+//
+// Part of the Proteus reproduction project.
+//
+//===----------------------------------------------------------------------===//
+//
+// In-depth analysis of SW4CK (paper Figure 11): kernel duration and
+// hardware counters under AOT and the JIT specialization modes
+// None/LB/RCF/LB+RCF, on both simulated architectures.
+//
+//===----------------------------------------------------------------------===//
+
+#include "InDepth.h"
+
+using namespace proteus;
+using namespace proteus::bench;
+
+int main() {
+  std::string Root = fs::makeTempDirectory("proteus-figure11_sw4ck");
+  auto B = hecbench::makeSw4ckBenchmark();
+  std::printf("=== Figure 11: in-depth analysis of %s ===\n",
+              B->name().c_str());
+  printInDepth(*B, GpuArch::AmdGcnSim, Root);
+  printInDepth(*B, GpuArch::NvPtxSim, Root);
+  return 0;
+}

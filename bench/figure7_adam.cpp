@@ -1,0 +1,26 @@
+//===- figure7_adam.cpp - paper Figure 7 reproduction -------------------===//
+//
+// Part of the Proteus reproduction project.
+//
+//===----------------------------------------------------------------------===//
+//
+// In-depth analysis of ADAM (paper Figure 7): kernel duration and
+// hardware counters under AOT and the JIT specialization modes
+// None/LB/RCF/LB+RCF, on both simulated architectures.
+//
+//===----------------------------------------------------------------------===//
+
+#include "InDepth.h"
+
+using namespace proteus;
+using namespace proteus::bench;
+
+int main() {
+  std::string Root = fs::makeTempDirectory("proteus-figure7_adam");
+  auto B = hecbench::makeAdamBenchmark();
+  std::printf("=== Figure 7: in-depth analysis of %s ===\n",
+              B->name().c_str());
+  printInDepth(*B, GpuArch::AmdGcnSim, Root);
+  printInDepth(*B, GpuArch::NvPtxSim, Root);
+  return 0;
+}

@@ -1,0 +1,26 @@
+//===- figure8_feykac.cpp - paper Figure 8 reproduction -------------------===//
+//
+// Part of the Proteus reproduction project.
+//
+//===----------------------------------------------------------------------===//
+//
+// In-depth analysis of FEY-KAC (paper Figure 8): kernel duration and
+// hardware counters under AOT and the JIT specialization modes
+// None/LB/RCF/LB+RCF, on both simulated architectures.
+//
+//===----------------------------------------------------------------------===//
+
+#include "InDepth.h"
+
+using namespace proteus;
+using namespace proteus::bench;
+
+int main() {
+  std::string Root = fs::makeTempDirectory("proteus-figure8_feykac");
+  auto B = hecbench::makeFeykacBenchmark();
+  std::printf("=== Figure 8: in-depth analysis of %s ===\n",
+              B->name().c_str());
+  printInDepth(*B, GpuArch::AmdGcnSim, Root);
+  printInDepth(*B, GpuArch::NvPtxSim, Root);
+  return 0;
+}

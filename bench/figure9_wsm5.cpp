@@ -1,0 +1,26 @@
+//===- figure9_wsm5.cpp - paper Figure 9 reproduction -------------------===//
+//
+// Part of the Proteus reproduction project.
+//
+//===----------------------------------------------------------------------===//
+//
+// In-depth analysis of WSM5 (paper Figure 9): kernel duration and
+// hardware counters under AOT and the JIT specialization modes
+// None/LB/RCF/LB+RCF, on both simulated architectures.
+//
+//===----------------------------------------------------------------------===//
+
+#include "InDepth.h"
+
+using namespace proteus;
+using namespace proteus::bench;
+
+int main() {
+  std::string Root = fs::makeTempDirectory("proteus-figure9_wsm5");
+  auto B = hecbench::makeWsm5Benchmark();
+  std::printf("=== Figure 9: in-depth analysis of %s ===\n",
+              B->name().c_str());
+  printInDepth(*B, GpuArch::AmdGcnSim, Root);
+  printInDepth(*B, GpuArch::NvPtxSim, Root);
+  return 0;
+}

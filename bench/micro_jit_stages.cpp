@@ -1,0 +1,160 @@
+//===- micro_jit_stages.cpp - JIT pipeline stage micro-benchmarks -------------------===//
+//
+// Part of the Proteus reproduction project.
+//
+//===----------------------------------------------------------------------===//
+//
+// google-benchmark micro-benchmarks of the individual stages a Proteus
+// cache miss pays — bitcode parse, global linking + specialization, the O3
+// pipeline, backend code generation (with and without the PTX detour) —
+// alongside the stages Jitify pays instead (full source parse including its
+// header library). These are the mechanism behind Figures 4-6.
+//
+//===----------------------------------------------------------------------===//
+
+#include "bitcode/Bitcode.h"
+#include "codegen/Compiler.h"
+#include "hecbench/Benchmark.h"
+#include "ir/Context.h"
+#include "ir/IRParser.h"
+#include "ir/IRPrinter.h"
+#include "ir/Module.h"
+#include "jit/CodeCache.h"
+#include "jitify/Jitify.h"
+#include "support/FileSystem.h"
+#include "transforms/SpecializeArgs.h"
+
+#include <benchmark/benchmark.h>
+
+using namespace proteus;
+
+namespace {
+
+/// The WSM5 kernel module is the workhorse: representative size, loops,
+/// selects, annotations.
+std::vector<uint8_t> wsm5Bitcode() {
+  static const std::vector<uint8_t> &BC = *[] {
+    pir::Context Ctx;
+    auto B = hecbench::makeWsm5Benchmark();
+    auto M = B->buildModule(Ctx);
+    return new std::vector<uint8_t>(writeBitcode(*M));
+  }();
+  return BC;
+}
+
+std::string wsm5Source() {
+  static const std::string &Src = *[] {
+    pir::Context Ctx;
+    auto B = hecbench::makeWsm5Benchmark();
+    auto M = B->buildModule(Ctx);
+    return new std::string(pir::printModule(*M));
+  }();
+  return Src;
+}
+
+void BM_BitcodeParse(benchmark::State &State) {
+  std::vector<uint8_t> BC = wsm5Bitcode();
+  for (auto _ : State) {
+    pir::Context Ctx;
+    auto R = readBitcode(Ctx, BC);
+    benchmark::DoNotOptimize(R.M);
+  }
+  State.SetBytesProcessed(static_cast<int64_t>(State.iterations()) *
+                          static_cast<int64_t>(BC.size()));
+}
+BENCHMARK(BM_BitcodeParse);
+
+void BM_SourceParse_ProteusEquivalentOfJitify(benchmark::State &State) {
+  std::string Src = wsm5Source();
+  for (auto _ : State) {
+    pir::Context Ctx;
+    auto R = pir::parseModule(Ctx, Src);
+    benchmark::DoNotOptimize(R.M);
+  }
+  State.SetBytesProcessed(static_cast<int64_t>(State.iterations()) *
+                          static_cast<int64_t>(Src.size()));
+}
+BENCHMARK(BM_SourceParse_ProteusEquivalentOfJitify);
+
+void BM_JitifyHeaderParse(benchmark::State &State) {
+  const std::string &Hdr = JitifyRuntime::headerText();
+  for (auto _ : State) {
+    pir::Context Ctx;
+    auto R = pir::parseModule(Ctx, Hdr);
+    benchmark::DoNotOptimize(R.M);
+  }
+  State.SetBytesProcessed(static_cast<int64_t>(State.iterations()) *
+                          static_cast<int64_t>(Hdr.size()));
+}
+BENCHMARK(BM_JitifyHeaderParse);
+
+void BM_SpecializeAndO3(benchmark::State &State) {
+  std::vector<uint8_t> BC = wsm5Bitcode();
+  for (auto _ : State) {
+    pir::Context Ctx;
+    auto R = readBitcode(Ctx, BC);
+    pir::Function *F = R.M->getFunction("wsm5");
+    specializeArguments(*F, {{6, 16}, {11, 0}});
+    specializeLaunchBounds(*F, 128);
+    runO3(*R.M);
+    benchmark::DoNotOptimize(F);
+  }
+}
+BENCHMARK(BM_SpecializeAndO3);
+
+void BM_BackendAmd(benchmark::State &State) {
+  pir::Context Ctx;
+  auto R = readBitcode(Ctx, wsm5Bitcode());
+  runO3(*R.M);
+  pir::Function *F = R.M->getFunction("wsm5");
+  for (auto _ : State) {
+    auto Obj = compileKernelToObject(*F, getAmdGcnSimTarget());
+    benchmark::DoNotOptimize(Obj);
+  }
+}
+BENCHMARK(BM_BackendAmd);
+
+void BM_BackendNvidiaWithPtxStep(benchmark::State &State) {
+  pir::Context Ctx;
+  auto R = readBitcode(Ctx, wsm5Bitcode());
+  runO3(*R.M);
+  pir::Function *F = R.M->getFunction("wsm5");
+  for (auto _ : State) {
+    auto Obj = compileKernelToObject(*F, getNvPtxSimTarget());
+    benchmark::DoNotOptimize(Obj);
+  }
+}
+BENCHMARK(BM_BackendNvidiaWithPtxStep);
+
+void BM_CacheHashAndMemoryLookup(benchmark::State &State) {
+  CodeCache Cache(true, false, "");
+  SpecializationKey Key;
+  Key.ModuleId = 0xfeedface;
+  Key.KernelSymbol = "wsm5";
+  Key.FoldedArgs = {{6, 16}, {8, 42}, {11, 0}};
+  Key.LaunchBoundsThreads = 128;
+  Cache.insert(computeSpecializationHash(Key), std::vector<uint8_t>(4096));
+  for (auto _ : State) {
+    uint64_t H = computeSpecializationHash(Key);
+    auto Hit = Cache.lookup(H);
+    benchmark::DoNotOptimize(Hit);
+  }
+}
+BENCHMARK(BM_CacheHashAndMemoryLookup);
+
+void BM_PersistentCacheLookup(benchmark::State &State) {
+  std::string Dir = fs::makeTempDirectory("proteus-microcache");
+  CodeCache Writer(false, true, Dir);
+  Writer.insert(0x1234, std::vector<uint8_t>(8192));
+  for (auto _ : State) {
+    CodeCache Cold(false, true, Dir); // no memory level: always hits disk
+    auto Hit = Cold.lookup(0x1234);
+    benchmark::DoNotOptimize(Hit);
+  }
+  fs::removeAllFiles(Dir);
+}
+BENCHMARK(BM_PersistentCacheLookup);
+
+} // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,63 @@
+//===- table2_end_to_end.cpp - paper Table 2 reproduction ------------------------===//
+//
+// Part of the Proteus reproduction project.
+//
+//===----------------------------------------------------------------------===//
+//
+// Regenerates Table 2: end-to-end execution time per program under AOT,
+// Proteus (cold persistent cache), Proteus+$ (warm persistent cache), and
+// Jitify (NVIDIA only), on both simulated architectures. End-to-end time is
+// real host-side JIT wall time plus simulated device time. Absolute numbers
+// are not comparable to the paper's testbed; the comparisons (who wins,
+// roughly by how much) are the reproduction target.
+//
+//===----------------------------------------------------------------------===//
+
+#include "BenchUtil.h"
+
+using namespace proteus;
+using namespace proteus::bench;
+using namespace proteus::hecbench;
+
+int main() {
+  std::string Root = fs::makeTempDirectory("proteus-table2");
+  auto Benchmarks = allBenchmarks();
+  const std::vector<int> Widths = {12, 12, 12, 12, 12};
+
+  for (GpuArch Arch : {GpuArch::AmdGcnSim, GpuArch::NvPtxSim}) {
+    std::printf("\n=== Table 2: end-to-end execution time (s) — %s ===\n",
+                gpuArchName(Arch));
+    std::vector<std::string> Header = {"Method"};
+    for (const auto &B : Benchmarks)
+      Header.push_back(B->name());
+    printRow(Header, Widths);
+
+    std::vector<std::string> AotRow = {"AOT"};
+    std::vector<std::string> ColdRow = {"Proteus"};
+    std::vector<std::string> WarmRow = {"Proteus+$"};
+    std::vector<std::string> JitifyRow = {"Jitify"};
+
+    for (const auto &B : Benchmarks) {
+      std::string Dir = cacheDirFor(Root, B->name(), Arch);
+      const RunResult Aot = checked(runAot(*B, Arch), B->name() + " AOT");
+      const RunResult Cold = checked(runProteus(*B, Arch, Dir, true),
+                                     B->name() + " Proteus cold");
+      const RunResult Warm = checked(runProteus(*B, Arch, Dir, false),
+                                     B->name() + " Proteus warm");
+      AotRow.push_back(fmtSeconds(Aot.endToEndSeconds()));
+      ColdRow.push_back(fmtSeconds(Cold.endToEndSeconds()));
+      WarmRow.push_back(fmtSeconds(Warm.endToEndSeconds()));
+      if (Arch == GpuArch::NvPtxSim) {
+        const RunResult J = checked(runJitify(*B), B->name() + " Jitify");
+        JitifyRow.push_back(fmtSeconds(J.endToEndSeconds()));
+      }
+    }
+    printRow(AotRow, Widths);
+    printRow(ColdRow, Widths);
+    printRow(WarmRow, Widths);
+    if (Arch == GpuArch::NvPtxSim)
+      printRow(JitifyRow, Widths);
+  }
+  std::printf("\n(see figure3_speedup for the derived speedup series)\n");
+  return 0;
+}

@@ -1,0 +1,42 @@
+//===- table3_cache_size.cpp - paper Table 3 reproduction --------------------------===//
+//
+// Part of the Proteus reproduction project.
+//
+//===----------------------------------------------------------------------===//
+//
+// Regenerates Table 3: the maximal code cache size per program and machine
+// when caching every specialization without eviction or size limits. The
+// paper's observation — caches stay in the KB range — should reproduce,
+// with multi-kernel programs (SW4CK) the largest.
+//
+//===----------------------------------------------------------------------===//
+
+#include "BenchUtil.h"
+
+using namespace proteus;
+using namespace proteus::bench;
+using namespace proteus::hecbench;
+
+int main() {
+  std::string Root = fs::makeTempDirectory("proteus-table3");
+  auto Benchmarks = allBenchmarks();
+  const std::vector<int> Widths = {12, 12, 12, 12, 12, 12, 12};
+
+  std::printf("=== Table 3: maximal code cache size ===\n");
+  std::vector<std::string> Header = {"Machine"};
+  for (const auto &B : Benchmarks)
+    Header.push_back(B->name());
+  printRow(Header, Widths);
+
+  for (GpuArch Arch : {GpuArch::NvPtxSim, GpuArch::AmdGcnSim}) {
+    std::vector<std::string> Row = {gpuArchName(Arch)};
+    for (const auto &B : Benchmarks) {
+      std::string Dir = cacheDirFor(Root, B->name(), Arch);
+      const RunResult R = checked(runProteus(*B, Arch, Dir, true),
+                                  B->name() + " Proteus");
+      Row.push_back(formatByteSize(R.CodeCacheBytes));
+    }
+    printRow(Row, Widths);
+  }
+  return 0;
+}

@@ -1,0 +1,86 @@
+//===- autotune_launch.cpp - launch auto-tuning example -----------------------------===//
+//
+// Part of the Proteus reproduction project.
+//
+//===----------------------------------------------------------------------===//
+//
+// The paper's section 6 outlook ("exploring runtime optimizations like
+// kernel scheduling and auto-tuning") running on the reproduction: the
+// RSBENCH lookup kernel is launch-bounds-sensitive (register pressure), so
+// the best block size is not obvious. The auto-tuner JIT-compiles one
+// specialization per candidate block size — launch bounds make each one a
+// distinct cache entry — times them on the simulator with side effects
+// rolled back, and pins the winner, whose binary is already cached.
+//
+// Build and run:   ./examples/autotune_launch
+//
+//===----------------------------------------------------------------------===//
+
+#include "hecbench/Benchmark.h"
+#include "ir/Context.h"
+#include "ir/OpSemantics.h"
+#include "ir/Module.h"
+#include "jit/AutoTuner.h"
+#include "support/FileSystem.h"
+
+#include <cstdio>
+
+using namespace proteus;
+using namespace proteus::gpu;
+
+int main() {
+  // Reuse the RSBENCH module: one annotated kernel with a wide accumulator
+  // band whose spill behaviour depends on launch bounds.
+  auto Bench = hecbench::makeRsbenchBenchmark();
+  pir::Context Ctx;
+  auto M = Bench->buildModule(Ctx);
+
+  AotOptions AO;
+  AO.Arch = GpuArch::AmdGcnSim;
+  AO.EnableProteusExtensions = true;
+  CompiledProgram Prog = aotCompile(*M, AO);
+
+  Device Dev(getAmdGcnSimTarget());
+  JitConfig JC;
+  JC.CacheDir = fs::makeTempDirectory("proteus-autotune");
+  JitRuntime Jit(Dev, Prog.ModuleId, JC);
+  LoadedProgram LP(Dev, Prog, &Jit);
+  if (!LP.ok()) {
+    std::fprintf(stderr, "load failed: %s\n", LP.error().c_str());
+    return 1;
+  }
+
+  constexpr uint32_t Lookups = 1024;
+  DevicePtr Energies = 0, Poles = 0, Xs = 0;
+  gpuMalloc(Dev, &Energies, Lookups * 8);
+  gpuMalloc(Dev, &Poles, 5 * 16 * 2 * 8);
+  gpuMalloc(Dev, &Xs, Lookups * 4 * 8);
+  std::vector<double> H(Lookups);
+  for (uint32_t I = 0; I != Lookups; ++I)
+    H[I] = 0.1 + 0.02 * I;
+  gpuMemcpyHtoD(Dev, Energies, H.data(), Lookups * 8);
+
+  std::vector<KernelArg> Args = {
+      {Energies}, {Poles}, {Xs},
+      {Lookups},  {5},     {16},
+      {pir::sem::boxF64(0.25)}};
+
+  TuningResult R = autotuneBlockSize(Dev, Jit, "xs_lookup", Lookups, Args,
+                                     {64, 128, 256, 512, 1024});
+  if (!R.Ok) {
+    std::fprintf(stderr, "tuning failed: %s\n", R.Error.c_str());
+    return 1;
+  }
+  std::printf("auto-tuning xs_lookup over %u work items on %s:\n\n", Lookups,
+              Dev.target().Name.c_str());
+  std::printf("  %-16s %-14s %s\n", "threads/block", "kernel (s)", "");
+  for (const TuningTrial &T : R.Trials)
+    std::printf("  %-16u %-14.9f%s\n", T.ThreadsPerBlock, T.KernelSeconds,
+                T.ThreadsPerBlock == R.BestThreadsPerBlock ? "  <== best"
+                                                           : "");
+  std::printf("\n%llu specializations compiled (one per launch-bounds "
+              "value), all cached;\nthe winning configuration launches "
+              "from the cache with zero further cost.\n",
+              static_cast<unsigned long long>(Jit.stats().Compilations));
+  return 0;
+}

@@ -1,0 +1,41 @@
+module "reduction_example"
+
+global @scale_table : f64 x 4 = hex 000000000000f03f000000000000004000000000000008400000000000001040
+
+device @weight(%i: i32, %t: ptr) : f64 always_inline {
+entry:
+  %m = and %i, i32 3
+  %p = ptradd %t, %m, 8
+  %w = load f64, %p
+  ret %w
+}
+
+kernel @weighted_sum(%in: ptr, %out: ptr, %n: i32, %steps: i32) annotate("jit", 3, 4) {
+entry:
+  %gtid_b = block_idx.x
+  %gtid_d = block_dim.x
+  %gtid_t = thread_idx.x
+  %base = mul %gtid_b, %gtid_d
+  %gtid = add %base, %gtid_t
+  %ok = icmp slt %gtid, %n
+  condbr %ok, %pre, %exit
+pre:
+  %inp = ptradd %in, %gtid, 8
+  %x = load f64, %inp
+  br %loop
+loop:
+  %i = phi i32 [ i32 0, %pre ], [ %inext, %loop ]
+  %acc = phi f64 [ f64 0.0, %pre ], [ %accnext, %loop ]
+  %w = call @weight(%i, @scale_table) : f64
+  %term = fmul %x, %w
+  %accnext = fadd %acc, %term
+  %inext = add %i, i32 1
+  %more = icmp slt %inext, %steps
+  condbr %more, %loop, %done
+done:
+  %outp = ptradd %out, %gtid, 8
+  store %accnext, %outp
+  br %exit
+exit:
+  ret
+}

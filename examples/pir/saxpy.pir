@@ -1,0 +1,23 @@
+module "saxpy_example"
+
+kernel @saxpy(%a: f32, %x: ptr, %y: ptr, %n: i32) annotate("jit", 1, 4) {
+entry:
+  %bid = block_idx.x
+  %bdim = block_dim.x
+  %tid = thread_idx.x
+  %base = mul %bid, %bdim
+  %i = add %base, %tid
+  %ok = icmp slt %i, %n
+  condbr %ok, %body, %exit
+body:
+  %xp = ptradd %x, %i, 4
+  %yp = ptradd %y, %i, 4
+  %xv = load f32, %xp
+  %yv = load f32, %yp
+  %ax = fmul %a, %xv
+  %sum = fadd %ax, %yv
+  store %sum, %yp
+  br %exit
+exit:
+  ret
+}

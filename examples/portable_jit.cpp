@@ -1,0 +1,78 @@
+//===- portable_jit.cpp - portability and baseline comparison example --------------===//
+//
+// Part of the Proteus reproduction project.
+//
+//===----------------------------------------------------------------------===//
+//
+// Demonstrates the two claims of the paper's Table 4 on the simulated
+// stack: (1) portability — the *same annotated program* runs through the
+// Proteus JIT on both the AMD-like and the NVIDIA-like target, with the
+// NVIDIA path transparently taking the extra PTX-assembly step and reading
+// its bitcode back from device memory; (2) against the source-string
+// baseline — Jitify-sim only supports the NVIDIA-like target and pays a
+// much larger runtime front-end cost for the same specialization.
+//
+// Build and run:   ./examples/portable_jit
+//
+//===----------------------------------------------------------------------===//
+
+#include "hecbench/Benchmark.h"
+#include "support/FileSystem.h"
+#include "jitify/Jitify.h"
+
+#include <cstdio>
+
+using namespace proteus;
+using namespace proteus::hecbench;
+
+int main() {
+  auto Feykac = makeFeykacBenchmark();
+  std::string Root = proteus::fs::makeTempDirectory("proteus-portable");
+
+  std::printf("FEY-KAC through the Proteus JIT on both targets:\n\n");
+  for (GpuArch Arch : {GpuArch::AmdGcnSim, GpuArch::NvPtxSim}) {
+    RunConfig C;
+    C.Arch = Arch;
+    C.Mode = ExecMode::Proteus;
+    C.Jit.CacheDir = Root + "/" + gpuArchName(Arch);
+    RunResult R = runBenchmark(*Feykac, C);
+    if (!R.Ok) {
+      std::fprintf(stderr, "%s failed: %s\n", gpuArchName(Arch),
+                   R.Error.c_str());
+      return 1;
+    }
+    std::printf("  %-12s kernels %.6fs, JIT %.3fms, %llu specialization(s),"
+                " verified %s\n",
+                gpuArchName(Arch), R.KernelSeconds,
+                R.HostJitSeconds * 1e3,
+                static_cast<unsigned long long>(R.JitCompilations),
+                R.Verified ? "yes" : "NO");
+  }
+
+  std::printf("\nThe Jitify-sim baseline (CUDA-only, source strings):\n\n");
+  {
+    RunConfig C;
+    C.Arch = GpuArch::AmdGcnSim;
+    C.Mode = ExecMode::Jitify;
+    RunResult R = runBenchmark(*Feykac, C);
+    std::printf("  on amdgcn-sim: %s (expected — Jitify is not portable)\n",
+                R.Ok ? "unexpectedly succeeded" : R.Error.c_str());
+  }
+  {
+    RunConfig C;
+    C.Arch = GpuArch::NvPtxSim;
+    C.Mode = ExecMode::Jitify;
+    RunResult R = runBenchmark(*Feykac, C);
+    if (!R.Ok) {
+      std::fprintf(stderr, "jitify run failed: %s\n", R.Error.c_str());
+      return 1;
+    }
+    std::printf("  on nvptx-sim:  kernels %.6fs, runtime compilation "
+                "%.3fms\n",
+                R.KernelSeconds, R.HostJitSeconds * 1e3);
+    std::printf("\nJitify re-parses its header library and the stringified"
+                " kernel source on\nevery compilation — the overhead gap"
+                " behind the paper's Figure 4.\n");
+  }
+  return 0;
+}

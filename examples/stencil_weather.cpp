@@ -1,0 +1,94 @@
+//===- stencil_weather.cpp - weather-stencil example ------------------------------===//
+//
+// Part of the Proteus reproduction project.
+//
+//===----------------------------------------------------------------------===//
+//
+// The weather-simulation scenario (paper Table 1, WSM5): a column
+// microphysics kernel whose configuration — level count, physics constants,
+// the freezing-path flag — is fixed for a whole forecast run. The example
+// contrasts the paper's section 4.5 specialization modes on the AMD-like
+// target, showing how launch bounds eliminate spills and runtime constant
+// folding removes the disabled physics path, and that their combination is
+// the fastest (the paper's Figure 9 conclusion).
+//
+// Build and run:   ./examples/stencil_weather
+//
+//===----------------------------------------------------------------------===//
+
+#include "hecbench/Benchmark.h"
+#include "support/FileSystem.h"
+
+#include <cstdio>
+
+using namespace proteus;
+using namespace proteus::hecbench;
+
+namespace {
+
+RunResult runMode(const Benchmark &B, bool RCF, bool LB,
+                  const std::string &CacheRoot, const char *Tag) {
+  RunConfig C;
+  C.Arch = GpuArch::AmdGcnSim;
+  C.Mode = ExecMode::Proteus;
+  C.Jit.EnableRCF = RCF;
+  C.Jit.EnableLaunchBounds = LB;
+  C.Jit.CacheDir = CacheRoot + "/" + Tag;
+  RunResult R = runBenchmark(B, C);
+  if (!R.Ok) {
+    std::fprintf(stderr, "%s failed: %s\n", Tag, R.Error.c_str());
+    std::exit(1);
+  }
+  return R;
+}
+
+} // namespace
+
+int main() {
+  auto Wsm5 = makeWsm5Benchmark();
+  std::string Root = proteus::fs::makeTempDirectory("proteus-weather");
+
+  RunConfig AotC;
+  AotC.Arch = GpuArch::AmdGcnSim;
+  AotC.Mode = ExecMode::AOT;
+  RunResult Aot = runBenchmark(*Wsm5, AotC);
+  if (!Aot.Ok) {
+    std::fprintf(stderr, "AOT failed: %s\n", Aot.Error.c_str());
+    return 1;
+  }
+
+  struct ModeRow {
+    const char *Name;
+    RunResult R;
+  };
+  std::vector<ModeRow> Rows;
+  Rows.push_back({"None", runMode(*Wsm5, false, false, Root, "none")});
+  Rows.push_back({"LB", runMode(*Wsm5, false, true, Root, "lb")});
+  Rows.push_back({"RCF", runMode(*Wsm5, true, false, Root, "rcf")});
+  Rows.push_back({"LB+RCF", runMode(*Wsm5, true, true, Root, "both")});
+
+  const gpu::LaunchStats &A = Aot.Profile.at("wsm5");
+  std::printf("WSM5 column microphysics on amdgcn-sim (16 levels, 2048 "
+              "columns)\n\n");
+  std::printf("%-8s %12s %10s %14s %10s %8s\n", "mode", "kernel(s)",
+              "speedup", "instructions", "spill ops", "regs");
+  std::printf("%-8s %12.6f %10s %14llu %10llu %8u\n", "AOT",
+              Aot.KernelSeconds, "1.00x",
+              static_cast<unsigned long long>(A.TotalInstrs),
+              static_cast<unsigned long long>(A.SpillLoads + A.SpillStores),
+              A.RegsUsed);
+  for (const ModeRow &Row : Rows) {
+    const gpu::LaunchStats &S = Row.R.Profile.at("wsm5");
+    std::printf("%-8s %12.6f %9.2fx %14llu %10llu %8u\n", Row.Name,
+                Row.R.KernelSeconds,
+                Aot.KernelSeconds / Row.R.KernelSeconds,
+                static_cast<unsigned long long>(S.TotalInstrs),
+                static_cast<unsigned long long>(S.SpillLoads +
+                                                S.SpillStores),
+                S.RegsUsed);
+  }
+  std::printf("\nLB raises the register budget (fewer spills); RCF folds "
+              "the freezing-path\nselect and the level-loop bound; together "
+              "they compound — the paper's\nFigure 9 behaviour.\n");
+  return 0;
+}

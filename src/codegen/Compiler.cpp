@@ -1,0 +1,55 @@
+//===- Compiler.cpp - kernel compilation driver ---------------------------------===//
+//
+// Part of the Proteus reproduction project.
+//
+//===----------------------------------------------------------------------===//
+
+#include "codegen/Compiler.h"
+
+#include "codegen/ISel.h"
+#include "codegen/Ptx.h"
+#include "ir/Function.h"
+#include "support/Error.h"
+#include "support/Timer.h"
+
+using namespace proteus;
+using namespace proteus::mcode;
+
+MachineFunction proteus::compileKernel(pir::Function &F,
+                                       const TargetInfo &Target,
+                                       BackendStats *Stats) {
+  BackendStats Local;
+  BackendStats &S = Stats ? *Stats : Local;
+
+  Timer T;
+  MachineFunction MF = selectInstructions(F);
+  S.ISelSeconds = T.seconds();
+
+  if (Target.EmitsPtx) {
+    // NVIDIA path: print PTX-like text and re-assemble it — the extra step
+    // the real toolchain performs in ptxas / nvPTXCompilerCompile.
+    T.reset();
+    std::string Ptx = printPtx(MF);
+    S.PtxEmitSeconds = T.seconds();
+    T.reset();
+    PtxAssembleResult Asm = assemblePtx(Ptx);
+    S.PtxAsmSeconds = T.seconds();
+    if (!Asm.Ok)
+      reportFatalError("ptx-sim assembler rejected generated code: " +
+                       Asm.Error);
+    MF = std::move(Asm.MF);
+  }
+
+  S.RegisterBudget = Target.registerBudget(F.getLaunchBounds());
+  T.reset();
+  S.RA = allocateRegisters(MF, S.RegisterBudget);
+  S.RegAllocSeconds = T.seconds();
+  return MF;
+}
+
+std::vector<uint8_t> proteus::compileKernelToObject(pir::Function &F,
+                                                    const TargetInfo &Target,
+                                                    BackendStats *Stats) {
+  MachineFunction MF = compileKernel(F, Target, Stats);
+  return writeObject(MF, Target.Arch);
+}

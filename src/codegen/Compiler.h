@@ -1,0 +1,50 @@
+//===- Compiler.h - kernel compilation driver -------------------*- C++ -*-===//
+//
+// Part of the Proteus reproduction project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The backend driver shared by AOT device compilation and the JIT runtime:
+/// instruction selection, register allocation under the launch-bounds
+/// budget, and (on nvptx-sim) the PTX print/assemble detour. Stage timings
+/// are surfaced so the benchmarks can attribute JIT overhead precisely.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PROTEUS_CODEGEN_COMPILER_H
+#define PROTEUS_CODEGEN_COMPILER_H
+
+#include "codegen/ObjectFile.h"
+#include "codegen/RegAlloc.h"
+
+namespace pir {
+class Function;
+} // namespace pir
+
+namespace proteus {
+
+/// Wall-time and outcome statistics of one backend invocation.
+struct BackendStats {
+  double ISelSeconds = 0;
+  double PtxEmitSeconds = 0; // nvptx-sim only
+  double PtxAsmSeconds = 0;  // nvptx-sim only
+  double RegAllocSeconds = 0;
+  RegAllocResult RA;
+  uint32_t RegisterBudget = 0;
+};
+
+/// Compiles \p F for \p Target into an executable machine function. \p F
+/// must be a void kernel with all calls inlined (runO3 guarantees this).
+mcode::MachineFunction compileKernel(pir::Function &F,
+                                     const TargetInfo &Target,
+                                     BackendStats *Stats = nullptr);
+
+/// Convenience: compile and serialize.
+std::vector<uint8_t> compileKernelToObject(pir::Function &F,
+                                           const TargetInfo &Target,
+                                           BackendStats *Stats = nullptr);
+
+} // namespace proteus
+
+#endif // PROTEUS_CODEGEN_COMPILER_H

@@ -1,0 +1,38 @@
+//===- ISel.h - instruction selection ---------------------------*- C++ -*-===//
+//
+// Part of the Proteus reproduction project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Lowers a fully inlined PIR kernel to machine IR with virtual registers:
+/// SSA deconstruction (phi -> two-stage copies), constant materialization,
+/// global-variable relocations, and block-uniformity classification (the
+/// basis of the SALU/VALU counter split on the AMD-like target).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PROTEUS_CODEGEN_ISEL_H
+#define PROTEUS_CODEGEN_ISEL_H
+
+#include "codegen/MachineIR.h"
+
+namespace pir {
+class Function;
+} // namespace pir
+
+namespace proteus {
+
+/// Lowers \p F (a kernel with no remaining calls) to virtual-register
+/// machine code. Fatal error on unsupported IR (calls, non-void returns).
+mcode::MachineFunction selectInstructions(pir::Function &F);
+
+/// Computes the Uniform flag of every instruction of \p MF by forward
+/// dataflow over virtual registers: kernel parameters, immediates and block
+/// geometry reads (other than threadIdx) are block-uniform; loads, atomics,
+/// alloca addresses and threadIdx are divergent; everything else inherits.
+void computeUniformity(mcode::MachineFunction &MF);
+
+} // namespace proteus
+
+#endif // PROTEUS_CODEGEN_ISEL_H

@@ -1,0 +1,91 @@
+//===- MachineIR.cpp - simulated GPU machine IR ---------------------------------===//
+//
+// Part of the Proteus reproduction project.
+//
+//===----------------------------------------------------------------------===//
+
+#include "codegen/MachineIR.h"
+
+#include "support/Error.h"
+#include "support/StringUtils.h"
+
+#include <sstream>
+
+using namespace proteus;
+using namespace proteus::mcode;
+
+const char *proteus::mcode::mopName(MOp Op) {
+  switch (Op) {
+  case MOp::Nop:
+    return "nop";
+  case MOp::MovRR:
+    return "mov";
+  case MOp::MovImm:
+    return "movi";
+  case MOp::Binary:
+    return "bin";
+  case MOp::Unary:
+    return "un";
+  case MOp::Cast:
+    return "cvt";
+  case MOp::ICmp:
+    return "setp.i";
+  case MOp::FCmp:
+    return "setp.f";
+  case MOp::Sel:
+    return "selp";
+  case MOp::Ld:
+    return "ld.global";
+  case MOp::St:
+    return "st.global";
+  case MOp::PtrAdd:
+    return "mad.addr";
+  case MOp::AtomicAdd:
+    return "atom.add";
+  case MOp::LdSpill:
+    return "ld.local";
+  case MOp::StSpill:
+    return "st.local";
+  case MOp::ReadSpecial:
+    return "mov.sreg";
+  case MOp::Bar:
+    return "bar.sync";
+  case MOp::Br:
+    return "bra";
+  case MOp::CondBr:
+    return "brc";
+  case MOp::Ret:
+    return "ret";
+  case MOp::Alloca:
+    return "local.addr";
+  }
+  proteus_unreachable("unknown machine opcode");
+}
+
+std::string proteus::mcode::printMachineFunction(const MachineFunction &MF) {
+  std::ostringstream OS;
+  OS << "; machine function " << MF.Name << " regs=" << MF.NumRegs
+     << " spills=" << MF.NumSpillSlots << " local=" << MF.LocalBytes << "\n";
+  for (size_t B = 0; B != MF.Blocks.size(); ++B) {
+    OS << "B" << B << " (" << MF.Blocks[B].Name << "):\n";
+    for (const MachineInstr &MI : MF.Blocks[B].Instrs) {
+      OS << "  " << mopName(MI.Op);
+      OS << " t" << static_cast<int>(MI.TypeTag) << " a" << MI.Aux
+         << (MI.Uniform ? " s" : " v");
+      auto Emit = [&OS](const char *Tag, Reg R) {
+        if (R != NoReg)
+          OS << " " << Tag << R;
+      };
+      Emit("d", MI.Dst);
+      Emit("r", MI.Src1);
+      Emit("r", MI.Src2);
+      Emit("r", MI.Src3);
+      if (MI.Imm)
+        OS << " imm=" << MI.Imm;
+      if (MI.Imm2)
+        OS << " imm2=" << MI.Imm2;
+      OS << "\n";
+    }
+  }
+  return OS.str();
+}

@@ -1,0 +1,44 @@
+//===- ObjectFile.h - compiled kernel container ------------------*- C++ -*-===//
+//
+// Part of the Proteus reproduction project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Binary container for a compiled (register-allocated) kernel. This is the
+/// unit stored by the two-level code cache: the in-memory cache holds the
+/// decoded form, the persistent cache stores these bytes in
+/// cache-jit-<hash>.o files. AOT device images embed the same containers.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PROTEUS_CODEGEN_OBJECTFILE_H
+#define PROTEUS_CODEGEN_OBJECTFILE_H
+
+#include "codegen/MachineIR.h"
+#include "codegen/Target.h"
+
+#include <string>
+#include <vector>
+
+namespace proteus {
+
+/// Serializes an allocated machine function (plus its target) to bytes.
+std::vector<uint8_t> writeObject(const mcode::MachineFunction &MF,
+                                 GpuArch Arch);
+
+/// Result of decoding an object.
+struct ObjectReadResult {
+  mcode::MachineFunction MF;
+  GpuArch Arch = GpuArch::AmdGcnSim;
+  bool Ok = false;
+  std::string Error;
+};
+
+/// Decodes object bytes; returns an error (never crashes) on corrupt or
+/// truncated input, since persistent-cache files come from disk.
+ObjectReadResult readObject(const std::vector<uint8_t> &Bytes);
+
+} // namespace proteus
+
+#endif // PROTEUS_CODEGEN_OBJECTFILE_H

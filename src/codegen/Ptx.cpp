@@ -1,0 +1,269 @@
+//===- Ptx.cpp - PTX-like textual assembly step ---------------------------------===//
+//
+// Part of the Proteus reproduction project.
+//
+//===----------------------------------------------------------------------===//
+
+#include "codegen/Ptx.h"
+
+#include "support/StringUtils.h"
+
+#include <cstdlib>
+#include <sstream>
+#include <unordered_map>
+#include <vector>
+
+using namespace proteus;
+using namespace proteus::mcode;
+
+namespace {
+
+const char *typeTagName(pir::Type::Kind K) {
+  switch (K) {
+  case pir::Type::Kind::Void:
+    return "void";
+  case pir::Type::Kind::I1:
+    return "pred";
+  case pir::Type::Kind::I32:
+    return "s32";
+  case pir::Type::Kind::I64:
+    return "s64";
+  case pir::Type::Kind::F32:
+    return "f32";
+  case pir::Type::Kind::F64:
+    return "f64";
+  case pir::Type::Kind::Ptr:
+    return "u64";
+  }
+  return "u64";
+}
+
+int typeTagFromName(const std::string &S) {
+  if (S == "void")
+    return static_cast<int>(pir::Type::Kind::Void);
+  if (S == "pred")
+    return static_cast<int>(pir::Type::Kind::I1);
+  if (S == "s32")
+    return static_cast<int>(pir::Type::Kind::I32);
+  if (S == "s64")
+    return static_cast<int>(pir::Type::Kind::I64);
+  if (S == "f32")
+    return static_cast<int>(pir::Type::Kind::F32);
+  if (S == "f64")
+    return static_cast<int>(pir::Type::Kind::F64);
+  if (S == "u64")
+    return static_cast<int>(pir::Type::Kind::Ptr);
+  return -1;
+}
+
+void printReg(std::ostringstream &OS, Reg R) {
+  if (R == NoReg)
+    OS << " _";
+  else
+    OS << " %r" << R;
+}
+
+} // namespace
+
+std::string proteus::printPtx(const MachineFunction &MF) {
+  std::ostringstream OS;
+  OS << "//\n// ptx-sim module (generated)\n//\n";
+  OS << ".version 8.0\n.target sm_70\n.address_size 64\n\n";
+  OS << ".visible .entry " << MF.Name << "\n";
+  if (MF.LaunchBoundsThreads)
+    OS << ".maxntid " << MF.LaunchBoundsThreads << ", 1, 1\n"
+       << ".minnctapersm " << MF.LaunchBoundsMinBlocks << "\n";
+  OS << ".reg " << MF.NumRegs << "\n";
+  OS << ".localbytes " << MF.LocalBytes << "\n";
+  OS << ".params";
+  for (const MachineParam &P : MF.Params)
+    OS << " " << typeTagName(P.TypeKind) << ":%r" << P.ArgReg;
+  OS << "\n";
+  for (const Relocation &R : MF.Relocs)
+    OS << ".reloc " << R.Block << " " << R.InstrIndex << " " << R.Symbol
+       << "\n";
+  OS << "{\n";
+  for (size_t B = 0; B != MF.Blocks.size(); ++B) {
+    OS << "$L" << B << ": // " << MF.Blocks[B].Name << "\n";
+    for (const MachineInstr &MI : MF.Blocks[B].Instrs) {
+      OS << "  " << mopName(MI.Op) << "." << typeTagName(MI.TypeTag) << "."
+         << MI.Aux << "." << (MI.Uniform ? "u" : "d");
+      printReg(OS, MI.Dst);
+      printReg(OS, MI.Src1);
+      printReg(OS, MI.Src2);
+      printReg(OS, MI.Src3);
+      OS << " " << MI.Imm << " " << MI.Imm2 << ";\n";
+    }
+  }
+  OS << "}\n";
+  return OS.str();
+}
+
+PtxAssembleResult proteus::assemblePtx(const std::string &Text) {
+  PtxAssembleResult Out;
+  MachineFunction &MF = Out.MF;
+  auto fail = [&](const std::string &Msg) {
+    Out.Ok = false;
+    Out.Error = Msg;
+    return Out;
+  };
+
+  // Build the mnemonic lookup once.
+  static const auto &OpByName = *[] {
+    auto *M = new std::unordered_map<std::string, MOp>();
+    for (int O = 0; O <= static_cast<int>(MOp::Alloca); ++O)
+      (*M)[mopName(static_cast<MOp>(O))] = static_cast<MOp>(O);
+    return M;
+  }();
+
+  std::istringstream In(Text);
+  std::string Line;
+  int CurBlock = -1;
+  while (std::getline(In, Line)) {
+    std::string_view L = trim(Line);
+    if (L.empty() || startsWith(L, "//") || L == "{" || L == "}")
+      continue;
+    if (startsWith(L, ".visible .entry ")) {
+      MF.Name = std::string(trim(L.substr(16)));
+      continue;
+    }
+    if (startsWith(L, ".maxntid ")) {
+      MF.LaunchBoundsThreads =
+          static_cast<uint32_t>(std::strtoul(L.data() + 9, nullptr, 10));
+      continue;
+    }
+    if (startsWith(L, ".minnctapersm ")) {
+      MF.LaunchBoundsMinBlocks =
+          static_cast<uint32_t>(std::strtoul(L.data() + 14, nullptr, 10));
+      continue;
+    }
+    if (startsWith(L, ".reg ")) {
+      MF.NumRegs =
+          static_cast<uint32_t>(std::strtoul(L.data() + 5, nullptr, 10));
+      continue;
+    }
+    if (startsWith(L, ".localbytes ")) {
+      MF.LocalBytes =
+          static_cast<uint32_t>(std::strtoul(L.data() + 12, nullptr, 10));
+      continue;
+    }
+    if (startsWith(L, ".params")) {
+      for (std::string_view Tok : split(L.substr(7), ' ')) {
+        Tok = trim(Tok);
+        if (Tok.empty())
+          continue;
+        size_t Colon = Tok.find(':');
+        if (Colon == std::string_view::npos || Tok.size() < Colon + 4 ||
+            Tok[Colon + 1] != '%' || Tok[Colon + 2] != 'r')
+          return fail("bad .params entry");
+        int TT = typeTagFromName(std::string(Tok.substr(0, Colon)));
+        if (TT < 0)
+          return fail("bad parameter type");
+        MachineParam P;
+        P.TypeKind = static_cast<pir::Type::Kind>(TT);
+        P.ArgReg = static_cast<Reg>(
+            std::strtoul(std::string(Tok.substr(Colon + 3)).c_str(), nullptr,
+                         10));
+        MF.Params.push_back(P);
+      }
+      continue;
+    }
+    if (startsWith(L, ".reloc ")) {
+      std::vector<std::string_view> Parts = split(trim(L.substr(7)), ' ');
+      if (Parts.size() != 3)
+        return fail("bad .reloc");
+      Relocation R;
+      R.Block = static_cast<uint32_t>(
+          std::strtoul(std::string(Parts[0]).c_str(), nullptr, 10));
+      R.InstrIndex = static_cast<uint32_t>(
+          std::strtoul(std::string(Parts[1]).c_str(), nullptr, 10));
+      R.Symbol = std::string(Parts[2]);
+      MF.Relocs.push_back(std::move(R));
+      continue;
+    }
+    if (startsWith(L, ".version") || startsWith(L, ".target") ||
+        startsWith(L, ".address_size"))
+      continue;
+    if (startsWith(L, "$L")) {
+      // Label: "$L<N>: // name"
+      size_t Colon = L.find(':');
+      if (Colon == std::string_view::npos)
+        return fail("bad label");
+      CurBlock = static_cast<int>(
+          std::strtoul(std::string(L.substr(2, Colon - 2)).c_str(), nullptr,
+                       10));
+      if (CurBlock != static_cast<int>(MF.Blocks.size()))
+        return fail("labels out of order");
+      MachineBlock MB;
+      size_t NamePos = L.find("// ");
+      if (NamePos != std::string_view::npos)
+        MB.Name = std::string(L.substr(NamePos + 3));
+      MF.Blocks.push_back(std::move(MB));
+      continue;
+    }
+    // Instruction line: "<mop>.<type>.<aux>.<u|d> %rD %r1 %r2 %r3 imm imm2;"
+    if (CurBlock < 0)
+      return fail("instruction before first label");
+    std::string_view Body = L;
+    if (!Body.empty() && Body.back() == ';')
+      Body.remove_suffix(1);
+    std::vector<std::string_view> Tokens;
+    for (std::string_view T : split(Body, ' ')) {
+      T = trim(T);
+      if (!T.empty())
+        Tokens.push_back(T);
+    }
+    if (Tokens.size() != 7)
+      return fail("bad instruction arity: " + std::string(L));
+    std::vector<std::string_view> OpParts = split(Tokens[0], '.');
+    // The mnemonic itself may contain dots (e.g. ld.global): the trailing
+    // three components are type, aux, uniformity.
+    if (OpParts.size() < 4)
+      return fail("bad opcode format");
+    std::string UniStr(OpParts.back());
+    OpParts.pop_back();
+    std::string AuxStr(OpParts.back());
+    OpParts.pop_back();
+    std::string TypeStr(OpParts.back());
+    OpParts.pop_back();
+    std::string Mnemonic;
+    for (size_t I = 0; I != OpParts.size(); ++I) {
+      if (I)
+        Mnemonic += '.';
+      Mnemonic += std::string(OpParts[I]);
+    }
+    auto OpIt = OpByName.find(Mnemonic);
+    if (OpIt == OpByName.end())
+      return fail("unknown mnemonic '" + Mnemonic + "'");
+    int TT = typeTagFromName(TypeStr);
+    if (TT < 0)
+      return fail("bad type suffix");
+    MachineInstr MI;
+    MI.Op = OpIt->second;
+    MI.TypeTag = static_cast<pir::Type::Kind>(TT);
+    MI.Aux = static_cast<uint16_t>(std::strtoul(AuxStr.c_str(), nullptr, 10));
+    MI.Uniform = UniStr == "u";
+    auto parseReg = [&](std::string_view T, Reg &R) {
+      if (T == "_") {
+        R = NoReg;
+        return true;
+      }
+      if (T.size() < 3 || T[0] != '%' || T[1] != 'r')
+        return false;
+      R = static_cast<Reg>(
+          std::strtoul(std::string(T.substr(2)).c_str(), nullptr, 10));
+      return true;
+    };
+    if (!parseReg(Tokens[1], MI.Dst) || !parseReg(Tokens[2], MI.Src1) ||
+        !parseReg(Tokens[3], MI.Src2) || !parseReg(Tokens[4], MI.Src3))
+      return fail("bad register token");
+    MI.Imm = std::strtoll(std::string(Tokens[5]).c_str(), nullptr, 10);
+    MI.Imm2 = static_cast<int32_t>(
+        std::strtol(std::string(Tokens[6]).c_str(), nullptr, 10));
+    MF.Blocks[static_cast<size_t>(CurBlock)].Instrs.push_back(MI);
+  }
+  if (MF.Name.empty() || MF.Blocks.empty())
+    return fail("missing entry or body");
+  Out.Ok = true;
+  return Out;
+}

@@ -1,0 +1,43 @@
+//===- Ptx.h - PTX-like textual assembly step -------------------*- C++ -*-===//
+//
+// Part of the Proteus reproduction project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The NVIDIA-path intermediate step. The nvptx-sim backend does not emit
+/// binary code directly: it prints a PTX-like textual module from the
+/// virtual-register machine IR, and a separate assembler (the ptxas /
+/// nvPTXCompilerCompile stand-in) parses that text and performs register
+/// allocation to produce the final binary. This extra, genuinely-executed
+/// step is the source of the additional NVIDIA JIT overhead the paper
+/// measures (sections 3.3 and 4.3).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PROTEUS_CODEGEN_PTX_H
+#define PROTEUS_CODEGEN_PTX_H
+
+#include "codegen/MachineIR.h"
+
+#include <string>
+
+namespace proteus {
+
+/// Renders pre-allocation machine IR as PTX-like text.
+std::string printPtx(const mcode::MachineFunction &MF);
+
+/// Result of assembling PTX text.
+struct PtxAssembleResult {
+  mcode::MachineFunction MF; // virtual registers; caller runs allocation
+  bool Ok = false;
+  std::string Error;
+};
+
+/// Parses PTX-like text back into machine IR. Tolerates only text produced
+/// by printPtx; malformed input yields an error result.
+PtxAssembleResult assemblePtx(const std::string &Text);
+
+} // namespace proteus
+
+#endif // PROTEUS_CODEGEN_PTX_H

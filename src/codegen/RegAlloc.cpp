@@ -1,0 +1,389 @@
+//===- RegAlloc.cpp - linear-scan register allocation ---------------------------===//
+//
+// Part of the Proteus reproduction project.
+//
+//===----------------------------------------------------------------------===//
+//
+// Pipeline: global instruction numbering -> per-block liveness (iterative
+// backward dataflow over register bitsets) -> live intervals -> Poletto/
+// Sarkar linear scan with furthest-end spilling -> rewrite (spilled virtual
+// registers load/store through reserved temporaries).
+//
+//===----------------------------------------------------------------------===//
+
+#include "codegen/RegAlloc.h"
+
+#include "support/Error.h"
+
+#include <algorithm>
+#include <functional>
+#include <vector>
+
+using namespace proteus;
+using namespace proteus::mcode;
+
+namespace {
+
+/// Dense bitset over virtual registers.
+class RegSet {
+public:
+  explicit RegSet(size_t N) : Words((N + 63) / 64, 0) {}
+
+  bool test(Reg R) const { return Words[R >> 6] >> (R & 63) & 1; }
+  void set(Reg R) { Words[R >> 6] |= 1ULL << (R & 63); }
+  void reset(Reg R) { Words[R >> 6] &= ~(1ULL << (R & 63)); }
+
+  /// this |= O; returns true if anything changed.
+  bool unionWith(const RegSet &O) {
+    bool Changed = false;
+    for (size_t I = 0; I != Words.size(); ++I) {
+      uint64_t New = Words[I] | O.Words[I];
+      Changed |= New != Words[I];
+      Words[I] = New;
+    }
+    return Changed;
+  }
+
+  template <typename Fn> void forEach(Fn F) const {
+    for (size_t I = 0; I != Words.size(); ++I) {
+      uint64_t W = Words[I];
+      while (W) {
+        unsigned B = static_cast<unsigned>(__builtin_ctzll(W));
+        F(static_cast<Reg>(I * 64 + B));
+        W &= W - 1;
+      }
+    }
+  }
+
+private:
+  std::vector<uint64_t> Words;
+};
+
+void forEachUse(const MachineInstr &MI, const std::function<void(Reg)> &F) {
+  if (MI.Src1 != NoReg)
+    F(MI.Src1);
+  if (MI.Src2 != NoReg)
+    F(MI.Src2);
+  if (MI.Src3 != NoReg)
+    F(MI.Src3);
+}
+
+struct Interval {
+  Reg VReg;
+  uint32_t Start;
+  uint32_t End;
+};
+
+} // namespace
+
+RegAllocResult proteus::allocateRegisters(MachineFunction &MF,
+                                          unsigned RegisterBudget) {
+  if (MF.Allocated)
+    reportFatalError("regalloc: function already allocated");
+  if (RegisterBudget < 8)
+    RegisterBudget = 8;
+  const unsigned NumSpillTemps = 3;
+  const unsigned NumAllocatable = RegisterBudget - NumSpillTemps;
+
+  const uint32_t NumVRegs = MF.NumRegs;
+  const size_t NumBlocks = MF.Blocks.size();
+
+  // --- Global instruction numbering --------------------------------------
+  std::vector<uint32_t> BlockStart(NumBlocks), BlockEnd(NumBlocks);
+  uint32_t Pos = 0;
+  for (size_t B = 0; B != NumBlocks; ++B) {
+    BlockStart[B] = Pos;
+    Pos += static_cast<uint32_t>(MF.Blocks[B].Instrs.size());
+    BlockEnd[B] = Pos;
+  }
+
+  // --- Successor map ------------------------------------------------------
+  std::vector<std::vector<uint32_t>> Succs(NumBlocks);
+  for (size_t B = 0; B != NumBlocks; ++B) {
+    if (MF.Blocks[B].Instrs.empty())
+      continue;
+    const MachineInstr &Term = MF.Blocks[B].Instrs.back();
+    if (Term.Op == MOp::Br)
+      Succs[B].push_back(static_cast<uint32_t>(Term.Imm));
+    else if (Term.Op == MOp::CondBr) {
+      Succs[B].push_back(static_cast<uint32_t>(Term.Imm));
+      Succs[B].push_back(static_cast<uint32_t>(Term.Imm2));
+    }
+  }
+
+  // --- Liveness ------------------------------------------------------------
+  std::vector<RegSet> LiveIn(NumBlocks, RegSet(NumVRegs));
+  std::vector<RegSet> LiveOut(NumBlocks, RegSet(NumVRegs));
+  bool Changed = true;
+  while (Changed) {
+    Changed = false;
+    for (size_t B = NumBlocks; B-- > 0;) {
+      RegSet Out(NumVRegs);
+      for (uint32_t S : Succs[B])
+        Out.unionWith(LiveIn[S]);
+      Changed |= LiveOut[B].unionWith(Out);
+      // In = (Out - defs) + uses, computed backward through the block.
+      RegSet In = LiveOut[B];
+      const auto &Instrs = MF.Blocks[B].Instrs;
+      for (size_t I = Instrs.size(); I-- > 0;) {
+        const MachineInstr &MI = Instrs[I];
+        if (MI.Dst != NoReg)
+          In.reset(MI.Dst);
+        forEachUse(MI, [&](Reg R) { In.set(R); });
+      }
+      Changed |= LiveIn[B].unionWith(In);
+    }
+  }
+
+  // --- Live intervals ------------------------------------------------------
+  constexpr uint32_t NoPos = ~0u;
+  std::vector<uint32_t> IvStart(NumVRegs, NoPos), IvEnd(NumVRegs, 0);
+  auto extend = [&](Reg R, uint32_t P) {
+    if (IvStart[R] == NoPos || P < IvStart[R])
+      IvStart[R] = P;
+    if (P > IvEnd[R])
+      IvEnd[R] = P;
+  };
+  for (size_t B = 0; B != NumBlocks; ++B) {
+    const auto &Instrs = MF.Blocks[B].Instrs;
+    LiveIn[B].forEach([&](Reg R) { extend(R, BlockStart[B]); });
+    LiveOut[B].forEach([&](Reg R) {
+      extend(R, BlockEnd[B] == 0 ? 0 : BlockEnd[B] - 1);
+    });
+    for (size_t I = 0; I != Instrs.size(); ++I) {
+      uint32_t P = BlockStart[B] + static_cast<uint32_t>(I);
+      const MachineInstr &MI = Instrs[I];
+      if (MI.Dst != NoReg)
+        extend(MI.Dst, P);
+      forEachUse(MI, [&](Reg R) { extend(R, P); });
+    }
+  }
+
+  // Parameters are written at launch (position 0): their intervals must
+  // cover [0, last use] so no other interval reuses their register earlier.
+  for (const MachineParam &P : MF.Params)
+    if (IvStart[P.ArgReg] != NoPos)
+      IvStart[P.ArgReg] = 0;
+
+  std::vector<Interval> Intervals;
+  for (Reg R = 0; R != NumVRegs; ++R)
+    if (IvStart[R] != NoPos)
+      Intervals.push_back(Interval{R, IvStart[R], IvEnd[R]});
+  std::sort(Intervals.begin(), Intervals.end(),
+            [](const Interval &A, const Interval &B) {
+              return A.Start < B.Start ||
+                     (A.Start == B.Start && A.VReg < B.VReg);
+            });
+
+  // --- Rematerialization table -------------------------------------------
+  // Values defined exactly once by an immediate move are never reloaded
+  // from scratch: their uses re-emit the immediate (free in the ISA model),
+  // and their defs need no spill store — like LLVM's remat of constants.
+  std::vector<int8_t> DefCount(NumVRegs, 0);
+  std::vector<int64_t> RematImm(NumVRegs, 0);
+  std::vector<bool> Remat(NumVRegs, false);
+  for (const MachineBlock &MB : MF.Blocks)
+    for (const MachineInstr &MI : MB.Instrs)
+      if (MI.Dst != NoReg && DefCount[MI.Dst] < 2) {
+        ++DefCount[MI.Dst];
+        if (MI.Op == MOp::MovImm) {
+          RematImm[MI.Dst] = MI.Imm;
+          Remat[MI.Dst] = true;
+        } else {
+          Remat[MI.Dst] = false;
+        }
+      }
+  for (Reg R = 0; R != NumVRegs; ++R)
+    if (DefCount[R] > 1)
+      Remat[R] = false;
+
+  // A MovImm whose payload is patched by a relocation (device global
+  // address) must stay in place: its uses cannot re-emit the immediate.
+  for (const Relocation &Rel : MF.Relocs) {
+    if (Rel.Block >= MF.Blocks.size() ||
+        Rel.InstrIndex >= MF.Blocks[Rel.Block].Instrs.size())
+      continue;
+    const MachineInstr &MI = MF.Blocks[Rel.Block].Instrs[Rel.InstrIndex];
+    if (MI.Dst != NoReg)
+      Remat[MI.Dst] = false;
+  }
+
+  // --- Linear scan ----------------------------------------------------------
+  RegAllocResult Result;
+  std::vector<Reg> Assignment(NumVRegs, NoReg); // physical reg or NoReg
+  std::vector<int32_t> SpillSlot(NumVRegs, -1);
+  std::vector<bool> FreePhys(NumAllocatable, true);
+  // Active intervals sorted by increasing end.
+  std::vector<Interval> Active;
+  uint32_t MaxPhysUsed = 0;
+  uint32_t NextSlot = 0;
+
+  auto expireBefore = [&](uint32_t Start) {
+    size_t Keep = 0;
+    for (size_t I = 0; I != Active.size(); ++I) {
+      if (Active[I].End >= Start) {
+        Active[Keep++] = Active[I];
+      } else {
+        FreePhys[Assignment[Active[I].VReg]] = true;
+      }
+    }
+    Active.resize(Keep);
+  };
+
+  for (const Interval &Iv : Intervals) {
+    expireBefore(Iv.Start);
+    // Find a free physical register.
+    Reg Phys = NoReg;
+    for (unsigned P = 0; P != NumAllocatable; ++P)
+      if (FreePhys[P]) {
+        Phys = P;
+        break;
+      }
+    if (Phys != NoReg) {
+      FreePhys[Phys] = false;
+      Assignment[Iv.VReg] = Phys;
+      MaxPhysUsed = std::max(MaxPhysUsed, Phys + 1);
+      auto It = std::upper_bound(
+          Active.begin(), Active.end(), Iv,
+          [](const Interval &A, const Interval &B) { return A.End < B.End; });
+      Active.insert(It, Iv);
+      continue;
+    }
+    // Spill: the active interval with the furthest end, or this one.
+    // Rematerializable values need no scratch slot.
+    if (!Active.empty() && Active.back().End > Iv.End) {
+      Interval Victim = Active.back();
+      Active.pop_back();
+      Assignment[Iv.VReg] = Assignment[Victim.VReg];
+      Assignment[Victim.VReg] = NoReg;
+      if (!Remat[Victim.VReg])
+        SpillSlot[Victim.VReg] = static_cast<int32_t>(NextSlot++);
+      auto It = std::upper_bound(
+          Active.begin(), Active.end(), Iv,
+          [](const Interval &A, const Interval &B) { return A.End < B.End; });
+      Active.insert(It, Iv);
+    } else if (!Remat[Iv.VReg]) {
+      SpillSlot[Iv.VReg] = static_cast<int32_t>(NextSlot++);
+    }
+    ++Result.SpilledValues;
+  }
+
+  // --- Rewrite ---------------------------------------------------------------
+  const Reg Temp0 = NumAllocatable;
+  // Spill code shifts instruction positions; relocations index into blocks,
+  // so track the old->new index mapping per block.
+  std::vector<std::vector<uint32_t>> IndexMaps(NumBlocks);
+  for (size_t B = 0; B != NumBlocks; ++B) {
+    std::vector<MachineInstr> NewInstrs;
+    NewInstrs.reserve(MF.Blocks[B].Instrs.size());
+    IndexMaps[B].reserve(MF.Blocks[B].Instrs.size());
+    for (MachineInstr MI : MF.Blocks[B].Instrs) {
+      IndexMaps[B].push_back(~0u); // patched below once MI is placed
+      Reg Temps[3];
+      unsigned TempCount = 0;
+      Reg SpilledSrc[3] = {NoReg, NoReg, NoReg};
+      Reg SrcTemp[3] = {NoReg, NoReg, NoReg};
+      auto mapSrc = [&](Reg &Src, bool SrcUniform) {
+        if (Src == NoReg)
+          return;
+        if (Assignment[Src] != NoReg) {
+          Src = Assignment[Src];
+          return;
+        }
+        // Reload from scratch (or rematerialize an immediate); reuse a temp
+        // if the same vreg is already loaded for this instruction.
+        for (unsigned K = 0; K != TempCount; ++K)
+          if (SpilledSrc[K] == Src) {
+            Src = SrcTemp[K];
+            return;
+          }
+        Reg T = Temp0 + TempCount;
+        MachineInstr Ld;
+        if (Remat[Src]) {
+          Ld.Op = MOp::MovImm;
+          Ld.Dst = T;
+          Ld.Imm = RematImm[Src];
+          Ld.Uniform = SrcUniform;
+        } else {
+          Ld.Op = MOp::LdSpill;
+          Ld.Dst = T;
+          Ld.Imm = SpillSlot[Src];
+          Ld.Uniform = SrcUniform;
+          ++Result.SpillLoads;
+        }
+        NewInstrs.push_back(Ld);
+        SpilledSrc[TempCount] = Src;
+        SrcTemp[TempCount] = T;
+        Temps[TempCount] = T;
+        (void)Temps;
+        ++TempCount;
+        Src = T;
+      };
+      mapSrc(MI.Src1, MI.Uniform);
+      mapSrc(MI.Src2, MI.Uniform);
+      mapSrc(MI.Src3, MI.Uniform);
+      bool DstSpilled = false;
+      int64_t DstSlot = 0;
+      if (MI.Dst != NoReg) {
+        if (Assignment[MI.Dst] != NoReg) {
+          MI.Dst = Assignment[MI.Dst];
+        } else if (Remat[MI.Dst]) {
+          // Rematerializable definition: uses re-emit the immediate, so the
+          // defining move can vanish entirely.
+          IndexMaps[B].back() = static_cast<uint32_t>(NewInstrs.size());
+          MachineInstr Dead;
+          Dead.Op = MOp::Nop;
+          NewInstrs.push_back(Dead);
+          continue;
+        } else {
+          DstSpilled = true;
+          DstSlot = SpillSlot[MI.Dst];
+          MI.Dst = Temp0 + 2; // dedicated def temp
+        }
+      }
+      bool WasUniform = MI.Uniform;
+      IndexMaps[B].back() = static_cast<uint32_t>(NewInstrs.size());
+      NewInstrs.push_back(MI);
+      if (DstSpilled) {
+        MachineInstr St;
+        St.Op = MOp::StSpill;
+        St.Src1 = Temp0 + 2;
+        St.Imm = DstSlot;
+        St.Uniform = WasUniform;
+        NewInstrs.push_back(St);
+        ++Result.SpillStores;
+      }
+    }
+    MF.Blocks[B].Instrs = std::move(NewInstrs);
+  }
+
+  // Remap relocation instruction indices to post-spill positions.
+  for (Relocation &Rel : MF.Relocs)
+    if (Rel.Block < IndexMaps.size() &&
+        Rel.InstrIndex < IndexMaps[Rel.Block].size())
+      Rel.InstrIndex = IndexMaps[Rel.Block][Rel.InstrIndex];
+
+  // Rewrite parameter locations to their post-allocation homes.
+  for (MachineParam &P : MF.Params) {
+    Reg V = P.ArgReg;
+    if (IvStart[V] == NoPos) {
+      P.ArgReg = NoReg; // never used
+      P.SpillSlot = -1;
+    } else if (Assignment[V] != NoReg) {
+      P.ArgReg = Assignment[V];
+    } else {
+      P.ArgReg = NoReg;
+      P.SpillSlot = SpillSlot[V];
+    }
+  }
+
+  Result.SpillSlots = NextSlot;
+  Result.RegsUsed =
+      (Result.SpillLoads || Result.SpillStores)
+          ? std::max(MaxPhysUsed, Temp0 + NumSpillTemps)
+          : MaxPhysUsed;
+  MF.NumRegs = std::max(Result.RegsUsed, 1u);
+  MF.NumSpillSlots = NextSlot;
+  MF.Allocated = true;
+  return Result;
+}

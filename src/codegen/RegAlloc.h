@@ -1,0 +1,40 @@
+//===- RegAlloc.h - linear-scan register allocation -------------*- C++ -*-===//
+//
+// Part of the Proteus reproduction project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Liveness analysis and linear-scan register allocation with spilling.
+/// The per-thread register budget comes from the target and the kernel's
+/// launch bounds (see TargetInfo::registerBudget): this is the mechanism
+/// through which the paper's launch-bounds specialization changes register
+/// allocation, spill traffic and occupancy.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PROTEUS_CODEGEN_REGALLOC_H
+#define PROTEUS_CODEGEN_REGALLOC_H
+
+#include "codegen/MachineIR.h"
+
+namespace proteus {
+
+/// Outcome statistics of one allocation run.
+struct RegAllocResult {
+  uint32_t RegsUsed = 0;      // distinct physical registers
+  uint32_t SpilledValues = 0; // virtual registers sent to scratch
+  uint32_t SpillSlots = 0;    // 8-byte scratch slots
+  uint32_t SpillLoads = 0;    // reload instructions inserted
+  uint32_t SpillStores = 0;   // spill-store instructions inserted
+};
+
+/// Allocates \p MF in place under \p RegisterBudget physical registers
+/// (including three reserved spill temporaries). Inserts LdSpill/StSpill
+/// around spilled uses/defs and rewrites all operands to physical registers.
+RegAllocResult allocateRegisters(mcode::MachineFunction &MF,
+                                 unsigned RegisterBudget);
+
+} // namespace proteus
+
+#endif // PROTEUS_CODEGEN_REGALLOC_H

@@ -1,0 +1,139 @@
+//===- Device.h - simulated GPU device --------------------------*- C++ -*-===//
+//
+// Part of the Proteus reproduction project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The simulated GPU device: global memory with a bump-with-free-list
+/// allocator, a symbol table for device global variables, loaded code
+/// modules, an L2 cache model, and the simulated clock that accumulates
+/// kernel and transfer time. The HIP/CUDA-like entry points in Runtime.h
+/// operate on this object.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PROTEUS_GPU_DEVICE_H
+#define PROTEUS_GPU_DEVICE_H
+
+#include "codegen/MachineIR.h"
+#include "codegen/Target.h"
+#include "gpu/LaunchStats.h"
+
+#include <map>
+#include <memory>
+#include <unordered_map>
+#include <vector>
+
+namespace proteus {
+namespace gpu {
+
+using DevicePtr = uint64_t;
+
+/// Set-associative L2 cache model shared by all accesses of a launch.
+class L2Cache {
+public:
+  L2Cache(uint64_t SizeBytes, unsigned LineBytes, unsigned Ways);
+
+  /// Simulates one access; returns true on hit.
+  bool access(uint64_t Address);
+
+  void reset();
+
+private:
+  unsigned LineBytes;
+  unsigned Ways;
+  size_t NumSets;
+  std::vector<uint64_t> Tags;     // NumSets x Ways, 0 = empty
+  std::vector<uint32_t> LastUsed; // LRU stamps
+  uint32_t Clock = 0;
+};
+
+/// A kernel loaded onto the device, ready to launch.
+struct LoadedKernel {
+  mcode::MachineFunction MF;
+  GpuArch Arch;
+};
+
+/// One simulated GPU.
+class Device {
+public:
+  explicit Device(const TargetInfo &Target, uint64_t MemoryBytes = 1ull << 28);
+
+  const TargetInfo &target() const { return Target; }
+
+  // -- Memory --------------------------------------------------------------
+
+  /// Allocates \p Bytes of device memory; returns 0 on exhaustion.
+  DevicePtr allocate(uint64_t Bytes);
+
+  /// Frees a prior allocation (no-op for unknown pointers).
+  void free(DevicePtr P);
+
+  std::vector<uint8_t> &memory() { return Memory; }
+
+  bool validRange(DevicePtr P, uint64_t Bytes) const {
+    return P + Bytes <= Memory.size() && P + Bytes >= P;
+  }
+
+  // -- Globals --------------------------------------------------------------
+
+  /// Registers a device global symbol at a fresh allocation, copying the
+  /// initializer (zero-fill when empty). Idempotent per symbol.
+  DevicePtr registerGlobal(const std::string &Symbol, uint64_t Bytes,
+                           const std::vector<uint8_t> &Init);
+
+  /// Device address of \p Symbol, or 0 when unknown (mirrors
+  /// cuda/hipGetSymbolAddress).
+  DevicePtr getSymbolAddress(const std::string &Symbol) const;
+
+  // -- Modules / kernels -----------------------------------------------------
+
+  /// Loads object bytes, patching global-variable relocations against the
+  /// symbol table. Returns null and sets \p Error on failure.
+  LoadedKernel *loadKernel(const std::vector<uint8_t> &Object,
+                           std::string *Error = nullptr);
+
+  // -- Simulated time ---------------------------------------------------------
+
+  /// Total simulated device seconds (kernels + transfers).
+  double simulatedSeconds() const { return SimSeconds; }
+  void addSimulatedSeconds(double S) { SimSeconds += S; }
+  void resetSimulatedTime() { SimSeconds = 0.0; }
+
+  /// Accumulated kernel-only simulated time.
+  double kernelSeconds() const { return KernelSeconds; }
+  void addKernelSeconds(double S) { KernelSeconds += S; }
+
+  /// Restores both clocks to a prior reading (used by the auto-tuner to
+  /// exclude trial launches from program accounting).
+  void restoreClock(double Sim, double Kernel) {
+    SimSeconds = Sim;
+    KernelSeconds = Kernel;
+  }
+
+  L2Cache &l2() { return L2; }
+
+  /// Counters of the most recent launch (set by the Executor).
+  LaunchStats LastLaunch;
+
+  /// Per-kernel aggregated profile (rocprof/nvprof-sim).
+  std::map<std::string, LaunchStats> Profile;
+
+private:
+  const TargetInfo &Target;
+  std::vector<uint8_t> Memory;
+  uint64_t Brk = 64; // address 0 reserved as null
+  std::unordered_map<uint64_t, uint64_t> Allocations; // ptr -> size
+  std::vector<std::pair<uint64_t, uint64_t>> FreeList; // (ptr, size)
+  std::unordered_map<std::string, DevicePtr> Symbols;
+  std::vector<std::unique_ptr<LoadedKernel>> Kernels;
+  L2Cache L2;
+  double SimSeconds = 0.0;
+  double KernelSeconds = 0.0;
+};
+
+} // namespace gpu
+} // namespace proteus
+
+#endif // PROTEUS_GPU_DEVICE_H

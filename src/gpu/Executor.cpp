@@ -1,0 +1,410 @@
+//===- Executor.cpp - functional GPU execution -----------------------------------===//
+//
+// Part of the Proteus reproduction project.
+//
+//===----------------------------------------------------------------------===//
+//
+// Per-thread interpretation of allocated machine code. The instruction
+// stream is flattened for dispatch speed; semantics come from
+// ir/OpSemantics.h so the executor agrees bit-for-bit with the reference IR
+// interpreter and the constant folder. Threads run sequentially (the
+// simulation is deterministic); atomics therefore serialize naturally.
+//
+// Address map: [0, MemSize) is device global memory; addresses at or above
+// LocalBase are thread-private scratch from allocas, resolved per thread.
+//
+//===----------------------------------------------------------------------===//
+
+#include "gpu/Executor.h"
+
+#include "gpu/PerfModel.h"
+#include "ir/Context.h"
+#include "ir/OpSemantics.h"
+#include "support/StringUtils.h"
+
+#include <cstring>
+
+using namespace proteus;
+using namespace proteus::gpu;
+using namespace proteus::mcode;
+using pir::Type;
+
+namespace {
+
+constexpr uint64_t LocalBase = 1ull << 40;
+
+/// Flattened instruction stream: block -> first instruction index.
+struct FlatCode {
+  std::vector<MachineInstr> Instrs;
+  std::vector<uint32_t> BlockStart;
+
+  explicit FlatCode(const MachineFunction &MF) {
+    for (const MachineBlock &MB : MF.Blocks) {
+      BlockStart.push_back(static_cast<uint32_t>(Instrs.size()));
+      Instrs.insert(Instrs.end(), MB.Instrs.begin(), MB.Instrs.end());
+    }
+  }
+};
+
+/// Maps a serialized type tag back to a Type singleton for the shared
+/// OpSemantics evaluators (lazily constructed; types are stateless).
+pir::Type *typeForTag(Type::Kind K) {
+  static pir::Context TypeContext;
+  return TypeContext.getType(K);
+}
+
+/// Width-aware memory access helpers.
+inline unsigned typeSize(Type::Kind K) {
+  switch (K) {
+  case Type::Kind::I1:
+    return 1;
+  case Type::Kind::I32:
+  case Type::Kind::F32:
+    return 4;
+  default:
+    return 8;
+  }
+}
+
+} // namespace
+
+LaunchResult proteus::gpu::launchKernel(Device &Dev,
+                                        const LoadedKernel &Kernel,
+                                        Dim3 Grid, Dim3 Block,
+                                        const std::vector<KernelArg> &Args,
+                                        uint64_t MaxStepsPerThread) {
+  LaunchResult Out;
+  const MachineFunction &MF = Kernel.MF;
+  if (!MF.Allocated) {
+    Out.Error = "kernel is not register-allocated";
+    return Out;
+  }
+  if (Args.size() != MF.Params.size()) {
+    Out.Error = formatString("argument count mismatch: got %zu, kernel %s "
+                             "takes %zu",
+                             Args.size(), MF.Name.c_str(), MF.Params.size());
+    return Out;
+  }
+  if (Grid.count() == 0 || Block.count() == 0) {
+    Out.Error = "empty grid or block";
+    return Out;
+  }
+
+  FlatCode Code(MF);
+  LaunchStats &S = Out.Stats;
+  S.Kernel = MF.Name;
+  S.Blocks = Grid.count();
+  S.ThreadsPerBlock = Block.count();
+  S.RegsUsed = MF.NumRegs;
+  S.SpillSlots = MF.NumSpillSlots;
+  S.LaunchBoundsThreads = MF.LaunchBoundsThreads;
+
+  std::vector<uint8_t> &Mem = Dev.memory();
+  L2Cache &L2 = Dev.l2();
+
+  std::vector<uint64_t> Regs(MF.NumRegs, 0);
+  std::vector<uint64_t> Spill(MF.NumSpillSlots, 0);
+  std::vector<uint8_t> Local(MF.LocalBytes, 0);
+
+  // Scratch (spill + alloca) L2 pollution: give each thread distinct
+  // synthetic addresses above the global range so heavy spilling evicts
+  // useful lines, as it does on real hardware.
+  const uint64_t ScratchL2Base = Mem.size();
+  const uint64_t PerThreadScratch =
+      static_cast<uint64_t>(MF.NumSpillSlots) * 8 + MF.LocalBytes + 64;
+
+  auto resolve = [&](uint64_t Addr, unsigned Size,
+                     uint8_t *&P) -> bool {
+    if (Addr >= LocalBase) {
+      uint64_t Off = Addr - LocalBase;
+      if (Off + Size > Local.size())
+        return false;
+      P = Local.data() + Off;
+      return true;
+    }
+    if (!Dev.validRange(Addr, Size))
+      return false;
+    P = Mem.data() + Addr;
+    return true;
+  };
+
+  const uint64_t BlocksTotal = Grid.count();
+  const uint64_t ThreadsPerBlk = Block.count();
+  uint64_t ThreadLinear = 0;
+
+  for (uint64_t Blk = 0; Blk != BlocksTotal && Out.Error.empty(); ++Blk) {
+    uint32_t Ctaid[3] = {
+        static_cast<uint32_t>(Blk % Grid.X),
+        static_cast<uint32_t>(Blk / Grid.X % Grid.Y),
+        static_cast<uint32_t>(Blk / (static_cast<uint64_t>(Grid.X) * Grid.Y))};
+    for (uint64_t T = 0; T != ThreadsPerBlk && Out.Error.empty();
+         ++T, ++ThreadLinear) {
+      uint32_t Tid[3] = {
+          static_cast<uint32_t>(T % Block.X),
+          static_cast<uint32_t>(T / Block.X % Block.Y),
+          static_cast<uint32_t>(T /
+                                (static_cast<uint64_t>(Block.X) * Block.Y))};
+
+      // Initialize registers/spill slots for this thread.
+      std::fill(Regs.begin(), Regs.end(), 0);
+      if (!Spill.empty())
+        std::fill(Spill.begin(), Spill.end(), 0);
+      if (!Local.empty())
+        std::fill(Local.begin(), Local.end(), 0);
+      for (size_t A = 0; A != Args.size(); ++A) {
+        const MachineParam &P = MF.Params[A];
+        if (P.ArgReg != NoReg)
+          Regs[P.ArgReg] = Args[A].Bits;
+        else if (P.SpillSlot >= 0)
+          Spill[static_cast<size_t>(P.SpillSlot)] = Args[A].Bits;
+      }
+
+      const uint64_t ThreadScratchBase =
+          ScratchL2Base + ThreadLinear * PerThreadScratch;
+
+      uint64_t Steps = 0;
+      uint32_t PC = Code.BlockStart.empty() ? 0 : Code.BlockStart[0];
+      bool Running = true;
+      while (Running) {
+        if (PC >= Code.Instrs.size()) {
+          Out.Error = "PC ran off the end of the kernel";
+          break;
+        }
+        if (++Steps > MaxStepsPerThread) {
+          Out.Error = "per-thread step limit exceeded in " + MF.Name;
+          break;
+        }
+        const MachineInstr &MI = Code.Instrs[PC++];
+        if (MI.Op != MOp::MovImm)
+          ++S.TotalInstrs;
+        switch (MI.Op) {
+        case MOp::Nop:
+          break;
+        case MOp::MovRR:
+          Regs[MI.Dst] = Regs[MI.Src1];
+          MI.Uniform ? ++S.SALUInsts : ++S.VALUInsts;
+          break;
+        case MOp::MovImm:
+          // Immediate materialization is folded into instruction encodings
+          // (inline literals / constant banks) on both real ISAs: free.
+          Regs[MI.Dst] = static_cast<uint64_t>(MI.Imm);
+          break;
+        case MOp::Binary: {
+          pir::ValueKind K = static_cast<pir::ValueKind>(MI.Aux);
+          Regs[MI.Dst] = pir::sem::evalBinary(
+              K, typeForTag(MI.TypeTag), Regs[MI.Src1], Regs[MI.Src2]);
+          MI.Uniform ? ++S.SALUInsts : ++S.VALUInsts;
+          if (K == pir::ValueKind::Pow)
+            ++S.TranscendentalInsts;
+          else if (K == pir::ValueKind::SDiv || K == pir::ValueKind::UDiv ||
+                   K == pir::ValueKind::SRem || K == pir::ValueKind::URem ||
+                   K == pir::ValueKind::FDiv)
+            ++S.DivInsts;
+          break;
+        }
+        case MOp::Unary: {
+          pir::ValueKind K = static_cast<pir::ValueKind>(MI.Aux);
+          Regs[MI.Dst] = pir::sem::evalUnary(K, typeForTag(MI.TypeTag),
+                                             Regs[MI.Src1]);
+          MI.Uniform ? ++S.SALUInsts : ++S.VALUInsts;
+          if (K != pir::ValueKind::FNeg && K != pir::ValueKind::Fabs)
+            ++S.TranscendentalInsts;
+          break;
+        }
+        case MOp::Cast:
+          Regs[MI.Dst] = pir::sem::evalCast(
+              static_cast<pir::ValueKind>(MI.Aux), typeForTag(MI.TypeTag),
+              typeForTag(static_cast<Type::Kind>(MI.Imm2)), Regs[MI.Src1]);
+          MI.Uniform ? ++S.SALUInsts : ++S.VALUInsts;
+          break;
+        case MOp::ICmp:
+          Regs[MI.Dst] = pir::sem::evalICmp(
+                             static_cast<pir::ICmpPred>(MI.Aux),
+                             typeForTag(MI.TypeTag), Regs[MI.Src1],
+                             Regs[MI.Src2])
+                             ? 1
+                             : 0;
+          MI.Uniform ? ++S.SALUInsts : ++S.VALUInsts;
+          break;
+        case MOp::FCmp:
+          Regs[MI.Dst] = pir::sem::evalFCmp(
+                             static_cast<pir::FCmpPred>(MI.Aux),
+                             typeForTag(MI.TypeTag), Regs[MI.Src1],
+                             Regs[MI.Src2])
+                             ? 1
+                             : 0;
+          MI.Uniform ? ++S.SALUInsts : ++S.VALUInsts;
+          break;
+        case MOp::Sel:
+          Regs[MI.Dst] =
+              (Regs[MI.Src1] & 1) ? Regs[MI.Src2] : Regs[MI.Src3];
+          MI.Uniform ? ++S.SALUInsts : ++S.VALUInsts;
+          break;
+        case MOp::Ld: {
+          unsigned Size = typeSize(MI.TypeTag);
+          uint8_t *P = nullptr;
+          uint64_t Addr = Regs[MI.Src1];
+          if (!resolve(Addr, Size, P)) {
+            Out.Error = formatString("load out of bounds at 0x%llx in %s",
+                                     static_cast<unsigned long long>(Addr),
+                                     MF.Name.c_str());
+            Running = false;
+            break;
+          }
+          uint64_t Bits = 0;
+          std::memcpy(&Bits, P, Size);
+          Regs[MI.Dst] = Bits;
+          ++S.MemLoads;
+          bool Hit = L2.access(Addr >= LocalBase
+                                   ? ThreadScratchBase + (Addr - LocalBase)
+                                   : Addr);
+          Hit ? ++S.L2Hits : ++S.L2Misses;
+          break;
+        }
+        case MOp::St: {
+          unsigned Size = typeSize(MI.TypeTag);
+          uint8_t *P = nullptr;
+          uint64_t Addr = Regs[MI.Src2];
+          if (!resolve(Addr, Size, P)) {
+            Out.Error = formatString("store out of bounds at 0x%llx in %s",
+                                     static_cast<unsigned long long>(Addr),
+                                     MF.Name.c_str());
+            Running = false;
+            break;
+          }
+          std::memcpy(P, &Regs[MI.Src1], Size);
+          ++S.MemStores;
+          bool Hit = L2.access(Addr >= LocalBase
+                                   ? ThreadScratchBase + (Addr - LocalBase)
+                                   : Addr);
+          Hit ? ++S.L2Hits : ++S.L2Misses;
+          break;
+        }
+        case MOp::PtrAdd: {
+          int64_t Idx = pir::sem::signExtend(typeForTag(MI.TypeTag),
+                                             Regs[MI.Src2]);
+          Regs[MI.Dst] =
+              Regs[MI.Src1] + static_cast<uint64_t>(Idx * MI.Imm);
+          MI.Uniform ? ++S.SALUInsts : ++S.VALUInsts;
+          break;
+        }
+        case MOp::AtomicAdd: {
+          unsigned Size = typeSize(MI.TypeTag);
+          uint8_t *P = nullptr;
+          uint64_t Addr = Regs[MI.Src1];
+          if (!resolve(Addr, Size, P)) {
+            Out.Error = "atomic out of bounds in " + MF.Name;
+            Running = false;
+            break;
+          }
+          uint64_t Old = 0;
+          std::memcpy(&Old, P, Size);
+          pir::Type *Ty = typeForTag(MI.TypeTag);
+          uint64_t Sum = Ty->isFloatingPoint()
+                             ? pir::sem::evalBinary(pir::ValueKind::FAdd, Ty,
+                                                    Old, Regs[MI.Src2])
+                             : pir::sem::evalBinary(pir::ValueKind::Add, Ty,
+                                                    Old, Regs[MI.Src2]);
+          std::memcpy(P, &Sum, Size);
+          Regs[MI.Dst] = Old;
+          ++S.Atomics;
+          bool Hit = L2.access(Addr);
+          Hit ? ++S.L2Hits : ++S.L2Misses;
+          break;
+        }
+        case MOp::LdSpill:
+          Regs[MI.Dst] = Spill[static_cast<size_t>(MI.Imm)];
+          ++S.SpillLoads;
+          break;
+        case MOp::StSpill:
+          Spill[static_cast<size_t>(MI.Imm)] = Regs[MI.Src1];
+          ++S.SpillStores;
+          break;
+        case MOp::ReadSpecial: {
+          uint32_t V = 0;
+          switch (static_cast<SpecialReg>(MI.Aux)) {
+          case SpecialReg::TidX:
+            V = Tid[0];
+            break;
+          case SpecialReg::TidY:
+            V = Tid[1];
+            break;
+          case SpecialReg::TidZ:
+            V = Tid[2];
+            break;
+          case SpecialReg::CtaidX:
+            V = Ctaid[0];
+            break;
+          case SpecialReg::CtaidY:
+            V = Ctaid[1];
+            break;
+          case SpecialReg::CtaidZ:
+            V = Ctaid[2];
+            break;
+          case SpecialReg::NtidX:
+            V = Block.X;
+            break;
+          case SpecialReg::NtidY:
+            V = Block.Y;
+            break;
+          case SpecialReg::NtidZ:
+            V = Block.Z;
+            break;
+          case SpecialReg::NctaidX:
+            V = Grid.X;
+            break;
+          case SpecialReg::NctaidY:
+            V = Grid.Y;
+            break;
+          case SpecialReg::NctaidZ:
+            V = Grid.Z;
+            break;
+          }
+          Regs[MI.Dst] = V;
+          MI.Uniform ? ++S.SALUInsts : ++S.VALUInsts;
+          break;
+        }
+        case MOp::Bar:
+          // Thread-sequential functional simulation: a barrier only costs
+          // time (allocas are thread-private, so no cross-thread data flows
+          // through it).
+          ++S.Barriers;
+          break;
+        case MOp::Br:
+          PC = Code.BlockStart[static_cast<size_t>(MI.Imm)];
+          ++S.Branches;
+          break;
+        case MOp::CondBr:
+          PC = (Regs[MI.Src1] & 1)
+                   ? Code.BlockStart[static_cast<size_t>(MI.Imm)]
+                   : Code.BlockStart[static_cast<uint32_t>(MI.Imm2)];
+          ++S.Branches;
+          break;
+        case MOp::Ret:
+          Running = false;
+          break;
+        case MOp::Alloca:
+          Regs[MI.Dst] = LocalBase + static_cast<uint64_t>(MI.Imm);
+          MI.Uniform ? ++S.SALUInsts : ++S.VALUInsts;
+          break;
+        }
+      }
+    }
+  }
+
+  if (!Out.Error.empty())
+    return Out;
+
+  applyPerfModel(Dev.target(), S);
+  Dev.LastLaunch = S;
+  Dev.addSimulatedSeconds(S.DurationSec);
+  Dev.addKernelSeconds(S.DurationSec);
+  auto It = Dev.Profile.find(S.Kernel);
+  if (It == Dev.Profile.end()) {
+    Dev.Profile[S.Kernel] = S;
+  } else {
+    It->second.accumulate(S);
+  }
+  Out.Ok = true;
+  return Out;
+}

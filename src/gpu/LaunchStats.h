@@ -1,0 +1,82 @@
+//===- LaunchStats.h - per-launch hardware counters -------------*- C++ -*-===//
+//
+// Part of the Proteus reproduction project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The simulator's equivalent of rocprof/nvprof counters, collected per
+/// kernel launch. Counter names map onto the ones the paper reports:
+/// VALUInsts/SALUInsts (AMD vector/scalar ALU split via uniformity),
+/// inst_per_warp, spill loads/stores (VFetch/SFetch spill traffic), L2 cache
+/// hit ratio, IPC, VALUBusy and a stall estimate.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PROTEUS_GPU_LAUNCHSTATS_H
+#define PROTEUS_GPU_LAUNCHSTATS_H
+
+#include <cstdint>
+#include <string>
+
+namespace proteus {
+namespace gpu {
+
+/// Counters and derived metrics for one kernel launch.
+struct LaunchStats {
+  std::string Kernel;
+  uint64_t Blocks = 0;
+  uint64_t ThreadsPerBlock = 0;
+
+  // Dynamic instruction counts (all threads).
+  uint64_t TotalInstrs = 0;
+  uint64_t VALUInsts = 0;  // divergent ALU work
+  uint64_t SALUInsts = 0;  // block-uniform ALU work (scalar unit on AMD)
+  uint64_t MemLoads = 0;   // global loads
+  uint64_t MemStores = 0;  // global stores
+  uint64_t SpillLoads = 0; // scratch reloads inserted by the allocator
+  uint64_t SpillStores = 0;
+  uint64_t Atomics = 0;
+  uint64_t Branches = 0;
+  uint64_t Barriers = 0;
+  uint64_t TranscendentalInsts = 0; // sqrt/exp/log/sin/cos/pow
+  uint64_t DivInsts = 0;            // integer/fp division and remainder
+
+  // L2 model.
+  uint64_t L2Hits = 0;
+  uint64_t L2Misses = 0;
+
+  // Static compilation facts.
+  uint32_t RegsUsed = 0;
+  uint32_t SpillSlots = 0;
+  uint32_t LaunchBoundsThreads = 0;
+
+  // Performance-model outputs.
+  double Occupancy = 0.0;   // resident waves / max waves per CU
+  double DurationSec = 0.0; // simulated kernel duration
+  double IPC = 0.0;         // instructions per cycle per CU
+  double VALUBusyPct = 0.0; // % of issue cycles doing vector ALU work
+  double StallPct = 0.0;    // % cycles stalled on memory/spill dependencies
+
+  double l2HitRatio() const {
+    uint64_t Total = L2Hits + L2Misses;
+    return Total ? static_cast<double>(L2Hits) / static_cast<double>(Total)
+                 : 0.0;
+  }
+
+  uint64_t totalThreads() const { return Blocks * ThreadsPerBlock; }
+
+  double instPerThread() const {
+    uint64_t T = totalThreads();
+    return T ? static_cast<double>(TotalInstrs) / static_cast<double>(T) : 0;
+  }
+
+  /// Accumulates counters of another launch (same kernel) for aggregated
+  /// profiling reports.
+  void accumulate(const LaunchStats &O);
+};
+
+} // namespace gpu
+} // namespace proteus
+
+#endif // PROTEUS_GPU_LAUNCHSTATS_H

@@ -1,0 +1,60 @@
+//===- PerfModel.h - analytic GPU performance model -------------*- C++ -*-===//
+//
+// Part of the Proteus reproduction project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Converts an executed instruction mix into simulated kernel duration.
+/// The model is deliberately simple but captures the mechanisms the paper's
+/// results rest on:
+///
+///  * fewer dynamic instructions (runtime constant folding) => fewer issue
+///    cycles => shorter kernels;
+///  * spill traffic is expensive per access and pollutes the L2 model;
+///  * register usage bounds resident waves per CU; occupancy controls how
+///    much memory latency is hidden, so memory-heavy kernels at low
+///    occupancy stall (the launch-bounds effect on AMD).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PROTEUS_GPU_PERFMODEL_H
+#define PROTEUS_GPU_PERFMODEL_H
+
+#include "codegen/Target.h"
+#include "gpu/LaunchStats.h"
+
+namespace proteus {
+namespace gpu {
+
+/// Per-access/issue cycle costs (identical across targets; the targets
+/// differ in geometry, clock and allocator behaviour instead).
+struct CostModel {
+  double Alu = 1.0;
+  double Transcendental = 8.0;
+  double Divide = 4.0;
+  double MemL2Hit = 24.0;
+  double MemL2Miss = 160.0;
+  /// Scratch (spill) access base cost — register reloads mostly hit the
+  /// near cache levels...
+  double SpillBase = 0.8;
+  /// ...but when the resident scratch working set saturates the L2, each
+  /// access pays up to this surcharge and data lines get evicted.
+  double SpillPollutionExtra = 1.0;
+  double Atomic = 80.0;
+  double Branch = 2.0;
+  double Barrier = 16.0;
+};
+
+/// Fills the derived fields of \p Stats (Occupancy, DurationSec, IPC,
+/// VALUBusyPct, StallPct) from its raw counters.
+void applyPerfModel(const TargetInfo &Target, LaunchStats &Stats,
+                    const CostModel &Costs = CostModel());
+
+/// Simulated duration of a host<->device copy of \p Bytes.
+double transferSeconds(const TargetInfo &Target, uint64_t Bytes);
+
+} // namespace gpu
+} // namespace proteus
+
+#endif // PROTEUS_GPU_PERFMODEL_H

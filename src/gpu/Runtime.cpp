@@ -1,0 +1,122 @@
+//===- Runtime.cpp - HIP/CUDA-like runtime API -----------------------------------===//
+//
+// Part of the Proteus reproduction project.
+//
+//===----------------------------------------------------------------------===//
+
+#include "gpu/Runtime.h"
+
+#include "gpu/PerfModel.h"
+#include "support/Error.h"
+
+#include <cstring>
+
+using namespace proteus;
+using namespace proteus::gpu;
+
+const char *proteus::gpu::gpuErrorName(GpuError E) {
+  switch (E) {
+  case GpuError::Success:
+    return "success";
+  case GpuError::OutOfMemory:
+    return "out of memory";
+  case GpuError::InvalidValue:
+    return "invalid value";
+  case GpuError::LaunchFailure:
+    return "launch failure";
+  case GpuError::NotFound:
+    return "not found";
+  }
+  proteus_unreachable("unknown gpu error");
+}
+
+GpuError proteus::gpu::gpuMalloc(Device &Dev, DevicePtr *Out,
+                                 uint64_t Bytes) {
+  if (!Out)
+    return GpuError::InvalidValue;
+  DevicePtr P = Dev.allocate(Bytes);
+  if (!P)
+    return GpuError::OutOfMemory;
+  *Out = P;
+  return GpuError::Success;
+}
+
+GpuError proteus::gpu::gpuFree(Device &Dev, DevicePtr P) {
+  Dev.free(P);
+  return GpuError::Success;
+}
+
+GpuError proteus::gpu::gpuMemcpyHtoD(Device &Dev, DevicePtr Dst,
+                                     const void *Src, uint64_t Bytes) {
+  if (!Dev.validRange(Dst, Bytes))
+    return GpuError::InvalidValue;
+  std::memcpy(Dev.memory().data() + Dst, Src, Bytes);
+  Dev.addSimulatedSeconds(transferSeconds(Dev.target(), Bytes));
+  return GpuError::Success;
+}
+
+GpuError proteus::gpu::gpuMemcpyDtoH(Device &Dev, void *Dst, DevicePtr Src,
+                                     uint64_t Bytes) {
+  if (!Dev.validRange(Src, Bytes))
+    return GpuError::InvalidValue;
+  std::memcpy(Dst, Dev.memory().data() + Src, Bytes);
+  Dev.addSimulatedSeconds(transferSeconds(Dev.target(), Bytes));
+  return GpuError::Success;
+}
+
+GpuError proteus::gpu::gpuMemset(Device &Dev, DevicePtr Dst, uint8_t Value,
+                                 uint64_t Bytes) {
+  if (!Dev.validRange(Dst, Bytes))
+    return GpuError::InvalidValue;
+  std::memset(Dev.memory().data() + Dst, Value, Bytes);
+  Dev.addSimulatedSeconds(transferSeconds(Dev.target(), Bytes) / 2);
+  return GpuError::Success;
+}
+
+GpuError proteus::gpu::gpuRegisterVar(Device &Dev, const std::string &Symbol,
+                                      uint64_t Bytes,
+                                      const std::vector<uint8_t> &Init) {
+  return Dev.registerGlobal(Symbol, Bytes, Init) ? GpuError::Success
+                                                 : GpuError::OutOfMemory;
+}
+
+GpuError proteus::gpu::gpuGetSymbolAddress(Device &Dev, DevicePtr *Out,
+                                           const std::string &Symbol) {
+  if (!Out)
+    return GpuError::InvalidValue;
+  DevicePtr P = Dev.getSymbolAddress(Symbol);
+  if (!P)
+    return GpuError::NotFound;
+  *Out = P;
+  return GpuError::Success;
+}
+
+GpuError proteus::gpu::gpuModuleLoad(Device &Dev, LoadedKernel **Out,
+                                     const std::vector<uint8_t> &Object,
+                                     std::string *Error) {
+  if (!Out)
+    return GpuError::InvalidValue;
+  LoadedKernel *K = Dev.loadKernel(Object, Error);
+  if (!K)
+    return GpuError::InvalidValue;
+  // Module loading costs simulated time proportional to the binary size
+  // (driver upload + setup).
+  Dev.addSimulatedSeconds(20e-6 +
+                          transferSeconds(Dev.target(), Object.size()));
+  *Out = K;
+  return GpuError::Success;
+}
+
+GpuError proteus::gpu::gpuLaunchKernel(Device &Dev,
+                                       const LoadedKernel &Kernel, Dim3 Grid,
+                                       Dim3 Block,
+                                       const std::vector<KernelArg> &Args,
+                                       std::string *Error) {
+  LaunchResult R = launchKernel(Dev, Kernel, Grid, Block, Args);
+  if (!R.Ok) {
+    if (Error)
+      *Error = R.Error;
+    return GpuError::LaunchFailure;
+  }
+  return GpuError::Success;
+}

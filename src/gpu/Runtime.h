@@ -1,0 +1,77 @@
+//===- Runtime.h - HIP/CUDA-like runtime API --------------------*- C++ -*-===//
+//
+// Part of the Proteus reproduction project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The vendor-runtime facade over the simulated device — the API surface
+/// the AOT-compiled host program and the Proteus JIT runtime call into,
+/// mirroring the subset of hip*/cuda* entry points the paper's system uses:
+/// memory management, transfers (with simulated cost), module loading,
+/// symbol resolution (gpuGetSymbolAddress), reading device globals back to
+/// the host (cuModuleGetGlobal path for NVIDIA bitcode extraction) and
+/// kernel launch.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PROTEUS_GPU_RUNTIME_H
+#define PROTEUS_GPU_RUNTIME_H
+
+#include "gpu/Executor.h"
+
+namespace proteus {
+namespace gpu {
+
+enum class GpuError {
+  Success = 0,
+  OutOfMemory,
+  InvalidValue,
+  LaunchFailure,
+  NotFound,
+};
+
+const char *gpuErrorName(GpuError E);
+
+/// Allocates device memory (adds no simulated time, as in real runtimes the
+/// cost is host-side).
+GpuError gpuMalloc(Device &Dev, DevicePtr *Out, uint64_t Bytes);
+
+GpuError gpuFree(Device &Dev, DevicePtr P);
+
+/// Host -> device copy; advances simulated time by the transfer model.
+GpuError gpuMemcpyHtoD(Device &Dev, DevicePtr Dst, const void *Src,
+                       uint64_t Bytes);
+
+/// Device -> host copy; advances simulated time.
+GpuError gpuMemcpyDtoH(Device &Dev, void *Dst, DevicePtr Src,
+                       uint64_t Bytes);
+
+/// Fills device memory with a byte value.
+GpuError gpuMemset(Device &Dev, DevicePtr Dst, uint8_t Value,
+                   uint64_t Bytes);
+
+/// Registers a device global (the __hipRegisterVar/__cudaRegisterVar step
+/// performed by the program's initialization code).
+GpuError gpuRegisterVar(Device &Dev, const std::string &Symbol,
+                        uint64_t Bytes, const std::vector<uint8_t> &Init);
+
+/// Resolves a device global's address (hip/cudaGetSymbolAddress).
+GpuError gpuGetSymbolAddress(Device &Dev, DevicePtr *Out,
+                             const std::string &Symbol);
+
+/// Loads a compiled kernel object onto the device.
+GpuError gpuModuleLoad(Device &Dev, LoadedKernel **Out,
+                       const std::vector<uint8_t> &Object,
+                       std::string *Error = nullptr);
+
+/// Launches a loaded kernel and blocks until completion (the simulator is
+/// synchronous; streams serialize).
+GpuError gpuLaunchKernel(Device &Dev, const LoadedKernel &Kernel, Dim3 Grid,
+                         Dim3 Block, const std::vector<KernelArg> &Args,
+                         std::string *Error = nullptr);
+
+} // namespace gpu
+} // namespace proteus
+
+#endif // PROTEUS_GPU_RUNTIME_H

@@ -1,0 +1,209 @@
+//===- Feykac.cpp - Feynman-Kac Monte-Carlo benchmark (HeCBench-sim) --------------===//
+//
+// Part of the Proteus reproduction project.
+//
+//===----------------------------------------------------------------------===//
+//
+// Monte-Carlo solution of an elliptic PDE via the Feynman-Kac formula
+// (paper Listing 2): each thread walks a stochastic trajectory on a 2-D
+// domain with semi-axes a, b, evaluating the potential at every step
+// through an always-inline device function. Arguments a and b are
+// annotated; with their runtime values folded, the elliptic-correction arm
+// of the potential's select chain (computed unconditionally on GPUs) folds
+// away and division-by-(power-of-two) semi-axes strength-reduces — the
+// vector-instruction reduction of the paper's Figure 8.
+//
+//===----------------------------------------------------------------------===//
+
+#include "hecbench/Benchmark.h"
+#include "hecbench/KernelUtil.h"
+
+#include <cmath>
+#include <cstring>
+
+using namespace proteus;
+using namespace proteus::hecbench;
+using namespace pir;
+
+namespace {
+
+constexpr uint32_t NumWalkers = 4096;
+constexpr uint32_t BlockSize = 128;
+constexpr int32_t NumSteps = 96;
+constexpr uint32_t NumIterations = 4;
+constexpr double AxisA = 2.0;
+constexpr double AxisB = 2.0; // == a at runtime: the symmetric case
+
+class FeykacBenchmark : public Benchmark {
+public:
+  std::string name() const override { return "FEY-KAC"; }
+  std::string domain() const override { return "Monte Carlo PDEs"; }
+  std::string inputDescription() const override { return "1"; }
+
+  uint64_t timeScale() const override { return 2500; }
+
+  std::unique_ptr<Module> buildModule(Context &Ctx) const override {
+    auto M = std::make_unique<Module>(Ctx, "feykac");
+    IRBuilder B(Ctx);
+    Type *F64 = Ctx.getF64Ty();
+    Type *Ptr = Ctx.getPtrTy();
+    Type *I32 = Ctx.getI32Ty();
+    Type *I64 = Ctx.getI64Ty();
+
+    // --- device potential(a, b, x, y) (paper Listing 2 analogue) ----------
+    Function *Pot = M->createFunction("potential", F64,
+                                      {F64, F64, F64, F64},
+                                      {"a", "b", "x", "y"},
+                                      FunctionKind::Device);
+    Pot->setAlwaysInline(true);
+    {
+      Value *A = Pot->getArg(0), *Bb = Pot->getArg(1), *X = Pot->getArg(2),
+            *Y = Pot->getArg(3);
+      B.setInsertPoint(Pot->createBlock("entry", Ctx.getVoidTy()));
+      Value *A2 = B.createFMul(A, A, "a2");
+      Value *B2 = B.createFMul(Bb, Bb, "b2");
+      Value *Bx = B.createFDiv(X, A, "bx");
+      Value *By = B.createFDiv(Y, Bb, "by");
+      Value *Two = B.getDouble(2.0);
+      // Symmetric-domain potential: 2*(2 + bx^2 + by^2)/a^2.
+      Value *R2 = B.createFAdd(B.createFMul(Bx, Bx),
+                               B.createFMul(By, By), "r2");
+      Value *VSym = B.createFDiv(
+          B.createFMul(Two, B.createFAdd(Two, R2)), A2, "vsym");
+      // Elliptic correction for a != b: a heavier expression with
+      // transcendentals. GPU code evaluates both arms of the select; under
+      // RCF with a == b the comparison folds and this arm is eliminated.
+      Value *Ecc = B.createFDiv(B.createFSub(A2, B2),
+                                B.createFAdd(A2, B2), "ecc");
+      Value *Exy = B.createFMul(Ecc, B.createFMul(X, Y));
+      Value *T1 = B.createSin(B.createFMul(Bx, By), "t1");
+      Value *T2 = B.createCos(B.createFAdd(Bx, By), "t2");
+      Value *T3 = B.createExp(B.createFMul(Ecc, R2), "t3");
+      Value *T4 = B.createSqrt(B.createFAdd(B.createFMul(T1, T1),
+                                            B.createFMul(T2, T2)), "t4");
+      Value *Corr = B.createFMul(
+          Exy, B.createFAdd(T3, B.createFMul(T4, B.createPow(R2, Bb))),
+          "corr");
+      Value *VEll = B.createFAdd(VSym, Corr, "vell");
+      Value *Symmetric = B.createFCmp(FCmpPred::OEQ, A, Bb, "sym");
+      B.createRet(B.createSelect(Symmetric, VSym, VEll, "v"));
+    }
+
+    // --- kernel ------------------------------------------------------------
+    Function *F = M->createFunction(
+        "feykac", Ctx.getVoidTy(), {Ptr, Ptr, F64, F64, F64, I32, I32},
+        {"wt", "seeds", "a", "b", "h", "n_steps", "n_walkers"},
+        FunctionKind::Kernel);
+    F->setJitAnnotation(JitAnnotation{{3, 4}}); // a, b
+
+    Value *Wt = F->getArg(0), *Seeds = F->getArg(1);
+    Value *A = F->getArg(2), *Bb = F->getArg(3), *H = F->getArg(4);
+    Value *NSteps = F->getArg(5), *NWalkers = F->getArg(6);
+
+    B.setInsertPoint(F->createBlock("entry", Ctx.getVoidTy()));
+    BasicBlock *Work = nullptr, *Exit = nullptr;
+    Value *Gtid = emitGuardedPrologue(B, F, NWalkers, Work, Exit);
+
+    Value *SeedP = B.createGep(I64, Seeds, Gtid, "seedp");
+    Value *Seed0 = B.createLoad(I64, SeedP, "seed0");
+
+    LoopEmitter L = beginCountedLoop(B, F, NSteps, "walk");
+    PhiInst *Seed = addCarriedValue(B, L, I64, Seed0, "seed");
+    PhiInst *X = addCarriedValue(B, L, F64, B.getDouble(0.1), "x");
+    PhiInst *Y = addCarriedValue(B, L, F64, B.getDouble(-0.05), "y");
+    PhiInst *W = addCarriedValue(B, L, F64, B.getDouble(1.0), "w");
+
+    // Two RNG draws move the walker.
+    Value *S1 = emitLcgStep(B, Seed);
+    Value *R1 = emitLcgToUnit(B, S1);
+    Value *S2 = emitLcgStep(B, S1);
+    Value *R2u = emitLcgToUnit(B, S2);
+    Value *Half = B.getDouble(0.5);
+    Value *Dx = B.createFMul(B.createFSub(R1, Half), H, "dx");
+    Value *Dy = B.createFMul(B.createFSub(R2u, Half), H, "dy");
+    Value *Xn = B.createFAdd(X, Dx, "xn");
+    Value *Yn = B.createFAdd(Y, Dy, "yn");
+
+    // chk = (x/a)^2 + (y/b)^2: the elliptic inside test.
+    Value *Xa = B.createFDiv(Xn, A);
+    Value *Yb = B.createFDiv(Yn, Bb);
+    Value *Chk = B.createFAdd(B.createFMul(Xa, Xa), B.createFMul(Yb, Yb),
+                              "chk");
+    Value *Inside = B.createFCmp(FCmpPred::OLT, Chk, B.getDouble(1.0));
+
+    Value *V = B.createCall(M->getFunction("potential"), {A, Bb, Xn, Yn},
+                            "vpot");
+    // w *= 1 - v*h*h/2 inside the domain; boundary damping outside.
+    Value *H2 = B.createFMul(H, H);
+    Value *Fac = B.createFSub(B.getDouble(1.0),
+                              B.createFMul(V, B.createFMul(H2, Half)),
+                              "fac");
+    Value *Win = B.createFMul(W, Fac, "win");
+    Value *Wout = B.createFMul(W, B.getDouble(0.5), "wout");
+    Value *Wn = B.createSelect(Inside, Win, Wout, "wn");
+    // Reflect the walker at the boundary.
+    Value *Xr = B.createSelect(Inside, Xn, X, "xr");
+    Value *Yr = B.createSelect(Inside, Yn, Y, "yr");
+
+    closeCountedLoop(B, L, {{Seed, S2}, {X, Xr}, {Y, Yr}, {W, Wn}});
+
+    Value *OutP = B.createGep(F64, Wt, Gtid, "outp");
+    Value *Prev = B.createLoad(F64, OutP, "prev");
+    B.createStore(B.createFAdd(Prev, W), OutP);
+    B.createRet();
+    return M;
+  }
+
+  std::vector<BufferSpec> buffers() const override {
+    std::vector<double> Wt(NumWalkers, 0.0);
+    std::vector<int32_t> Seeds(NumWalkers * 2);
+    uint64_t S = 777;
+    for (uint32_t I = 0; I != NumWalkers; ++I) {
+      S = S * 2862933555777941757ull + 3037000493ull;
+      std::memcpy(&Seeds[2 * I], &S, 8);
+    }
+    return {BufferSpec::fromDoubles("wt", Wt),
+            BufferSpec::fromInts("seeds", Seeds)};
+  }
+
+  std::vector<LaunchSpec> launches() const override {
+    std::vector<LaunchSpec> Out;
+    for (uint32_t Iter = 0; Iter != NumIterations; ++Iter) {
+      LaunchSpec L;
+      L.Symbol = "feykac";
+      L.Grid = gpu::Dim3{NumWalkers / BlockSize, 1, 1};
+      L.Block = gpu::Dim3{BlockSize, 1, 1};
+      L.Args = {ArgSpec::buffer("wt"),
+                ArgSpec::buffer("seeds"),
+                ArgSpec::scalarF64(AxisA),
+                ArgSpec::scalarF64(AxisB),
+                ArgSpec::scalarF64(0.05),
+                ArgSpec::scalarI32(NumSteps),
+                ArgSpec::scalarI32(static_cast<int32_t>(NumWalkers))};
+      Out.push_back(std::move(L));
+    }
+    return Out;
+  }
+
+  bool verifyOutput(const BufferReader &Out) const override {
+    std::vector<double> Wt = Out.doubles("wt");
+    if (Wt.size() != NumWalkers)
+      return false;
+    double Sum = 0;
+    for (double V : Wt) {
+      if (!std::isfinite(V) || V < 0.0 ||
+          V > static_cast<double>(NumIterations))
+        return false;
+      Sum += V;
+    }
+    // Weights decay from 1.0; the mean must stay in a sane band.
+    double Mean = Sum / NumWalkers / NumIterations;
+    return Mean > 0.01 && Mean < 1.0;
+  }
+};
+
+} // namespace
+
+std::unique_ptr<Benchmark> proteus::hecbench::makeFeykacBenchmark() {
+  return std::make_unique<FeykacBenchmark>();
+}

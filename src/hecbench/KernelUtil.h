@@ -1,0 +1,120 @@
+//===- KernelUtil.h - shared kernel-construction helpers --------*- C++ -*-===//
+//
+// Part of the Proteus reproduction project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Small IRBuilder idioms shared by the HeCBench-sim kernels: the global
+/// thread id + bounds guard prologue, canonical counted loops, and an
+/// in-kernel LCG random step.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PROTEUS_HECBENCH_KERNELUTIL_H
+#define PROTEUS_HECBENCH_KERNELUTIL_H
+
+#include "ir/IRBuilder.h"
+
+namespace proteus {
+namespace hecbench {
+
+/// Emits the "gtid < n ? work : exit" guard: creates work/exit blocks,
+/// terminates the current block with the guarded branch, leaves the builder
+/// positioned in the work block (exit gets its ret). Returns the gtid.
+inline pir::Value *emitGuardedPrologue(pir::IRBuilder &B, pir::Function *F,
+                                       pir::Value *Bound,
+                                       pir::BasicBlock *&WorkBB,
+                                       pir::BasicBlock *&ExitBB) {
+  pir::Context &Ctx = B.getContext();
+  pir::Value *Gtid = B.createGlobalThreadIdX();
+  WorkBB = F->createBlock("work", Ctx.getVoidTy());
+  ExitBB = F->createBlock("exit", Ctx.getVoidTy());
+  pir::Value *InRange = B.createICmp(pir::ICmpPred::SLT, Gtid, Bound, "guard");
+  B.createCondBr(InRange, WorkBB, ExitBB);
+  B.setInsertPoint(ExitBB);
+  B.createRet();
+  B.setInsertPoint(WorkBB);
+  return Gtid;
+}
+
+/// State for an open canonical loop created by beginCountedLoop.
+struct LoopEmitter {
+  pir::BasicBlock *Preheader = nullptr;
+  pir::BasicBlock *Header = nullptr;
+  pir::BasicBlock *Body = nullptr;
+  pir::BasicBlock *Exit = nullptr;
+  pir::PhiInst *Index = nullptr;
+};
+
+/// Opens a canonical "for (i = 0; i < Bound; ++i)" loop; the builder is left
+/// in the body. Call closeCountedLoop when the body is emitted. Additional
+/// loop-carried phis can be created in Header while the builder is in Body
+/// (use addCarriedValue).
+inline LoopEmitter beginCountedLoop(pir::IRBuilder &B, pir::Function *F,
+                                    pir::Value *Bound,
+                                    const std::string &Tag) {
+  pir::Context &Ctx = B.getContext();
+  LoopEmitter L;
+  L.Preheader = B.getInsertBlock();
+  L.Header = F->createBlock(Tag + ".header", Ctx.getVoidTy());
+  L.Body = F->createBlock(Tag + ".body", Ctx.getVoidTy());
+  L.Exit = F->createBlock(Tag + ".exit", Ctx.getVoidTy());
+  B.createBr(L.Header);
+  B.setInsertPoint(L.Header);
+  L.Index = B.createPhi(Ctx.getI32Ty(), Tag + ".i");
+  L.Index->addIncoming(B.getInt32(0), L.Preheader);
+  pir::Value *Cond =
+      B.createICmp(pir::ICmpPred::SLT, L.Index, Bound, Tag + ".cond");
+  B.createCondBr(Cond, L.Body, L.Exit);
+  B.setInsertPoint(L.Body);
+  return L;
+}
+
+/// Creates a loop-carried value: a phi in the header with \p Init from the
+/// preheader. Pair with finishCarried after closing the body.
+inline pir::PhiInst *addCarriedValue(pir::IRBuilder &B, LoopEmitter &L,
+                                     pir::Type *Ty, pir::Value *Init,
+                                     const std::string &Name) {
+  pir::BasicBlock *Saved = B.getInsertBlock();
+  B.setInsertPoint(L.Header);
+  pir::PhiInst *Phi = B.createPhi(Ty, Name);
+  Phi->addIncoming(Init, L.Preheader);
+  B.setInsertPoint(Saved);
+  return Phi;
+}
+
+/// Closes the loop: the current block becomes the latch, the index steps by
+/// one, carried phis receive their latch values, and the builder moves to
+/// the exit block.
+inline void
+closeCountedLoop(pir::IRBuilder &B, LoopEmitter &L,
+                 const std::vector<std::pair<pir::PhiInst *, pir::Value *>>
+                     &CarriedUpdates) {
+  pir::BasicBlock *Latch = B.getInsertBlock();
+  pir::Value *Next = B.createAdd(L.Index, B.getInt32(1));
+  L.Index->addIncoming(Next, Latch);
+  for (const auto &[Phi, V] : CarriedUpdates)
+    Phi->addIncoming(V, Latch);
+  B.createBr(L.Header);
+  B.setInsertPoint(L.Exit);
+}
+
+/// One LCG step: state' = state * 6364136223846793005 + 1442695040888963407.
+inline pir::Value *emitLcgStep(pir::IRBuilder &B, pir::Value *State) {
+  pir::Value *Mul =
+      B.createMul(State, B.getInt64(6364136223846793005ull));
+  return B.createAdd(Mul, B.getInt64(1442695040888963407ull), "lcg");
+}
+
+/// Converts the top bits of an i64 LCG state into a double in [0, 1).
+inline pir::Value *emitLcgToUnit(pir::IRBuilder &B, pir::Value *State) {
+  pir::Value *Top = B.createLShr(State, B.getInt64(11));
+  pir::Value *AsF = B.createUIToFP(Top, B.getF64Ty());
+  return B.createFMul(AsF, B.getDouble(1.0 / 9007199254740992.0), "unit");
+}
+
+} // namespace hecbench
+} // namespace proteus
+
+#endif // PROTEUS_HECBENCH_KERNELUTIL_H

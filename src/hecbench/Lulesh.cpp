@@ -1,0 +1,145 @@
+//===- Lulesh.cpp - LULESH-like hydrodynamics benchmark (HeCBench-sim) ------------===//
+//
+// Part of the Proteus reproduction project.
+//
+//===----------------------------------------------------------------------===//
+//
+// A Lagrangian hydrodynamics force kernel in the style of LULESH's
+// CalcForceForNodes: gather from neighbor elements (indirection through a
+// connectivity array), a moderate amount of arithmetic, scatter back. The
+// scalar arguments (dt, cutoff) neither drive control flow nor loop bounds,
+// and register pressure is low — by design this program gains nothing from
+// either specialization, reproducing the paper's "Proteus is lightweight
+// and avoids slowdowns even for programs less amenable to JIT optimization"
+// result (section 4.5, LULESH).
+//
+//===----------------------------------------------------------------------===//
+
+#include "hecbench/Benchmark.h"
+#include "hecbench/KernelUtil.h"
+
+#include <cmath>
+
+using namespace proteus;
+using namespace proteus::hecbench;
+using namespace pir;
+
+namespace {
+
+constexpr uint32_t NumElems = 16384;
+constexpr uint32_t BlockSize = 256;
+constexpr uint32_t NumIterations = 10;
+
+class LuleshBenchmark : public Benchmark {
+public:
+  std::string name() const override { return "LULESH"; }
+  std::string domain() const override { return "Physics"; }
+  std::string inputDescription() const override { return "-s 128"; }
+
+  uint64_t timeScale() const override { return 6000; }
+
+  std::unique_ptr<Module> buildModule(Context &Ctx) const override {
+    auto M = std::make_unique<Module>(Ctx, "lulesh");
+    IRBuilder B(Ctx);
+    Type *F64 = Ctx.getF64Ty();
+    Type *Ptr = Ctx.getPtrTy();
+    Type *I32 = Ctx.getI32Ty();
+
+    Function *F = M->createFunction(
+        "calc_force", Ctx.getVoidTy(),
+        {Ptr, Ptr, Ptr, Ptr, F64, F64, I32},
+        {"x", "e", "conn", "force", "dt", "cutoff", "n"},
+        FunctionKind::Kernel);
+    // Annotated per the paper's methodology (scalars dt, cutoff, n) — but
+    // none of them enable meaningful optimization here.
+    F->setJitAnnotation(JitAnnotation{{5, 6, 7}});
+
+    Value *X = F->getArg(0), *E = F->getArg(1), *Conn = F->getArg(2),
+          *Force = F->getArg(3);
+    Value *Dt = F->getArg(4), *Cutoff = F->getArg(5), *N = F->getArg(6);
+
+    B.setInsertPoint(F->createBlock("entry", Ctx.getVoidTy()));
+    BasicBlock *Work = nullptr, *Exit = nullptr;
+    Value *Gtid = emitGuardedPrologue(B, F, N, Work, Exit);
+
+    // Gather the element and its four neighbors through connectivity.
+    Value *Xc = B.createLoad(F64, B.createGep(F64, X, Gtid), "xc");
+    Value *Ec = B.createLoad(F64, B.createGep(F64, E, Gtid), "ec");
+    Value *Acc = B.getDouble(0.0);
+    for (int K = 0; K != 4; ++K) {
+      Value *Ci = B.createAdd(B.createMul(Gtid, B.getInt32(4)),
+                              B.getInt32(K));
+      Value *NbrIdx = B.createLoad(I32, B.createGep(I32, Conn, Ci), "nbr");
+      Value *Xn = B.createLoad(F64, B.createGep(F64, X, NbrIdx), "xn");
+      Value *En = B.createLoad(F64, B.createGep(F64, E, NbrIdx), "en");
+      Value *Dxv = B.createFSub(Xn, Xc, "dx");
+      Value *Em = B.createFMul(B.createFAdd(En, Ec), B.getDouble(0.5));
+      Value *Grad = B.createFMul(Dxv, Em, "grad");
+      Acc = B.createFAdd(Acc, Grad, "acc");
+    }
+    // Artificial viscosity style limiter.
+    Value *Mag = B.createFabs(Acc, "mag");
+    Value *Limited = B.createSelect(
+        B.createFCmp(FCmpPred::OLT, Mag, Cutoff), B.getDouble(0.0), Acc,
+        "limited");
+    Value *Fp = B.createGep(F64, Force, Gtid, "fp");
+    Value *Fold = B.createLoad(F64, Fp, "fold");
+    B.createStore(B.createFAdd(Fold, B.createFMul(Limited, Dt)), Fp);
+    B.createRet();
+    return M;
+  }
+
+  std::vector<BufferSpec> buffers() const override {
+    std::vector<double> X(NumElems), E(NumElems), Force(NumElems, 0.0);
+    std::vector<int32_t> Conn(NumElems * 4);
+    uint64_t S = 424242;
+    auto Next = [&S] {
+      S = S * 6364136223846793005ull + 1442695040888963407ull;
+      return S;
+    };
+    for (uint32_t I = 0; I != NumElems; ++I) {
+      X[I] = static_cast<double>(I % 977) * 0.01;
+      E[I] = 1.0 + static_cast<double>(I % 31) * 0.1;
+      for (int K = 0; K != 4; ++K)
+        Conn[I * 4 + K] = static_cast<int32_t>(Next() % NumElems);
+    }
+    return {BufferSpec::fromDoubles("x", X), BufferSpec::fromDoubles("e", E),
+            BufferSpec::fromInts("conn", Conn),
+            BufferSpec::fromDoubles("force", Force)};
+  }
+
+  std::vector<LaunchSpec> launches() const override {
+    std::vector<LaunchSpec> Out;
+    for (uint32_t Iter = 0; Iter != NumIterations; ++Iter) {
+      LaunchSpec L;
+      L.Symbol = "calc_force";
+      L.Grid = gpu::Dim3{NumElems / BlockSize, 1, 1};
+      L.Block = gpu::Dim3{BlockSize, 1, 1};
+      L.Args = {ArgSpec::buffer("x"),     ArgSpec::buffer("e"),
+                ArgSpec::buffer("conn"),  ArgSpec::buffer("force"),
+                ArgSpec::scalarF64(1e-3), ArgSpec::scalarF64(1e-7),
+                ArgSpec::scalarI32(static_cast<int32_t>(NumElems))};
+      Out.push_back(std::move(L));
+    }
+    return Out;
+  }
+
+  bool verifyOutput(const BufferReader &Out) const override {
+    std::vector<double> F = Out.doubles("force");
+    if (F.size() != NumElems)
+      return false;
+    double MaxAbs = 0;
+    for (double V : F) {
+      if (!std::isfinite(V))
+        return false;
+      MaxAbs = std::max(MaxAbs, std::fabs(V));
+    }
+    return MaxAbs > 0.0 && MaxAbs < 1e6;
+  }
+};
+
+} // namespace
+
+std::unique_ptr<Benchmark> proteus::hecbench::makeLuleshBenchmark() {
+  return std::make_unique<LuleshBenchmark>();
+}

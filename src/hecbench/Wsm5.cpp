@@ -1,0 +1,263 @@
+//===- Wsm5.cpp - WSM5 cloud-microphysics benchmark (HeCBench-sim) -----------------===//
+//
+// Part of the Proteus reproduction project.
+//
+//===----------------------------------------------------------------------===//
+//
+// WRF Single-Moment 5-class microphysics analogue: each thread processes an
+// atmospheric column level by level. The kernel combines every mechanism
+// the paper's Figure 9 discusses:
+//
+//  * selects over annotated physics configuration (the freezing path is
+//    computed unconditionally on GPUs and folds away under RCF),
+//  * pow with an annotated exponent (expands to multiplies under RCF),
+//  * the level loop bound is annotated (full unroll under RCF),
+//  * a wide band of live microphysics rates creates register pressure that
+//    spills under the conservative AMD no-launch-bounds budget (LB effect),
+//  * local accumulators are written through allocas (exercising mem2reg).
+//
+//===----------------------------------------------------------------------===//
+
+#include "hecbench/Benchmark.h"
+#include "hecbench/KernelUtil.h"
+
+#include <cmath>
+
+using namespace proteus;
+using namespace proteus::hecbench;
+using namespace pir;
+
+namespace {
+
+constexpr uint32_t NumCols = 2048;
+constexpr uint32_t BlockSize = 128;
+constexpr int32_t Levels = 32; // above the unroll cap: RCF folds, never unrolls
+constexpr uint32_t NumIterations = 3;
+
+class Wsm5Benchmark : public Benchmark {
+public:
+  std::string name() const override { return "WSM5"; }
+  std::string domain() const override { return "Weather Simulation"; }
+  std::string inputDescription() const override { return "10"; }
+
+  uint64_t timeScale() const override { return 700; }
+
+  std::unique_ptr<Module> buildModule(Context &Ctx) const override {
+    auto M = std::make_unique<Module>(Ctx, "wsm5");
+    IRBuilder B(Ctx);
+    Type *F64 = Ctx.getF64Ty();
+    Type *Ptr = Ctx.getPtrTy();
+    Type *I32 = Ctx.getI32Ty();
+
+    Function *F = M->createFunction(
+        "wsm5", Ctx.getVoidTy(),
+        {Ptr, Ptr, Ptr, Ptr, Ptr, Ptr, I32, I32, F64, F64, F64, I32, F64},
+        {"t", "q", "qc", "qr", "den", "p", "levels", "ncols", "qck1",
+         "expo", "xlv", "pfrz", "dtcld"},
+        FunctionKind::Kernel);
+    F->setJitAnnotation(JitAnnotation{{7, 9, 10, 11, 12, 13}});
+
+    Value *T = F->getArg(0), *Q = F->getArg(1), *Qc = F->getArg(2),
+          *Qr = F->getArg(3), *Den = F->getArg(4), *P = F->getArg(5);
+    Value *LevelsA = F->getArg(6), *NCols = F->getArg(7);
+    Value *Qck1 = F->getArg(8), *Expo = F->getArg(9), *Xlv = F->getArg(10);
+    Value *Pfrz = F->getArg(11), *Dtcld = F->getArg(12);
+
+    B.setInsertPoint(F->createBlock("entry", Ctx.getVoidTy()));
+    BasicBlock *Work = nullptr, *Exit = nullptr;
+    Value *Col = emitGuardedPrologue(B, F, NCols, Work, Exit);
+
+    // Local accumulators through memory (promoted by mem2reg).
+    Value *RainSlot = B.createAlloca(F64, 1, "rain");
+    Value *HeatSlot = B.createAlloca(F64, 1, "heat");
+    B.createStore(B.getDouble(0.0), RainSlot);
+    B.createStore(B.getDouble(0.0), HeatSlot);
+
+    LoopEmitter L = beginCountedLoop(B, F, LevelsA, "lev");
+    {
+      Value *Idx = B.createAdd(B.createMul(L.Index, NCols), Col, "idx");
+      Value *Tp = B.createGep(F64, T, Idx);
+      Value *Qp = B.createGep(F64, Q, Idx);
+      Value *Qcp = B.createGep(F64, Qc, Idx);
+      Value *Qrp = B.createGep(F64, Qr, Idx);
+      Value *Tv = B.createLoad(F64, Tp, "tv");
+      Value *Qv = B.createLoad(F64, Qp, "qv");
+      Value *Qcv = B.createLoad(F64, Qcp, "qcv");
+      Value *Qrv = B.createLoad(F64, Qrp, "qrv");
+      Value *Dv = B.createLoad(F64, B.createGep(F64, Den, Idx), "dv");
+      Value *Pv = B.createLoad(F64, B.createGep(F64, P, Idx), "pv");
+
+      // Saturation vapor pressure (Bolton) and mixing ratio.
+      Value *Tc = B.createFSub(Tv, B.getDouble(273.15), "tc");
+      Value *EsArg = B.createFDiv(B.createFMul(B.getDouble(17.67), Tc),
+                                  B.createFSub(Tv, B.getDouble(29.65)));
+      Value *Es = B.createFMul(B.getDouble(611.2), B.createExp(EsArg), "es");
+      Value *Qs = B.createFDiv(B.createFMul(B.getDouble(0.622), Es),
+                               B.createFSub(Pv, Es), "qs");
+      Value *SuperSat = B.createFSub(Qv, Qs, "supersat");
+
+      // A wide band of simultaneously live microphysics rates: computed
+      // up front, combined at the end (register pressure).
+      std::vector<Value *> Rates;
+      Value *Prev = SuperSat;
+      for (int R = 0; R != 8; ++R) {
+        Value *Scale = B.getDouble(0.11 + 0.07 * R);
+        Value *Mix = R % 2 ? Qcv : Qrv;
+        Value *Rate = B.createFAdd(
+            B.createFMul(Prev, Scale),
+            B.createFMul(Mix, B.getDouble(1.0 - 0.03 * R)),
+            "rate" + std::to_string(R));
+        Rates.push_back(Rate);
+        Prev = Rate;
+      }
+
+      // Condensation (clamped).
+      Value *Cond = B.createFMax(
+          B.createFMul(SuperSat, B.createFMul(Dtcld, B.getDouble(0.5))),
+          B.getDouble(0.0), "cond");
+
+      // Warm-rain autoconversion: pow with annotated exponent.
+      Value *Auto0 =
+          B.createFMul(Qck1, B.createPow(B.createFMax(Qcv, B.getDouble(1e-12)),
+                                         Expo),
+                       "auto_warm");
+      // Freezing branch (pfrz): heavy exp/log chain, computed
+      // unconditionally, folded away by RCF when pfrz == 0.
+      Value *FrzA = B.createExp(
+          B.createFMul(B.getDouble(-0.66), Tc), "frz_exp");
+      Value *FrzB = B.createLog(
+          B.createFAdd(B.createFMul(Qrv, Dv), B.getDouble(1.0)), "frz_log");
+      Value *FrzC = B.createSqrt(
+          B.createFAdd(B.createFMul(FrzA, FrzA),
+                       B.createFMul(FrzB, FrzB)), "frz_mag");
+      // Ice nucleation rate: a serial Bigg-style freezing series — heavy
+      // transcendental work that RCF eliminates entirely when pfrz == 0.
+      Value *FrzSeries = FrzC;
+      for (int T = 0; T != 5; ++T) {
+        Value *Arg = B.createFMul(FrzSeries, B.getDouble(0.2 + 0.05 * T));
+        Value *Grow = B.createExp(B.createFNeg(B.createFabs(Arg)));
+        FrzSeries = B.createFAdd(
+            B.createFMul(Grow, FrzB),
+            B.createSqrt(B.createFAdd(B.createFMul(FrzSeries, FrzSeries),
+                                      B.getDouble(1e-6))),
+            "frz_ser" + std::to_string(T));
+      }
+      Value *FrzRate = B.createFMul(
+          B.getDouble(20.0),
+          B.createFMul(FrzSeries, B.createFMul(Qrv, FrzA)), "frz_rate");
+      Value *IsFrz = B.createICmp(ICmpPred::EQ, Pfrz, B.getInt32(1));
+      Value *AutoConv = B.createSelect(IsFrz, FrzRate, Auto0, "autoconv");
+
+      // Combine every rate (keeps them all live until here).
+      Value *Sum = B.getDouble(0.0);
+      for (size_t R = 0; R != Rates.size(); ++R)
+        Sum = B.createFAdd(Sum, Rates[R], "sum" + std::to_string(R));
+      Value *Tend = B.createFMul(Sum, B.getDouble(1.0 / 8.0), "tend");
+
+      // State updates.
+      Value *DQc = B.createFSub(Cond, AutoConv, "dqc");
+      Value *QcNew = B.createFMax(B.createFAdd(Qcv, DQc), B.getDouble(0.0));
+      Value *QrNew = B.createFMax(
+          B.createFAdd(Qrv, B.createFAdd(AutoConv, B.createFMul(
+                                                       Tend,
+                                                       B.getDouble(0.01)))),
+          B.getDouble(0.0));
+      Value *QNew = B.createFMax(B.createFSub(Qv, Cond), B.getDouble(0.0));
+      Value *TNew = B.createFAdd(
+          Tv, B.createFMul(Xlv, B.createFMul(Cond, B.getDouble(1.0 / 1004.0))),
+          "tnew");
+      B.createStore(TNew, Tp);
+      B.createStore(QNew, Qp);
+      B.createStore(QcNew, Qcp);
+      B.createStore(QrNew, Qrp);
+
+      // Column accumulators through the alloca slots.
+      Value *Rain = B.createLoad(F64, RainSlot, "rain_in");
+      B.createStore(B.createFAdd(Rain, QrNew), RainSlot);
+      Value *Heat = B.createLoad(F64, HeatSlot, "heat_in");
+      B.createStore(B.createFAdd(Heat, B.createFMul(Cond, Xlv)), HeatSlot);
+    }
+    closeCountedLoop(B, L, {});
+
+    // Write the accumulated precipitation into level 0 of qr's column sum
+    // area (reuse den buffer tail is avoided; store into t's first level
+    // would corrupt inputs — use a dedicated output via qr[col] add).
+    Value *RainOut = B.createLoad(F64, RainSlot, "rain_out");
+    Value *HeatOut = B.createLoad(F64, HeatSlot, "heat_out");
+    Value *OutP = B.createGep(F64, Qr, Col, "outp");
+    Value *OutOld = B.createLoad(F64, OutP);
+    B.createStore(
+        B.createFAdd(OutOld, B.createFMul(RainOut, B.getDouble(1e-3))),
+        OutP);
+    Value *OutP2 = B.createGep(F64, T, Col, "outp2");
+    Value *OutOld2 = B.createLoad(F64, OutP2);
+    B.createStore(
+        B.createFAdd(OutOld2, B.createFMul(HeatOut, B.getDouble(1e-9))),
+        OutP2);
+    B.createRet();
+    return M;
+  }
+
+  std::vector<BufferSpec> buffers() const override {
+    const uint32_t N = NumCols * static_cast<uint32_t>(Levels);
+    std::vector<double> T(N), Q(N), Qc(N), Qr(N), Den(N), P(N);
+    for (uint32_t I = 0; I != N; ++I) {
+      uint32_t Lev = I / NumCols;
+      T[I] = 260.0 + 0.002 * (I % NumCols) + 2.0 * Lev;
+      Q[I] = 0.008 + 1e-6 * (I % 101);
+      Qc[I] = 1e-4 + 1e-8 * (I % 37);
+      Qr[I] = 5e-5 + 1e-8 * (I % 53);
+      Den[I] = 1.2 - 0.05 * Lev;
+      P[I] = 101325.0 - 8000.0 * Lev;
+    }
+    return {BufferSpec::fromDoubles("t", T),   BufferSpec::fromDoubles("q", Q),
+            BufferSpec::fromDoubles("qc", Qc), BufferSpec::fromDoubles("qr", Qr),
+            BufferSpec::fromDoubles("den", Den),
+            BufferSpec::fromDoubles("p", P)};
+  }
+
+  std::vector<LaunchSpec> launches() const override {
+    std::vector<LaunchSpec> Out;
+    for (uint32_t Iter = 0; Iter != NumIterations; ++Iter) {
+      LaunchSpec L;
+      L.Symbol = "wsm5";
+      L.Grid = gpu::Dim3{NumCols / BlockSize, 1, 1};
+      L.Block = gpu::Dim3{BlockSize, 1, 1};
+      L.Args = {ArgSpec::buffer("t"),
+                ArgSpec::buffer("q"),
+                ArgSpec::buffer("qc"),
+                ArgSpec::buffer("qr"),
+                ArgSpec::buffer("den"),
+                ArgSpec::buffer("p"),
+                ArgSpec::scalarI32(Levels),
+                ArgSpec::scalarI32(static_cast<int32_t>(NumCols)),
+                ArgSpec::scalarF64(1e-3), // qck1
+                ArgSpec::scalarF64(2.0),  // expo: folds pow into multiplies
+                ArgSpec::scalarF64(2.5e6),
+                ArgSpec::scalarI32(0),    // pfrz off: freezing arm folds away
+                ArgSpec::scalarF64(0.02)}; // dtcld
+      Out.push_back(std::move(L));
+    }
+    return Out;
+  }
+
+  bool verifyOutput(const BufferReader &Out) const override {
+    std::vector<double> T = Out.doubles("t");
+    std::vector<double> Qr = Out.doubles("qr");
+    if (T.empty() || Qr.empty())
+      return false;
+    for (double V : T)
+      if (!std::isfinite(V) || V < 150.0 || V > 450.0)
+        return false;
+    for (double V : Qr)
+      if (!std::isfinite(V) || V < 0.0 || V > 10.0)
+        return false;
+    return true;
+  }
+};
+
+} // namespace
+
+std::unique_ptr<Benchmark> proteus::hecbench::makeWsm5Benchmark() {
+  return std::make_unique<Wsm5Benchmark>();
+}

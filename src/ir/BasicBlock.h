@@ -1,0 +1,118 @@
+//===- BasicBlock.h - PIR basic block ---------------------------*- C++ -*-===//
+//
+// Part of the Proteus reproduction project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// BasicBlock: an ordered list of instructions ending in a terminator.
+/// Blocks are Values (branch and phi operands), so CFG edits use the same
+/// use-list machinery as dataflow edits.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PROTEUS_IR_BASICBLOCK_H
+#define PROTEUS_IR_BASICBLOCK_H
+
+#include "ir/Instructions.h"
+
+#include <list>
+#include <memory>
+#include <vector>
+
+namespace pir {
+
+class Function;
+
+/// A straight-line sequence of instructions with a single terminator.
+class BasicBlock : public Value {
+public:
+  using InstListType = std::list<std::unique_ptr<Instruction>>;
+
+  /// Iterator that presents Instruction& directly.
+  class iterator {
+  public:
+    using inner = InstListType::iterator;
+    iterator() = default;
+    explicit iterator(inner It) : It(It) {}
+    Instruction &operator*() const { return **It; }
+    Instruction *operator->() const { return It->get(); }
+    iterator &operator++() { ++It; return *this; }
+    iterator operator++(int) { iterator Tmp = *this; ++It; return Tmp; }
+    iterator &operator--() { --It; return *this; }
+    bool operator==(const iterator &O) const { return It == O.It; }
+    bool operator!=(const iterator &O) const { return It != O.It; }
+    inner getInner() const { return It; }
+
+  private:
+    inner It;
+  };
+
+  explicit BasicBlock(Type *VoidTy, std::string Name = "")
+      : Value(ValueKind::BasicBlock, VoidTy) {
+    setName(std::move(Name));
+  }
+
+  ~BasicBlock() override;
+
+  Function *getParent() const { return Parent; }
+
+  bool empty() const { return Insts.empty(); }
+  size_t size() const { return Insts.size(); }
+
+  iterator begin() { return iterator(Insts.begin()); }
+  iterator end() { return iterator(Insts.end()); }
+
+  Instruction &front() { return *Insts.front(); }
+  Instruction &back() { return *Insts.back(); }
+
+  /// The block terminator, or null if the block is not yet terminated.
+  Instruction *getTerminator() {
+    if (Insts.empty() || !Insts.back()->isTerminator())
+      return nullptr;
+    return Insts.back().get();
+  }
+  const Instruction *getTerminator() const {
+    return const_cast<BasicBlock *>(this)->getTerminator();
+  }
+
+  /// Appends \p I (takes ownership).
+  Instruction *append(std::unique_ptr<Instruction> I);
+
+  /// Inserts \p I before \p Pos (takes ownership).
+  Instruction *insertBefore(Instruction *Pos, std::unique_ptr<Instruction> I);
+
+  /// Unlinks \p I without destroying it.
+  std::unique_ptr<Instruction> remove(Instruction *I);
+
+  /// Unlinks and destroys \p I (uses must already be gone).
+  void erase(Instruction *I);
+
+  /// Successor blocks, in terminator order (empty for ret).
+  std::vector<BasicBlock *> successors() const;
+
+  /// Predecessor blocks, deduplicated, in deterministic discovery order.
+  std::vector<BasicBlock *> predecessors() const;
+
+  /// Phi nodes at the head of the block.
+  std::vector<PhiInst *> phis();
+
+  /// Moves all non-phi instructions of \p Donor to the end of this block
+  /// (used when merging straight-line blocks).
+  void spliceAllFrom(BasicBlock *Donor);
+
+  static bool classof(const Value *V) {
+    return V->getKind() == ValueKind::BasicBlock;
+  }
+
+private:
+  friend class Function;
+  friend class Instruction;
+
+  Function *Parent = nullptr;
+  InstListType Insts;
+};
+
+} // namespace pir
+
+#endif // PROTEUS_IR_BASICBLOCK_H

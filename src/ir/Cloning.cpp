@@ -1,0 +1,239 @@
+//===- Cloning.cpp - IR cloning utilities ---------------------------------------===//
+//
+// Part of the Proteus reproduction project.
+//
+//===----------------------------------------------------------------------===//
+
+#include "ir/Cloning.h"
+
+#include "ir/Context.h"
+#include "ir/Module.h"
+#include "support/Error.h"
+
+using namespace pir;
+using namespace proteus;
+
+namespace {
+
+Value *mapOperand(Value *Op, ValueMap &VM) {
+  auto It = VM.find(Op);
+  return It == VM.end() ? Op : It->second;
+}
+
+} // namespace
+
+std::unique_ptr<Instruction> pir::cloneInstruction(Instruction &I,
+                                                   ValueMap &VM,
+                                                   Context &Ctx) {
+  auto Op = [&](size_t K) { return mapOperand(I.getOperand(K), VM); };
+
+  switch (I.getKind()) {
+  case ValueKind::ICmp: {
+    auto &C = cast<ICmpInst>(I);
+    return std::make_unique<ICmpInst>(C.getPredicate(), Op(0), Op(1),
+                                      Ctx.getI1Ty());
+  }
+  case ValueKind::FCmp: {
+    auto &C = cast<FCmpInst>(I);
+    return std::make_unique<FCmpInst>(C.getPredicate(), Op(0), Op(1),
+                                      Ctx.getI1Ty());
+  }
+  case ValueKind::Select:
+    return std::make_unique<SelectInst>(Op(0), Op(1), Op(2));
+  case ValueKind::Alloca: {
+    auto &A = cast<AllocaInst>(I);
+    return std::make_unique<AllocaInst>(Ctx.getPtrTy(), A.getAllocatedType(),
+                                        A.getNumElements());
+  }
+  case ValueKind::Load:
+    return std::make_unique<LoadInst>(I.getType(), Op(0));
+  case ValueKind::Store:
+    return std::make_unique<StoreInst>(Op(0), Op(1), Ctx.getVoidTy());
+  case ValueKind::PtrAdd: {
+    auto &P = cast<PtrAddInst>(I);
+    return std::make_unique<PtrAddInst>(Op(0), Op(1), P.getElemSize());
+  }
+  case ValueKind::AtomicAdd:
+    return std::make_unique<AtomicAddInst>(Op(0), Op(1));
+  case ValueKind::ThreadIdx:
+  case ValueKind::BlockIdx:
+  case ValueKind::BlockDim:
+  case ValueKind::GridDim: {
+    auto &G = cast<GpuIndexInst>(I);
+    return std::make_unique<GpuIndexInst>(I.getKind(), G.getDim(),
+                                          Ctx.getI32Ty());
+  }
+  case ValueKind::Barrier:
+    return std::make_unique<BarrierInst>(Ctx.getVoidTy());
+  case ValueKind::Call: {
+    auto &C = cast<CallInst>(I);
+    std::vector<Value *> Args;
+    for (size_t K = 0; K != C.getNumArgs(); ++K)
+      Args.push_back(Op(K + 1));
+    return std::make_unique<CallInst>(I.getType(), Op(0), Args);
+  }
+  case ValueKind::Phi: {
+    auto &P = cast<PhiInst>(I);
+    auto Clone = std::make_unique<PhiInst>(P.getType());
+    for (size_t K = 0; K != P.getNumIncoming(); ++K) {
+      Value *InV = mapOperand(P.getIncomingValue(K), VM);
+      auto *InB = cast<BasicBlock>(mapOperand(P.getIncomingBlock(K), VM));
+      Clone->addIncoming(InV, InB);
+    }
+    return Clone;
+  }
+  case ValueKind::Br: {
+    auto &Br = cast<BranchInst>(I);
+    return std::make_unique<BranchInst>(
+        cast<BasicBlock>(mapOperand(Br.getSuccessor(0), VM)),
+        Ctx.getVoidTy());
+  }
+  case ValueKind::CondBr: {
+    auto &Br = cast<BranchInst>(I);
+    return std::make_unique<BranchInst>(
+        Op(0), cast<BasicBlock>(mapOperand(Br.getSuccessor(0), VM)),
+        cast<BasicBlock>(mapOperand(Br.getSuccessor(1), VM)), Ctx.getVoidTy());
+  }
+  case ValueKind::Ret: {
+    auto &R = cast<RetInst>(I);
+    if (R.hasReturnValue())
+      return std::make_unique<RetInst>(Op(0), Ctx.getVoidTy());
+    return std::make_unique<RetInst>(Ctx.getVoidTy());
+  }
+  default:
+    break;
+  }
+  if (isa<BinaryInst>(&I))
+    return std::make_unique<BinaryInst>(I.getKind(), Op(0), Op(1));
+  if (isa<UnaryInst>(&I))
+    return std::make_unique<UnaryInst>(I.getKind(), Op(0));
+  if (isa<CastInst>(&I))
+    return std::make_unique<CastInst>(I.getKind(), Op(0), I.getType());
+  proteus_unreachable("unhandled instruction kind in cloneInstruction");
+}
+
+Function *pir::cloneFunctionInto(Module &DestModule, Function &Src,
+                                 const std::string &NewName) {
+  Context &Ctx = DestModule.getContext();
+  std::vector<Type *> ParamTypes;
+  std::vector<std::string> ParamNames;
+  for (const auto &A : Src.args()) {
+    ParamTypes.push_back(A->getType());
+    ParamNames.push_back(A->getName());
+  }
+  Function *Dst =
+      DestModule.createFunction(NewName, Src.getReturnType(), ParamTypes,
+                                ParamNames, Src.getFunctionKind());
+  Dst->setAlwaysInline(Src.isAlwaysInline());
+  if (Src.getLaunchBounds())
+    Dst->setLaunchBounds(*Src.getLaunchBounds());
+  if (Src.getJitAnnotation())
+    Dst->setJitAnnotation(*Src.getJitAnnotation());
+  if (Src.isDeclaration())
+    return Dst;
+
+  ValueMap VM;
+  for (size_t I = 0; I != Src.getNumArgs(); ++I)
+    VM[Src.getArg(I)] = Dst->getArg(I);
+  // Remap globals and callees by name.
+  for (const auto &G : Src.getParent()->globals()) {
+    GlobalVariable *DG = DestModule.getGlobal(G->getName());
+    if (DG)
+      VM[G.get()] = DG;
+  }
+  for (const auto &F : Src.getParent()->functions()) {
+    Function *DF = DestModule.getFunction(F->getName());
+    if (DF && DF != Dst)
+      VM[F.get()] = DF;
+  }
+
+  // Create all blocks first so branches/phis can be remapped.
+  for (BasicBlock &BB : Src)
+    VM[&BB] = Dst->createBlock(BB.getName(), Ctx.getVoidTy());
+
+  // Clone instructions; phi incoming values may be forward references, which
+  // is fine because mapOperand falls back to the original value — patch them
+  // in a second pass.
+  struct PhiPatch {
+    PhiInst *Clone;
+    PhiInst *Orig;
+  };
+  std::vector<PhiPatch> Phis;
+  for (BasicBlock &BB : Src) {
+    auto *DstBB = cast<BasicBlock>(VM[&BB]);
+    for (Instruction &I : BB) {
+      std::unique_ptr<Instruction> C = cloneInstruction(I, VM, Ctx);
+      C->setName(I.getName());
+      Instruction *Raw = DstBB->append(std::move(C));
+      VM[&I] = Raw;
+      if (auto *P = dyn_cast<PhiInst>(Raw))
+        Phis.push_back(PhiPatch{P, cast<PhiInst>(&I)});
+    }
+  }
+  for (const PhiPatch &P : Phis)
+    for (size_t K = 0; K != P.Clone->getNumIncoming(); ++K)
+      P.Clone->setIncomingValue(
+          K, mapOperand(P.Orig->getIncomingValue(K), VM));
+  return Dst;
+}
+
+std::unique_ptr<Module> pir::cloneModule(Module &Src, Context &Ctx,
+                                         const std::string &NewName) {
+  auto Dst = std::make_unique<Module>(Ctx, NewName);
+  for (const auto &G : Src.globals())
+    Dst->createGlobal(G->getName(), G->getElemType(), G->getNumElements(),
+                      G->getInit());
+  // Declarations first so cross-calls resolve regardless of order.
+  for (const auto &F : Src.functions()) {
+    std::vector<Type *> ParamTypes;
+    std::vector<std::string> ParamNames;
+    for (const auto &A : F->args()) {
+      ParamTypes.push_back(A->getType());
+      ParamNames.push_back(A->getName());
+    }
+    Function *DF = Dst->createFunction(F->getName(), F->getReturnType(),
+                                       ParamTypes, ParamNames,
+                                       F->getFunctionKind());
+    DF->setAlwaysInline(F->isAlwaysInline());
+    if (F->getLaunchBounds())
+      DF->setLaunchBounds(*F->getLaunchBounds());
+    if (F->getJitAnnotation())
+      DF->setJitAnnotation(*F->getJitAnnotation());
+  }
+  for (const auto &F : Src.functions()) {
+    if (F->isDeclaration())
+      continue;
+    Function *DF = Dst->getFunction(F->getName());
+    // Clone the body into the existing declaration.
+    ValueMap VM;
+    for (size_t I = 0; I != F->getNumArgs(); ++I)
+      VM[F->getArg(I)] = DF->getArg(I);
+    for (const auto &G : Src.globals())
+      VM[G.get()] = Dst->getGlobal(G->getName());
+    for (const auto &OF : Src.functions())
+      VM[OF.get()] = Dst->getFunction(OF->getName());
+    for (BasicBlock &BB : *F)
+      VM[&BB] = DF->createBlock(BB.getName(), Ctx.getVoidTy());
+    struct PhiPatch {
+      PhiInst *Clone;
+      PhiInst *Orig;
+    };
+    std::vector<PhiPatch> Phis;
+    for (BasicBlock &BB : *F) {
+      auto *DstBB = cast<BasicBlock>(VM[&BB]);
+      for (Instruction &I : BB) {
+        std::unique_ptr<Instruction> C = cloneInstruction(I, VM, Ctx);
+        C->setName(I.getName());
+        Instruction *Raw = DstBB->append(std::move(C));
+        VM[&I] = Raw;
+        if (auto *P = dyn_cast<PhiInst>(Raw))
+          Phis.push_back(PhiPatch{P, cast<PhiInst>(&I)});
+      }
+    }
+    for (const PhiPatch &P : Phis)
+      for (size_t K = 0; K != P.Clone->getNumIncoming(); ++K)
+        P.Clone->setIncomingValue(
+            K, mapOperand(P.Orig->getIncomingValue(K), VM));
+  }
+  return Dst;
+}

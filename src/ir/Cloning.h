@@ -1,0 +1,54 @@
+//===- Cloning.h - IR cloning utilities -------------------------*- C++ -*-===//
+//
+// Part of the Proteus reproduction project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Deep-cloning of functions and modules. The JIT runtime clones the
+/// extracted kernel module before specializing it, so the pristine bitcode
+/// remains available for other specializations of the same kernel; the
+/// inliner and loop unroller clone bodies/blocks through the same machinery.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PROTEUS_IR_CLONING_H
+#define PROTEUS_IR_CLONING_H
+
+#include <memory>
+#include <string>
+#include <unordered_map>
+
+namespace pir {
+
+class BasicBlock;
+class Context;
+class Function;
+class Module;
+class Value;
+
+/// Mapping from original values to their clones, extended as cloning runs.
+using ValueMap = std::unordered_map<Value *, Value *>;
+
+/// Clones a single instruction (operands remapped through \p VM; unmapped
+/// operands are used as-is, which is correct for constants and for values
+/// the caller guarantees are shared).
+class Instruction;
+std::unique_ptr<Instruction> cloneInstruction(Instruction &I, ValueMap &VM,
+                                              Context &Ctx);
+
+/// Clones \p Src into \p DestModule under \p NewName. Global variables and
+/// callee functions referenced by \p Src must already exist in \p DestModule
+/// under identical names (createFunctionDeclarations/linkage handled by the
+/// caller); they are remapped by name.
+Function *cloneFunctionInto(Module &DestModule, Function &Src,
+                            const std::string &NewName);
+
+/// Deep-clones an entire module (globals first, then functions, remapping
+/// cross-references).
+std::unique_ptr<Module> cloneModule(Module &Src, Context &Ctx,
+                                    const std::string &NewName);
+
+} // namespace pir
+
+#endif // PROTEUS_IR_CLONING_H

@@ -1,0 +1,113 @@
+//===- Constants.h - PIR constants ------------------------------*- C++ -*-===//
+//
+// Part of the Proteus reproduction project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Uniqued constant values. ConstantPtr carries a raw device address and is
+/// produced by the JIT runtime when it links device global variables into a
+/// specialized module (section 3.3 of the paper).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PROTEUS_IR_CONSTANTS_H
+#define PROTEUS_IR_CONSTANTS_H
+
+#include "ir/Value.h"
+
+namespace pir {
+
+/// Common base for uniqued constants.
+class Constant : public Value {
+public:
+  static bool classof(const Value *V) {
+    ValueKind K = V->getKind();
+    return K == ValueKind::ConstantInt || K == ValueKind::ConstantFP ||
+           K == ValueKind::ConstantPtr;
+  }
+
+protected:
+  Constant(ValueKind K, Type *T) : Value(K, T) {}
+};
+
+/// Integer constant (i1/i32/i64). The payload is stored zero-extended to 64
+/// bits; signed interpretations sign-extend from the type's width.
+class ConstantInt : public Constant {
+public:
+  ConstantInt(Type *Ty, uint64_t V)
+      : Constant(ValueKind::ConstantInt, Ty), Val(maskToWidth(Ty, V)) {
+    assert(Ty->isInteger() && "ConstantInt requires integer type");
+  }
+
+  /// Zero-extended payload.
+  uint64_t getZExtValue() const { return Val; }
+
+  /// Sign-extended payload.
+  int64_t getSExtValue() const {
+    unsigned Bits = getType()->integerBitWidth();
+    if (Bits == 64)
+      return static_cast<int64_t>(Val);
+    uint64_t SignBit = 1ULL << (Bits - 1);
+    return static_cast<int64_t>((Val ^ SignBit)) - static_cast<int64_t>(SignBit);
+  }
+
+  bool isZero() const { return Val == 0; }
+  bool isOne() const { return Val == 1; }
+
+  static uint64_t maskToWidth(Type *Ty, uint64_t V) {
+    unsigned Bits = Ty->integerBitWidth();
+    return Bits >= 64 ? V : (V & ((1ULL << Bits) - 1));
+  }
+
+  static bool classof(const Value *V) {
+    return V->getKind() == ValueKind::ConstantInt;
+  }
+
+private:
+  uint64_t Val;
+};
+
+/// Floating-point constant (f32/f64). Stored as double; f32 constants are
+/// kept in f32 precision (value round-trips through float).
+class ConstantFP : public Constant {
+public:
+  ConstantFP(Type *Ty, double V)
+      : Constant(ValueKind::ConstantFP, Ty),
+        Val(Ty->isF32() ? static_cast<double>(static_cast<float>(V)) : V) {
+    assert(Ty->isFloatingPoint() && "ConstantFP requires FP type");
+  }
+
+  double getValue() const { return Val; }
+
+  static bool classof(const Value *V) {
+    return V->getKind() == ValueKind::ConstantFP;
+  }
+
+private:
+  double Val;
+};
+
+/// Raw pointer constant: a resolved device memory address. Address 0 is the
+/// null pointer.
+class ConstantPtr : public Constant {
+public:
+  ConstantPtr(Type *PtrTy, uint64_t Address)
+      : Constant(ValueKind::ConstantPtr, PtrTy), Address(Address) {
+    assert(PtrTy->isPointer() && "ConstantPtr requires pointer type");
+  }
+
+  uint64_t getAddress() const { return Address; }
+  bool isNull() const { return Address == 0; }
+
+  static bool classof(const Value *V) {
+    return V->getKind() == ValueKind::ConstantPtr;
+  }
+
+private:
+  uint64_t Address;
+};
+
+} // namespace pir
+
+#endif // PROTEUS_IR_CONSTANTS_H

@@ -1,0 +1,166 @@
+//===- Dominators.cpp - dominator tree analysis --------------------------------===//
+//
+// Part of the Proteus reproduction project.
+//
+//===----------------------------------------------------------------------===//
+
+#include "ir/Dominators.h"
+
+#include "ir/Function.h"
+
+#include <algorithm>
+#include <cassert>
+
+using namespace pir;
+
+std::vector<BasicBlock *> pir::reversePostOrder(Function &F) {
+  std::vector<BasicBlock *> PostOrder;
+  std::unordered_map<BasicBlock *, unsigned> State; // 0 new, 1 open, 2 done
+  std::vector<std::pair<BasicBlock *, size_t>> Stack;
+  if (F.isDeclaration())
+    return PostOrder;
+  BasicBlock *Entry = &F.getEntryBlock();
+  Stack.push_back({Entry, 0});
+  State[Entry] = 1;
+  while (!Stack.empty()) {
+    auto &[BB, NextSucc] = Stack.back();
+    std::vector<BasicBlock *> Succs = BB->successors();
+    if (NextSucc < Succs.size()) {
+      BasicBlock *S = Succs[NextSucc++];
+      if (State[S] == 0) {
+        State[S] = 1;
+        Stack.push_back({S, 0});
+      }
+      continue;
+    }
+    State[BB] = 2;
+    PostOrder.push_back(BB);
+    Stack.pop_back();
+  }
+  std::reverse(PostOrder.begin(), PostOrder.end());
+  return PostOrder;
+}
+
+DominatorTree::DominatorTree(Function &F) : F(F) {
+  RPO = reversePostOrder(F);
+  for (unsigned I = 0; I != RPO.size(); ++I)
+    Index[RPO[I]] = I;
+  IDom.assign(RPO.size(), -1);
+  if (RPO.empty())
+    return;
+  IDom[0] = 0; // entry's idom is itself during iteration
+
+  auto intersect = [&](int A, int B) {
+    while (A != B) {
+      while (A > B)
+        A = IDom[A];
+      while (B > A)
+        B = IDom[B];
+    }
+    return A;
+  };
+
+  bool Changed = true;
+  while (Changed) {
+    Changed = false;
+    for (unsigned I = 1; I < RPO.size(); ++I) {
+      int NewIDom = -1;
+      for (BasicBlock *P : RPO[I]->predecessors()) {
+        auto It = Index.find(P);
+        if (It == Index.end())
+          continue; // unreachable predecessor
+        int PI = static_cast<int>(It->second);
+        if (IDom[PI] < 0 && PI != 0)
+          continue; // not yet processed
+        NewIDom = NewIDom < 0 ? PI : intersect(PI, NewIDom);
+      }
+      if (NewIDom >= 0 && IDom[I] != NewIDom) {
+        IDom[I] = NewIDom;
+        Changed = true;
+      }
+    }
+  }
+
+  for (unsigned I = 1; I < RPO.size(); ++I)
+    if (IDom[I] >= 0)
+      Children[RPO[IDom[I]]].push_back(RPO[I]);
+
+  computeFrontiers();
+}
+
+BasicBlock *DominatorTree::getIDom(BasicBlock *BB) const {
+  auto It = Index.find(BB);
+  if (It == Index.end() || It->second == 0)
+    return nullptr;
+  int D = IDom[It->second];
+  return D < 0 ? nullptr : RPO[D];
+}
+
+bool DominatorTree::dominates(BasicBlock *A, BasicBlock *B) const {
+  auto AIt = Index.find(A);
+  auto BIt = Index.find(B);
+  if (AIt == Index.end() || BIt == Index.end())
+    return false;
+  unsigned AI = AIt->second;
+  int Cur = static_cast<int>(BIt->second);
+  for (;;) {
+    if (static_cast<unsigned>(Cur) == AI)
+      return true;
+    if (Cur == 0)
+      return false;
+    Cur = IDom[Cur];
+    if (Cur < 0)
+      return false;
+  }
+}
+
+bool DominatorTree::dominates(const Instruction *Def,
+                              const Instruction *UseSite) const {
+  BasicBlock *DefBB = Def->getParent();
+  BasicBlock *UseBB = UseSite->getParent();
+  if (DefBB != UseBB)
+    return dominates(DefBB, UseBB);
+  for (Instruction &I : *DefBB) {
+    if (&I == Def)
+      return true;
+    if (&I == UseSite)
+      return false;
+  }
+  assert(false && "instructions not found in their block");
+  return false;
+}
+
+const std::vector<BasicBlock *> &
+DominatorTree::getChildren(BasicBlock *BB) const {
+  auto It = Children.find(BB);
+  return It == Children.end() ? Empty : It->second;
+}
+
+const std::vector<BasicBlock *> &
+DominatorTree::getFrontier(BasicBlock *BB) const {
+  auto It = Frontier.find(BB);
+  return It == Frontier.end() ? Empty : It->second;
+}
+
+void DominatorTree::computeFrontiers() {
+  for (BasicBlock *BB : RPO) {
+    std::vector<BasicBlock *> Preds;
+    for (BasicBlock *P : BB->predecessors())
+      if (Index.count(P))
+        Preds.push_back(P);
+    if (Preds.size() < 2)
+      continue;
+    BasicBlock *IDomBB = getIDom(BB);
+    for (BasicBlock *P : Preds) {
+      BasicBlock *Runner = P;
+      while (Runner && Runner != IDomBB) {
+        auto &DF = Frontier[Runner];
+        if (std::find(DF.begin(), DF.end(), BB) == DF.end())
+          DF.push_back(BB);
+        Runner = getIDom(Runner);
+        if (!Runner && Runner != IDomBB)
+          break;
+      }
+    }
+  }
+}

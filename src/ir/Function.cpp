@@ -1,0 +1,96 @@
+//===- Function.cpp - PIR function -------------------------------------------===//
+//
+// Part of the Proteus reproduction project.
+//
+//===----------------------------------------------------------------------===//
+
+#include "ir/Function.h"
+
+#include "ir/Context.h"
+#include "ir/Module.h"
+
+using namespace pir;
+
+Function::Function(Type *PtrTy, std::string Name, Type *RetTy,
+                   const std::vector<Type *> &ParamTypes,
+                   const std::vector<std::string> &ParamNames, FunctionKind FK)
+    : Value(ValueKind::Function, PtrTy), RetTy(RetTy), FK(FK) {
+  setName(std::move(Name));
+  assert((ParamNames.empty() || ParamNames.size() == ParamTypes.size()) &&
+         "parameter name/type count mismatch");
+  for (size_t I = 0, E = ParamTypes.size(); I != E; ++I) {
+    std::string ArgName =
+        ParamNames.empty() ? ("arg" + std::to_string(I)) : ParamNames[I];
+    Args.push_back(std::make_unique<Argument>(ParamTypes[I],
+                                              std::move(ArgName), this,
+                                              static_cast<unsigned>(I)));
+  }
+}
+
+Function::~Function() {
+  // Instructions may reference values across blocks (and blocks reference
+  // each other); sever all edges before any block is destroyed.
+  for (auto &BB : Blocks)
+    for (Instruction &I : *BB)
+      I.dropAllReferences();
+  Blocks.clear();
+}
+
+BasicBlock *Function::createBlock(std::string Name, Type *VoidTy) {
+  auto BB = std::make_unique<BasicBlock>(VoidTy, std::move(Name));
+  BasicBlock *Raw = BB.get();
+  Raw->Parent = this;
+  Blocks.push_back(std::move(BB));
+  return Raw;
+}
+
+void Function::eraseBlock(BasicBlock *BB) {
+  assert(BB->getParent() == this && "block not in this function");
+  // Sever instruction operand edges first so that cross-references (e.g.
+  // branches into this block being deleted elsewhere first) cannot dangle.
+  for (Instruction &I : *BB)
+    I.dropAllReferences();
+  while (!BB->empty())
+    BB->erase(&BB->front());
+  assert(!BB->hasUses() && "erasing a block that is still referenced");
+  for (auto It = Blocks.begin(), E = Blocks.end(); It != E; ++It) {
+    if (It->get() == BB) {
+      Blocks.erase(It);
+      return;
+    }
+  }
+  assert(false && "block not found in list");
+}
+
+void Function::moveBlockAfter(BasicBlock *BB, BasicBlock *After) {
+  assert(BB->getParent() == this && After->getParent() == this &&
+         "blocks not in this function");
+  auto BBIt = Blocks.end();
+  auto AfterIt = Blocks.end();
+  for (auto It = Blocks.begin(), E = Blocks.end(); It != E; ++It) {
+    if (It->get() == BB)
+      BBIt = It;
+    if (It->get() == After)
+      AfterIt = It;
+  }
+  assert(BBIt != Blocks.end() && AfterIt != Blocks.end());
+  std::unique_ptr<BasicBlock> Owned = std::move(*BBIt);
+  Blocks.erase(BBIt);
+  // Re-find After (iterators after erase of a different node remain valid
+  // for std::list, but AfterIt could equal BBIt only if BB==After).
+  for (auto It = Blocks.begin(), E = Blocks.end(); It != E; ++It) {
+    if (It->get() == After) {
+      Blocks.insert(std::next(It), std::move(Owned));
+      return;
+    }
+  }
+  assert(false && "anchor block disappeared");
+}
+
+std::vector<BasicBlock *> Function::blockList() {
+  std::vector<BasicBlock *> Out;
+  Out.reserve(Blocks.size());
+  for (auto &BB : Blocks)
+    Out.push_back(BB.get());
+  return Out;
+}

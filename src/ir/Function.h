@@ -1,0 +1,168 @@
+//===- Function.h - PIR function --------------------------------*- C++ -*-===//
+//
+// Part of the Proteus reproduction project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Function: kernels (__global__), device functions (__device__), arguments,
+/// and the attributes Proteus consumes — the "jit" annotation with the list
+/// of argument positions to specialize (paper Listing 1) and launch_bounds
+/// set either by the programmer AOT or injected by the JIT runtime.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PROTEUS_IR_FUNCTION_H
+#define PROTEUS_IR_FUNCTION_H
+
+#include "ir/BasicBlock.h"
+
+#include <optional>
+
+namespace pir {
+
+class Module;
+
+/// Formal parameter of a Function.
+class Argument : public Value {
+public:
+  Argument(Type *Ty, std::string Name, Function *Parent, unsigned Index)
+      : Value(ValueKind::Argument, Ty), Parent(Parent), Index(Index) {
+    setName(std::move(Name));
+  }
+
+  Function *getParent() const { return Parent; }
+
+  /// Zero-based position in the argument list. Note the user-facing
+  /// annotation indices (paper Listing 1) are one-based.
+  unsigned getIndex() const { return Index; }
+
+  static bool classof(const Value *V) {
+    return V->getKind() == ValueKind::Argument;
+  }
+
+private:
+  Function *Parent;
+  unsigned Index;
+};
+
+/// CUDA/HIP __launch_bounds__ equivalent. MaxThreadsPerBlock is required;
+/// MinBlocksPerProcessor defaults to 1 (as the JIT runtime sets it).
+struct LaunchBounds {
+  uint32_t MaxThreadsPerBlock = 0;
+  uint32_t MinBlocksPerProcessor = 1;
+
+  bool operator==(const LaunchBounds &) const = default;
+};
+
+/// The __attribute__((annotate("jit", ...))) payload: one-based indices of
+/// kernel arguments to fold at runtime (empty means launch-bounds-only
+/// specialization is still applied).
+struct JitAnnotation {
+  std::vector<uint32_t> ArgIndices;
+
+  bool operator==(const JitAnnotation &) const = default;
+};
+
+/// Whether a function runs on the device as an entry point (kernel) or as a
+/// callee (device function).
+enum class FunctionKind : uint8_t { Kernel, Device };
+
+/// A PIR function: signature, attributes and CFG.
+class Function : public Value {
+public:
+  using BlockListType = std::list<std::unique_ptr<BasicBlock>>;
+
+  /// Block iterator presenting BasicBlock&.
+  class iterator {
+  public:
+    using inner = BlockListType::iterator;
+    iterator() = default;
+    explicit iterator(inner It) : It(It) {}
+    BasicBlock &operator*() const { return **It; }
+    BasicBlock *operator->() const { return It->get(); }
+    iterator &operator++() { ++It; return *this; }
+    bool operator==(const iterator &O) const { return It == O.It; }
+    bool operator!=(const iterator &O) const { return It != O.It; }
+    inner getInner() const { return It; }
+
+  private:
+    inner It;
+  };
+
+  Function(Type *PtrTy, std::string Name, Type *RetTy,
+           const std::vector<Type *> &ParamTypes,
+           const std::vector<std::string> &ParamNames, FunctionKind FK);
+
+  ~Function() override;
+
+  Module *getParent() const { return Parent; }
+  Type *getReturnType() const { return RetTy; }
+  FunctionKind getFunctionKind() const { return FK; }
+  bool isKernel() const { return FK == FunctionKind::Kernel; }
+
+  size_t getNumArgs() const { return Args.size(); }
+  Argument *getArg(size_t I) const { return Args[I].get(); }
+  const std::vector<std::unique_ptr<Argument>> &args() const { return Args; }
+
+  bool isDeclaration() const { return Blocks.empty(); }
+
+  // -- Attributes ---------------------------------------------------------
+
+  bool isAlwaysInline() const { return AlwaysInlineFlag; }
+  void setAlwaysInline(bool V) { AlwaysInlineFlag = V; }
+
+  const std::optional<LaunchBounds> &getLaunchBounds() const { return LB; }
+  void setLaunchBounds(LaunchBounds B) { LB = B; }
+  void clearLaunchBounds() { LB.reset(); }
+
+  const std::optional<JitAnnotation> &getJitAnnotation() const {
+    return Annotation;
+  }
+  void setJitAnnotation(JitAnnotation A) { Annotation = std::move(A); }
+  bool hasJitAnnotation() const { return Annotation.has_value(); }
+
+  // -- CFG ----------------------------------------------------------------
+
+  BasicBlock &getEntryBlock() {
+    assert(!Blocks.empty() && "function has no body");
+    return *Blocks.front();
+  }
+
+  size_t size() const { return Blocks.size(); }
+  iterator begin() { return iterator(Blocks.begin()); }
+  iterator end() { return iterator(Blocks.end()); }
+
+  /// Creates and appends a new block.
+  BasicBlock *createBlock(std::string Name, Type *VoidTy);
+
+  /// Unlinks and destroys \p BB. Drops the block's instructions first.
+  void eraseBlock(BasicBlock *BB);
+
+  /// Moves \p BB to immediately after \p After (layout only; no CFG change).
+  void moveBlockAfter(BasicBlock *BB, BasicBlock *After);
+
+  /// Blocks in layout order, as raw pointers (stable snapshot for passes
+  /// that mutate the block list while iterating).
+  std::vector<BasicBlock *> blockList();
+
+  static bool classof(const Value *V) {
+    return V->getKind() == ValueKind::Function;
+  }
+
+private:
+  friend class Module;
+
+  Module *Parent = nullptr;
+  Type *RetTy;
+  FunctionKind FK;
+  bool AlwaysInlineFlag = false;
+  std::optional<LaunchBounds> LB;
+  std::optional<JitAnnotation> Annotation;
+  std::vector<std::unique_ptr<Argument>> Args;
+  BlockListType Blocks;
+};
+
+} // namespace pir
+
+#endif // PROTEUS_IR_FUNCTION_H

@@ -1,0 +1,153 @@
+//===- IRBuilder.cpp - PIR construction helper --------------------------------===//
+//
+// Part of the Proteus reproduction project.
+//
+//===----------------------------------------------------------------------===//
+
+#include "ir/IRBuilder.h"
+
+using namespace pir;
+
+Instruction *IRBuilder::insert(std::unique_ptr<Instruction> I,
+                               std::string Name) {
+  assert(InsertBlock && "no insertion point set");
+  if (!Name.empty())
+    I->setName(std::move(Name));
+  if (InsertBefore)
+    return InsertBlock->insertBefore(InsertBefore, std::move(I));
+  return InsertBlock->append(std::move(I));
+}
+
+Value *IRBuilder::createBinary(ValueKind K, Value *L, Value *R,
+                               std::string Name) {
+  return insert(std::make_unique<BinaryInst>(K, L, R), std::move(Name));
+}
+
+Value *IRBuilder::createUnary(ValueKind K, Value *V, std::string Name) {
+  return insert(std::make_unique<UnaryInst>(K, V), std::move(Name));
+}
+
+Value *IRBuilder::createCast(ValueKind K, Value *V, Type *DestTy,
+                             std::string Name) {
+  return insert(std::make_unique<CastInst>(K, V, DestTy), std::move(Name));
+}
+
+Value *IRBuilder::createICmp(ICmpPred P, Value *L, Value *R,
+                             std::string Name) {
+  return insert(std::make_unique<ICmpInst>(P, L, R, Ctx.getI1Ty()),
+                std::move(Name));
+}
+
+Value *IRBuilder::createFCmp(FCmpPred P, Value *L, Value *R,
+                             std::string Name) {
+  return insert(std::make_unique<FCmpInst>(P, L, R, Ctx.getI1Ty()),
+                std::move(Name));
+}
+
+Value *IRBuilder::createSelect(Value *C, Value *T, Value *F,
+                               std::string Name) {
+  return insert(std::make_unique<SelectInst>(C, T, F), std::move(Name));
+}
+
+Value *IRBuilder::createAlloca(Type *ElemTy, uint32_t NumElements,
+                               std::string Name) {
+  return insert(
+      std::make_unique<AllocaInst>(Ctx.getPtrTy(), ElemTy, NumElements),
+      std::move(Name));
+}
+
+Value *IRBuilder::createLoad(Type *Ty, Value *Ptr, std::string Name) {
+  return insert(std::make_unique<LoadInst>(Ty, Ptr), std::move(Name));
+}
+
+void IRBuilder::createStore(Value *V, Value *Ptr) {
+  insert(std::make_unique<StoreInst>(V, Ptr, Ctx.getVoidTy()), "");
+}
+
+Value *IRBuilder::createPtrAdd(Value *Base, Value *Index, uint32_t ElemSize,
+                               std::string Name) {
+  return insert(std::make_unique<PtrAddInst>(Base, Index, ElemSize),
+                std::move(Name));
+}
+
+Value *IRBuilder::createAtomicAdd(Value *Ptr, Value *V, std::string Name) {
+  return insert(std::make_unique<AtomicAddInst>(Ptr, V), std::move(Name));
+}
+
+Value *IRBuilder::createThreadIdx(uint8_t Dim, std::string Name) {
+  return insert(std::make_unique<GpuIndexInst>(ValueKind::ThreadIdx, Dim,
+                                               Ctx.getI32Ty()),
+                std::move(Name));
+}
+
+Value *IRBuilder::createBlockIdx(uint8_t Dim, std::string Name) {
+  return insert(std::make_unique<GpuIndexInst>(ValueKind::BlockIdx, Dim,
+                                               Ctx.getI32Ty()),
+                std::move(Name));
+}
+
+Value *IRBuilder::createBlockDim(uint8_t Dim, std::string Name) {
+  return insert(std::make_unique<GpuIndexInst>(ValueKind::BlockDim, Dim,
+                                               Ctx.getI32Ty()),
+                std::move(Name));
+}
+
+Value *IRBuilder::createGridDim(uint8_t Dim, std::string Name) {
+  return insert(std::make_unique<GpuIndexInst>(ValueKind::GridDim, Dim,
+                                               Ctx.getI32Ty()),
+                std::move(Name));
+}
+
+void IRBuilder::createBarrier() {
+  insert(std::make_unique<BarrierInst>(Ctx.getVoidTy()), "");
+}
+
+Value *IRBuilder::createGlobalThreadIdX(std::string Name) {
+  Value *Bid = createBlockIdx(0, "bid");
+  Value *Bdim = createBlockDim(0, "bdim");
+  Value *Tid = createThreadIdx(0, "tid");
+  Value *Base = createMul(Bid, Bdim);
+  return createAdd(Base, Tid, std::move(Name));
+}
+
+Value *IRBuilder::createCall(Function *Callee,
+                             const std::vector<Value *> &Args,
+                             std::string Name) {
+  assert(Callee->getNumArgs() == Args.size() && "call arity mismatch");
+  return insert(
+      std::make_unique<CallInst>(Callee->getReturnType(), Callee, Args),
+      std::move(Name));
+}
+
+PhiInst *IRBuilder::createPhi(Type *Ty, std::string Name) {
+  // Phis must be grouped at the block head; insert after existing phis.
+  assert(InsertBlock && "no insertion point set");
+  auto Phi = std::make_unique<PhiInst>(Ty);
+  if (!Name.empty())
+    Phi->setName(std::move(Name));
+  PhiInst *Raw = Phi.get();
+  for (Instruction &I : *InsertBlock) {
+    if (!isa<PhiInst>(&I)) {
+      InsertBlock->insertBefore(&I, std::move(Phi));
+      return Raw;
+    }
+  }
+  InsertBlock->append(std::move(Phi));
+  return Raw;
+}
+
+void IRBuilder::createBr(BasicBlock *Dest) {
+  insert(std::make_unique<BranchInst>(Dest, Ctx.getVoidTy()), "");
+}
+
+void IRBuilder::createCondBr(Value *Cond, BasicBlock *T, BasicBlock *F) {
+  insert(std::make_unique<BranchInst>(Cond, T, F, Ctx.getVoidTy()), "");
+}
+
+void IRBuilder::createRet() {
+  insert(std::make_unique<RetInst>(Ctx.getVoidTy()), "");
+}
+
+void IRBuilder::createRet(Value *V) {
+  insert(std::make_unique<RetInst>(V, Ctx.getVoidTy()), "");
+}

@@ -1,0 +1,39 @@
+//===- IRParser.h - PIR textual parser --------------------------*- C++ -*-===//
+//
+// Part of the Proteus reproduction project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Parses the textual PIR produced by IRPrinter. Besides round-trip testing
+/// this is the front end of the Jitify-sim baseline, which (like NVIDIA's
+/// Jitify) receives kernels as source strings and must parse and analyze
+/// them at runtime — the overhead Proteus avoids by shipping bitcode.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PROTEUS_IR_IRPARSER_H
+#define PROTEUS_IR_IRPARSER_H
+
+#include <memory>
+#include <string>
+
+namespace pir {
+
+class Context;
+class Module;
+
+/// Outcome of a parse: a module on success, a diagnostic on failure.
+struct ParseResult {
+  std::unique_ptr<Module> M;
+  std::string Error;
+
+  explicit operator bool() const { return M != nullptr; }
+};
+
+/// Parses \p Text into a fresh module owned by the result.
+ParseResult parseModule(Context &Ctx, const std::string &Text);
+
+} // namespace pir
+
+#endif // PROTEUS_IR_IRPARSER_H

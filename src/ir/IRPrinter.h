@@ -1,0 +1,33 @@
+//===- IRPrinter.h - PIR textual output -------------------------*- C++ -*-===//
+//
+// Part of the Proteus reproduction project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Prints PIR in the textual assembly form that IRParser accepts. The
+/// printed form is deterministic, so its hash serves as the LLVM-style
+/// module identifier the code cache keys on, and it is the "stringified
+/// source" representation the Jitify-sim baseline compiles from.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PROTEUS_IR_IRPRINTER_H
+#define PROTEUS_IR_IRPRINTER_H
+
+#include <string>
+
+namespace pir {
+
+class Module;
+class Function;
+
+/// Renders the whole module as parseable text.
+std::string printModule(Module &M);
+
+/// Renders one function (with header and body) as parseable text.
+std::string printFunction(Function &F);
+
+} // namespace pir
+
+#endif // PROTEUS_IR_IRPRINTER_H

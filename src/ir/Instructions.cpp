@@ -1,0 +1,176 @@
+//===- Instructions.cpp - PIR instruction hierarchy -------------------------===//
+//
+// Part of the Proteus reproduction project.
+//
+//===----------------------------------------------------------------------===//
+
+#include "ir/Instructions.h"
+
+#include "ir/BasicBlock.h"
+#include "ir/Function.h"
+#include "support/Error.h"
+
+using namespace pir;
+using namespace proteus;
+
+const char *pir::icmpPredName(ICmpPred P) {
+  switch (P) {
+  case ICmpPred::EQ:
+    return "eq";
+  case ICmpPred::NE:
+    return "ne";
+  case ICmpPred::SLT:
+    return "slt";
+  case ICmpPred::SLE:
+    return "sle";
+  case ICmpPred::SGT:
+    return "sgt";
+  case ICmpPred::SGE:
+    return "sge";
+  case ICmpPred::ULT:
+    return "ult";
+  case ICmpPred::ULE:
+    return "ule";
+  case ICmpPred::UGT:
+    return "ugt";
+  case ICmpPred::UGE:
+    return "uge";
+  }
+  proteus_unreachable("unknown icmp predicate");
+}
+
+const char *pir::fcmpPredName(FCmpPred P) {
+  switch (P) {
+  case FCmpPred::OEQ:
+    return "oeq";
+  case FCmpPred::ONE:
+    return "one";
+  case FCmpPred::OLT:
+    return "olt";
+  case FCmpPred::OLE:
+    return "ole";
+  case FCmpPred::OGT:
+    return "ogt";
+  case FCmpPred::OGE:
+    return "oge";
+  }
+  proteus_unreachable("unknown fcmp predicate");
+}
+
+Function *Instruction::getFunction() const {
+  return Parent ? Parent->getParent() : nullptr;
+}
+
+void Instruction::eraseFromParent() {
+  assert(Parent && "instruction is not linked into a block");
+  Parent->erase(this);
+}
+
+void Instruction::moveBefore(Instruction *Pos) {
+  assert(Parent && "instruction is not linked into a block");
+  assert(Pos->getParent() && "position is not linked into a block");
+  std::unique_ptr<Instruction> Self = Parent->remove(this);
+  Pos->getParent()->insertBefore(Pos, std::move(Self));
+}
+
+bool Instruction::mayHaveSideEffects() const {
+  switch (getKind()) {
+  case ValueKind::Store:
+  case ValueKind::AtomicAdd:
+  case ValueKind::Barrier:
+  case ValueKind::Br:
+  case ValueKind::CondBr:
+  case ValueKind::Ret:
+    return true;
+  case ValueKind::Call: {
+    // Conservatively treat calls as effectful; the inliner removes them
+    // before any DCE question matters for kernels.
+    return true;
+  }
+  default:
+    return false;
+  }
+}
+
+bool Instruction::isSpeculatable() const {
+  switch (getKind()) {
+  case ValueKind::Store:
+  case ValueKind::AtomicAdd:
+  case ValueKind::Barrier:
+  case ValueKind::Br:
+  case ValueKind::CondBr:
+  case ValueKind::Ret:
+  case ValueKind::Call:
+  case ValueKind::Phi:
+  case ValueKind::Load:   // may fault on a path-dependent pointer
+  case ValueKind::Alloca: // placement is semantically entry-bound
+  case ValueKind::SDiv:
+  case ValueKind::UDiv:
+  case ValueKind::SRem:
+  case ValueKind::URem: // may trap on zero
+    return false;
+  default:
+    return true;
+  }
+}
+
+Function *CallInst::getCallee() const {
+  return cast<Function>(getOperand(0));
+}
+
+BasicBlock *PhiInst::getIncomingBlock(size_t I) const {
+  return cast<BasicBlock>(getOperand(2 * I + 1));
+}
+
+void PhiInst::setIncomingBlock(size_t I, BasicBlock *BB) {
+  setOperand(2 * I + 1, BB);
+}
+
+void PhiInst::addIncoming(Value *V, BasicBlock *BB) {
+  assert(V->getType() == getType() && "phi incoming type mismatch");
+  addOperand(V);
+  addOperand(BB);
+}
+
+void PhiInst::removeIncoming(size_t I) {
+  size_t N = getNumIncoming();
+  assert(I < N && "incoming index out of range");
+  // Move the last pair into slot I, then drop the last pair.
+  if (I != N - 1) {
+    setOperand(2 * I, getOperand(2 * (N - 1)));
+    setOperand(2 * I + 1, getOperand(2 * (N - 1) + 1));
+  }
+  removeLastOperand();
+  removeLastOperand();
+}
+
+Value *PhiInst::getIncomingValueForBlock(const BasicBlock *BB) const {
+  for (size_t I = 0, E = getNumIncoming(); I != E; ++I)
+    if (getIncomingBlock(I) == BB)
+      return getIncomingValue(I);
+  return nullptr;
+}
+
+BranchInst::BranchInst(BasicBlock *Dest, Type *VoidTy)
+    : Instruction(ValueKind::Br, VoidTy) {
+  addOperand(Dest);
+}
+
+BranchInst::BranchInst(Value *Cond, BasicBlock *TrueBB, BasicBlock *FalseBB,
+                       Type *VoidTy)
+    : Instruction(ValueKind::CondBr, VoidTy) {
+  assert(Cond->getType()->isI1() && "branch condition must be i1");
+  addOperand(Cond);
+  addOperand(TrueBB);
+  addOperand(FalseBB);
+}
+
+BasicBlock *BranchInst::getSuccessor(size_t I) const {
+  assert(I < getNumSuccessors() && "successor index out of range");
+  return cast<BasicBlock>(getOperand(isConditional() ? I + 1 : I));
+}
+
+void BranchInst::setSuccessor(size_t I, BasicBlock *BB) {
+  assert(I < getNumSuccessors() && "successor index out of range");
+  setOperand(isConditional() ? I + 1 : I, BB);
+}

@@ -1,0 +1,65 @@
+//===- Interpreter.h - reference IR interpreter -----------------*- C++ -*-===//
+//
+// Part of the Proteus reproduction project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A direct interpreter over PIR used as the *reference semantics* in tests:
+/// every transform pass and the whole codegen pipeline are differentially
+/// checked against it. Pointers are byte offsets into a caller-provided
+/// memory image; per-thread alloca scratch lives above ScratchBase.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PROTEUS_IR_INTERPRETER_H
+#define PROTEUS_IR_INTERPRETER_H
+
+#include "ir/Function.h"
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace pir {
+
+/// GPU thread coordinates for one interpreted thread.
+struct ThreadGeometry {
+  uint32_t ThreadIdx[3] = {0, 0, 0};
+  uint32_t BlockIdx[3] = {0, 0, 0};
+  uint32_t BlockDim[3] = {1, 1, 1};
+  uint32_t GridDim[3] = {1, 1, 1};
+};
+
+/// Outcome of interpreting one function invocation.
+struct InterpResult {
+  bool Ok = false;
+  std::string Error;
+  std::optional<uint64_t> ReturnBits;
+  uint64_t DynamicInstructions = 0;
+};
+
+/// Interprets PIR functions against a flat memory image.
+class IRInterpreter {
+public:
+  /// Pointers at or above this value address per-invocation alloca scratch.
+  static constexpr uint64_t ScratchBase = 1ULL << 40;
+
+  explicit IRInterpreter(std::vector<uint8_t> &Memory) : Memory(Memory) {}
+
+  /// Runs \p F to completion for one thread. \p ArgBits are the argument
+  /// values boxed per OpSemantics conventions. Execution aborts with an
+  /// error after \p MaxSteps dynamic instructions (runaway-loop guard) or on
+  /// an out-of-bounds access.
+  InterpResult run(Function &F, const std::vector<uint64_t> &ArgBits,
+                   const ThreadGeometry &Geometry,
+                   uint64_t MaxSteps = 100'000'000);
+
+private:
+  std::vector<uint8_t> &Memory;
+};
+
+} // namespace pir
+
+#endif // PROTEUS_IR_INTERPRETER_H

@@ -1,0 +1,123 @@
+//===- Module.h - PIR module ------------------------------------*- C++ -*-===//
+//
+// Part of the Proteus reproduction project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Module: the translation-unit-level container of functions and device
+/// global variables. The module identifier — an LLVM-style content hash
+/// "bound to source code" — feeds the JIT cache key so that source changes
+/// invalidate stale persistent-cache entries (paper section 3.3).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PROTEUS_IR_MODULE_H
+#define PROTEUS_IR_MODULE_H
+
+#include "ir/Function.h"
+
+#include <unordered_map>
+
+namespace pir {
+
+class Context;
+
+/// A device global variable (__device__ qualified). Its Value type is ptr;
+/// the JIT runtime resolves its device address and rewrites references into
+/// ConstantPtr at specialization time.
+class GlobalVariable : public Value {
+public:
+  GlobalVariable(Type *PtrTy, std::string Name, Type *ElemTy,
+                 uint64_t NumElements, std::vector<uint8_t> Init = {})
+      : Value(ValueKind::GlobalVariable, PtrTy), ElemTy(ElemTy),
+        NumElements(NumElements), Init(std::move(Init)) {
+    setName(std::move(Name));
+    assert((this->Init.empty() || this->Init.size() == sizeInBytes()) &&
+           "initializer size mismatch");
+  }
+
+  Type *getElemType() const { return ElemTy; }
+  uint64_t getNumElements() const { return NumElements; }
+  uint64_t sizeInBytes() const {
+    return static_cast<uint64_t>(ElemTy->sizeInBytes()) * NumElements;
+  }
+
+  /// Raw initializer bytes; empty means zero-initialized.
+  const std::vector<uint8_t> &getInit() const { return Init; }
+
+  static bool classof(const Value *V) {
+    return V->getKind() == ValueKind::GlobalVariable;
+  }
+
+private:
+  Type *ElemTy;
+  uint64_t NumElements;
+  std::vector<uint8_t> Init;
+};
+
+/// The device-code translation unit.
+class Module {
+public:
+  Module(Context &Ctx, std::string Name) : Ctx(Ctx), Name(std::move(Name)) {}
+
+  Module(const Module &) = delete;
+  Module &operator=(const Module &) = delete;
+  ~Module();
+
+  Context &getContext() const { return Ctx; }
+  const std::string &getName() const { return Name; }
+
+  // -- Functions ----------------------------------------------------------
+
+  /// Creates a function with a body to be filled in.
+  Function *createFunction(std::string Name, Type *RetTy,
+                           const std::vector<Type *> &ParamTypes,
+                           const std::vector<std::string> &ParamNames,
+                           FunctionKind FK);
+
+  Function *getFunction(const std::string &Name) const;
+
+  /// Unlinks and destroys \p F; there must be no remaining calls to it.
+  void eraseFunction(Function *F);
+
+  const std::vector<std::unique_ptr<Function>> &functions() const {
+    return Functions;
+  }
+
+  /// Kernels in declaration order.
+  std::vector<Function *> kernels() const;
+
+  // -- Globals ------------------------------------------------------------
+
+  GlobalVariable *createGlobal(std::string Name, Type *ElemTy,
+                               uint64_t NumElements,
+                               std::vector<uint8_t> Init = {});
+
+  GlobalVariable *getGlobal(const std::string &Name) const;
+
+  const std::vector<std::unique_ptr<GlobalVariable>> &globals() const {
+    return Globals;
+  }
+
+  // -- Module identity ----------------------------------------------------
+
+  /// Content hash of the module's textual form. Mirrors the unique,
+  /// LLVM-generated module identifier the paper uses in cache keys: any
+  /// source change produces a different id, so stale persistent-cache
+  /// entries never match. Computed on demand; mutating the module
+  /// invalidates prior results, so callers hash after construction.
+  uint64_t computeModuleId() const;
+
+private:
+  Context &Ctx;
+  std::string Name;
+  std::vector<std::unique_ptr<Function>> Functions;
+  std::unordered_map<std::string, Function *> FunctionMap;
+  std::vector<std::unique_ptr<GlobalVariable>> Globals;
+  std::unordered_map<std::string, GlobalVariable *> GlobalMap;
+};
+
+} // namespace pir
+
+#endif // PROTEUS_IR_MODULE_H

@@ -1,0 +1,31 @@
+//===- Type.cpp - PIR type system ---------------------------------------------===//
+//
+// Part of the Proteus reproduction project.
+//
+//===----------------------------------------------------------------------===//
+
+#include "ir/Type.h"
+
+#include "support/Error.h"
+
+using namespace pir;
+
+std::string Type::getName() const {
+  switch (TheKind) {
+  case Kind::Void:
+    return "void";
+  case Kind::I1:
+    return "i1";
+  case Kind::I32:
+    return "i32";
+  case Kind::I64:
+    return "i64";
+  case Kind::F32:
+    return "f32";
+  case Kind::F64:
+    return "f64";
+  case Kind::Ptr:
+    return "ptr";
+  }
+  proteus_unreachable("unknown type kind");
+}

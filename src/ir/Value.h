@@ -1,0 +1,231 @@
+//===- Value.h - PIR value/use machinery ------------------------*- C++ -*-===//
+//
+// Part of the Proteus reproduction project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Value, Use and User: the SSA value graph with O(1) use-list maintenance.
+/// Mirrors the LLVM design: every operand edge is tracked on the used Value
+/// so that replaceAllUsesWith (the workhorse of runtime constant folding)
+/// is proportional to the number of uses being rewritten.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PROTEUS_IR_VALUE_H
+#define PROTEUS_IR_VALUE_H
+
+#include "ir/Type.h"
+#include "support/Casting.h"
+
+#include <cassert>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace pir {
+
+// LLVM-style RTTI helpers, shared with the proteus support library.
+using proteus::cast;
+using proteus::dyn_cast;
+using proteus::dyn_cast_if_present;
+using proteus::isa;
+using proteus::isa_and_present;
+
+class User;
+class Value;
+
+/// Discriminator for the whole Value hierarchy (LLVM-style RTTI).
+enum class ValueKind : uint8_t {
+  // Non-instruction values.
+  ConstantInt,
+  ConstantFP,
+  ConstantPtr,
+  Argument,
+  GlobalVariable,
+  Function,
+  BasicBlock,
+
+  // Instructions. Everything from InstBegin to InstEnd (exclusive) is an
+  // Instruction; the sub-ranges are used by the instruction classof()s.
+  InstBegin,
+
+  // Integer binary arithmetic / bitwise.
+  Add,
+  Sub,
+  Mul,
+  SDiv,
+  UDiv,
+  SRem,
+  URem,
+  And,
+  Or,
+  Xor,
+  Shl,
+  LShr,
+  AShr,
+  // Floating-point binary arithmetic.
+  FAdd,
+  FSub,
+  FMul,
+  FDiv,
+  // Binary math intrinsics.
+  Pow,
+  FMin,
+  FMax,
+  SMin,
+  SMax,
+
+  // Unary.
+  FNeg,
+  Sqrt,
+  Exp,
+  Log,
+  Sin,
+  Cos,
+  Fabs,
+  Floor,
+
+  // Casts.
+  Trunc,
+  ZExt,
+  SExt,
+  FPExt,
+  FPTrunc,
+  SIToFP,
+  UIToFP,
+  FPToSI,
+  IntToPtr,
+  PtrToInt,
+
+  // Comparisons and select.
+  ICmp,
+  FCmp,
+  Select,
+
+  // Memory.
+  Alloca,
+  Load,
+  Store,
+  PtrAdd,
+  AtomicAdd,
+
+  // GPU intrinsics.
+  ThreadIdx,
+  BlockIdx,
+  BlockDim,
+  GridDim,
+  Barrier,
+
+  // Calls, phis, control flow.
+  Call,
+  Phi,
+  Br,
+  CondBr,
+  Ret,
+
+  InstEnd,
+};
+
+/// Returns a stable mnemonic for \p K ("add", "fmul", ...), shared by the
+/// printer, parser and diagnostics.
+const char *valueKindName(ValueKind K);
+
+/// One operand edge: records which User holds the edge and at which operand
+/// index, so the edge can be rewritten in O(1).
+struct Use {
+  User *TheUser = nullptr;
+  uint32_t OperandIndex = 0;
+};
+
+/// Base of the SSA value hierarchy.
+class Value {
+public:
+  Value(const Value &) = delete;
+  Value &operator=(const Value &) = delete;
+  virtual ~Value();
+
+  ValueKind getKind() const { return TheKind; }
+  Type *getType() const { return Ty; }
+
+  const std::string &getName() const { return Name; }
+  void setName(std::string N) { Name = std::move(N); }
+  bool hasName() const { return !Name.empty(); }
+
+  /// All operand edges that reference this value.
+  const std::vector<Use> &uses() const { return UseList; }
+  bool hasUses() const { return !UseList.empty(); }
+  size_t getNumUses() const { return UseList.size(); }
+
+  /// Rewrites every use of this value to refer to \p NewValue instead. This
+  /// is the primitive behind runtime constant folding: the JIT runtime calls
+  /// it to fold a kernel Argument into its runtime-constant value.
+  void replaceAllUsesWith(Value *NewValue);
+
+  bool isInstruction() const {
+    return TheKind > ValueKind::InstBegin && TheKind < ValueKind::InstEnd;
+  }
+
+protected:
+  Value(ValueKind K, Type *T) : TheKind(K), Ty(T) {
+    assert(T && "value requires a type");
+  }
+
+private:
+  friend class User;
+
+  /// Registers a new use edge; returns its slot in the use list.
+  uint32_t addUse(User *U, uint32_t OperandIndex);
+
+  /// Removes the use edge in \p Slot (swap-with-last, fixing back-pointers).
+  void removeUse(uint32_t Slot);
+
+  ValueKind TheKind;
+  Type *Ty;
+  std::string Name;
+  std::vector<Use> UseList;
+};
+
+/// A Value that references other Values through operands.
+class User : public Value {
+public:
+  size_t getNumOperands() const { return Operands.size(); }
+
+  Value *getOperand(size_t I) const {
+    assert(I < Operands.size() && "operand index out of range");
+    return Operands[I];
+  }
+
+  /// Replaces operand \p I, updating both values' use lists.
+  void setOperand(size_t I, Value *V);
+
+  const std::vector<Value *> &operands() const { return Operands; }
+
+  /// Drops all operand edges (used when bulk-deleting IR that may contain
+  /// reference cycles, e.g. loops of blocks).
+  void dropAllReferences();
+
+  static bool classof(const Value *V) { return V->isInstruction(); }
+
+protected:
+  User(ValueKind K, Type *T) : Value(K, T) {}
+  ~User() override;
+
+  /// Appends an operand, registering the use edge.
+  void addOperand(Value *V);
+
+  /// Removes the last operand.
+  void removeLastOperand();
+
+private:
+  friend class Value;
+
+  std::vector<Value *> Operands;
+  /// For each operand, the slot of its Use record inside the operand
+  /// value's use list. Kept in sync by add/set/remove.
+  std::vector<uint32_t> UseSlots;
+};
+
+} // namespace pir
+
+#endif // PROTEUS_IR_VALUE_H

@@ -1,0 +1,266 @@
+//===- Verifier.cpp - PIR well-formedness checks --------------------------------===//
+//
+// Part of the Proteus reproduction project.
+//
+//===----------------------------------------------------------------------===//
+
+#include "ir/Verifier.h"
+
+#include "ir/Dominators.h"
+#include "ir/Module.h"
+#include "support/StringUtils.h"
+
+#include <algorithm>
+#include <unordered_set>
+
+using namespace pir;
+using namespace proteus;
+
+std::string VerifyResult::message() const {
+  std::string Out;
+  for (const std::string &E : Errors) {
+    Out += E;
+    Out += '\n';
+  }
+  return Out;
+}
+
+namespace {
+
+class FunctionVerifier {
+public:
+  FunctionVerifier(Function &F, VerifyResult &R) : F(F), R(R) {}
+
+  void run() {
+    if (F.isDeclaration())
+      return;
+    checkBlocks();
+    if (!R.ok())
+      return; // structural problems make dominance checks meaningless
+    DominatorTree DT(F);
+    checkSSA(DT);
+  }
+
+private:
+  void err(const std::string &Msg) {
+    R.Errors.push_back("function @" + F.getName() + ": " + Msg);
+  }
+
+  void checkBlocks() {
+    for (BasicBlock &BB : F) {
+      if (BB.empty()) {
+        err("block has no instructions");
+        continue;
+      }
+      Instruction *Term = BB.getTerminator();
+      if (!Term) {
+        err("block does not end with a terminator");
+        continue;
+      }
+      bool SeenNonPhi = false;
+      for (Instruction &I : BB) {
+        if (I.isTerminator() && &I != Term)
+          err("terminator in the middle of a block");
+        if (isa<PhiInst>(&I)) {
+          if (SeenNonPhi)
+            err("phi after non-phi instruction");
+        } else {
+          SeenNonPhi = true;
+        }
+        checkInstruction(I);
+      }
+    }
+  }
+
+  void checkInstruction(Instruction &I) {
+    for (Value *Op : I.operands()) {
+      if (auto *OpInst = dyn_cast<Instruction>(Op)) {
+        if (!OpInst->getParent() || OpInst->getFunction() != &F)
+          err("operand instruction from another function");
+      } else if (auto *A = dyn_cast<Argument>(Op)) {
+        if (A->getParent() != &F)
+          err("argument operand from another function");
+      }
+    }
+    switch (I.getKind()) {
+    case ValueKind::Ret: {
+      auto &Ret = cast<RetInst>(I);
+      if (F.getReturnType()->isVoid()) {
+        if (Ret.hasReturnValue())
+          err("void function returns a value");
+      } else if (!Ret.hasReturnValue()) {
+        err("non-void function returns nothing");
+      } else if (Ret.getReturnValue()->getType() != F.getReturnType()) {
+        err("return value type mismatch");
+      }
+      return;
+    }
+    case ValueKind::Phi: {
+      auto &Phi = cast<PhiInst>(I);
+      std::vector<BasicBlock *> Preds = I.getParent()->predecessors();
+      if (Phi.getNumIncoming() != Preds.size()) {
+        err("phi incoming count does not match predecessor count");
+        return;
+      }
+      std::unordered_set<BasicBlock *> Seen;
+      for (size_t K = 0; K != Phi.getNumIncoming(); ++K) {
+        BasicBlock *In = Phi.getIncomingBlock(K);
+        if (!Seen.insert(In).second)
+          err("phi lists a predecessor twice");
+        if (std::find(Preds.begin(), Preds.end(), In) == Preds.end())
+          err("phi incoming block is not a predecessor");
+        if (Phi.getIncomingValue(K)->getType() != Phi.getType())
+          err("phi incoming value type mismatch");
+      }
+      return;
+    }
+    case ValueKind::Call: {
+      auto &Call = cast<CallInst>(I);
+      Function *Callee = Call.getCallee();
+      if (Callee->getParent() != F.getParent()) {
+        err("call to function outside this module");
+        return;
+      }
+      if (Callee->isKernel())
+        err("kernels cannot be called from device code");
+      if (Call.getNumArgs() != Callee->getNumArgs()) {
+        err("call arity mismatch");
+        return;
+      }
+      for (size_t K = 0; K != Call.getNumArgs(); ++K)
+        if (Call.getArg(K)->getType() != Callee->getArg(K)->getType())
+          err("call argument type mismatch");
+      if (Call.getType() != Callee->getReturnType())
+        err("call result type mismatch");
+      return;
+    }
+    default:
+      break;
+    }
+    if (auto *Bin = dyn_cast<BinaryInst>(&I)) {
+      Type *Ty = Bin->getType();
+      bool IsFloatOp = I.getKind() >= ValueKind::FAdd &&
+                       I.getKind() <= ValueKind::FMax &&
+                       I.getKind() != ValueKind::SMin &&
+                       I.getKind() != ValueKind::SMax;
+      if (IsFloatOp && !Ty->isFloatingPoint())
+        err("floating-point op on non-FP type");
+      bool IsIntOp = (I.getKind() >= ValueKind::Add &&
+                      I.getKind() <= ValueKind::AShr) ||
+                     I.getKind() == ValueKind::SMin ||
+                     I.getKind() == ValueKind::SMax;
+      if (IsIntOp && !Ty->isInteger())
+        err("integer op on non-integer type");
+      return;
+    }
+    if (auto *C = dyn_cast<CastInst>(&I)) {
+      Type *Src = C->getSource()->getType();
+      Type *Dst = C->getType();
+      switch (I.getKind()) {
+      case ValueKind::Trunc:
+        if (!Src->isInteger() || !Dst->isInteger() ||
+            Src->integerBitWidth() <= Dst->integerBitWidth())
+          err("invalid trunc");
+        break;
+      case ValueKind::ZExt:
+      case ValueKind::SExt:
+        if (!Src->isInteger() || !Dst->isInteger() ||
+            Src->integerBitWidth() >= Dst->integerBitWidth())
+          err("invalid integer extension");
+        break;
+      case ValueKind::FPExt:
+        if (!Src->isF32() || !Dst->isF64())
+          err("invalid fpext");
+        break;
+      case ValueKind::FPTrunc:
+        if (!Src->isF64() || !Dst->isF32())
+          err("invalid fptrunc");
+        break;
+      case ValueKind::SIToFP:
+      case ValueKind::UIToFP:
+        if (!Src->isInteger() || !Dst->isFloatingPoint())
+          err("invalid int-to-fp cast");
+        break;
+      case ValueKind::FPToSI:
+        if (!Src->isFloatingPoint() || !Dst->isInteger())
+          err("invalid fp-to-int cast");
+        break;
+      case ValueKind::IntToPtr:
+        if (!Src->isI64() || !Dst->isPointer())
+          err("inttoptr requires i64 source");
+        break;
+      case ValueKind::PtrToInt:
+        if (!Src->isPointer() || !Dst->isI64())
+          err("ptrtoint requires i64 destination");
+        break;
+      default:
+        break;
+      }
+      return;
+    }
+  }
+
+  void checkSSA(DominatorTree &DT) {
+    for (BasicBlock &BB : F) {
+      if (!DT.isReachable(&BB))
+        continue;
+      for (Instruction &I : BB) {
+        if (auto *Phi = dyn_cast<PhiInst>(&I)) {
+          for (size_t K = 0; K != Phi->getNumIncoming(); ++K) {
+            Value *In = Phi->getIncomingValue(K);
+            auto *Def = dyn_cast<Instruction>(In);
+            if (!Def)
+              continue;
+            BasicBlock *InBB = Phi->getIncomingBlock(K);
+            // Definition must be available at the end of the incoming edge.
+            if (!DT.isReachable(Def->getParent()))
+              err("phi incoming defined in unreachable block");
+            else if (!DT.dominates(Def->getParent(), InBB))
+              err("phi incoming value does not dominate incoming edge");
+          }
+          continue;
+        }
+        for (Value *Op : I.operands()) {
+          auto *Def = dyn_cast<Instruction>(Op);
+          if (!Def)
+            continue;
+          if (!DT.isReachable(Def->getParent())) {
+            err("use of value defined in unreachable block");
+            continue;
+          }
+          if (!DT.dominates(Def, &I))
+            err(formatString("definition of '%s' does not dominate a use",
+                             Def->getName().c_str()));
+        }
+      }
+    }
+  }
+
+  Function &F;
+  VerifyResult &R;
+};
+
+} // namespace
+
+VerifyResult pir::verifyFunction(Function &F) {
+  VerifyResult R;
+  FunctionVerifier(F, R).run();
+  return R;
+}
+
+VerifyResult pir::verifyModule(Module &M) {
+  VerifyResult R;
+  for (const auto &F : M.functions()) {
+    if (const auto &Ann = F->getJitAnnotation()) {
+      for (uint32_t Idx : Ann->ArgIndices)
+        if (Idx == 0 || Idx > F->getNumArgs())
+          R.Errors.push_back("function @" + F->getName() +
+                             ": jit annotation index out of range");
+      if (!F->isKernel())
+        R.Errors.push_back("function @" + F->getName() +
+                           ": jit annotation on non-kernel");
+    }
+    FunctionVerifier(*F, R).run();
+  }
+  return R;
+}

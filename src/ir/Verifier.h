@@ -1,0 +1,45 @@
+//===- Verifier.h - PIR well-formedness checks ------------------*- C++ -*-===//
+//
+// Part of the Proteus reproduction project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Structural and SSA validation of PIR. Run after construction, after each
+/// transform in pipeline debug mode, and on every JIT-specialized module
+/// before code generation.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PROTEUS_IR_VERIFIER_H
+#define PROTEUS_IR_VERIFIER_H
+
+#include <string>
+#include <vector>
+
+namespace pir {
+
+class Function;
+class Module;
+
+/// Accumulated verification problems; empty means valid.
+struct VerifyResult {
+  std::vector<std::string> Errors;
+
+  bool ok() const { return Errors.empty(); }
+
+  /// All messages joined with newlines (for diagnostics).
+  std::string message() const;
+};
+
+/// Verifies one function: terminators, operand types, phi/pred agreement,
+/// SSA dominance of uses, argument/return consistency.
+VerifyResult verifyFunction(Function &F);
+
+/// Verifies every function in \p M plus module-level rules (unique names,
+/// calls target module functions, annotation indices in range).
+VerifyResult verifyModule(Module &M);
+
+} // namespace pir
+
+#endif // PROTEUS_IR_VERIFIER_H

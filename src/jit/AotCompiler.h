@@ -1,0 +1,110 @@
+//===- AotCompiler.h - AOT split compilation with JIT extensions -*- C++ -*-===//
+//
+// Part of the Proteus reproduction project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Ahead-of-time "split compilation" of a device module (paper section 2),
+/// with the Proteus plugin extensions of section 3.2 when enabled:
+///
+///  * Device path: run the O3 pipeline and the backend per kernel, producing
+///    the device image. For every annotate("jit", ...) kernel, extract the
+///    *unoptimized* kernel bitcode (kernel + transitive callees + globals)
+///    and embed it — on amdgcn-sim into a named image section
+///    .jit.<kernel>, on nvptx-sim as a data-segment device global
+///    __jit_bc_<kernel> that the JIT runtime must read back from device
+///    memory before compiling (the extra cost the paper measures).
+///
+///  * Host path: record which kernels have their launches redirected to
+///    __jit_launch_kernel (LoadedProgram performs that dispatch) and which
+///    device globals must be registered with the JIT runtime
+///    (__jit_register_var).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PROTEUS_JIT_AOTCOMPILER_H
+#define PROTEUS_JIT_AOTCOMPILER_H
+
+#include "codegen/Compiler.h"
+#include "transforms/O3Pipeline.h"
+
+#include <map>
+#include <memory>
+#include <set>
+
+namespace pir {
+class Module;
+} // namespace pir
+
+namespace proteus {
+
+/// AOT compilation options.
+struct AotOptions {
+  GpuArch Arch = GpuArch::AmdGcnSim;
+  /// Enable the Proteus plugin extensions (annotation parsing, bitcode
+  /// extraction, launch redirection).
+  bool EnableProteusExtensions = false;
+  O3Options O3;
+};
+
+/// A device global carried in the image.
+struct ImageGlobal {
+  std::string Name;
+  uint64_t Bytes = 0;
+  std::vector<uint8_t> Init;
+};
+
+/// The device image embedded into the (conceptual) host executable.
+struct DeviceImage {
+  GpuArch Arch = GpuArch::AmdGcnSim;
+  /// AOT-compiled kernel binaries by symbol.
+  std::map<std::string, std::vector<uint8_t>> KernelObjects;
+  /// amdgcn-sim: named sections ".jit.<symbol>" holding kernel bitcode,
+  /// directly readable by the host-side JIT runtime.
+  std::map<std::string, std::vector<uint8_t>> JitSections;
+  /// nvptx-sim: data-segment globals "__jit_bc_<symbol>"; uploaded to device
+  /// memory at load, pulled back by the JIT runtime before compilation.
+  std::map<std::string, std::vector<uint8_t>> JitDataGlobals;
+  std::vector<ImageGlobal> Globals;
+
+  uint64_t totalBytes() const;
+};
+
+/// Wall-clock cost breakdown of the AOT build (Figure 5's measurements).
+struct AotStats {
+  double FrontendSeconds = 0;   // parsing/IR construction (host+device)
+  double OptimizeSeconds = 0;   // O3 pipeline
+  double BackendSeconds = 0;    // per-kernel code generation
+  double ExtensionSeconds = 0;  // Proteus plugin: annotations + extraction
+  double LinkSeconds = 0;       // static linking of the JIT runtime library
+
+  double total() const {
+    return FrontendSeconds + OptimizeSeconds + BackendSeconds +
+           ExtensionSeconds + LinkSeconds;
+  }
+};
+
+/// The build product: image + host-side dispatch metadata.
+struct CompiledProgram {
+  DeviceImage Image;
+  uint64_t ModuleId = 0;
+  /// Kernels whose launches were redirected to the JIT entry point.
+  std::set<std::string> JitKernels;
+  /// Annotation argument indices per JIT kernel (1-based, as written).
+  std::map<std::string, std::vector<uint32_t>> JitArgIndices;
+  AotStats Stats;
+};
+
+/// Extracts a standalone module containing \p KernelName, its transitive
+/// callees and every referenced global from \p Source (used for bitcode
+/// extraction; exposed for testing).
+std::unique_ptr<pir::Module> extractKernelModule(pir::Module &Source,
+                                                 const std::string &KernelName);
+
+/// Runs split AOT compilation of \p Source. \p Source is not modified.
+CompiledProgram aotCompile(pir::Module &Source, const AotOptions &Options);
+
+} // namespace proteus
+
+#endif // PROTEUS_JIT_AOTCOMPILER_H

@@ -1,0 +1,154 @@
+//===- AutoAnnotate.cpp - automatic specialization decisions ----------------------===//
+//
+// Part of the Proteus reproduction project.
+//
+//===----------------------------------------------------------------------===//
+
+#include "jit/AutoAnnotate.h"
+
+#include "ir/Module.h"
+#include "support/Error.h"
+
+#include <algorithm>
+#include <unordered_set>
+
+using namespace proteus;
+using namespace pir;
+
+const char *proteus::specializationReasonName(SpecializationReason R) {
+  switch (R) {
+  case SpecializationReason::ControlFlow:
+    return "control-flow";
+  case SpecializationReason::Addressing:
+    return "addressing";
+  case SpecializationReason::NumericCompute:
+    return "numeric";
+  }
+  proteus_unreachable("unknown reason");
+}
+
+namespace {
+
+/// Taint analysis from one argument value: walks the use graph (through
+/// calls into callee bodies) recording which instruction classes the value
+/// reaches.
+class TaintWalker {
+public:
+  std::vector<SpecializationReason> run(Value *Root) {
+    Worklist.push_back(Root);
+    while (!Worklist.empty()) {
+      Value *V = Worklist.back();
+      Worklist.pop_back();
+      if (!Visited.insert(V).second)
+        continue;
+      for (const Use &U : V->uses())
+        classify(V, U);
+    }
+    std::vector<SpecializationReason> Out;
+    if (Control)
+      Out.push_back(SpecializationReason::ControlFlow);
+    if (Addressing)
+      Out.push_back(SpecializationReason::Addressing);
+    if (Numeric)
+      Out.push_back(SpecializationReason::NumericCompute);
+    return Out;
+  }
+
+private:
+  void classify(Value *Tainted, const Use &U) {
+    auto *I = dyn_cast<Instruction>(static_cast<Value *>(U.TheUser));
+    if (!I)
+      return;
+    switch (I->getKind()) {
+    case ValueKind::ICmp:
+    case ValueKind::FCmp:
+      // Comparisons almost always feed branches or selects; treat reaching
+      // one as control-relevant (loop bounds land here).
+      Control = true;
+      Worklist.push_back(I);
+      return;
+    case ValueKind::Select:
+      if (U.OperandIndex == 0)
+        Control = true;
+      Worklist.push_back(I);
+      return;
+    case ValueKind::CondBr:
+      Control = true;
+      return;
+    case ValueKind::PtrAdd:
+      if (I->getOperand(1) == Tainted)
+        Addressing = true;
+      Worklist.push_back(I);
+      return;
+    case ValueKind::Store:
+      // A value that is only stored enables nothing.
+      return;
+    case ValueKind::Call: {
+      auto *C = cast<CallInst>(I);
+      Function *Callee = C->getCallee();
+      // Taint the corresponding formal parameter inside the callee.
+      for (size_t A = 0; A != C->getNumArgs(); ++A)
+        if (C->getArg(A) == Tainted && A < Callee->getNumArgs())
+          Worklist.push_back(Callee->getArg(A));
+      // The call result may also carry the taint onward.
+      if (!C->getType()->isVoid())
+        Worklist.push_back(C);
+      return;
+    }
+    default:
+      break;
+    }
+    if (I->getType()->isFloatingPoint() &&
+        (isa<BinaryInst>(I) || isa<UnaryInst>(I)))
+      Numeric = true;
+    if (!I->getType()->isVoid())
+      Worklist.push_back(I);
+  }
+
+  std::vector<Value *> Worklist;
+  std::unordered_set<Value *> Visited;
+  bool Control = false;
+  bool Addressing = false;
+  bool Numeric = false;
+};
+
+} // namespace
+
+std::vector<ArgRecommendation>
+proteus::suggestJitAnnotations(Function &Kernel) {
+  std::vector<ArgRecommendation> Out;
+  for (size_t I = 0; I != Kernel.getNumArgs(); ++I) {
+    Argument *A = Kernel.getArg(I);
+    // Pointer arguments address mutable data: their *pointees* are not
+    // runtime constants, so folding the pointer itself buys nothing and is
+    // what the paper's methodology excludes.
+    if (A->getType()->isPointer())
+      continue;
+    if (!A->hasUses())
+      continue;
+    TaintWalker W;
+    std::vector<SpecializationReason> Reasons = W.run(A);
+    if (Reasons.empty())
+      continue;
+    Out.push_back(ArgRecommendation{static_cast<uint32_t>(I + 1),
+                                    std::move(Reasons)});
+  }
+  return Out;
+}
+
+unsigned proteus::autoAnnotateKernels(Module &M) {
+  unsigned Count = 0;
+  for (Function *K : M.kernels()) {
+    if (K->hasJitAnnotation())
+      continue;
+    std::vector<ArgRecommendation> Recs = suggestJitAnnotations(*K);
+    if (Recs.empty())
+      continue;
+    JitAnnotation Ann;
+    for (const ArgRecommendation &R : Recs)
+      Ann.ArgIndices.push_back(R.ArgIndex);
+    K->setJitAnnotation(std::move(Ann));
+    ++Count;
+  }
+  return Count;
+}

@@ -1,0 +1,62 @@
+//===- AutoAnnotate.h - automatic specialization decisions ------*- C++ -*-===//
+//
+// Part of the Proteus reproduction project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The paper's future-work item "automating specialization decisions to
+/// balance performance and compilation overhead" (section 6), implemented
+/// as a static analysis matching the evaluation methodology of section 4:
+/// annotate the "meaningful arguments for runtime specialization —
+/// arguments used in loop bounds, conditionals, or numeric computation".
+///
+/// For every scalar (non-pointer) kernel argument the analysis classifies
+/// how its value flows through the kernel and its transitive callees, and
+/// recommends folding when it reaches control flow (branch or select
+/// conditions, including loop bounds), address computation, or
+/// floating-point arithmetic. Unused and store-only arguments are skipped —
+/// folding them would multiply cache entries without enabling optimization.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PROTEUS_JIT_AUTOANNOTATE_H
+#define PROTEUS_JIT_AUTOANNOTATE_H
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace pir {
+class Function;
+class Module;
+} // namespace pir
+
+namespace proteus {
+
+/// Why an argument was recommended for specialization.
+enum class SpecializationReason : uint8_t {
+  ControlFlow,    ///< reaches a branch or select condition (incl. loop bounds)
+  Addressing,     ///< reaches pointer arithmetic (tile/stride shapes)
+  NumericCompute, ///< reaches floating-point arithmetic
+};
+
+const char *specializationReasonName(SpecializationReason R);
+
+/// One recommendation.
+struct ArgRecommendation {
+  uint32_t ArgIndex; ///< one-based, matching annotate("jit", ...) syntax
+  std::vector<SpecializationReason> Reasons;
+};
+
+/// Analyzes \p Kernel (following calls into device functions) and returns
+/// the recommended annotation indices with reasons, in argument order.
+std::vector<ArgRecommendation> suggestJitAnnotations(pir::Function &Kernel);
+
+/// Applies suggestJitAnnotations to every kernel of \p M that does not
+/// already carry an annotation. Returns the number of kernels annotated.
+unsigned autoAnnotateKernels(pir::Module &M);
+
+} // namespace proteus
+
+#endif // PROTEUS_JIT_AUTOANNOTATE_H

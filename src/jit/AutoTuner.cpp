@@ -1,0 +1,64 @@
+//===- AutoTuner.cpp - launch-configuration auto-tuning ---------------------------===//
+//
+// Part of the Proteus reproduction project.
+//
+//===----------------------------------------------------------------------===//
+
+#include "jit/AutoTuner.h"
+
+using namespace proteus;
+using namespace proteus::gpu;
+
+TuningResult proteus::autotuneBlockSize(
+    Device &Dev, JitRuntime &Jit, const std::string &Symbol,
+    uint64_t TotalThreads, const std::vector<KernelArg> &Args,
+    const std::vector<uint32_t> &Candidates) {
+  TuningResult Out;
+  if (TotalThreads == 0 || Candidates.empty()) {
+    Out.Error = "autotune requires work and candidates";
+    return Out;
+  }
+
+  // Snapshot device state: trial launches must not leak side effects.
+  std::vector<uint8_t> Snapshot = Dev.memory();
+  const double SimBefore = Dev.simulatedSeconds();
+  const double KernelBefore = Dev.kernelSeconds();
+
+  for (uint32_t Block : Candidates) {
+    if (Block == 0 || Block > 1024)
+      continue;
+    uint64_t Blocks = (TotalThreads + Block - 1) / Block;
+    if (Blocks == 0 || Blocks > (1ull << 31))
+      continue;
+    TuningTrial Trial;
+    Trial.ThreadsPerBlock = Block;
+    std::string Err;
+    GpuError E = Jit.launchKernel(
+        Symbol, Dim3{static_cast<uint32_t>(Blocks), 1, 1},
+        Dim3{Block, 1, 1}, Args, &Err);
+    if (E == GpuError::Success) {
+      Trial.Ok = true;
+      Trial.KernelSeconds = Dev.LastLaunch.DurationSec;
+    }
+    Out.Trials.push_back(Trial);
+    // Roll back side effects of the trial.
+    Dev.memory() = Snapshot;
+  }
+
+  // Restore the simulated clocks: tuning happens once at startup; its
+  // trial time is the caller's to report, not program device time.
+  Dev.restoreClock(SimBefore, KernelBefore);
+
+  for (const TuningTrial &T : Out.Trials) {
+    if (!T.Ok)
+      continue;
+    if (!Out.Ok || T.KernelSeconds < Out.BestSeconds) {
+      Out.Ok = true;
+      Out.BestThreadsPerBlock = T.ThreadsPerBlock;
+      Out.BestSeconds = T.KernelSeconds;
+    }
+  }
+  if (!Out.Ok)
+    Out.Error = "no candidate produced a successful launch";
+  return Out;
+}

@@ -1,0 +1,56 @@
+//===- AutoTuner.h - launch-configuration auto-tuning -----------*- C++ -*-===//
+//
+// Part of the Proteus reproduction project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The paper's section 6 future-work item "exploring runtime optimizations
+/// like kernel scheduling and auto-tuning", built on the pieces Proteus
+/// already has: because the JIT can produce one specialization *per launch
+/// configuration* (launch bounds!), an auto-tuner can try several block
+/// sizes for the same total work, time them, and pin the winner for all
+/// subsequent launches. Device memory is snapshotted and restored around
+/// the trial launches so tuning is externally side-effect-free; every trial
+/// specialization lands in the regular code cache, so the winning
+/// configuration's binary is already warm when real execution proceeds.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PROTEUS_JIT_AUTOTUNER_H
+#define PROTEUS_JIT_AUTOTUNER_H
+
+#include "jit/JitRuntime.h"
+
+namespace proteus {
+
+/// Result of one tuning trial.
+struct TuningTrial {
+  uint32_t ThreadsPerBlock = 0;
+  double KernelSeconds = 0;
+  bool Ok = false;
+};
+
+/// Outcome of a tuning session.
+struct TuningResult {
+  bool Ok = false;
+  std::string Error;
+  uint32_t BestThreadsPerBlock = 0;
+  double BestSeconds = 0;
+  std::vector<TuningTrial> Trials;
+};
+
+/// Tries each candidate block size for \p Symbol over \p TotalThreads
+/// work items (grid = ceil(total / block)), restoring device memory after
+/// every trial, and returns the fastest configuration. Candidates that do
+/// not divide into a valid launch are skipped.
+TuningResult autotuneBlockSize(gpu::Device &Dev, JitRuntime &Jit,
+                               const std::string &Symbol,
+                               uint64_t TotalThreads,
+                               const std::vector<gpu::KernelArg> &Args,
+                               const std::vector<uint32_t> &Candidates = {
+                                   64, 128, 256, 512, 1024});
+
+} // namespace proteus
+
+#endif // PROTEUS_JIT_AUTOTUNER_H

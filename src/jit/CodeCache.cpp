@@ -1,0 +1,181 @@
+//===- CodeCache.cpp - two-level specialization cache -----------------------------===//
+//
+// Part of the Proteus reproduction project.
+//
+//===----------------------------------------------------------------------===//
+
+#include "jit/CodeCache.h"
+
+#include "support/FileSystem.h"
+#include "support/Hashing.h"
+#include "support/StringUtils.h"
+
+#include <algorithm>
+#include <cstdlib>
+
+using namespace proteus;
+
+uint64_t proteus::computeSpecializationHash(const SpecializationKey &Key) {
+  FNV1aHash H;
+  H.update(Key.ModuleId);
+  H.update(Key.KernelSymbol);
+  H.update(static_cast<uint8_t>(Key.Arch));
+  H.update(static_cast<uint64_t>(Key.FoldedArgs.size()));
+  for (const RuntimeArgValue &V : Key.FoldedArgs) {
+    H.update(V.ArgIndex);
+    H.update(V.Bits);
+  }
+  H.update(Key.LaunchBoundsThreads);
+  return H.digest();
+}
+
+CacheLimits CacheLimits::fromEnvironment() {
+  CacheLimits L;
+  if (const char *Mem = std::getenv("PROTEUS_CACHE_MEM_LIMIT"))
+    L.MaxMemoryBytes = std::strtoull(Mem, nullptr, 10);
+  if (const char *Disk = std::getenv("PROTEUS_CACHE_DISK_LIMIT"))
+    L.MaxPersistentBytes = std::strtoull(Disk, nullptr, 10);
+  if (const char *Policy = std::getenv("PROTEUS_CACHE_POLICY"))
+    L.Policy = std::string(Policy) == "lfu" ? EvictionPolicy::LFU
+                                            : EvictionPolicy::LRU;
+  return L;
+}
+
+CodeCache::CodeCache(bool UseMemory, bool UsePersistent,
+                     std::string PersistentDir, CacheLimits Limits)
+    : UseMemory(UseMemory),
+      UsePersistent(UsePersistent && !PersistentDir.empty()),
+      Dir(std::move(PersistentDir)), Limits(Limits) {
+  if (this->UsePersistent)
+    fs::createDirectories(Dir);
+}
+
+std::string CodeCache::pathFor(uint64_t Hash) const {
+  return Dir + "/cache-jit-" + hashToHex(Hash) + ".o";
+}
+
+void CodeCache::touchEntry(uint64_t Hash, Entry &E) {
+  ++E.HitCount;
+  LruOrder.erase(E.LruIt);
+  LruOrder.push_front(Hash);
+  E.LruIt = LruOrder.begin();
+}
+
+std::optional<std::vector<uint8_t>> CodeCache::lookup(uint64_t Hash) {
+  if (UseMemory) {
+    auto It = Memory.find(Hash);
+    if (It != Memory.end()) {
+      ++Stats.MemoryHits;
+      touchEntry(Hash, It->second);
+      return It->second.Object;
+    }
+  }
+  if (UsePersistent) {
+    std::string Path = pathFor(Hash);
+    if (auto Bytes = fs::readFile(Path)) {
+      ++Stats.PersistentHits;
+      fs::touchFile(Path); // persistent LRU recency
+      if (UseMemory) {
+        Entry E;
+        E.Object = *Bytes;
+        LruOrder.push_front(Hash);
+        E.LruIt = LruOrder.begin();
+        MemoryBytesTotal += Bytes->size();
+        Memory.emplace(Hash, std::move(E));
+        enforceMemoryLimit();
+      }
+      return Bytes;
+    }
+  }
+  ++Stats.Misses;
+  return std::nullopt;
+}
+
+void CodeCache::insert(uint64_t Hash, const std::vector<uint8_t> &Object) {
+  ++Stats.Insertions;
+  if (UseMemory && !Memory.count(Hash)) {
+    Entry E;
+    E.Object = Object;
+    LruOrder.push_front(Hash);
+    E.LruIt = LruOrder.begin();
+    MemoryBytesTotal += Object.size();
+    Memory.emplace(Hash, std::move(E));
+    enforceMemoryLimit();
+  }
+  if (UsePersistent) {
+    fs::writeFile(pathFor(Hash), Object);
+    enforcePersistentLimit();
+  }
+}
+
+void CodeCache::enforceMemoryLimit() {
+  if (!Limits.MaxMemoryBytes)
+    return;
+  while (MemoryBytesTotal > Limits.MaxMemoryBytes && Memory.size() > 1) {
+    uint64_t Victim;
+    if (Limits.Policy == EvictionPolicy::LFU) {
+      // Runtime-informed: evict the least-executed specialization,
+      // breaking ties toward the least recently used (list back).
+      Victim = LruOrder.back();
+      uint64_t BestCount = Memory.at(Victim).HitCount;
+      for (auto It = LruOrder.rbegin(); It != LruOrder.rend(); ++It) {
+        uint64_t C = Memory.at(*It).HitCount;
+        if (C < BestCount) {
+          BestCount = C;
+          Victim = *It;
+        }
+      }
+    } else {
+      Victim = LruOrder.back();
+    }
+    auto It = Memory.find(Victim);
+    MemoryBytesTotal -= It->second.Object.size();
+    LruOrder.erase(It->second.LruIt);
+    Memory.erase(It);
+    ++Stats.MemoryEvictions;
+  }
+}
+
+void CodeCache::enforcePersistentLimit() {
+  if (!Limits.MaxPersistentBytes)
+    return;
+  std::vector<fs::FileInfo> Files = fs::listFilesWithInfo(Dir);
+  uint64_t Total = 0;
+  for (const fs::FileInfo &F : Files)
+    Total += F.Bytes;
+  if (Total <= Limits.MaxPersistentBytes)
+    return;
+  // Oldest write time first (recency is refreshed on hits via touchFile).
+  std::sort(Files.begin(), Files.end(),
+            [](const fs::FileInfo &A, const fs::FileInfo &B) {
+              return A.WriteTimeNs < B.WriteTimeNs;
+            });
+  for (const fs::FileInfo &F : Files) {
+    if (Total <= Limits.MaxPersistentBytes || Files.size() <= 1)
+      break;
+    if (!startsWith(F.Name, "cache-jit-"))
+      continue;
+    if (fs::removeFile(Dir + "/" + F.Name)) {
+      Total -= F.Bytes;
+      ++Stats.PersistentEvictions;
+    }
+  }
+}
+
+uint64_t CodeCache::persistentBytes() const {
+  return UsePersistent ? fs::directorySize(Dir) : 0;
+}
+
+void CodeCache::clearMemory() {
+  Memory.clear();
+  LruOrder.clear();
+  MemoryBytesTotal = 0;
+}
+
+void CodeCache::clearPersistent() {
+  if (!UsePersistent)
+    return;
+  for (const std::string &Name : fs::listFiles(Dir))
+    if (startsWith(Name, "cache-jit-"))
+      fs::removeFile(Dir + "/" + Name);
+}

@@ -1,0 +1,142 @@
+//===- CodeCache.h - two-level specialization cache -------------*- C++ -*-===//
+//
+// Part of the Proteus reproduction project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The specialization-aware code cache of paper section 3.3: a fast
+/// in-memory first level populated afresh per run, backed by a persistent
+/// file-storage level (cache-jit-<hash>.o) that survives across program
+/// runs and feeds the in-memory level. Keys jointly hash (1) the module
+/// identifier bound to source content, (2) the kernel symbol, and (3) the
+/// runtime values of specialized arguments and launch bounds — so a source
+/// change or a different specialization can never alias a stale entry.
+///
+/// The paper's section 3.4 roadmap is implemented as well: optional size
+/// limits for both levels with LRU eviction, a runtime-informed (LFU)
+/// eviction policy that prefers evicting less-frequently-executed
+/// specializations, and environment-variable configuration
+/// (PROTEUS_CACHE_*).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PROTEUS_JIT_CODECACHE_H
+#define PROTEUS_JIT_CODECACHE_H
+
+#include "codegen/Target.h"
+#include "transforms/SpecializeArgs.h"
+
+#include <cstdint>
+#include <list>
+#include <optional>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+namespace proteus {
+
+/// Everything that uniquely identifies one kernel specialization.
+struct SpecializationKey {
+  uint64_t ModuleId = 0;          // content hash of the source module
+  std::string KernelSymbol;
+  GpuArch Arch = GpuArch::AmdGcnSim;
+  /// Folded argument values (empty when RCF is disabled).
+  std::vector<RuntimeArgValue> FoldedArgs;
+  /// Launch-bounds threads (0 when LB specialization is disabled).
+  uint32_t LaunchBoundsThreads = 0;
+};
+
+/// Deterministic 64-bit key hash (stable across runs — persistent cache
+/// file names depend on it).
+uint64_t computeSpecializationHash(const SpecializationKey &Key);
+
+/// Cache hit/miss accounting.
+struct CodeCacheStats {
+  uint64_t MemoryHits = 0;
+  uint64_t PersistentHits = 0;
+  uint64_t Misses = 0;
+  uint64_t Insertions = 0;
+  uint64_t MemoryEvictions = 0;
+  uint64_t PersistentEvictions = 0;
+};
+
+/// Eviction policy when a size limit is hit (paper section 3.4).
+enum class EvictionPolicy {
+  LRU, ///< evict the least recently used specialization
+  LFU, ///< runtime-informed: evict the least frequently executed one
+};
+
+/// Size limits; 0 means unlimited (the paper's default behaviour).
+struct CacheLimits {
+  uint64_t MaxMemoryBytes = 0;
+  uint64_t MaxPersistentBytes = 0;
+  EvictionPolicy Policy = EvictionPolicy::LRU;
+
+  /// Reads PROTEUS_CACHE_MEM_LIMIT / PROTEUS_CACHE_DISK_LIMIT (bytes) and
+  /// PROTEUS_CACHE_POLICY ("lru"/"lfu") from the environment.
+  static CacheLimits fromEnvironment();
+};
+
+/// Two-level object cache.
+class CodeCache {
+public:
+  /// \p PersistentDir empty disables the persistent level entirely.
+  CodeCache(bool UseMemory, bool UsePersistent, std::string PersistentDir,
+            CacheLimits Limits = CacheLimits());
+
+  /// Looks up \p Hash: memory first, then persistent storage (promoting the
+  /// entry into memory on a persistent hit).
+  std::optional<std::vector<uint8_t>> lookup(uint64_t Hash);
+
+  /// Inserts a freshly compiled object into both enabled levels, evicting
+  /// per policy when a size limit would be exceeded.
+  void insert(uint64_t Hash, const std::vector<uint8_t> &Object);
+
+  const CodeCacheStats &stats() const { return Stats; }
+
+  /// Total bytes held by the in-memory level (Table 3's "maximal code cache
+  /// size" when no eviction runs).
+  uint64_t memoryBytes() const { return MemoryBytesTotal; }
+
+  /// Number of in-memory entries.
+  size_t memoryEntries() const { return Memory.size(); }
+
+  /// Total bytes in the persistent directory.
+  uint64_t persistentBytes() const;
+
+  /// Drops the in-memory level (simulates a fresh process start while
+  /// keeping the persistent level warm).
+  void clearMemory();
+
+  /// Deletes cache-jit-*.o files (the "clear on rebuild" workflow).
+  void clearPersistent();
+
+  const std::string &persistentDir() const { return Dir; }
+
+private:
+  struct Entry {
+    std::vector<uint8_t> Object;
+    uint64_t HitCount = 0;
+    std::list<uint64_t>::iterator LruIt; // position in LruOrder
+  };
+
+  std::string pathFor(uint64_t Hash) const;
+  void touchEntry(uint64_t Hash, Entry &E);
+  void enforceMemoryLimit();
+  void enforcePersistentLimit();
+
+  bool UseMemory;
+  bool UsePersistent;
+  std::string Dir;
+  CacheLimits Limits;
+  std::unordered_map<uint64_t, Entry> Memory;
+  /// Recency order: front = most recent.
+  std::list<uint64_t> LruOrder;
+  uint64_t MemoryBytesTotal = 0;
+  CodeCacheStats Stats;
+};
+
+} // namespace proteus
+
+#endif // PROTEUS_JIT_CODECACHE_H

@@ -1,0 +1,199 @@
+//===- JitRuntime.cpp - the Proteus JIT runtime library ---------------------------===//
+//
+// Part of the Proteus reproduction project.
+//
+//===----------------------------------------------------------------------===//
+
+#include "jit/JitRuntime.h"
+
+#include "bitcode/Bitcode.h"
+#include "codegen/Compiler.h"
+#include "ir/Context.h"
+#include "ir/Module.h"
+#include "ir/Verifier.h"
+#include "support/Timer.h"
+
+#include <cstdlib>
+#include "transforms/SpecializeArgs.h"
+
+using namespace proteus;
+using namespace proteus::gpu;
+
+JitConfig JitConfig::fromEnvironment() {
+  JitConfig C;
+  if (std::getenv("PROTEUS_NO_RCF"))
+    C.EnableRCF = false;
+  if (std::getenv("PROTEUS_NO_LAUNCH_BOUNDS"))
+    C.EnableLaunchBounds = false;
+  if (const char *Dir = std::getenv("PROTEUS_CACHE_DIR"))
+    C.CacheDir = Dir;
+  C.Limits = CacheLimits::fromEnvironment();
+  return C;
+}
+
+JitRuntime::JitRuntime(Device &Dev, uint64_t ModuleId, JitConfig Config)
+    : Dev(Dev), ModuleId(ModuleId), Config(Config),
+      Cache(Config.UseMemoryCache, Config.UsePersistentCache,
+            Config.CacheDir, Config.Limits) {}
+
+void JitRuntime::registerKernel(JitKernelInfo Info) {
+  Kernels[Info.Symbol] = std::move(Info);
+}
+
+void JitRuntime::registerVar(const std::string &Symbol, DevicePtr Address) {
+  GlobalAddresses[Symbol] = Address;
+}
+
+void JitRuntime::resetInMemoryState() {
+  Cache.clearMemory();
+  Loaded.clear();
+}
+
+GpuError JitRuntime::launchKernel(const std::string &Symbol, Dim3 Grid,
+                                  Dim3 Block,
+                                  const std::vector<KernelArg> &Args,
+                                  std::string *Error) {
+  ++Stats.Launches;
+  auto KIt = Kernels.find(Symbol);
+  if (KIt == Kernels.end()) {
+    if (Error)
+      *Error = "kernel @" + Symbol + " is not registered for JIT";
+    return GpuError::NotFound;
+  }
+  const JitKernelInfo &Info = KIt->second;
+
+  // --- Build the specialization key ----------------------------------------
+  SpecializationKey Key;
+  Key.ModuleId = ModuleId;
+  Key.KernelSymbol = Symbol;
+  Key.Arch = Dev.target().Arch;
+  if (Config.EnableRCF) {
+    for (uint32_t OneBased : Info.AnnotatedArgs) {
+      uint32_t Idx = OneBased - 1;
+      if (Idx < Args.size())
+        Key.FoldedArgs.push_back(RuntimeArgValue{Idx, Args[Idx].Bits});
+    }
+  }
+  if (Config.EnableLaunchBounds)
+    Key.LaunchBoundsThreads = static_cast<uint32_t>(Block.count());
+  uint64_t Hash = computeSpecializationHash(Key);
+
+  // --- Already loaded? -------------------------------------------------------
+  if (auto LIt = Loaded.find(Hash); LIt != Loaded.end())
+    return gpuLaunchKernel(Dev, *LIt->second, Grid, Block, Args, Error);
+
+  // --- Cache lookup -----------------------------------------------------------
+  Timer LookupT;
+  std::optional<std::vector<uint8_t>> Object = Cache.lookup(Hash);
+  Stats.CacheLookupSeconds += LookupT.seconds();
+
+  if (!Object) {
+    // --- Compile the specialization -----------------------------------------
+    ++Stats.Compilations;
+
+    // (1) Obtain bitcode.
+    Timer FetchT;
+    std::vector<uint8_t> Bitcode;
+    if (!Info.HostBitcode.empty()) {
+      Bitcode = Info.HostBitcode;
+    } else if (Info.DeviceBitcodeAddr) {
+      Bitcode.resize(Info.DeviceBitcodeSize);
+      GpuError E = gpuMemcpyDtoH(Dev, Bitcode.data(),
+                                 Info.DeviceBitcodeAddr,
+                                 Info.DeviceBitcodeSize);
+      if (E != GpuError::Success) {
+        if (Error)
+          *Error = "failed to read __jit_bc_" + Symbol +
+                   " from device memory";
+        return E;
+      }
+    } else {
+      if (Error)
+        *Error = "no bitcode registered for @" + Symbol;
+      return GpuError::InvalidValue;
+    }
+    Stats.BitcodeFetchSeconds += FetchT.seconds();
+
+    // (2) Parse bitcode.
+    Timer ParseT;
+    pir::Context Ctx;
+    proteus::BitcodeReadResult BR = readBitcode(Ctx, Bitcode);
+    Stats.BitcodeParseSeconds += ParseT.seconds();
+    if (!BR) {
+      if (Error)
+        *Error = "corrupt kernel bitcode for @" + Symbol + ": " + BR.Error;
+      return GpuError::InvalidValue;
+    }
+    pir::Module &M = *BR.M;
+    pir::Function *F = M.getFunction(Symbol);
+    if (!F || !F->isKernel()) {
+      if (Error)
+        *Error = "bitcode for @" + Symbol + " does not contain the kernel";
+      return GpuError::InvalidValue;
+    }
+    if (Config.VerifyIR) {
+      pir::VerifyResult VR = pir::verifyModule(M);
+      if (!VR.ok()) {
+        if (Error)
+          *Error = "kernel bitcode for @" + Symbol +
+                   " failed verification:\n" + VR.message();
+        return GpuError::InvalidValue;
+      }
+    }
+
+    // (3) Link device globals: replace references with their resolved
+    // device addresses so JIT code shares state with AOT code.
+    Timer LinkT;
+    for (const auto &G : M.globals()) {
+      if (!G->hasUses())
+        continue;
+      auto AIt = GlobalAddresses.find(G->getName());
+      DevicePtr Addr =
+          AIt != GlobalAddresses.end() ? AIt->second : 0;
+      if (!Addr) {
+        // Fall back to the vendor runtime's symbol table.
+        gpuGetSymbolAddress(Dev, &Addr, G->getName());
+      }
+      if (!Addr) {
+        if (Error)
+          *Error = "cannot link device global @" + G->getName();
+        return GpuError::NotFound;
+      }
+      G->replaceAllUsesWith(Ctx.getConstantPtr(Addr));
+    }
+    Stats.LinkGlobalsSeconds += LinkT.seconds();
+
+    // (4) Specialize.
+    Timer SpecT;
+    if (Config.EnableRCF && !Key.FoldedArgs.empty())
+      specializeArguments(*F, Key.FoldedArgs);
+    if (Config.EnableLaunchBounds)
+      specializeLaunchBounds(*F, Key.LaunchBoundsThreads);
+    Stats.SpecializeSeconds += SpecT.seconds();
+
+    // (5) Aggressive O3.
+    Timer OptT;
+    runO3(M, Config.O3);
+    Stats.OptimizeSeconds += OptT.seconds();
+
+    // (6) Backend (includes the PTX assembler detour on nvptx-sim).
+    Timer BackT;
+    BackendStats BS;
+    Object = compileKernelToObject(*F, Dev.target(), &BS);
+    Stats.BackendSeconds += BackT.seconds();
+
+    Cache.insert(Hash, *Object);
+  }
+
+  // --- Load and launch ---------------------------------------------------------
+  LoadedKernel *K = nullptr;
+  std::string LoadError;
+  GpuError E = gpuModuleLoad(Dev, &K, *Object, &LoadError);
+  if (E != GpuError::Success) {
+    if (Error)
+      *Error = "failed to load JIT object for @" + Symbol + ": " + LoadError;
+    return E;
+  }
+  Loaded[Hash] = K;
+  return gpuLaunchKernel(Dev, *K, Grid, Block, Args, Error);
+}

@@ -1,0 +1,138 @@
+//===- BinaryStream.h - byte-level serialization ----------------*- C++ -*-===//
+//
+// Part of the Proteus reproduction project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Little-endian byte writer/reader used by the bitcode (de)serializer and
+/// the object-file format. The reader is bounds-checked and latches an error
+/// flag instead of aborting, since its inputs include persistent-cache files
+/// that may be truncated or corrupt.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PROTEUS_SUPPORT_BINARYSTREAM_H
+#define PROTEUS_SUPPORT_BINARYSTREAM_H
+
+#include <cstdint>
+#include <cstring>
+#include <string>
+#include <vector>
+
+namespace proteus {
+
+/// Appends fixed-width little-endian values to a byte buffer.
+class ByteWriter {
+public:
+  void writeU8(uint8_t V) { Buf.push_back(V); }
+
+  void writeU32(uint32_t V) {
+    for (int I = 0; I < 4; ++I)
+      Buf.push_back(static_cast<uint8_t>(V >> (8 * I)));
+  }
+
+  void writeU64(uint64_t V) {
+    for (int I = 0; I < 8; ++I)
+      Buf.push_back(static_cast<uint8_t>(V >> (8 * I)));
+  }
+
+  void writeF64(double V) {
+    uint64_t Bits;
+    std::memcpy(&Bits, &V, sizeof(Bits));
+    writeU64(Bits);
+  }
+
+  void writeString(const std::string &S) {
+    writeU32(static_cast<uint32_t>(S.size()));
+    Buf.insert(Buf.end(), S.begin(), S.end());
+  }
+
+  void writeBytes(const std::vector<uint8_t> &B) {
+    writeU32(static_cast<uint32_t>(B.size()));
+    Buf.insert(Buf.end(), B.begin(), B.end());
+  }
+
+  const std::vector<uint8_t> &data() const { return Buf; }
+  std::vector<uint8_t> take() { return std::move(Buf); }
+
+private:
+  std::vector<uint8_t> Buf;
+};
+
+/// Bounds-checked reader over a byte buffer. After any failed read, ok()
+/// returns false and subsequent reads yield zeros.
+class ByteReader {
+public:
+  explicit ByteReader(const std::vector<uint8_t> &Buf) : Buf(Buf) {}
+
+  bool ok() const { return !Failed; }
+  size_t remaining() const { return Failed ? 0 : Buf.size() - Pos; }
+
+  uint8_t readU8() {
+    if (!require(1))
+      return 0;
+    return Buf[Pos++];
+  }
+
+  uint32_t readU32() {
+    if (!require(4))
+      return 0;
+    uint32_t V = 0;
+    for (int I = 0; I < 4; ++I)
+      V |= static_cast<uint32_t>(Buf[Pos++]) << (8 * I);
+    return V;
+  }
+
+  uint64_t readU64() {
+    if (!require(8))
+      return 0;
+    uint64_t V = 0;
+    for (int I = 0; I < 8; ++I)
+      V |= static_cast<uint64_t>(Buf[Pos++]) << (8 * I);
+    return V;
+  }
+
+  double readF64() {
+    uint64_t Bits = readU64();
+    double V;
+    std::memcpy(&V, &Bits, sizeof(V));
+    return V;
+  }
+
+  std::string readString() {
+    uint32_t N = readU32();
+    if (!require(N))
+      return std::string();
+    std::string S(reinterpret_cast<const char *>(Buf.data() + Pos), N);
+    Pos += N;
+    return S;
+  }
+
+  std::vector<uint8_t> readBytes() {
+    uint32_t N = readU32();
+    if (!require(N))
+      return {};
+    std::vector<uint8_t> B(Buf.begin() + static_cast<long>(Pos),
+                           Buf.begin() + static_cast<long>(Pos + N));
+    Pos += N;
+    return B;
+  }
+
+private:
+  bool require(size_t N) {
+    if (Failed || Buf.size() - Pos < N) {
+      Failed = true;
+      return false;
+    }
+    return true;
+  }
+
+  const std::vector<uint8_t> &Buf;
+  size_t Pos = 0;
+  bool Failed = false;
+};
+
+} // namespace proteus
+
+#endif // PROTEUS_SUPPORT_BINARYSTREAM_H

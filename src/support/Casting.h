@@ -1,0 +1,84 @@
+//===- Casting.h - LLVM-style isa/cast/dyn_cast ----------------*- C++ -*-===//
+//
+// Part of the Proteus reproduction project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Hand-rolled RTTI helpers in the style of llvm/Support/Casting.h. A class
+/// opts in by providing `static bool classof(const Base *)`.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PROTEUS_SUPPORT_CASTING_H
+#define PROTEUS_SUPPORT_CASTING_H
+
+#include <cassert>
+#include <type_traits>
+
+namespace proteus {
+
+/// Returns true if \p V is an instance of \p To (or a subclass of it).
+template <typename To, typename From> bool isa(const From *V) {
+  assert(V && "isa<> used on a null pointer");
+  return To::classof(V);
+}
+
+template <typename To, typename From>
+  requires(!std::is_pointer_v<From>)
+bool isa(const From &V) {
+  return To::classof(&V);
+}
+
+/// Checked downcast: asserts that \p V really is a \p To.
+template <typename To, typename From> To *cast(From *V) {
+  assert(isa<To>(V) && "cast<> argument of incompatible type");
+  return static_cast<To *>(V);
+}
+
+template <typename To, typename From> const To *cast(const From *V) {
+  assert(isa<To>(V) && "cast<> argument of incompatible type");
+  return static_cast<const To *>(V);
+}
+
+template <typename To, typename From>
+  requires(!std::is_pointer_v<From>)
+To &cast(From &V) {
+  assert(isa<To>(V) && "cast<> argument of incompatible type");
+  return static_cast<To &>(V);
+}
+
+template <typename To, typename From>
+  requires(!std::is_pointer_v<From>)
+const To &cast(const From &V) {
+  assert(isa<To>(V) && "cast<> argument of incompatible type");
+  return static_cast<const To &>(V);
+}
+
+/// Checking downcast: returns null when \p V is not a \p To.
+template <typename To, typename From> To *dyn_cast(From *V) {
+  return isa<To>(V) ? static_cast<To *>(V) : nullptr;
+}
+
+template <typename To, typename From> const To *dyn_cast(const From *V) {
+  return isa<To>(V) ? static_cast<const To *>(V) : nullptr;
+}
+
+/// Like isa<>, but tolerates a null pointer (returns false).
+template <typename To, typename From> bool isa_and_present(const From *V) {
+  return V && isa<To>(V);
+}
+
+/// Like dyn_cast<>, but tolerates a null pointer (propagates null).
+template <typename To, typename From> To *dyn_cast_if_present(From *V) {
+  return V ? dyn_cast<To>(V) : nullptr;
+}
+
+template <typename To, typename From>
+const To *dyn_cast_if_present(const From *V) {
+  return V ? dyn_cast<To>(V) : nullptr;
+}
+
+} // namespace proteus
+
+#endif // PROTEUS_SUPPORT_CASTING_H

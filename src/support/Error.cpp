@@ -1,0 +1,25 @@
+//===- Error.cpp - fatal-error reporting ----------------------------------===//
+//
+// Part of the Proteus reproduction project.
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/Error.h"
+
+#include <cstdio>
+#include <cstdlib>
+
+using namespace proteus;
+
+void proteus::reportFatalError(std::string_view Message) {
+  std::fprintf(stderr, "proteus fatal error: %.*s\n",
+               static_cast<int>(Message.size()), Message.data());
+  std::abort();
+}
+
+void proteus::proteusUnreachableImpl(const char *Message, const char *File,
+                                     unsigned Line) {
+  std::fprintf(stderr, "unreachable executed at %s:%u: %s\n", File, Line,
+               Message);
+  std::abort();
+}

@@ -1,0 +1,37 @@
+//===- Error.h - fatal-error reporting -------------------------*- C++ -*-===//
+//
+// Part of the Proteus reproduction project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Minimal error-reporting facilities. The library does not use exceptions
+/// (LLVM style); programmatic errors abort via reportFatalError or
+/// proteus_unreachable, and recoverable errors (e.g. parser input) are
+/// surfaced through status returns with a diagnostic string.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PROTEUS_SUPPORT_ERROR_H
+#define PROTEUS_SUPPORT_ERROR_H
+
+#include <string>
+#include <string_view>
+
+namespace proteus {
+
+/// Prints \p Message to stderr and aborts. Used for unrecoverable internal
+/// errors (broken invariants in caller-provided IR, corrupt cache files that
+/// should have been validated earlier, etc.).
+[[noreturn]] void reportFatalError(std::string_view Message);
+
+/// Marks a point in code that must be unreachable if program invariants hold.
+[[noreturn]] void proteusUnreachableImpl(const char *Message, const char *File,
+                                         unsigned Line);
+
+#define proteus_unreachable(MSG)                                              \
+  ::proteus::proteusUnreachableImpl(MSG, __FILE__, __LINE__)
+
+} // namespace proteus
+
+#endif // PROTEUS_SUPPORT_ERROR_H

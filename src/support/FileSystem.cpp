@@ -1,0 +1,122 @@
+//===- FileSystem.cpp - file IO helpers -----------------------------------===//
+//
+// Part of the Proteus reproduction project.
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/FileSystem.h"
+
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <system_error>
+
+namespace stdfs = std::filesystem;
+using namespace proteus;
+
+std::optional<std::vector<uint8_t>> fs::readFile(const std::string &Path) {
+  std::ifstream In(Path, std::ios::binary);
+  if (!In)
+    return std::nullopt;
+  std::vector<uint8_t> Data((std::istreambuf_iterator<char>(In)),
+                            std::istreambuf_iterator<char>());
+  if (In.bad())
+    return std::nullopt;
+  return Data;
+}
+
+bool fs::writeFile(const std::string &Path, const std::vector<uint8_t> &Data) {
+  std::ofstream Out(Path, std::ios::binary | std::ios::trunc);
+  if (!Out)
+    return false;
+  Out.write(reinterpret_cast<const char *>(Data.data()),
+            static_cast<std::streamsize>(Data.size()));
+  return static_cast<bool>(Out);
+}
+
+bool fs::exists(const std::string &Path) {
+  std::error_code EC;
+  return stdfs::is_regular_file(Path, EC);
+}
+
+bool fs::createDirectories(const std::string &Path) {
+  std::error_code EC;
+  stdfs::create_directories(Path, EC);
+  return !EC || stdfs::is_directory(Path, EC);
+}
+
+bool fs::removeFile(const std::string &Path) {
+  std::error_code EC;
+  stdfs::remove(Path, EC);
+  return !stdfs::exists(Path, EC);
+}
+
+std::vector<std::string> fs::listFiles(const std::string &Dir) {
+  std::vector<std::string> Names;
+  std::error_code EC;
+  for (const auto &Entry : stdfs::directory_iterator(Dir, EC)) {
+    if (Entry.is_regular_file(EC))
+      Names.push_back(Entry.path().filename().string());
+  }
+  return Names;
+}
+
+void fs::removeAllFiles(const std::string &Dir) {
+  std::error_code EC;
+  for (const auto &Entry : stdfs::directory_iterator(Dir, EC)) {
+    if (Entry.is_regular_file(EC))
+      stdfs::remove(Entry.path(), EC);
+  }
+}
+
+std::vector<fs::FileInfo> fs::listFilesWithInfo(const std::string &Dir) {
+  std::vector<FileInfo> Out;
+  std::error_code EC;
+  for (const auto &Entry : stdfs::directory_iterator(Dir, EC)) {
+    if (!Entry.is_regular_file(EC))
+      continue;
+    FileInfo Info;
+    Info.Name = Entry.path().filename().string();
+    Info.Bytes = Entry.file_size(EC);
+    auto T = Entry.last_write_time(EC);
+    Info.WriteTimeNs = static_cast<int64_t>(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(
+            T.time_since_epoch())
+            .count());
+    Out.push_back(std::move(Info));
+  }
+  return Out;
+}
+
+void fs::touchFile(const std::string &Path) {
+  std::error_code EC;
+  stdfs::last_write_time(Path, stdfs::file_time_type::clock::now(), EC);
+}
+
+uint64_t fs::directorySize(const std::string &Dir) {
+  uint64_t Total = 0;
+  std::error_code EC;
+  for (const auto &Entry : stdfs::directory_iterator(Dir, EC)) {
+    if (Entry.is_regular_file(EC))
+      Total += Entry.file_size(EC);
+  }
+  return Total;
+}
+
+std::string fs::makeTempDirectory(const std::string &Prefix) {
+  static std::atomic<uint64_t> Counter{0};
+  std::error_code EC;
+  stdfs::path Base = stdfs::temp_directory_path(EC);
+  if (EC)
+    Base = ".";
+  for (;;) {
+    uint64_t N = Counter.fetch_add(1);
+    stdfs::path Candidate =
+        Base / (Prefix + "-" + std::to_string(::getpid()) + "-" +
+                std::to_string(N));
+    if (stdfs::create_directories(Candidate, EC) && !EC)
+      return Candidate.string();
+  }
+}

@@ -1,0 +1,74 @@
+//===- FileSystem.h - file IO helpers --------------------------*- C++ -*-===//
+//
+// Part of the Proteus reproduction project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Small filesystem helpers backing the persistent code cache: atomic-enough
+/// binary reads/writes, directory listing, and cleanup. All functions report
+/// failure through their return value rather than aborting, because cache
+/// storage problems are recoverable (the JIT simply recompiles).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PROTEUS_SUPPORT_FILESYSTEM_H
+#define PROTEUS_SUPPORT_FILESYSTEM_H
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace proteus {
+namespace fs {
+
+/// Reads the entire file at \p Path; returns std::nullopt if it cannot be
+/// opened or read.
+std::optional<std::vector<uint8_t>> readFile(const std::string &Path);
+
+/// Writes \p Data to \p Path, replacing any existing file. Returns false on
+/// IO failure.
+bool writeFile(const std::string &Path, const std::vector<uint8_t> &Data);
+
+/// Returns true if a regular file exists at \p Path.
+bool exists(const std::string &Path);
+
+/// Creates \p Path (and parents) as a directory; returns false on failure.
+bool createDirectories(const std::string &Path);
+
+/// Removes the file at \p Path if present; returns true if it no longer
+/// exists afterwards.
+bool removeFile(const std::string &Path);
+
+/// Lists regular files directly inside \p Dir (names, not full paths).
+std::vector<std::string> listFiles(const std::string &Dir);
+
+/// A directory entry with size and a monotonically comparable write time.
+struct FileInfo {
+  std::string Name;
+  uint64_t Bytes = 0;
+  int64_t WriteTimeNs = 0;
+};
+
+/// Lists regular files with sizes and write times (for LRU eviction of the
+/// persistent code cache).
+std::vector<FileInfo> listFilesWithInfo(const std::string &Dir);
+
+/// Updates the write time of \p Path to "now" (LRU touch on cache hits).
+void touchFile(const std::string &Path);
+
+/// Removes every regular file inside \p Dir. Used by tests and by the
+/// "clear the persistent cache on rebuild" workflow the paper describes.
+void removeAllFiles(const std::string &Dir);
+
+/// Total size in bytes of all regular files inside \p Dir.
+uint64_t directorySize(const std::string &Dir);
+
+/// Creates a fresh unique temporary directory and returns its path.
+std::string makeTempDirectory(const std::string &Prefix);
+
+} // namespace fs
+} // namespace proteus
+
+#endif // PROTEUS_SUPPORT_FILESYSTEM_H

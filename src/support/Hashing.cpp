@@ -1,0 +1,21 @@
+//===- Hashing.cpp - FNV-1a hashing utilities -----------------------------===//
+//
+// Part of the Proteus reproduction project.
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/Hashing.h"
+
+#include <array>
+
+using namespace proteus;
+
+std::string proteus::hashToHex(uint64_t Hash) {
+  static const char Digits[] = "0123456789abcdef";
+  std::array<char, 16> Buf;
+  for (int I = 15; I >= 0; --I) {
+    Buf[I] = Digits[Hash & 0xF];
+    Hash >>= 4;
+  }
+  return std::string(Buf.data(), Buf.size());
+}

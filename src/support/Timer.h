@@ -1,0 +1,80 @@
+//===- Timer.h - wall-clock timing -----------------------------*- C++ -*-===//
+//
+// Part of the Proteus reproduction project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Wall-clock timers used to measure the *real* cost of JIT compilation
+/// stages. Simulated GPU time is accounted separately by the device model
+/// (see gpu/Device.h); end-to-end program time is the sum of both.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PROTEUS_SUPPORT_TIMER_H
+#define PROTEUS_SUPPORT_TIMER_H
+
+#include <chrono>
+
+namespace proteus {
+
+/// Measures elapsed wall time in seconds from construction or last reset.
+class Timer {
+public:
+  Timer() : Start(Clock::now()) {}
+
+  void reset() { Start = Clock::now(); }
+
+  /// Seconds elapsed since construction/reset.
+  double seconds() const {
+    return std::chrono::duration<double>(Clock::now() - Start).count();
+  }
+
+private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point Start;
+};
+
+/// Accumulates wall time across multiple start/stop intervals.
+class AccumulatingTimer {
+public:
+  void start() { Running.reset(); IsRunning = true; }
+
+  void stop() {
+    if (!IsRunning)
+      return;
+    Total += Running.seconds();
+    IsRunning = false;
+  }
+
+  double seconds() const {
+    return IsRunning ? Total + Running.seconds() : Total;
+  }
+
+  void clear() {
+    Total = 0.0;
+    IsRunning = false;
+  }
+
+private:
+  Timer Running;
+  double Total = 0.0;
+  bool IsRunning = false;
+};
+
+/// RAII helper that adds the scope's duration to an AccumulatingTimer.
+class TimeRegion {
+public:
+  explicit TimeRegion(AccumulatingTimer &T) : TheTimer(T) { TheTimer.start(); }
+  ~TimeRegion() { TheTimer.stop(); }
+
+  TimeRegion(const TimeRegion &) = delete;
+  TimeRegion &operator=(const TimeRegion &) = delete;
+
+private:
+  AccumulatingTimer &TheTimer;
+};
+
+} // namespace proteus
+
+#endif // PROTEUS_SUPPORT_TIMER_H

@@ -1,0 +1,125 @@
+//===- CSE.cpp - common subexpression elimination ------------------------------===//
+//
+// Part of the Proteus reproduction project.
+//
+//===----------------------------------------------------------------------===//
+
+#include "transforms/CSE.h"
+
+#include "ir/Dominators.h"
+#include "ir/Function.h"
+#include "support/Hashing.h"
+
+#include <unordered_map>
+
+using namespace proteus;
+using namespace pir;
+
+namespace {
+
+/// Structural key of a pure instruction: kind + extras + operand identities.
+struct ExprKey {
+  uint64_t Hash;
+  ValueKind Kind;
+  std::vector<const Value *> Ops;
+  uint64_t Extra;
+
+  bool operator==(const ExprKey &O) const {
+    return Kind == O.Kind && Extra == O.Extra && Ops == O.Ops;
+  }
+};
+
+struct ExprKeyHash {
+  size_t operator()(const ExprKey &K) const { return K.Hash; }
+};
+
+/// True for instructions CSE may deduplicate: pure, deterministic, not
+/// control- or memory-dependent.
+bool isCSECandidate(Instruction &I) {
+  switch (I.getKind()) {
+  case ValueKind::Load:   // would need memory dependence analysis
+  case ValueKind::Alloca: // identity matters
+  case ValueKind::Call:
+  case ValueKind::Phi:
+    return false;
+  default:
+    return !I.getType()->isVoid() && !I.mayHaveSideEffects();
+  }
+}
+
+std::optional<ExprKey> makeKey(Instruction &I) {
+  if (!isCSECandidate(I))
+    return std::nullopt;
+  ExprKey K;
+  K.Kind = I.getKind();
+  K.Extra = 0;
+  if (auto *C = dyn_cast<ICmpInst>(&I))
+    K.Extra = static_cast<uint64_t>(C->getPredicate());
+  else if (auto *C = dyn_cast<FCmpInst>(&I))
+    K.Extra = static_cast<uint64_t>(C->getPredicate()) | 0x100;
+  else if (auto *P = dyn_cast<PtrAddInst>(&I))
+    K.Extra = P->getElemSize();
+  else if (auto *G = dyn_cast<GpuIndexInst>(&I))
+    K.Extra = G->getDim();
+  else if (isa<CastInst>(&I))
+    K.Extra = static_cast<uint64_t>(I.getType()->getKind()) | 0x200;
+  for (Value *Op : I.operands())
+    K.Ops.push_back(Op);
+  // Commutative normalization: order operand pair by pointer identity.
+  if (auto *B = dyn_cast<BinaryInst>(&I))
+    if (B->isCommutative() && K.Ops.size() == 2 && K.Ops[0] > K.Ops[1])
+      std::swap(K.Ops[0], K.Ops[1]);
+  FNV1aHash H;
+  H.update(static_cast<uint64_t>(K.Kind));
+  H.update(K.Extra);
+  for (const Value *Op : K.Ops)
+    H.update(reinterpret_cast<uint64_t>(Op));
+  K.Hash = H.digest();
+  return K;
+}
+
+/// Scoped hash table walk over the dominator tree.
+class DomTreeCSE {
+public:
+  explicit DomTreeCSE(Function &F) : DT(F) {}
+
+  bool run(Function &F) {
+    if (F.isDeclaration())
+      return false;
+    return visit(&F.getEntryBlock());
+  }
+
+private:
+  bool visit(BasicBlock *BB) {
+    bool Changed = false;
+    std::vector<ExprKey> Inserted;
+    for (auto It = BB->begin(); It != BB->end();) {
+      Instruction &I = *It;
+      ++It;
+      auto Key = makeKey(I);
+      if (!Key)
+        continue;
+      auto Found = Table.find(*Key);
+      if (Found != Table.end()) {
+        I.replaceAllUsesWith(Found->second);
+        I.eraseFromParent();
+        Changed = true;
+        continue;
+      }
+      Table.emplace(*Key, &I);
+      Inserted.push_back(std::move(*Key));
+    }
+    for (BasicBlock *Child : DT.getChildren(BB))
+      Changed |= visit(Child);
+    for (const ExprKey &K : Inserted)
+      Table.erase(K);
+    return Changed;
+  }
+
+  DominatorTree DT;
+  std::unordered_map<ExprKey, Instruction *, ExprKeyHash> Table;
+};
+
+} // namespace
+
+bool CSEPass::run(Function &F) { return DomTreeCSE(F).run(F); }

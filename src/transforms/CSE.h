@@ -1,0 +1,29 @@
+//===- CSE.h - common subexpression elimination -----------------*- C++ -*-===//
+//
+// Part of the Proteus reproduction project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Dominator-scoped common-subexpression elimination over pure instructions.
+/// Particularly valuable after full loop unrolling, where address arithmetic
+/// repeats across unrolled iterations.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PROTEUS_TRANSFORMS_CSE_H
+#define PROTEUS_TRANSFORMS_CSE_H
+
+#include "transforms/Pass.h"
+
+namespace proteus {
+
+class CSEPass : public FunctionPass {
+public:
+  std::string name() const override { return "cse"; }
+  bool run(pir::Function &F) override;
+};
+
+} // namespace proteus
+
+#endif // PROTEUS_TRANSFORMS_CSE_H

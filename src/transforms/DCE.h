@@ -1,0 +1,30 @@
+//===- DCE.h - dead code elimination ----------------------------*- C++ -*-===//
+//
+// Part of the Proteus reproduction project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Worklist-driven elimination of unused pure instructions. After runtime
+/// constant folding kills branches and folds expressions, this pass sweeps
+/// the now-unreferenced computation — the bulk of the instruction-count
+/// reductions reported in the paper's Figures 7 and 8.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PROTEUS_TRANSFORMS_DCE_H
+#define PROTEUS_TRANSFORMS_DCE_H
+
+#include "transforms/Pass.h"
+
+namespace proteus {
+
+class DCEPass : public FunctionPass {
+public:
+  std::string name() const override { return "dce"; }
+  bool run(pir::Function &F) override;
+};
+
+} // namespace proteus
+
+#endif // PROTEUS_TRANSFORMS_DCE_H

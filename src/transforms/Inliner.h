@@ -1,0 +1,33 @@
+//===- Inliner.h - device function inlining ---------------------*- C++ -*-===//
+//
+// Part of the Proteus reproduction project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Inlines calls to device functions into their callers. GPU backends here
+/// (as on real GPUs for non-recursive code) require fully inlined kernels;
+/// the pass runs first in the O3 pipeline and it is also what lets runtime
+/// constant folding reach into callees such as FEY-KAC's potential().
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PROTEUS_TRANSFORMS_INLINER_H
+#define PROTEUS_TRANSFORMS_INLINER_H
+
+#include "transforms/Pass.h"
+
+namespace proteus {
+
+/// Inlines every call site in the function, repeatedly, until none remain.
+/// Mutual/self recursion is rejected with a fatal error (GPU device code is
+/// non-recursive by construction in the supported workloads).
+class InlinerPass : public FunctionPass {
+public:
+  std::string name() const override { return "inline"; }
+  bool run(pir::Function &F) override;
+};
+
+} // namespace proteus
+
+#endif // PROTEUS_TRANSFORMS_INLINER_H

@@ -1,0 +1,48 @@
+//===- InstCombine.h - peephole simplification ------------------*- C++ -*-===//
+//
+// Part of the Proteus reproduction project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Constant folding and algebraic peephole simplification. This is the pass
+/// that turns runtime-constant-folded kernel arguments into the cascading
+/// optimizations the paper describes: dead branch conditions, strength
+/// reduction (mul/div/rem by powers of two), pow-by-small-integer expansion,
+/// and identity elimination.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PROTEUS_TRANSFORMS_INSTCOMBINE_H
+#define PROTEUS_TRANSFORMS_INSTCOMBINE_H
+
+#include "transforms/Pass.h"
+
+namespace pir {
+class Context;
+class Instruction;
+class Value;
+} // namespace pir
+
+namespace proteus {
+
+/// If every operand of \p I is constant (and \p I is pure), evaluates it and
+/// returns the resulting constant; null otherwise.
+pir::Value *constantFoldInstruction(pir::Instruction &I, pir::Context &Ctx);
+
+/// Tries algebraic simplification of \p I to an *existing* value (identity
+/// elimination etc.). Returns the replacement value or null. Never creates
+/// new instructions.
+pir::Value *simplifyInstruction(pir::Instruction &I, pir::Context &Ctx);
+
+/// The peephole pass: folds, simplifies, and performs in-place strength
+/// reduction until a local fixpoint.
+class InstCombinePass : public FunctionPass {
+public:
+  std::string name() const override { return "instcombine"; }
+  bool run(pir::Function &F) override;
+};
+
+} // namespace proteus
+
+#endif // PROTEUS_TRANSFORMS_INSTCOMBINE_H

@@ -1,0 +1,69 @@
+//===- LICM.cpp - loop-invariant code motion ---------------------------------===//
+//
+// Part of the Proteus reproduction project.
+//
+//===----------------------------------------------------------------------===//
+
+#include "transforms/LICM.h"
+
+#include "ir/Function.h"
+#include "transforms/LoopInfo.h"
+
+using namespace proteus;
+using namespace pir;
+
+namespace {
+
+bool isInvariant(Loop &L, Value *V) {
+  auto *I = dyn_cast<Instruction>(V);
+  if (!I)
+    return true; // constants, arguments, globals
+  return !L.contains(I->getParent());
+}
+
+bool hoistInLoop(Loop &L, BasicBlock *Preheader) {
+  bool Changed = false;
+  bool LocalChanged = true;
+  while (LocalChanged) {
+    LocalChanged = false;
+    for (BasicBlock *BB : L.Blocks) {
+      for (auto It = BB->begin(); It != BB->end();) {
+        Instruction &I = *It;
+        ++It;
+        if (!I.isSpeculatable() || I.getType()->isVoid())
+          continue;
+        if (isa<PhiInst>(&I) || isa<GpuIndexInst>(&I))
+          continue;
+        bool AllInvariant = true;
+        for (Value *Op : I.operands())
+          if (!isInvariant(L, Op)) {
+            AllInvariant = false;
+            break;
+          }
+        if (!AllInvariant)
+          continue;
+        I.moveBefore(Preheader->getTerminator());
+        LocalChanged = true;
+        Changed = true;
+      }
+    }
+  }
+  return Changed;
+}
+
+} // namespace
+
+bool LICMPass::run(Function &F) {
+  if (F.isDeclaration())
+    return false;
+  DominatorTree DT(F);
+  LoopInfo LI(F, DT);
+  bool Changed = false;
+  for (Loop *L : LI.loopsInnermostFirst()) {
+    BasicBlock *Preheader = L->getPreheader();
+    if (!Preheader || !Preheader->getTerminator())
+      continue;
+    Changed |= hoistInLoop(*L, Preheader);
+  }
+  return Changed;
+}

@@ -1,0 +1,29 @@
+//===- LICM.h - loop-invariant code motion ----------------------*- C++ -*-===//
+//
+// Part of the Proteus reproduction project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Hoists speculatable loop-invariant computation into the preheader.
+/// Combined with runtime constant folding this removes per-iteration work
+/// that depended on kernel arguments (e.g. FEY-KAC's 2/(a*a) term).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PROTEUS_TRANSFORMS_LICM_H
+#define PROTEUS_TRANSFORMS_LICM_H
+
+#include "transforms/Pass.h"
+
+namespace proteus {
+
+class LICMPass : public FunctionPass {
+public:
+  std::string name() const override { return "licm"; }
+  bool run(pir::Function &F) override;
+};
+
+} // namespace proteus
+
+#endif // PROTEUS_TRANSFORMS_LICM_H

@@ -1,0 +1,185 @@
+//===- Mem2Reg.cpp - promote allocas to SSA registers -----------------------------===//
+//
+// Part of the Proteus reproduction project.
+//
+//===----------------------------------------------------------------------===//
+
+#include "transforms/Mem2Reg.h"
+
+#include "ir/Context.h"
+#include "ir/Dominators.h"
+#include "ir/Function.h"
+#include "ir/Module.h"
+
+#include <unordered_map>
+#include <unordered_set>
+
+using namespace proteus;
+using namespace pir;
+
+namespace {
+
+/// An alloca is promotable when it is a single element whose pointer is used
+/// only by loads of the allocated type and stores *into* it (never stored as
+/// a value, never offset).
+bool isPromotable(AllocaInst &A) {
+  if (A.getNumElements() != 1)
+    return false;
+  for (const Use &U : A.uses()) {
+    auto *I = dyn_cast<Instruction>(static_cast<Value *>(U.TheUser));
+    if (!I)
+      return false;
+    if (auto *L = dyn_cast<LoadInst>(I)) {
+      if (L->getType() != A.getAllocatedType())
+        return false;
+      continue;
+    }
+    if (auto *S = dyn_cast<StoreInst>(I)) {
+      if (S->getPointer() != &A || S->getValue() == &A)
+        return false;
+      if (S->getValue()->getType() != A.getAllocatedType())
+        return false;
+      continue;
+    }
+    return false;
+  }
+  return true;
+}
+
+class Promoter {
+public:
+  Promoter(Function &F, DominatorTree &DT) : F(F), DT(DT) {}
+
+  bool promote(AllocaInst &A) {
+    Type *Ty = A.getAllocatedType();
+    Context &Ctx = F.getParent()->getContext();
+
+    // Blocks containing stores define the value.
+    std::unordered_set<BasicBlock *> DefBlocks;
+    for (const Use &U : A.uses())
+      if (auto *S = dyn_cast<StoreInst>(static_cast<Value *>(U.TheUser)))
+        DefBlocks.insert(S->getParent());
+
+    // Iterated dominance frontier -> phi placement.
+    std::unordered_set<BasicBlock *> PhiBlocks;
+    std::vector<BasicBlock *> Work(DefBlocks.begin(), DefBlocks.end());
+    while (!Work.empty()) {
+      BasicBlock *BB = Work.back();
+      Work.pop_back();
+      for (BasicBlock *DF : DT.getFrontier(BB)) {
+        if (!PhiBlocks.insert(DF).second)
+          continue;
+        Work.push_back(DF);
+      }
+    }
+
+    std::unordered_map<BasicBlock *, PhiInst *> Phis;
+    for (BasicBlock *BB : PhiBlocks) {
+      auto Phi = std::make_unique<PhiInst>(Ty);
+      Phi->setName(A.getName() + ".phi");
+      PhiInst *Raw = Phi.get();
+      if (BB->empty())
+        BB->append(std::move(Phi));
+      else
+        BB->insertBefore(&BB->front(), std::move(Phi));
+      Phis[BB] = Raw;
+    }
+
+    // Rename along the dominator tree.
+    Value *Undef = defaultValue(Ctx, Ty);
+    rename(&F.getEntryBlock(), Undef, A, Phis);
+
+    // All loads/stores rewritten; drop the alloca.
+    std::vector<Instruction *> Dead;
+    for (const Use &U : A.uses())
+      Dead.push_back(cast<Instruction>(static_cast<Value *>(U.TheUser)));
+    for (Instruction *I : Dead) {
+      assert((isa<StoreInst>(I)) && "loads should have been replaced");
+      I->eraseFromParent();
+    }
+    A.eraseFromParent();
+    return true;
+  }
+
+private:
+  static Value *defaultValue(Context &Ctx, Type *Ty) {
+    if (Ty->isInteger())
+      return Ctx.getConstantInt(Ty, 0);
+    if (Ty->isFloatingPoint())
+      return Ctx.getConstantFP(Ty, 0.0);
+    return Ctx.getNullPtr();
+  }
+
+  void rename(BasicBlock *BB, Value *Incoming, AllocaInst &A,
+              std::unordered_map<BasicBlock *, PhiInst *> &Phis) {
+    // Iterative DFS over the dominator tree carrying the reaching value.
+    struct Frame {
+      BasicBlock *BB;
+      Value *In;
+    };
+    std::vector<Frame> Stack{{BB, Incoming}};
+    std::unordered_map<BasicBlock *, Value *> OutValue;
+
+    // First pass: compute the value leaving each block and rewrite
+    // loads/stores, walking the dominator tree (so the incoming value of a
+    // child is the parent's out-value... except phi blocks override).
+    while (!Stack.empty()) {
+      auto [Cur, In] = Stack.back();
+      Stack.pop_back();
+      Value *V = In;
+      if (auto It = Phis.find(Cur); It != Phis.end())
+        V = It->second;
+      for (auto I = Cur->begin(); I != Cur->end();) {
+        Instruction &Inst = *I;
+        ++I;
+        if (auto *L = dyn_cast<LoadInst>(&Inst)) {
+          if (L->getPointer() == &A) {
+            L->replaceAllUsesWith(V);
+            L->eraseFromParent();
+          }
+          continue;
+        }
+        if (auto *S = dyn_cast<StoreInst>(&Inst)) {
+          if (S->getPointer() == &A)
+            V = S->getValue();
+          continue;
+        }
+      }
+      OutValue[Cur] = V;
+      for (BasicBlock *Child : DT.getChildren(Cur))
+        Stack.push_back({Child, V});
+    }
+
+    // Second pass: fill phi incomings from each predecessor's out-value.
+    for (auto &[PhiBB, Phi] : Phis) {
+      for (BasicBlock *Pred : PhiBB->predecessors()) {
+        auto It = OutValue.find(Pred);
+        Value *V = It != OutValue.end() ? It->second : Incoming;
+        Phi->addIncoming(V, Pred);
+      }
+    }
+  }
+
+  Function &F;
+  DominatorTree &DT;
+};
+
+} // namespace
+
+bool Mem2RegPass::run(Function &F) {
+  if (F.isDeclaration())
+    return false;
+  bool Changed = false;
+  DominatorTree DT(F);
+  std::vector<AllocaInst *> Candidates;
+  for (BasicBlock &BB : F)
+    for (Instruction &I : BB)
+      if (auto *A = dyn_cast<AllocaInst>(&I))
+        if (isPromotable(*A))
+          Candidates.push_back(A);
+  for (AllocaInst *A : Candidates) {
+    Promoter P(F, DT);
+    Changed |= P.promote(*A);
+  }
+  return Changed;
+}

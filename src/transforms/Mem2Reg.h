@@ -1,0 +1,30 @@
+//===- Mem2Reg.h - promote allocas to SSA registers -------------*- C++ -*-===//
+//
+// Part of the Proteus reproduction project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Classic SSA construction: promotes single-element allocas whose address
+/// never escapes into SSA values, inserting phis at iterated dominance
+/// frontiers. The HeCBench-sim kernels written in "local variable" style
+/// (WSM5, SW4CK) rely on this running before any scalar optimization.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PROTEUS_TRANSFORMS_MEM2REG_H
+#define PROTEUS_TRANSFORMS_MEM2REG_H
+
+#include "transforms/Pass.h"
+
+namespace proteus {
+
+class Mem2RegPass : public FunctionPass {
+public:
+  std::string name() const override { return "mem2reg"; }
+  bool run(pir::Function &F) override;
+};
+
+} // namespace proteus
+
+#endif // PROTEUS_TRANSFORMS_MEM2REG_H

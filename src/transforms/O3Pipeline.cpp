@@ -1,0 +1,46 @@
+//===- O3Pipeline.cpp - the aggressive optimization pipeline -----------------------===//
+//
+// Part of the Proteus reproduction project.
+//
+//===----------------------------------------------------------------------===//
+
+#include "transforms/O3Pipeline.h"
+
+#include "ir/Module.h"
+#include "transforms/CSE.h"
+#include "transforms/DCE.h"
+#include "transforms/InstCombine.h"
+#include "transforms/Inliner.h"
+#include "transforms/LICM.h"
+#include "transforms/Mem2Reg.h"
+#include "transforms/SimplifyCFG.h"
+
+using namespace proteus;
+
+std::unique_ptr<PassManager> proteus::buildO3Pipeline(const O3Options &Opts) {
+  // Two fixpoint iterations of the scalar section are enough in practice;
+  // the second run picks up opportunities exposed by unrolling.
+  auto PM = std::make_unique<PassManager>(/*MaxIterations=*/3);
+  PM->setVerifyEach(Opts.VerifyEach);
+  PM->addPass(std::make_unique<InlinerPass>());
+  PM->addPass(std::make_unique<Mem2RegPass>());
+  PM->addPass(std::make_unique<InstCombinePass>());
+  PM->addPass(std::make_unique<SimplifyCFGPass>());
+  PM->addPass(std::make_unique<CSEPass>());
+  PM->addPass(std::make_unique<LICMPass>());
+  PM->addPass(std::make_unique<DCEPass>());
+  PM->addPass(std::make_unique<LoopUnrollPass>(Opts.Unroll));
+  PM->addPass(std::make_unique<InstCombinePass>());
+  PM->addPass(std::make_unique<SimplifyCFGPass>());
+  PM->addPass(std::make_unique<CSEPass>());
+  PM->addPass(std::make_unique<DCEPass>());
+  return PM;
+}
+
+void proteus::runO3(pir::Function &F, const O3Options &Opts) {
+  buildO3Pipeline(Opts)->run(F);
+}
+
+void proteus::runO3(pir::Module &M, const O3Options &Opts) {
+  buildO3Pipeline(Opts)->run(M);
+}

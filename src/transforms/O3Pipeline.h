@@ -1,0 +1,40 @@
+//===- O3Pipeline.h - the aggressive optimization pipeline ------*- C++ -*-===//
+//
+// Part of the Proteus reproduction project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Builds the "aggressive O3 optimization pipeline" (paper section 3.3)
+/// used both by AOT device compilation and by the JIT runtime after
+/// specialization: inline -> mem2reg -> scalar cleanup -> unroll -> cleanup.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PROTEUS_TRANSFORMS_O3PIPELINE_H
+#define PROTEUS_TRANSFORMS_O3PIPELINE_H
+
+#include "transforms/LoopUnroll.h"
+#include "transforms/Pass.h"
+
+namespace proteus {
+
+/// Pipeline configuration. Defaults correspond to the full O3 behaviour.
+struct O3Options {
+  UnrollOptions Unroll;
+  /// Verify IR after every pass (slow; enabled by tests).
+  bool VerifyEach = false;
+};
+
+/// Returns a configured pass manager implementing the O3 pipeline.
+std::unique_ptr<PassManager> buildO3Pipeline(const O3Options &Opts = {});
+
+/// Runs O3 over one function. Convenience for the JIT runtime.
+void runO3(pir::Function &F, const O3Options &Opts = {});
+
+/// Runs O3 over every function in the module.
+void runO3(pir::Module &M, const O3Options &Opts = {});
+
+} // namespace proteus
+
+#endif // PROTEUS_TRANSFORMS_O3PIPELINE_H

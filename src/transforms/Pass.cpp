@@ -1,0 +1,54 @@
+//===- Pass.cpp - pass interfaces and pipeline manager -------------------------===//
+//
+// Part of the Proteus reproduction project.
+//
+//===----------------------------------------------------------------------===//
+
+#include "transforms/Pass.h"
+
+#include "ir/Module.h"
+#include "ir/Verifier.h"
+#include "support/Error.h"
+
+using namespace proteus;
+using namespace pir;
+
+bool PassManager::runOnce(Function &F) {
+  bool Changed = false;
+  if (Stats.empty())
+    for (const auto &P : Passes)
+      Stats.push_back(PassStatistics{P->name(), 0, 0});
+  for (size_t I = 0; I != Passes.size(); ++I) {
+    bool PassChanged = Passes[I]->run(F);
+    ++Stats[I].Invocations;
+    if (PassChanged)
+      ++Stats[I].ChangedInvocations;
+    Changed |= PassChanged;
+    if (VerifyEach) {
+      VerifyResult R = verifyFunction(F);
+      if (!R.ok())
+        reportFatalError("pass '" + Passes[I]->name() +
+                         "' broke function @" + F.getName() + ":\n" +
+                         R.message());
+    }
+  }
+  return Changed;
+}
+
+bool PassManager::run(Function &F) {
+  bool Changed = false;
+  for (unsigned Iter = 0; Iter != MaxIterations; ++Iter) {
+    if (!runOnce(F))
+      break;
+    Changed = true;
+  }
+  return Changed;
+}
+
+bool PassManager::run(Module &M) {
+  bool Changed = false;
+  for (const auto &F : M.functions())
+    if (!F->isDeclaration())
+      Changed |= run(*F);
+  return Changed;
+}

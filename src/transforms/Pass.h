@@ -1,0 +1,84 @@
+//===- Pass.h - pass interfaces and pipeline manager ------------*- C++ -*-===//
+//
+// Part of the Proteus reproduction project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Function-pass interface and a sequential pipeline manager. The JIT
+/// runtime builds the "aggressive O3 pipeline" from these (see
+/// O3Pipeline.h); tests run single passes in isolation.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PROTEUS_TRANSFORMS_PASS_H
+#define PROTEUS_TRANSFORMS_PASS_H
+
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace pir {
+class Function;
+class Module;
+} // namespace pir
+
+namespace proteus {
+
+/// A transformation over one function. Returns true if the IR changed.
+class FunctionPass {
+public:
+  virtual ~FunctionPass() = default;
+
+  /// Stable pass name for pipeline descriptions and statistics.
+  virtual std::string name() const = 0;
+
+  /// Runs on \p F; returns whether anything changed.
+  virtual bool run(pir::Function &F) = 0;
+};
+
+/// Per-pass invocation statistics collected by the PassManager.
+struct PassStatistics {
+  std::string Name;
+  unsigned Invocations = 0;
+  unsigned ChangedInvocations = 0;
+};
+
+/// Runs a sequence of function passes over every function with a body,
+/// optionally iterating the whole sequence to a fixpoint, and optionally
+/// verifying the IR after each pass (used in tests).
+class PassManager {
+public:
+  /// \p MaxIterations bounds fixpoint iteration of the full sequence; 1
+  /// means run each pass exactly once.
+  explicit PassManager(unsigned MaxIterations = 1)
+      : MaxIterations(MaxIterations) {}
+
+  void addPass(std::unique_ptr<FunctionPass> P) {
+    Passes.push_back(std::move(P));
+  }
+
+  /// Aborts with the verifier message if a pass breaks the IR (test mode).
+  void setVerifyEach(bool V) { VerifyEach = V; }
+
+  /// Runs the pipeline over all functions of \p M that have bodies.
+  /// Returns true if anything changed.
+  bool run(pir::Module &M);
+
+  /// Runs the pipeline over a single function.
+  bool run(pir::Function &F);
+
+  const std::vector<PassStatistics> &statistics() const { return Stats; }
+
+private:
+  bool runOnce(pir::Function &F);
+
+  std::vector<std::unique_ptr<FunctionPass>> Passes;
+  std::vector<PassStatistics> Stats;
+  unsigned MaxIterations;
+  bool VerifyEach = false;
+};
+
+} // namespace proteus
+
+#endif // PROTEUS_TRANSFORMS_PASS_H

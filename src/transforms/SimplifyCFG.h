@@ -1,0 +1,29 @@
+//===- SimplifyCFG.h - control-flow cleanup ---------------------*- C++ -*-===//
+//
+// Part of the Proteus reproduction project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// CFG cleanup: folds branches on constant conditions (the direct product
+/// of argument specialization), deletes unreachable blocks, merges
+/// straight-line block chains, and removes single-incoming phis.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PROTEUS_TRANSFORMS_SIMPLIFYCFG_H
+#define PROTEUS_TRANSFORMS_SIMPLIFYCFG_H
+
+#include "transforms/Pass.h"
+
+namespace proteus {
+
+class SimplifyCFGPass : public FunctionPass {
+public:
+  std::string name() const override { return "simplifycfg"; }
+  bool run(pir::Function &F) override;
+};
+
+} // namespace proteus
+
+#endif // PROTEUS_TRANSFORMS_SIMPLIFYCFG_H

@@ -1,0 +1,46 @@
+//===- SpecializeArgs.cpp - runtime argument specialization ----------------------===//
+//
+// Part of the Proteus reproduction project.
+//
+//===----------------------------------------------------------------------===//
+
+#include "transforms/SpecializeArgs.h"
+
+#include "ir/Context.h"
+#include "ir/Module.h"
+#include "ir/OpSemantics.h"
+
+using namespace proteus;
+using namespace pir;
+
+unsigned proteus::specializeArguments(
+    Function &F, const std::vector<RuntimeArgValue> &Values) {
+  Context &Ctx = F.getParent()->getContext();
+  unsigned Folded = 0;
+  for (const RuntimeArgValue &RV : Values) {
+    assert(RV.ArgIndex < F.getNumArgs() && "argument index out of range");
+    Argument *A = F.getArg(RV.ArgIndex);
+    Type *Ty = A->getType();
+    Value *C = nullptr;
+    if (Ty->isInteger())
+      C = Ctx.getConstantInt(Ty, RV.Bits);
+    else if (Ty->isF32())
+      C = Ctx.getConstantFP(Ty, static_cast<double>(sem::unboxF32(RV.Bits)));
+    else if (Ty->isF64())
+      C = Ctx.getConstantFP(Ty, sem::unboxF64(RV.Bits));
+    else
+      C = Ctx.getConstantPtr(RV.Bits);
+    if (!A->hasUses())
+      continue;
+    A->replaceAllUsesWith(C);
+    ++Folded;
+  }
+  return Folded;
+}
+
+void proteus::specializeLaunchBounds(Function &F, uint32_t ThreadsPerBlock) {
+  LaunchBounds LB;
+  LB.MaxThreadsPerBlock = ThreadsPerBlock;
+  LB.MinBlocksPerProcessor = 1; // the runtime's default minimum
+  F.setLaunchBounds(LB);
+}

@@ -1,0 +1,50 @@
+//===- SpecializeArgs.h - runtime argument specialization -------*- C++ -*-===//
+//
+// Part of the Proteus reproduction project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The core specialization transform of Proteus: runtime constant folding
+/// (RCF) replaces uses of designated kernel arguments with their exact
+/// runtime values, and launch-bounds (LB) specialization records the
+/// invocation's thread configuration as a function attribute consumed by
+/// the register allocator. The JIT runtime applies one or both depending on
+/// configuration (the paper's None/LB/RCF/LB+RCF modes in section 4.5).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PROTEUS_TRANSFORMS_SPECIALIZEARGS_H
+#define PROTEUS_TRANSFORMS_SPECIALIZEARGS_H
+
+#include <cstdint>
+#include <vector>
+
+namespace pir {
+class Function;
+} // namespace pir
+
+namespace proteus {
+
+/// One runtime argument value destined for folding. Bits follow the
+/// OpSemantics boxing conventions (f32 in the low 32 bits, etc.).
+struct RuntimeArgValue {
+  uint32_t ArgIndex; // zero-based position in the kernel signature
+  uint64_t Bits;
+};
+
+/// Replaces all uses of the designated arguments of \p F with constants of
+/// their runtime values. Pointer-typed arguments become ConstantPtr (their
+/// pointees are *not* assumed constant). Returns the number of arguments
+/// folded.
+unsigned specializeArguments(pir::Function &F,
+                             const std::vector<RuntimeArgValue> &Values);
+
+/// Applies launch-bounds specialization: records the exact threads-per-block
+/// of this launch with the minimum blocks-per-processor default of 1, as the
+/// JIT runtime does (paper section 3.3).
+void specializeLaunchBounds(pir::Function &F, uint32_t ThreadsPerBlock);
+
+} // namespace proteus
+
+#endif // PROTEUS_TRANSFORMS_SPECIALIZEARGS_H

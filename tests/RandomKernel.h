@@ -1,0 +1,199 @@
+//===- RandomKernel.h - deterministic random kernel generator ---*- C++ -*-===//
+//
+// Part of the Proteus reproduction project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Generates structurally valid random kernels from a seed: a guarded
+/// prologue, a pool of integer/floating values grown by random arithmetic,
+/// comparisons and selects, loads from an input buffer, an optional counted
+/// inner loop with accumulators, diamond control flow, and stores to an
+/// output buffer. Used by the property suites to differentially test the
+/// optimizer and the codegen+simulator pipeline against the reference
+/// interpreter over many shapes no hand-written test would cover.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PROTEUS_TESTS_RANDOMKERNEL_H
+#define PROTEUS_TESTS_RANDOMKERNEL_H
+
+#include "ir/IRBuilder.h"
+#include "ir/Module.h"
+
+#include <cstdint>
+#include <vector>
+
+namespace proteus_test {
+
+/// Deterministic 64-bit LCG.
+class Rng {
+public:
+  explicit Rng(uint64_t Seed) : State(Seed * 2654435761u + 1) {}
+
+  uint64_t next() {
+    State = State * 6364136223846793005ull + 1442695040888963407ull;
+    return State >> 11;
+  }
+
+  uint32_t below(uint32_t N) { return static_cast<uint32_t>(next() % N); }
+
+  double unit() {
+    return static_cast<double>(next() & 0xFFFFF) / 1048576.0;
+  }
+
+private:
+  uint64_t State;
+};
+
+/// Builds a random kernel named "rk" into a fresh module.
+/// Signature: rk(in: ptr, out: ptr, n: i32, sf: f64, si: i32).
+/// The scalar arguments sf (4) and si (5) are jit-annotated.
+inline std::unique_ptr<pir::Module> buildRandomKernel(pir::Context &Ctx,
+                                                      uint64_t Seed) {
+  using namespace pir;
+  Rng R(Seed);
+  auto M = std::make_unique<Module>(Ctx, "random" + std::to_string(Seed));
+  IRBuilder B(Ctx);
+  Type *F64 = Ctx.getF64Ty();
+  Type *I32 = Ctx.getI32Ty();
+
+  Function *F = M->createFunction(
+      "rk", Ctx.getVoidTy(),
+      {Ctx.getPtrTy(), Ctx.getPtrTy(), I32, F64, I32},
+      {"in", "out", "n", "sf", "si"}, FunctionKind::Kernel);
+  F->setJitAnnotation(JitAnnotation{{4, 5}});
+
+  Value *In = F->getArg(0), *Out = F->getArg(1), *N = F->getArg(2);
+  Value *Sf = F->getArg(3), *Si = F->getArg(4);
+
+  BasicBlock *Entry = F->createBlock("entry", Ctx.getVoidTy());
+  BasicBlock *Work = F->createBlock("work", Ctx.getVoidTy());
+  BasicBlock *Exit = F->createBlock("exit", Ctx.getVoidTy());
+  B.setInsertPoint(Entry);
+  Value *Gtid = B.createGlobalThreadIdX();
+  B.createCondBr(B.createICmp(ICmpPred::SLT, Gtid, N), Work, Exit);
+  B.setInsertPoint(Exit);
+  B.createRet();
+  B.setInsertPoint(Work);
+
+  std::vector<Value *> IntPool = {Gtid, Si, B.getInt32(3),
+                                  B.getInt32(static_cast<int32_t>(R.below(100)))};
+  std::vector<Value *> FpPool = {Sf, B.getDouble(1.5),
+                                 B.getDouble(R.unit() * 4.0 - 2.0)};
+
+  // A couple of input loads (bounded index: gtid is already < n <= buffer).
+  Value *LoadP = B.createGep(F64, In, Gtid);
+  FpPool.push_back(B.createLoad(F64, LoadP, "inv"));
+
+  auto PickI = [&] { return IntPool[R.below(IntPool.size())]; };
+  auto PickF = [&] { return FpPool[R.below(FpPool.size())]; };
+
+  // Random arithmetic soup.
+  unsigned Ops = 8 + R.below(24);
+  for (unsigned K = 0; K != Ops; ++K) {
+    switch (R.below(10)) {
+    case 0:
+      IntPool.push_back(B.createAdd(PickI(), PickI()));
+      break;
+    case 1:
+      IntPool.push_back(B.createMul(PickI(), PickI()));
+      break;
+    case 2:
+      IntPool.push_back(B.createXor(PickI(), PickI()));
+      break;
+    case 3: // division is defined for 0 divisors in our semantics
+      IntPool.push_back(B.createSDiv(PickI(), PickI()));
+      break;
+    case 4:
+      FpPool.push_back(B.createFAdd(PickF(), PickF()));
+      break;
+    case 5:
+      FpPool.push_back(B.createFMul(PickF(), PickF()));
+      break;
+    case 6:
+      FpPool.push_back(B.createFSub(PickF(), PickF()));
+      break;
+    case 7: {
+      Value *C = B.createICmp(static_cast<ICmpPred>(R.below(10)), PickI(),
+                              PickI());
+      FpPool.push_back(B.createSelect(C, PickF(), PickF()));
+      break;
+    }
+    case 8: {
+      Value *C = B.createFCmp(static_cast<FCmpPred>(R.below(6)), PickF(),
+                              PickF());
+      IntPool.push_back(B.createSelect(C, PickI(), PickI()));
+      break;
+    }
+    default:
+      FpPool.push_back(B.createSIToFP(PickI(), F64));
+      break;
+    }
+  }
+
+  // Optional counted inner loop accumulating into the pool.
+  if (R.below(2)) {
+    uint32_t Trip = 1 + R.below(9);
+    BasicBlock *Header = F->createBlock("h", Ctx.getVoidTy());
+    BasicBlock *Body = F->createBlock("b", Ctx.getVoidTy());
+    BasicBlock *After = F->createBlock("a", Ctx.getVoidTy());
+    BasicBlock *Pre = B.getInsertBlock();
+    B.createBr(Header);
+    B.setInsertPoint(Header);
+    PhiInst *I = B.createPhi(I32, "i");
+    PhiInst *Acc = B.createPhi(F64, "acc");
+    I->addIncoming(B.getInt32(0), Pre);
+    Acc->addIncoming(PickF(), Pre);
+    // Bound is either a literal or the annotated scalar masked small.
+    Value *Bound = R.below(2)
+                       ? static_cast<Value *>(B.getInt32(
+                             static_cast<int32_t>(Trip)))
+                       : B.createAnd(Si, B.getInt32(7));
+    B.createCondBr(B.createICmp(ICmpPred::SLT, I, Bound), Body, After);
+    B.setInsertPoint(Body);
+    Value *Term = B.createFMul(Acc, B.getDouble(0.5 + R.unit()));
+    Value *Acc2 = B.createFAdd(Term, PickF());
+    Value *I2 = B.createAdd(I, B.getInt32(1));
+    I->addIncoming(I2, Body);
+    Acc->addIncoming(Acc2, Body);
+    B.createBr(Header);
+    B.setInsertPoint(After);
+    FpPool.push_back(Acc);
+  }
+
+  // Optional diamond.
+  if (R.below(2)) {
+    BasicBlock *T = F->createBlock("t", Ctx.getVoidTy());
+    BasicBlock *E = F->createBlock("e", Ctx.getVoidTy());
+    BasicBlock *J = F->createBlock("j", Ctx.getVoidTy());
+    Value *C = B.createICmp(ICmpPred::SLT, PickI(), PickI());
+    B.createCondBr(C, T, E);
+    B.setInsertPoint(T);
+    Value *Tv = B.createFAdd(PickF(), B.getDouble(1.0));
+    B.createBr(J);
+    B.setInsertPoint(E);
+    Value *Ev = B.createFMul(PickF(), B.getDouble(0.25));
+    B.createBr(J);
+    B.setInsertPoint(J);
+    PhiInst *Phi = B.createPhi(F64, "joinv");
+    Phi->addIncoming(Tv, T);
+    Phi->addIncoming(Ev, E);
+    FpPool.push_back(Phi);
+  }
+
+  // Final store: combine a few pool values.
+  Value *Sum = PickF();
+  for (int K = 0; K != 3; ++K)
+    Sum = B.createFAdd(Sum, PickF());
+  Value *IntBits = B.createSIToFP(B.createAnd(PickI(), B.getInt32(1023)),
+                                  F64);
+  Sum = B.createFAdd(Sum, IntBits);
+  B.createStore(Sum, B.createGep(F64, Out, Gtid));
+  B.createRet();
+  return M;
+}
+
+} // namespace proteus_test
+
+#endif // PROTEUS_TESTS_RANDOMKERNEL_H

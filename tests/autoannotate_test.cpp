@@ -1,0 +1,153 @@
+//===- autoannotate_test.cpp - automatic annotation tests -------------------------===//
+//
+// Part of the Proteus reproduction project.
+//
+//===----------------------------------------------------------------------===//
+
+#include "TestUtil.h"
+
+#include "ir/Context.h"
+#include "jit/AutoAnnotate.h"
+
+#include <gtest/gtest.h>
+
+using namespace pir;
+using namespace proteus;
+using namespace proteus_test;
+
+namespace {
+
+bool recommends(const std::vector<ArgRecommendation> &Recs, uint32_t Idx,
+                SpecializationReason Why) {
+  for (const ArgRecommendation &R : Recs)
+    if (R.ArgIndex == Idx)
+      return std::find(R.Reasons.begin(), R.Reasons.end(), Why) !=
+             R.Reasons.end();
+  return false;
+}
+
+bool mentions(const std::vector<ArgRecommendation> &Recs, uint32_t Idx) {
+  for (const ArgRecommendation &R : Recs)
+    if (R.ArgIndex == Idx)
+      return true;
+  return false;
+}
+
+TEST(AutoAnnotateTest, DaxpyMatchesThePapersChoice) {
+  Context Ctx;
+  Module M(Ctx, "m");
+  Function *F = buildDaxpyKernel(M);
+  F->setJitAnnotation(JitAnnotation{{}}); // pretend unannotated
+  std::vector<ArgRecommendation> Recs = suggestJitAnnotations(*F);
+  // a (1): numeric; n (4): loop-bound/guard comparison. Pointers excluded.
+  EXPECT_TRUE(recommends(Recs, 1, SpecializationReason::NumericCompute));
+  EXPECT_TRUE(recommends(Recs, 4, SpecializationReason::ControlFlow));
+  EXPECT_FALSE(mentions(Recs, 2));
+  EXPECT_FALSE(mentions(Recs, 3));
+}
+
+TEST(AutoAnnotateTest, LoopBoundIsControlFlow) {
+  Context Ctx;
+  Module M(Ctx, "m");
+  Function *F = buildLoopSumKernel(M);
+  std::vector<ArgRecommendation> Recs = suggestJitAnnotations(*F);
+  EXPECT_TRUE(recommends(Recs, 3, SpecializationReason::ControlFlow))
+      << "the loop bound must be classified as control-relevant";
+}
+
+TEST(AutoAnnotateTest, SkipsUnusedAndStoreOnlyArguments) {
+  Context Ctx;
+  Module M(Ctx, "m");
+  IRBuilder B(Ctx);
+  Function *F = M.createFunction(
+      "k", Ctx.getVoidTy(),
+      {Ctx.getPtrTy(), Ctx.getF64Ty(), Ctx.getF64Ty(), Ctx.getI32Ty()},
+      {"out", "stored_only", "unused", "idx"}, FunctionKind::Kernel);
+  B.setInsertPoint(F->createBlock("entry", Ctx.getVoidTy()));
+  // stored_only is written to memory verbatim; idx only addresses.
+  Value *P = B.createGep(Ctx.getF64Ty(), F->getArg(0), F->getArg(3));
+  B.createStore(F->getArg(1), P);
+  B.createRet();
+
+  std::vector<ArgRecommendation> Recs = suggestJitAnnotations(*F);
+  EXPECT_FALSE(mentions(Recs, 2)) << "store-only must be skipped";
+  EXPECT_FALSE(mentions(Recs, 3)) << "unused must be skipped";
+  EXPECT_TRUE(recommends(Recs, 4, SpecializationReason::Addressing));
+}
+
+TEST(AutoAnnotateTest, FollowsDeviceFunctionCalls) {
+  Context Ctx;
+  Module M(Ctx, "m");
+  IRBuilder B(Ctx);
+  // The scalar only becomes control-relevant inside a callee.
+  Function *Dev = M.createFunction("gate", Ctx.getF64Ty(),
+                                   {Ctx.getF64Ty()}, {"t"},
+                                   FunctionKind::Device);
+  B.setInsertPoint(Dev->createBlock("entry", Ctx.getVoidTy()));
+  Value *C = B.createFCmp(FCmpPred::OLT, Dev->getArg(0), B.getDouble(1.0));
+  B.createRet(B.createSelect(C, B.getDouble(0.0), B.getDouble(2.0)));
+
+  Function *K = M.createFunction("k", Ctx.getVoidTy(),
+                                 {Ctx.getPtrTy(), Ctx.getF64Ty()},
+                                 {"out", "threshold"}, FunctionKind::Kernel);
+  B.setInsertPoint(K->createBlock("entry", Ctx.getVoidTy()));
+  Value *R = B.createCall(Dev, {K->getArg(1)});
+  B.createStore(R, K->getArg(0));
+  B.createRet();
+
+  std::vector<ArgRecommendation> Recs = suggestJitAnnotations(*K);
+  EXPECT_TRUE(recommends(Recs, 2, SpecializationReason::ControlFlow));
+}
+
+TEST(AutoAnnotateTest, ModuleAutoAnnotationRespectsExisting) {
+  Context Ctx;
+  Module M(Ctx, "m");
+  Function *Daxpy = buildDaxpyKernel(M); // already annotated {1, 4}
+  buildLoopSumKernel(M);                 // annotated {3}
+  Function *Fresh = M.createFunction("fresh", Ctx.getVoidTy(),
+                                     {Ctx.getPtrTy(), Ctx.getI32Ty()},
+                                     {"out", "n"}, FunctionKind::Kernel);
+  IRBuilder B(Ctx);
+  B.setInsertPoint(Fresh->createBlock("entry", Ctx.getVoidTy()));
+  Value *P = B.createGep(Ctx.getI32Ty(), Fresh->getArg(0),
+                         B.createThreadIdx(0));
+  B.createStore(Fresh->getArg(1), P);
+  B.createRet();
+
+  // "fresh" stores its scalar verbatim: nothing to recommend there, and the
+  // pre-annotated kernels must be left alone.
+  unsigned Annotated = autoAnnotateKernels(M);
+  EXPECT_EQ(Annotated, 0u);
+  EXPECT_EQ(Daxpy->getJitAnnotation()->ArgIndices,
+            (std::vector<uint32_t>{1, 4}));
+  EXPECT_FALSE(Fresh->hasJitAnnotation());
+
+  // A kernel with a real opportunity gets annotated.
+  Function *K2 = M.createFunction("k2", Ctx.getVoidTy(),
+                                  {Ctx.getPtrTy(), Ctx.getF64Ty()},
+                                  {"out", "scale"}, FunctionKind::Kernel);
+  B.setInsertPoint(K2->createBlock("entry", Ctx.getVoidTy()));
+  Value *Tid = B.createThreadIdx(0);
+  Value *Vf = B.createSIToFP(Tid, Ctx.getF64Ty());
+  Value *Scaled = B.createFMul(Vf, K2->getArg(1));
+  B.createStore(Scaled, B.createGep(Ctx.getF64Ty(), K2->getArg(0), Tid));
+  B.createRet();
+  EXPECT_EQ(autoAnnotateKernels(M), 1u);
+  ASSERT_TRUE(K2->hasJitAnnotation());
+  EXPECT_EQ(K2->getJitAnnotation()->ArgIndices,
+            (std::vector<uint32_t>{2}));
+}
+
+TEST(AutoAnnotateTest, AgreesWithManualChoicesOnTheBenchmarks) {
+  // For each HeCBench-sim program, the automatic analysis must recommend a
+  // superset-or-equal set relative to the hand-written annotations (it may
+  // find additional legitimately meaningful scalars).
+  Context Ctx;
+  Module M(Ctx, "m");
+  Function *F = buildLoopSumKernel(M);
+  auto Recs = suggestJitAnnotations(*F);
+  for (uint32_t Manual : F->getJitAnnotation()->ArgIndices)
+    EXPECT_TRUE(mentions(Recs, Manual)) << "missing manual index " << Manual;
+}
+
+} // namespace

@@ -1,0 +1,119 @@
+//===- autotuner_test.cpp - launch auto-tuning tests ------------------------------===//
+//
+// Part of the Proteus reproduction project.
+//
+//===----------------------------------------------------------------------===//
+
+#include "TestUtil.h"
+
+#include "ir/Context.h"
+#include "jit/AutoTuner.h"
+#include "jit/Program.h"
+#include "support/FileSystem.h"
+
+#include <gtest/gtest.h>
+
+using namespace pir;
+using namespace proteus;
+using namespace proteus::gpu;
+using namespace proteus_test;
+
+namespace {
+
+struct Harness {
+  Context Ctx;
+  Module M{Ctx, "tune"};
+  Function *F = nullptr;
+  std::unique_ptr<Device> Dev;
+  std::unique_ptr<JitRuntime> Jit;
+  std::unique_ptr<LoadedProgram> LP;
+  std::string CacheDir;
+  DevicePtr X = 0, Y = 0;
+  static constexpr uint32_t N = 2048;
+
+  Harness() {
+    F = buildDaxpyKernel(M);
+    AotOptions AO;
+    AO.Arch = GpuArch::AmdGcnSim;
+    AO.EnableProteusExtensions = true;
+    CompiledProgram Prog = aotCompile(M, AO);
+    Dev = std::make_unique<Device>(getAmdGcnSimTarget(), 1 << 22);
+    CacheDir = fs::makeTempDirectory("proteus-tune");
+    JitConfig JC;
+    JC.CacheDir = CacheDir;
+    Jit = std::make_unique<JitRuntime>(*Dev, Prog.ModuleId, JC);
+    LP = std::make_unique<LoadedProgram>(*Dev, Prog, Jit.get());
+    gpuMalloc(*Dev, &X, N * 8);
+    gpuMalloc(*Dev, &Y, N * 8);
+    std::vector<double> H(N, 1.0);
+    gpuMemcpyHtoD(*Dev, X, H.data(), N * 8);
+    gpuMemcpyHtoD(*Dev, Y, H.data(), N * 8);
+  }
+
+  ~Harness() { fs::removeAllFiles(CacheDir); }
+
+  std::vector<KernelArg> args() const {
+    return {{sem::boxF64(2.0)}, {X}, {Y}, {N}};
+  }
+};
+
+TEST(AutoTunerTest, PicksAValidCandidateAndLeavesStateClean) {
+  Harness H;
+  std::vector<uint8_t> Before = H.Dev->memory();
+  double SimBefore = H.Dev->simulatedSeconds();
+
+  TuningResult R = autotuneBlockSize(*H.Dev, *H.Jit, "daxpy", Harness::N,
+                                     H.args(), {64, 128, 256, 512});
+  ASSERT_TRUE(R.Ok) << R.Error;
+  EXPECT_EQ(R.Trials.size(), 4u);
+  bool Found = false;
+  for (const TuningTrial &T : R.Trials) {
+    EXPECT_TRUE(T.Ok);
+    if (T.ThreadsPerBlock == R.BestThreadsPerBlock) {
+      Found = true;
+      EXPECT_DOUBLE_EQ(T.KernelSeconds, R.BestSeconds);
+    }
+    EXPECT_GE(T.KernelSeconds, R.BestSeconds);
+  }
+  EXPECT_TRUE(Found);
+
+  // No side effects: memory and the simulated clock are restored.
+  EXPECT_EQ(H.Dev->memory(), Before);
+  EXPECT_DOUBLE_EQ(H.Dev->simulatedSeconds(), SimBefore);
+}
+
+TEST(AutoTunerTest, TrialSpecializationsWarmTheCache) {
+  Harness H;
+  TuningResult R = autotuneBlockSize(*H.Dev, *H.Jit, "daxpy", Harness::N,
+                                     H.args(), {128, 256});
+  ASSERT_TRUE(R.Ok) << R.Error;
+  uint64_t CompilationsAfterTuning = H.Jit->stats().Compilations;
+  EXPECT_EQ(CompilationsAfterTuning, 2u) << "one specialization per block "
+                                            "size (launch bounds differ)";
+
+  // Launching the winner now must hit the cache, not recompile.
+  std::string Err;
+  uint32_t Blocks = Harness::N / R.BestThreadsPerBlock;
+  ASSERT_EQ(H.Jit->launchKernel("daxpy", Dim3{Blocks, 1, 1},
+                                Dim3{R.BestThreadsPerBlock, 1, 1}, H.args(),
+                                &Err),
+            GpuError::Success)
+      << Err;
+  EXPECT_EQ(H.Jit->stats().Compilations, CompilationsAfterTuning);
+}
+
+TEST(AutoTunerTest, RejectsEmptyWork) {
+  Harness H;
+  TuningResult R =
+      autotuneBlockSize(*H.Dev, *H.Jit, "daxpy", 0, H.args(), {128});
+  EXPECT_FALSE(R.Ok);
+}
+
+TEST(AutoTunerTest, UnknownKernelFailsCleanly) {
+  Harness H;
+  TuningResult R = autotuneBlockSize(*H.Dev, *H.Jit, "ghost", Harness::N,
+                                     H.args(), {128});
+  EXPECT_FALSE(R.Ok);
+}
+
+} // namespace

@@ -1,0 +1,145 @@
+//===- bitcode_test.cpp - bitcode serialization tests ---------------------------===//
+//
+// Part of the Proteus reproduction project.
+//
+//===----------------------------------------------------------------------===//
+
+#include "TestUtil.h"
+
+#include "bitcode/Bitcode.h"
+#include "ir/Context.h"
+#include "ir/IRPrinter.h"
+
+#include <gtest/gtest.h>
+
+using namespace pir;
+using namespace proteus;
+using namespace proteus_test;
+
+namespace {
+
+void expectBitcodeRoundTrip(Module &M) {
+  std::vector<uint8_t> Bytes = writeBitcode(M);
+  Context Ctx2;
+  BitcodeReadResult R = readBitcode(Ctx2, Bytes);
+  ASSERT_TRUE(R) << R.Error;
+  expectValid(*R.M);
+  EXPECT_EQ(printModule(M), printModule(*R.M));
+  // Bitcode must be deterministic: same module, same bytes.
+  EXPECT_EQ(Bytes, writeBitcode(*R.M));
+}
+
+TEST(BitcodeTest, RoundTripDaxpy) {
+  Context Ctx;
+  Module M(Ctx, "m");
+  buildDaxpyKernel(M);
+  expectBitcodeRoundTrip(M);
+}
+
+TEST(BitcodeTest, RoundTripLoopsPhisGlobalsCalls) {
+  Context Ctx;
+  Module M(Ctx, "m");
+  std::vector<uint8_t> Init(8, 0x5A);
+  M.createGlobal("g", Ctx.getI64Ty(), 1, Init);
+  buildLoopSumKernel(M);
+
+  IRBuilder B(Ctx);
+  Function *Dev = M.createFunction("helper", Ctx.getF64Ty(),
+                                   {Ctx.getF64Ty()}, {"x"},
+                                   FunctionKind::Device);
+  Dev->setAlwaysInline(true);
+  B.setInsertPoint(Dev->createBlock("entry", Ctx.getVoidTy()));
+  B.createRet(B.createSqrt(Dev->getArg(0)));
+
+  Function *K = M.createFunction("caller", Ctx.getVoidTy(), {Ctx.getPtrTy()},
+                                 {"p"}, FunctionKind::Kernel);
+  K->setLaunchBounds(LaunchBounds{128, 2});
+  B.setInsertPoint(K->createBlock("entry", Ctx.getVoidTy()));
+  Value *G = M.getGlobal("g");
+  Value *GI = B.createLoad(Ctx.getI64Ty(), G);
+  Value *GF = B.createSIToFP(GI, Ctx.getF64Ty());
+  Value *R = B.createCall(Dev, {GF});
+  B.createStore(R, K->getArg(0));
+  B.createRet();
+
+  expectBitcodeRoundTrip(M);
+}
+
+TEST(BitcodeTest, PreservesAttributes) {
+  Context Ctx;
+  Module M(Ctx, "m");
+  Function *F = buildDaxpyKernel(M);
+  F->setLaunchBounds(LaunchBounds{512, 4});
+
+  std::vector<uint8_t> Bytes = writeBitcode(M);
+  Context Ctx2;
+  BitcodeReadResult R = readBitcode(Ctx2, Bytes);
+  ASSERT_TRUE(R) << R.Error;
+  Function *F2 = R.M->getFunction("daxpy");
+  ASSERT_NE(F2, nullptr);
+  ASSERT_TRUE(F2->getLaunchBounds().has_value());
+  EXPECT_EQ(F2->getLaunchBounds()->MaxThreadsPerBlock, 512u);
+  EXPECT_EQ(F2->getLaunchBounds()->MinBlocksPerProcessor, 4u);
+  ASSERT_TRUE(F2->getJitAnnotation().has_value());
+  EXPECT_EQ(F2->getJitAnnotation()->ArgIndices,
+            (std::vector<uint32_t>{1, 4}));
+  EXPECT_TRUE(F2->isKernel());
+}
+
+TEST(BitcodeTest, RejectsBadMagic) {
+  Context Ctx;
+  std::vector<uint8_t> Junk = {1, 2, 3, 4, 5, 6, 7, 8};
+  BitcodeReadResult R = readBitcode(Ctx, Junk);
+  EXPECT_FALSE(R);
+  EXPECT_NE(R.Error.find("magic"), std::string::npos);
+}
+
+TEST(BitcodeTest, RejectsTruncation) {
+  Context Ctx;
+  Module M(Ctx, "m");
+  buildLoopSumKernel(M);
+  std::vector<uint8_t> Bytes = writeBitcode(M);
+  // Any truncation point must fail cleanly, never crash.
+  for (size_t Cut = 0; Cut < Bytes.size(); Cut += 7) {
+    std::vector<uint8_t> Truncated(Bytes.begin(),
+                                   Bytes.begin() + static_cast<long>(Cut));
+    Context CtxN;
+    BitcodeReadResult R = readBitcode(CtxN, Truncated);
+    EXPECT_FALSE(R) << "cut at " << Cut;
+  }
+}
+
+TEST(BitcodeTest, RejectsCorruptOperandSlots) {
+  Context Ctx;
+  Module M(Ctx, "m");
+  buildDaxpyKernel(M);
+  std::vector<uint8_t> Bytes = writeBitcode(M);
+  // Flip bytes across the body region; reader must fail or produce a module
+  // that still verifies — never crash or corrupt memory.
+  for (size_t Pos = Bytes.size() / 2; Pos < Bytes.size(); Pos += 11) {
+    std::vector<uint8_t> Mutated = Bytes;
+    Mutated[Pos] ^= 0xFF;
+    Context CtxN;
+    BitcodeReadResult R = readBitcode(CtxN, Mutated);
+    if (R) {
+      // Accept only structurally valid results.
+      VerifyResult V = verifyModule(*R.M);
+      (void)V; // verification may fail; the point is memory safety
+    }
+  }
+  SUCCEED();
+}
+
+TEST(BitcodeTest, SizeIsCompact) {
+  Context Ctx;
+  Module M(Ctx, "m");
+  buildDaxpyKernel(M);
+  buildLoopSumKernel(M);
+  std::vector<uint8_t> Bytes = writeBitcode(M);
+  // The paper reports KB-scale caches; our bitcode for two small kernels
+  // should be well under 4KB.
+  EXPECT_LT(Bytes.size(), 4096u);
+  EXPECT_GT(Bytes.size(), 100u);
+}
+
+} // namespace

@@ -1,0 +1,135 @@
+//===- cache_eviction_test.cpp - section 3.4 cache management tests --------------===//
+//
+// Part of the Proteus reproduction project.
+//
+//===----------------------------------------------------------------------===//
+//
+// The paper's section 3.4 roadmap features: in-memory and persistent size
+// limits with LRU eviction, the runtime-informed (LFU) policy, and the
+// environment-variable configuration surface.
+//
+//===----------------------------------------------------------------------===//
+
+#include "jit/CodeCache.h"
+#include "jit/JitRuntime.h"
+#include "support/FileSystem.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <thread>
+
+using namespace proteus;
+
+namespace {
+
+struct TempDir {
+  std::string Path;
+  TempDir() : Path(fs::makeTempDirectory("proteus-evict")) {}
+  ~TempDir() { fs::removeAllFiles(Path); }
+};
+
+std::vector<uint8_t> blob(size_t N, uint8_t Fill) {
+  return std::vector<uint8_t>(N, Fill);
+}
+
+TEST(CacheEvictionTest, UnlimitedByDefaultMatchingThePaper) {
+  CodeCache C(true, false, "");
+  for (uint64_t H = 0; H != 64; ++H)
+    C.insert(H, blob(1024, static_cast<uint8_t>(H)));
+  EXPECT_EQ(C.memoryEntries(), 64u);
+  EXPECT_EQ(C.stats().MemoryEvictions, 0u);
+}
+
+TEST(CacheEvictionTest, MemoryLruEvictsOldestFirst) {
+  CacheLimits L;
+  L.MaxMemoryBytes = 4 * 1024;
+  CodeCache C(true, false, "", L);
+  for (uint64_t H = 1; H <= 4; ++H)
+    C.insert(H, blob(1024, 1));
+  EXPECT_EQ(C.memoryEntries(), 4u);
+  // Touch entry 1 so entry 2 becomes the LRU victim.
+  EXPECT_TRUE(C.lookup(1).has_value());
+  C.insert(5, blob(1024, 5));
+  EXPECT_GT(C.stats().MemoryEvictions, 0u);
+  EXPECT_TRUE(C.lookup(1).has_value()) << "recently used must survive";
+  EXPECT_FALSE(C.lookup(2).has_value()) << "LRU victim must be gone";
+  EXPECT_LE(C.memoryBytes(), L.MaxMemoryBytes);
+}
+
+TEST(CacheEvictionTest, LfuPrefersRarelyExecutedSpecializations) {
+  CacheLimits L;
+  L.MaxMemoryBytes = 3 * 1024;
+  L.Policy = EvictionPolicy::LFU;
+  CodeCache C(true, false, "", L);
+  C.insert(10, blob(1024, 1)); // hot
+  C.insert(20, blob(1024, 2)); // cold
+  C.insert(30, blob(1024, 3)); // warm
+  for (int I = 0; I != 5; ++I)
+    C.lookup(10);
+  C.lookup(30);
+  // 20 was never executed again: the runtime-informed policy evicts it even
+  // though 10 was used less recently than ... (order: 10 touched last).
+  C.insert(40, blob(1024, 4));
+  EXPECT_FALSE(C.lookup(20).has_value());
+  EXPECT_TRUE(C.lookup(10).has_value());
+  EXPECT_TRUE(C.lookup(30).has_value());
+}
+
+TEST(CacheEvictionTest, PersistentLimitRemovesOldestFiles) {
+  TempDir Tmp;
+  CacheLimits L;
+  L.MaxPersistentBytes = 3 * 4096;
+  CodeCache C(false, true, Tmp.Path, L);
+  for (uint64_t H = 1; H <= 3; ++H) {
+    C.insert(H, blob(4096, static_cast<uint8_t>(H)));
+    // Distinct mtimes on filesystems with coarse timestamps.
+    std::this_thread::sleep_for(std::chrono::milliseconds(15));
+  }
+  EXPECT_LE(C.persistentBytes(), L.MaxPersistentBytes);
+  C.insert(4, blob(4096, 4));
+  EXPECT_LE(C.persistentBytes(), L.MaxPersistentBytes);
+  EXPECT_GT(C.stats().PersistentEvictions, 0u);
+  EXPECT_FALSE(C.lookup(1).has_value()) << "oldest file evicted";
+  EXPECT_TRUE(C.lookup(4).has_value());
+}
+
+TEST(CacheEvictionTest, EvictedEntryIsRecompiledNotCorrupted) {
+  CacheLimits L;
+  L.MaxMemoryBytes = 2 * 1024;
+  CodeCache C(true, false, "", L);
+  C.insert(1, blob(1024, 1));
+  C.insert(2, blob(1024, 2));
+  C.insert(3, blob(1024, 3)); // evicts 1
+  auto Hit = C.lookup(3);
+  ASSERT_TRUE(Hit.has_value());
+  EXPECT_EQ((*Hit)[0], 3);
+  EXPECT_FALSE(C.lookup(1).has_value());
+  // Re-inserting the evicted entry works (the JIT recompiles on miss).
+  C.insert(1, blob(1024, 9));
+  auto Again = C.lookup(1);
+  ASSERT_TRUE(Again.has_value());
+  EXPECT_EQ((*Again)[0], 9);
+}
+
+TEST(CacheEvictionTest, EnvironmentConfiguration) {
+  setenv("PROTEUS_CACHE_MEM_LIMIT", "12345", 1);
+  setenv("PROTEUS_CACHE_DISK_LIMIT", "67890", 1);
+  setenv("PROTEUS_CACHE_POLICY", "lfu", 1);
+  setenv("PROTEUS_NO_RCF", "1", 1);
+  setenv("PROTEUS_CACHE_DIR", "/tmp/proteus-env-cache", 1);
+  JitConfig C = JitConfig::fromEnvironment();
+  EXPECT_EQ(C.Limits.MaxMemoryBytes, 12345u);
+  EXPECT_EQ(C.Limits.MaxPersistentBytes, 67890u);
+  EXPECT_EQ(C.Limits.Policy, EvictionPolicy::LFU);
+  EXPECT_FALSE(C.EnableRCF);
+  EXPECT_TRUE(C.EnableLaunchBounds);
+  EXPECT_EQ(C.CacheDir, "/tmp/proteus-env-cache");
+  unsetenv("PROTEUS_CACHE_MEM_LIMIT");
+  unsetenv("PROTEUS_CACHE_DISK_LIMIT");
+  unsetenv("PROTEUS_CACHE_POLICY");
+  unsetenv("PROTEUS_NO_RCF");
+  unsetenv("PROTEUS_CACHE_DIR");
+}
+
+} // namespace

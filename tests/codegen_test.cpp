@@ -1,0 +1,199 @@
+//===- codegen_test.cpp - ISel/regalloc/PTX/object tests ------------------------===//
+//
+// Part of the Proteus reproduction project.
+//
+//===----------------------------------------------------------------------===//
+
+#include "TestUtil.h"
+
+#include "codegen/Compiler.h"
+#include "codegen/ISel.h"
+#include "codegen/Ptx.h"
+#include "ir/Context.h"
+#include "transforms/O3Pipeline.h"
+
+#include <gtest/gtest.h>
+
+using namespace pir;
+using namespace proteus;
+using namespace proteus::mcode;
+using namespace proteus_test;
+
+namespace {
+
+TEST(ISelTest, LowersDaxpyWithoutCallsOrPhis) {
+  Context Ctx;
+  Module M(Ctx, "m");
+  Function *F = buildDaxpyKernel(M);
+  MachineFunction MF = selectInstructions(*F);
+  EXPECT_EQ(MF.Name, "daxpy");
+  EXPECT_EQ(MF.Params.size(), 4u);
+  EXPECT_EQ(MF.Blocks.size(), 3u);
+  EXPECT_FALSE(MF.Allocated);
+  EXPECT_GT(MF.NumRegs, 4u);
+  // The entry block ends in a conditional branch.
+  ASSERT_FALSE(MF.Blocks[0].Instrs.empty());
+  EXPECT_EQ(MF.Blocks[0].Instrs.back().Op, MOp::CondBr);
+}
+
+TEST(ISelTest, PhiBecomesPredecessorCopies) {
+  Context Ctx;
+  Module M(Ctx, "m");
+  Function *F = buildLoopSumKernel(M);
+  MachineFunction MF = selectInstructions(*F);
+  // loopsum's phis take no staging temps (their incoming values are not
+  // sibling phis and both predecessors are single-successor blocks), so the
+  // copies appear at the predecessor tails: the body/latch block ends with
+  // MovRR copies into the phi registers followed by the back edge.
+  ASSERT_GE(MF.Blocks.size(), 4u);
+  const MachineBlock &Latch = MF.Blocks[2];
+  ASSERT_GE(Latch.Instrs.size(), 3u);
+  EXPECT_EQ(Latch.Instrs.back().Op, MOp::Br);
+  EXPECT_EQ(Latch.Instrs[Latch.Instrs.size() - 2].Op, MOp::MovRR);
+  EXPECT_EQ(Latch.Instrs[Latch.Instrs.size() - 3].Op, MOp::MovRR);
+  // No staged head copies in the header: it begins with real work.
+  const MachineBlock &Header = MF.Blocks[1];
+  ASSERT_FALSE(Header.Instrs.empty());
+  EXPECT_NE(Header.Instrs[0].Op, MOp::MovRR);
+}
+
+TEST(ISelTest, UniformityClassification) {
+  Context Ctx;
+  Module M(Ctx, "m");
+  IRBuilder B(Ctx);
+  Function *F = M.createFunction("k", Ctx.getVoidTy(),
+                                 {Ctx.getI32Ty(), Ctx.getPtrTy()},
+                                 {"n", "p"}, FunctionKind::Kernel);
+  B.setInsertPoint(F->createBlock("entry", Ctx.getVoidTy()));
+  Value *N2 = B.createMul(F->getArg(0), B.getInt32(2));   // uniform
+  Value *Tid = B.createThreadIdx(0);                      // divergent
+  Value *Mix = B.createAdd(N2, Tid);                      // divergent
+  Value *P = B.createGep(Ctx.getI32Ty(), F->getArg(1), Mix);
+  B.createStore(Mix, P);
+  B.createRet();
+
+  MachineFunction MF = selectInstructions(*F);
+  // Find the mul (uniform) and add (divergent).
+  bool SawUniformMul = false, SawDivergentAdd = false;
+  for (const MachineInstr &MI : MF.Blocks[0].Instrs) {
+    if (MI.Op == MOp::Binary &&
+        static_cast<ValueKind>(MI.Aux) == ValueKind::Mul)
+      SawUniformMul = MI.Uniform;
+    if (MI.Op == MOp::Binary &&
+        static_cast<ValueKind>(MI.Aux) == ValueKind::Add)
+      SawDivergentAdd = !MI.Uniform;
+  }
+  EXPECT_TRUE(SawUniformMul);
+  EXPECT_TRUE(SawDivergentAdd);
+}
+
+TEST(RegAllocTest, NoSpillsWithGenerousBudget) {
+  Context Ctx;
+  Module M(Ctx, "m");
+  Function *F = buildDaxpyKernel(M);
+  MachineFunction MF = selectInstructions(*F);
+  RegAllocResult R = allocateRegisters(MF, 256);
+  EXPECT_EQ(R.SpilledValues, 0u);
+  EXPECT_EQ(R.SpillLoads, 0u);
+  EXPECT_TRUE(MF.Allocated);
+  EXPECT_LE(MF.NumRegs, 256u);
+}
+
+TEST(RegAllocTest, TightBudgetSpillsButStaysCorrect) {
+  Context Ctx;
+  Module M(Ctx, "m");
+  Function *F = buildLoopSumKernel(M);
+  MachineFunction MF = selectInstructions(*F);
+  RegAllocResult R = allocateRegisters(MF, 8); // floor budget
+  EXPECT_GT(R.SpilledValues, 0u);
+  EXPECT_GT(R.SpillLoads, 0u);
+  EXPECT_GT(MF.NumSpillSlots, 0u);
+}
+
+TEST(PtxTest, RoundTripThroughTextPreservesStructure) {
+  Context Ctx;
+  Module M(Ctx, "m");
+  Function *F = buildLoopSumKernel(M);
+  F->setLaunchBounds(LaunchBounds{128, 1});
+  MachineFunction MF = selectInstructions(*F);
+  std::string Ptx = printPtx(MF);
+  EXPECT_NE(Ptx.find(".visible .entry loopsum"), std::string::npos);
+  EXPECT_NE(Ptx.find(".maxntid 128"), std::string::npos);
+
+  PtxAssembleResult Asm = assemblePtx(Ptx);
+  ASSERT_TRUE(Asm.Ok) << Asm.Error;
+  EXPECT_EQ(Asm.MF.Name, MF.Name);
+  EXPECT_EQ(Asm.MF.Blocks.size(), MF.Blocks.size());
+  EXPECT_EQ(Asm.MF.NumRegs, MF.NumRegs);
+  EXPECT_EQ(Asm.MF.Params.size(), MF.Params.size());
+  EXPECT_EQ(Asm.MF.totalInstructions(), MF.totalInstructions());
+  // Identical re-print.
+  EXPECT_EQ(printPtx(Asm.MF), Ptx);
+}
+
+TEST(PtxTest, AssemblerRejectsGarbage) {
+  PtxAssembleResult R = assemblePtx("this is not ptx");
+  EXPECT_FALSE(R.Ok);
+  R = assemblePtx("");
+  EXPECT_FALSE(R.Ok);
+}
+
+TEST(ObjectTest, RoundTrip) {
+  Context Ctx;
+  Module M(Ctx, "m");
+  Function *F = buildDaxpyKernel(M);
+  MachineFunction MF = compileKernel(*F, getAmdGcnSimTarget());
+  std::vector<uint8_t> Obj = writeObject(MF, GpuArch::AmdGcnSim);
+  ObjectReadResult R = readObject(Obj);
+  ASSERT_TRUE(R.Ok) << R.Error;
+  EXPECT_EQ(R.Arch, GpuArch::AmdGcnSim);
+  EXPECT_EQ(R.MF.Name, "daxpy");
+  EXPECT_EQ(R.MF.totalInstructions(), MF.totalInstructions());
+  EXPECT_EQ(R.MF.NumRegs, MF.NumRegs);
+  EXPECT_TRUE(R.MF.Allocated);
+}
+
+TEST(ObjectTest, RejectsTruncation) {
+  Context Ctx;
+  Module M(Ctx, "m");
+  Function *F = buildDaxpyKernel(M);
+  std::vector<uint8_t> Obj =
+      compileKernelToObject(*F, getAmdGcnSimTarget());
+  for (size_t Cut = 0; Cut < Obj.size(); Cut += 13) {
+    std::vector<uint8_t> T(Obj.begin(), Obj.begin() + static_cast<long>(Cut));
+    EXPECT_FALSE(readObject(T).Ok) << "cut " << Cut;
+  }
+}
+
+TEST(TargetTest, RegisterBudgets) {
+  const TargetInfo &Amd = getAmdGcnSimTarget();
+  const TargetInfo &Nv = getNvPtxSimTarget();
+  // AMD default (no launch bounds): worst-case 1024 threads -> 32 regs.
+  EXPECT_EQ(Amd.registerBudget(std::nullopt), 32u);
+  // With LB(256): 128 regs.
+  EXPECT_EQ(Amd.registerBudget(LaunchBounds{256, 1}), 128u);
+  EXPECT_EQ(Amd.registerBudget(LaunchBounds{1024, 1}), 32u);
+  // LB(256, minBlocks=2): halved.
+  EXPECT_EQ(Amd.registerBudget(LaunchBounds{256, 2}), 64u);
+  // NVIDIA default is less conservative (64); LB raises it further.
+  EXPECT_EQ(Nv.registerBudget(std::nullopt), 64u);
+  EXPECT_EQ(Nv.registerBudget(LaunchBounds{512, 1}), 128u);
+  EXPECT_EQ(Nv.registerBudget(LaunchBounds{256, 1}), 255u);
+}
+
+TEST(CompilerTest, NvidiaPathReportsPtxStageTimes) {
+  Context Ctx;
+  Module M(Ctx, "m");
+  Function *F = buildLoopSumKernel(M);
+  BackendStats S;
+  MachineFunction MF = compileKernel(*F, getNvPtxSimTarget(), &S);
+  EXPECT_TRUE(MF.Allocated);
+  EXPECT_GT(S.PtxAsmSeconds + S.PtxEmitSeconds, 0.0);
+  BackendStats S2;
+  Module M2(Ctx, "m2");
+  Function *F2 = buildLoopSumKernel(M2);
+  compileKernel(*F2, getAmdGcnSimTarget(), &S2);
+  EXPECT_EQ(S2.PtxAsmSeconds, 0.0);
+}
+
+} // namespace

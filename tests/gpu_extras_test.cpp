@@ -1,0 +1,226 @@
+//===- gpu_extras_test.cpp - device model detail tests ----------------------------===//
+//
+// Part of the Proteus reproduction project.
+//
+//===----------------------------------------------------------------------===//
+//
+// Coverage of the simulator details not exercised by the main differential
+// suites: multi-dimensional launch geometry, the L2 cache model, transfer
+// timing, the profiler accumulation, barriers, and failure paths.
+//
+//===----------------------------------------------------------------------===//
+
+#include "TestUtil.h"
+
+#include "codegen/Compiler.h"
+#include "gpu/PerfModel.h"
+#include "gpu/Runtime.h"
+#include "ir/Context.h"
+
+#include <gtest/gtest.h>
+
+using namespace pir;
+using namespace proteus;
+using namespace proteus::gpu;
+using namespace proteus_test;
+
+namespace {
+
+/// Kernel writing its full 3-D coordinates: out[linear] = encoded id.
+Function *buildGeometryKernel(Module &M) {
+  Context &Ctx = M.getContext();
+  IRBuilder B(Ctx);
+  Function *F = M.createFunction("geom", Ctx.getVoidTy(), {Ctx.getPtrTy()},
+                                 {"out"}, FunctionKind::Kernel);
+  B.setInsertPoint(F->createBlock("entry", Ctx.getVoidTy()));
+  Value *Tx = B.createThreadIdx(0);
+  Value *TyV = B.createThreadIdx(1);
+  Value *Tz = B.createThreadIdx(2);
+  Value *Bx = B.createBlockIdx(0);
+  Value *Dx = B.createBlockDim(0);
+  Value *Dy = B.createBlockDim(1);
+  Value *Dz = B.createBlockDim(2);
+  Value *Gx = B.createGridDim(0);
+  // linear thread = ((bx*dz + tz)*dy + ty)*dx + tx, then scale by gridDim
+  // presence to touch every special register.
+  Value *L1 = B.createAdd(B.createMul(Bx, Dz), Tz);
+  Value *L2 = B.createAdd(B.createMul(L1, Dy), TyV);
+  Value *L3 = B.createAdd(B.createMul(L2, Dx), Tx);
+  Value *Code = B.createAdd(B.createMul(L3, B.getInt32(100)), Gx);
+  Value *P = B.createGep(Ctx.getI32Ty(), F->getArg(0), L3);
+  B.createStore(Code, P);
+  B.createRet();
+  return F;
+}
+
+TEST(GeometryTest, ThreeDimensionalBlocksCoverAllThreads) {
+  Context Ctx;
+  Module M(Ctx, "m");
+  Function *F = buildGeometryKernel(M);
+  Device Dev(getAmdGcnSimTarget(), 1 << 20);
+  std::vector<uint8_t> Obj = compileKernelToObject(*F, getAmdGcnSimTarget());
+  LoadedKernel *K = nullptr;
+  std::string Err;
+  ASSERT_EQ(gpuModuleLoad(Dev, &K, Obj, &Err), GpuError::Success) << Err;
+  DevicePtr Out = 0;
+  constexpr uint32_t Gx = 3, Bx = 4, By = 2, Bz = 2;
+  constexpr uint32_t Total = Gx * Bx * By * Bz;
+  ASSERT_EQ(gpuMalloc(Dev, &Out, Total * 4), GpuError::Success);
+  ASSERT_EQ(gpuLaunchKernel(Dev, *K, Dim3{Gx, 1, 1}, Dim3{Bx, By, Bz},
+                            {{Out}}, &Err),
+            GpuError::Success)
+      << Err;
+  std::vector<int32_t> Host(Total);
+  gpuMemcpyDtoH(Dev, Host.data(), Out, Total * 4);
+  for (uint32_t I = 0; I != Total; ++I)
+    EXPECT_EQ(Host[I], static_cast<int32_t>(I * 100 + Gx)) << "thread " << I;
+  EXPECT_EQ(Dev.LastLaunch.totalThreads(), Total);
+}
+
+TEST(L2CacheTest, HitsMissesAndEviction) {
+  L2Cache C(/*SizeBytes=*/16 * 128 * 2, /*LineBytes=*/128, /*Ways=*/2);
+  EXPECT_FALSE(C.access(0));    // cold miss
+  EXPECT_TRUE(C.access(64));    // same line
+  EXPECT_FALSE(C.access(4096)); // different set/line
+  EXPECT_TRUE(C.access(0));
+  // Fill one set beyond associativity: set count = 16, ways = 2.
+  // Lines mapping to set S: line % 16 == S.
+  uint64_t LineBytes = 128, Sets = 16;
+  // line numbers are address/128 + 1; choose addresses so (line % 16) == 1.
+  auto AddrForLine = [&](uint64_t K) {
+    return (K * Sets + 0) * LineBytes; // lines K*16+1 -> set 1
+  };
+  C.access(AddrForLine(1));
+  C.access(AddrForLine(2));
+  C.access(AddrForLine(3)); // evicts the LRU of the set
+  unsigned Hits = 0;
+  for (uint64_t K = 1; K <= 3; ++K)
+    Hits += C.access(AddrForLine(K)) ? 1 : 0;
+  EXPECT_LT(Hits, 3u) << "a 2-way set cannot retain 3 lines";
+  C.reset();
+  EXPECT_FALSE(C.access(0)) << "reset must drop all lines";
+}
+
+TEST(TransferModelTest, TimeScalesWithSize) {
+  const TargetInfo &TI = getAmdGcnSimTarget();
+  double Small = transferSeconds(TI, 1024);
+  double Large = transferSeconds(TI, 64 * 1024 * 1024);
+  EXPECT_GT(Large, Small);
+  EXPECT_GT(Small, 0.0);
+  // Latency floor dominates tiny copies.
+  EXPECT_NEAR(transferSeconds(TI, 1) , transferSeconds(TI, 512), 1e-6);
+}
+
+TEST(ProfilerTest, AccumulatesAcrossLaunches) {
+  Context Ctx;
+  Module M(Ctx, "m");
+  Function *F = buildDaxpyKernel(M);
+  Device Dev(getAmdGcnSimTarget(), 1 << 20);
+  std::vector<uint8_t> Obj = compileKernelToObject(*F, getAmdGcnSimTarget());
+  LoadedKernel *K = nullptr;
+  std::string Err;
+  ASSERT_EQ(gpuModuleLoad(Dev, &K, Obj, &Err), GpuError::Success) << Err;
+  DevicePtr X = 0, Y = 0;
+  gpuMalloc(Dev, &X, 64 * 8);
+  gpuMalloc(Dev, &Y, 64 * 8);
+  std::vector<KernelArg> Args = {{sem::boxF64(1.0)}, {X}, {Y}, {64}};
+  for (int I = 0; I != 3; ++I)
+    ASSERT_EQ(gpuLaunchKernel(Dev, *K, Dim3{2, 1, 1}, Dim3{32, 1, 1}, Args,
+                              &Err),
+              GpuError::Success);
+  const LaunchStats &P = Dev.Profile.at("daxpy");
+  EXPECT_EQ(P.MemStores, 3u * 64);
+  EXPECT_EQ(P.Blocks, 3u * 2);
+  // Durations vary slightly per launch (L2 warm-up): check accumulation.
+  EXPECT_GT(P.DurationSec, 2.0 * Dev.LastLaunch.DurationSec);
+  EXPECT_GT(Dev.kernelSeconds(), 0.0);
+}
+
+TEST(ExecutorTest, BarrierCountsAndRuns) {
+  Context Ctx;
+  Module M(Ctx, "m");
+  IRBuilder B(Ctx);
+  Function *F = M.createFunction("bar", Ctx.getVoidTy(), {Ctx.getPtrTy()},
+                                 {"out"}, FunctionKind::Kernel);
+  B.setInsertPoint(F->createBlock("entry", Ctx.getVoidTy()));
+  Value *Tid = B.createThreadIdx(0);
+  B.createBarrier();
+  B.createStore(Tid, B.createGep(Ctx.getI32Ty(), F->getArg(0), Tid));
+  B.createBarrier();
+  B.createRet();
+  Device Dev(getAmdGcnSimTarget(), 1 << 20);
+  std::vector<uint8_t> Obj = compileKernelToObject(*F, getAmdGcnSimTarget());
+  LoadedKernel *K = nullptr;
+  std::string Err;
+  ASSERT_EQ(gpuModuleLoad(Dev, &K, Obj, &Err), GpuError::Success) << Err;
+  DevicePtr Out = 0;
+  gpuMalloc(Dev, &Out, 16 * 4);
+  ASSERT_EQ(gpuLaunchKernel(Dev, *K, Dim3{1, 1, 1}, Dim3{16, 1, 1}, {{Out}},
+                            &Err),
+            GpuError::Success);
+  EXPECT_EQ(Dev.LastLaunch.Barriers, 2u * 16);
+}
+
+TEST(ExecutorTest, WrongArgumentCountFails) {
+  Context Ctx;
+  Module M(Ctx, "m");
+  Function *F = buildDaxpyKernel(M);
+  Device Dev(getAmdGcnSimTarget(), 1 << 20);
+  std::vector<uint8_t> Obj = compileKernelToObject(*F, getAmdGcnSimTarget());
+  LoadedKernel *K = nullptr;
+  std::string Err;
+  ASSERT_EQ(gpuModuleLoad(Dev, &K, Obj, &Err), GpuError::Success) << Err;
+  EXPECT_EQ(gpuLaunchKernel(Dev, *K, Dim3{1, 1, 1}, Dim3{1, 1, 1},
+                            {{1}, {2}}, &Err),
+            GpuError::LaunchFailure);
+  EXPECT_NE(Err.find("argument count"), std::string::npos);
+}
+
+TEST(ExecutorTest, InfiniteLoopHitsStepLimit) {
+  Context Ctx;
+  Module M(Ctx, "m");
+  IRBuilder B(Ctx);
+  Function *F = M.createFunction("spin", Ctx.getVoidTy(), {}, {},
+                                 FunctionKind::Kernel);
+  BasicBlock *Entry = F->createBlock("entry", Ctx.getVoidTy());
+  BasicBlock *Loop = F->createBlock("loop", Ctx.getVoidTy());
+  B.setInsertPoint(Entry);
+  B.createBr(Loop);
+  B.setInsertPoint(Loop);
+  B.createBr(Loop);
+  Device Dev(getAmdGcnSimTarget(), 1 << 16);
+  std::vector<uint8_t> Obj = compileKernelToObject(*F, getAmdGcnSimTarget());
+  LoadedKernel *K = nullptr;
+  std::string Err;
+  ASSERT_EQ(gpuModuleLoad(Dev, &K, Obj, &Err), GpuError::Success) << Err;
+  LaunchResult R = launchKernel(Dev, *K, Dim3{1, 1, 1}, Dim3{1, 1, 1}, {},
+                                /*MaxStepsPerThread=*/1000);
+  EXPECT_FALSE(R.Ok);
+  EXPECT_NE(R.Error.find("step limit"), std::string::npos);
+}
+
+TEST(MachineIRTest, DisassemblyIsReadable) {
+  Context Ctx;
+  Module M(Ctx, "m");
+  Function *F = buildDaxpyKernel(M);
+  mcode::MachineFunction MF = compileKernel(*F, getAmdGcnSimTarget());
+  std::string Text = mcode::printMachineFunction(MF);
+  EXPECT_NE(Text.find("daxpy"), std::string::npos);
+  EXPECT_NE(Text.find("ld.global"), std::string::npos);
+  EXPECT_NE(Text.find("st.global"), std::string::npos);
+  EXPECT_NE(Text.find("ret"), std::string::npos);
+}
+
+TEST(DeviceTest, CrossArchObjectRejected) {
+  Context Ctx;
+  Module M(Ctx, "m");
+  Function *F = buildDaxpyKernel(M);
+  std::vector<uint8_t> Obj = compileKernelToObject(*F, getNvPtxSimTarget());
+  Device Amd(getAmdGcnSimTarget(), 1 << 16);
+  LoadedKernel *K = nullptr;
+  std::string Err;
+  EXPECT_EQ(gpuModuleLoad(Amd, &K, Obj, &Err), GpuError::InvalidValue);
+  EXPECT_NE(Err.find("nvptx-sim"), std::string::npos);
+}
+
+} // namespace

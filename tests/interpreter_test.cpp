@@ -1,0 +1,228 @@
+//===- interpreter_test.cpp - reference interpreter tests ----------------------===//
+//
+// Part of the Proteus reproduction project.
+//
+//===----------------------------------------------------------------------===//
+
+#include "TestUtil.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstring>
+
+using namespace pir;
+using namespace proteus_test;
+
+namespace {
+
+TEST(InterpreterTest, DaxpyComputesCorrectValues) {
+  Context Ctx;
+  Module M(Ctx, "m");
+  Function *F = buildDaxpyKernel(M);
+
+  constexpr uint32_t N = 40;
+  std::vector<uint8_t> Mem(2 * N * sizeof(double));
+  auto *X = reinterpret_cast<double *>(Mem.data());
+  auto *Y = reinterpret_cast<double *>(Mem.data() + N * sizeof(double));
+  for (uint32_t I = 0; I != N; ++I) {
+    X[I] = I * 0.5;
+    Y[I] = 100.0 + I;
+  }
+  std::vector<uint64_t> Args = {sem::boxF64(3.0), 0, N * sizeof(double), N};
+  // Launch more threads than elements: the guard must hold.
+  interpretLaunch(*F, Args, Mem, /*Blocks=*/2, /*ThreadsPerBlock=*/32);
+  for (uint32_t I = 0; I != N; ++I)
+    EXPECT_DOUBLE_EQ(Y[I], 3.0 * (I * 0.5) + 100.0 + I) << "at " << I;
+}
+
+TEST(InterpreterTest, LoopSumMatchesClosedForm) {
+  Context Ctx;
+  Module M(Ctx, "m");
+  Function *F = buildLoopSumKernel(M);
+
+  constexpr uint32_t N = 8;
+  constexpr uint32_t Iters = 11;
+  std::vector<uint8_t> Mem(2 * N * sizeof(double));
+  auto *In = reinterpret_cast<double *>(Mem.data());
+  for (uint32_t I = 0; I != N; ++I)
+    In[I] = 1.0 + I;
+  std::vector<uint64_t> Args = {0, N * sizeof(double), Iters};
+  interpretLaunch(*F, Args, Mem, 1, N);
+  auto *Out = reinterpret_cast<double *>(Mem.data() + N * sizeof(double));
+  double K = Iters * (Iters - 1) / 2.0;
+  for (uint32_t I = 0; I != N; ++I)
+    EXPECT_DOUBLE_EQ(Out[I], (1.0 + I) * K);
+}
+
+TEST(InterpreterTest, OutOfBoundsAccessFails) {
+  Context Ctx;
+  Module M(Ctx, "m");
+  IRBuilder B(Ctx);
+  Function *F = M.createFunction("bad", Ctx.getVoidTy(), {Ctx.getPtrTy()},
+                                 {"p"}, FunctionKind::Kernel);
+  BasicBlock *BB = F->createBlock("entry", Ctx.getVoidTy());
+  B.setInsertPoint(BB);
+  B.createLoad(Ctx.getF64Ty(), F->getArg(0));
+  B.createRet();
+
+  std::vector<uint8_t> Mem(16);
+  IRInterpreter Interp(Mem);
+  InterpResult R = Interp.run(*F, {1000}, ThreadGeometry{});
+  EXPECT_FALSE(R.Ok);
+  EXPECT_NE(R.Error.find("out of bounds"), std::string::npos);
+}
+
+TEST(InterpreterTest, StepLimitGuardsInfiniteLoops) {
+  Context Ctx;
+  Module M(Ctx, "m");
+  IRBuilder B(Ctx);
+  Function *F = M.createFunction("spin", Ctx.getVoidTy(), {}, {},
+                                 FunctionKind::Kernel);
+  BasicBlock *Entry = F->createBlock("entry", Ctx.getVoidTy());
+  BasicBlock *Loop = F->createBlock("loop", Ctx.getVoidTy());
+  B.setInsertPoint(Entry);
+  B.createBr(Loop);
+  B.setInsertPoint(Loop);
+  B.createBr(Loop);
+
+  std::vector<uint8_t> Mem;
+  IRInterpreter Interp(Mem);
+  InterpResult R = Interp.run(*F, {}, ThreadGeometry{}, /*MaxSteps=*/1000);
+  EXPECT_FALSE(R.Ok);
+  EXPECT_NE(R.Error.find("step limit"), std::string::npos);
+}
+
+TEST(InterpreterTest, DeviceCallAndReturnValue) {
+  Context Ctx;
+  Module M(Ctx, "m");
+  IRBuilder B(Ctx);
+  Function *Dev = M.createFunction("sq", Ctx.getF64Ty(), {Ctx.getF64Ty()},
+                                   {"x"}, FunctionKind::Device);
+  BasicBlock *DB = Dev->createBlock("entry", Ctx.getVoidTy());
+  B.setInsertPoint(DB);
+  B.createRet(B.createFMul(Dev->getArg(0), Dev->getArg(0)));
+
+  Function *K = M.createFunction("k", Ctx.getVoidTy(), {Ctx.getPtrTy()},
+                                 {"out"}, FunctionKind::Kernel);
+  BasicBlock *KB = K->createBlock("entry", Ctx.getVoidTy());
+  B.setInsertPoint(KB);
+  Value *R = B.createCall(Dev, {B.getDouble(1.5)});
+  B.createStore(R, K->getArg(0));
+  B.createRet();
+
+  std::vector<uint8_t> Mem(8);
+  IRInterpreter Interp(Mem);
+  InterpResult Res = Interp.run(*K, {0}, ThreadGeometry{});
+  ASSERT_TRUE(Res.Ok) << Res.Error;
+  double Out;
+  std::memcpy(&Out, Mem.data(), 8);
+  EXPECT_DOUBLE_EQ(Out, 2.25);
+}
+
+TEST(InterpreterTest, AllocaScratchIsPerInvocation) {
+  Context Ctx;
+  Module M(Ctx, "m");
+  IRBuilder B(Ctx);
+  Function *K = M.createFunction("k", Ctx.getVoidTy(), {Ctx.getPtrTy()},
+                                 {"out"}, FunctionKind::Kernel);
+  BasicBlock *BB = K->createBlock("entry", Ctx.getVoidTy());
+  B.setInsertPoint(BB);
+  Value *Slot = B.createAlloca(Ctx.getI64Ty(), 1);
+  Value *Tid = B.createThreadIdx(0);
+  Value *Tid64 = B.createZExt(Tid, Ctx.getI64Ty());
+  B.createStore(Tid64, Slot);
+  Value *Back = B.createLoad(Ctx.getI64Ty(), Slot);
+  Value *OutP = B.createGep(Ctx.getI64Ty(), K->getArg(0), Tid);
+  B.createStore(Back, OutP);
+  B.createRet();
+
+  std::vector<uint8_t> Mem(4 * 8);
+  std::vector<uint64_t> Args = {0};
+  interpretLaunch(*K, Args, Mem, 1, 4);
+  auto *Out = reinterpret_cast<uint64_t *>(Mem.data());
+  for (uint64_t I = 0; I != 4; ++I)
+    EXPECT_EQ(Out[I], I);
+}
+
+TEST(InterpreterTest, AtomicAddReturnsOldValue) {
+  Context Ctx;
+  Module M(Ctx, "m");
+  IRBuilder B(Ctx);
+  Function *K = M.createFunction("k", Ctx.getVoidTy(),
+                                 {Ctx.getPtrTy(), Ctx.getPtrTy()},
+                                 {"ctr", "olds"}, FunctionKind::Kernel);
+  BasicBlock *BB = K->createBlock("entry", Ctx.getVoidTy());
+  B.setInsertPoint(BB);
+  Value *Old = B.createAtomicAdd(K->getArg(0), B.getInt64(1));
+  Value *Tid = B.createThreadIdx(0);
+  Value *P = B.createGep(Ctx.getI64Ty(), K->getArg(1), Tid);
+  B.createStore(Old, P);
+  B.createRet();
+
+  std::vector<uint8_t> Mem(8 + 4 * 8);
+  std::vector<uint64_t> Args = {0, 8};
+  interpretLaunch(*K, Args, Mem, 1, 4);
+  uint64_t Counter;
+  std::memcpy(&Counter, Mem.data(), 8);
+  EXPECT_EQ(Counter, 4u);
+  auto *Olds = reinterpret_cast<uint64_t *>(Mem.data() + 8);
+  // Sequential simulation: olds are 0..3 in thread order.
+  for (uint64_t I = 0; I != 4; ++I)
+    EXPECT_EQ(Olds[I], I);
+}
+
+// Property sweep: evalBinary/evalICmp semantics vs. native C++ on i32.
+class BinarySemanticsTest
+    : public ::testing::TestWithParam<std::pair<int64_t, int64_t>> {};
+
+TEST_P(BinarySemanticsTest, MatchesNativeInt32) {
+  Context Ctx;
+  auto [AS, BS] = GetParam();
+  int32_t A = static_cast<int32_t>(AS), Bv = static_cast<int32_t>(BS);
+  Type *I32 = Ctx.getI32Ty();
+  auto Box = [](int32_t V) {
+    return static_cast<uint64_t>(static_cast<uint32_t>(V));
+  };
+  EXPECT_EQ(sem::evalBinary(ValueKind::Add, I32, Box(A), Box(Bv)),
+            Box(static_cast<int32_t>(static_cast<uint32_t>(A) +
+                                     static_cast<uint32_t>(Bv))));
+  EXPECT_EQ(sem::evalBinary(ValueKind::Mul, I32, Box(A), Box(Bv)),
+            Box(static_cast<int32_t>(static_cast<uint32_t>(A) *
+                                     static_cast<uint32_t>(Bv))));
+  if (A == INT32_MIN && Bv == -1) {
+    // Native int32 division would trap; our semantics compute in 64 bits
+    // and truncate, wrapping to INT32_MIN.
+    EXPECT_EQ(sem::evalBinary(ValueKind::SDiv, I32, Box(A), Box(Bv)),
+              Box(INT32_MIN));
+    EXPECT_EQ(sem::evalBinary(ValueKind::SRem, I32, Box(A), Box(Bv)),
+              Box(0));
+  } else if (Bv != 0) {
+    EXPECT_EQ(sem::evalBinary(ValueKind::SDiv, I32, Box(A), Box(Bv)),
+              Box(A / Bv));
+    EXPECT_EQ(sem::evalBinary(ValueKind::SRem, I32, Box(A), Box(Bv)),
+              Box(A % Bv));
+  } else {
+    EXPECT_EQ(sem::evalBinary(ValueKind::SDiv, I32, Box(A), Box(Bv)), 0u);
+  }
+  EXPECT_EQ(sem::evalICmp(ICmpPred::SLT, I32, Box(A), Box(Bv)), A < Bv);
+  EXPECT_EQ(sem::evalICmp(ICmpPred::UGE, I32, Box(A), Box(Bv)),
+            static_cast<uint32_t>(A) >= static_cast<uint32_t>(Bv));
+  EXPECT_EQ(sem::evalBinary(ValueKind::SMax, I32, Box(A), Box(Bv)),
+            Box(A > Bv ? A : Bv));
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Pairs, BinarySemanticsTest,
+    ::testing::Values(std::make_pair<int64_t, int64_t>(0, 0),
+                      std::make_pair<int64_t, int64_t>(7, 3),
+                      std::make_pair<int64_t, int64_t>(-7, 3),
+                      std::make_pair<int64_t, int64_t>(7, -3),
+                      std::make_pair<int64_t, int64_t>(-1, -1),
+                      std::make_pair<int64_t, int64_t>(INT32_MAX, 1),
+                      std::make_pair<int64_t, int64_t>(INT32_MIN, -1),
+                      std::make_pair<int64_t, int64_t>(123456, 0),
+                      std::make_pair<int64_t, int64_t>(1, 31),
+                      std::make_pair<int64_t, int64_t>(-8, 2)));
+
+} // namespace

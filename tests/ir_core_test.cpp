@@ -1,0 +1,303 @@
+//===- ir_core_test.cpp - IR value/use/builder/verifier tests ----------------===//
+//
+// Part of the Proteus reproduction project.
+//
+//===----------------------------------------------------------------------===//
+
+#include "TestUtil.h"
+
+#include "ir/Context.h"
+#include "ir/IRPrinter.h"
+
+#include <gtest/gtest.h>
+
+using namespace pir;
+using namespace proteus_test;
+
+namespace {
+
+TEST(TypeTest, Singletons) {
+  Context Ctx;
+  EXPECT_EQ(Ctx.getI32Ty(), Ctx.getI32Ty());
+  EXPECT_NE(Ctx.getI32Ty(), Ctx.getI64Ty());
+  EXPECT_EQ(Ctx.getI32Ty()->sizeInBytes(), 4u);
+  EXPECT_EQ(Ctx.getF64Ty()->sizeInBytes(), 8u);
+  EXPECT_EQ(Ctx.getPtrTy()->sizeInBytes(), 8u);
+  EXPECT_TRUE(Ctx.getI1Ty()->isInteger());
+  EXPECT_FALSE(Ctx.getF32Ty()->isInteger());
+  EXPECT_EQ(Ctx.getI64Ty()->integerBitWidth(), 64u);
+}
+
+TEST(TypeTest, Names) {
+  Context Ctx;
+  EXPECT_EQ(Ctx.getVoidTy()->getName(), "void");
+  EXPECT_EQ(Ctx.getI1Ty()->getName(), "i1");
+  EXPECT_EQ(Ctx.getF32Ty()->getName(), "f32");
+  EXPECT_EQ(Ctx.getPtrTy()->getName(), "ptr");
+}
+
+TEST(ConstantTest, IntegerUniquingAndSignedness) {
+  Context Ctx;
+  EXPECT_EQ(Ctx.getInt32(7), Ctx.getInt32(7));
+  EXPECT_NE(Ctx.getInt32(7), Ctx.getInt64(7));
+  ConstantInt *Neg = Ctx.getConstantInt(Ctx.getI32Ty(),
+                                        static_cast<uint64_t>(-5));
+  EXPECT_EQ(Neg->getSExtValue(), -5);
+  EXPECT_EQ(Neg->getZExtValue(), 0xFFFFFFFBull);
+  ConstantInt *True = Ctx.getTrue();
+  EXPECT_EQ(True->getZExtValue(), 1u);
+  EXPECT_EQ(True->getSExtValue(), -1); // i1 sign extension
+}
+
+TEST(ConstantTest, FPUniquingKeepsNegativeZeroDistinct) {
+  Context Ctx;
+  EXPECT_EQ(Ctx.getDouble(1.5), Ctx.getDouble(1.5));
+  EXPECT_NE(Ctx.getDouble(0.0), Ctx.getDouble(-0.0));
+  // f32 constants round to f32 precision.
+  ConstantFP *F = Ctx.getFloat(0.1f);
+  EXPECT_EQ(F->getValue(), static_cast<double>(0.1f));
+}
+
+TEST(ConstantTest, PointerUniquing) {
+  Context Ctx;
+  EXPECT_EQ(Ctx.getConstantPtr(64), Ctx.getConstantPtr(64));
+  EXPECT_TRUE(Ctx.getNullPtr()->isNull());
+}
+
+TEST(UseListTest, RAUWRewritesAllUses) {
+  Context Ctx;
+  Module M(Ctx, "m");
+  Function *F = M.createFunction("k", Ctx.getVoidTy(),
+                                 {Ctx.getI32Ty(), Ctx.getI32Ty()},
+                                 {"a", "b"}, FunctionKind::Kernel);
+  BasicBlock *BB = F->createBlock("entry", Ctx.getVoidTy());
+  IRBuilder B(Ctx);
+  B.setInsertPoint(BB);
+  Value *S1 = B.createAdd(F->getArg(0), F->getArg(0));
+  Value *S2 = B.createMul(S1, F->getArg(0));
+  B.createRet();
+
+  EXPECT_EQ(F->getArg(0)->getNumUses(), 3u);
+  F->getArg(0)->replaceAllUsesWith(F->getArg(1));
+  EXPECT_EQ(F->getArg(0)->getNumUses(), 0u);
+  EXPECT_EQ(F->getArg(1)->getNumUses(), 3u);
+  EXPECT_EQ(cast<Instruction>(S2)->getOperand(1), F->getArg(1));
+  EXPECT_EQ(cast<Instruction>(S1)->getOperand(0), F->getArg(1));
+}
+
+TEST(UseListTest, SetOperandMaintainsBackPointers) {
+  Context Ctx;
+  Module M(Ctx, "m");
+  Function *F = M.createFunction("k", Ctx.getVoidTy(), {Ctx.getI32Ty()},
+                                 {"a"}, FunctionKind::Kernel);
+  BasicBlock *BB = F->createBlock("entry", Ctx.getVoidTy());
+  IRBuilder B(Ctx);
+  B.setInsertPoint(BB);
+  // Build many users, then remove uses in arbitrary order to stress the
+  // swap-with-last bookkeeping.
+  std::vector<Instruction *> Adds;
+  for (int I = 0; I < 16; ++I)
+    Adds.push_back(
+        cast<Instruction>(B.createAdd(F->getArg(0), B.getInt32(I))));
+  EXPECT_EQ(F->getArg(0)->getNumUses(), 16u);
+  for (int I = 15; I >= 0; I -= 2)
+    Adds[I]->setOperand(0, B.getInt32(99));
+  EXPECT_EQ(F->getArg(0)->getNumUses(), 8u);
+  for (const Use &U : F->getArg(0)->uses())
+    EXPECT_EQ(U.TheUser->getOperand(U.OperandIndex), F->getArg(0));
+  B.createRet();
+}
+
+TEST(InstructionTest, EraseFromParentAndMoveBefore) {
+  Context Ctx;
+  Module M(Ctx, "m");
+  Function *F = M.createFunction("k", Ctx.getVoidTy(), {}, {},
+                                 FunctionKind::Kernel);
+  BasicBlock *BB = F->createBlock("entry", Ctx.getVoidTy());
+  IRBuilder B(Ctx);
+  B.setInsertPoint(BB);
+  Value *A = B.createThreadIdx(0);
+  Value *C = B.createAdd(A, B.getInt32(1));
+  B.createRet();
+  EXPECT_EQ(BB->size(), 3u);
+  Instruction *AddInst = cast<Instruction>(C);
+  // Move the add before the thread-idx read (operand order preserved in the
+  // list semantics is the caller's concern; here we just check linkage).
+  AddInst->moveBefore(cast<Instruction>(A));
+  EXPECT_EQ(&BB->front(), AddInst);
+  // Erase: first drop the use.
+  AddInst->eraseFromParent();
+  EXPECT_EQ(BB->size(), 2u);
+  EXPECT_EQ(A->getNumUses(), 0u);
+}
+
+TEST(InstructionTest, ClassificationPredicates) {
+  Context Ctx;
+  Module M(Ctx, "m");
+  Function *F = M.createFunction("k", Ctx.getVoidTy(), {Ctx.getPtrTy()},
+                                 {"p"}, FunctionKind::Kernel);
+  BasicBlock *BB = F->createBlock("entry", Ctx.getVoidTy());
+  IRBuilder B(Ctx);
+  B.setInsertPoint(BB);
+  Value *L = B.createLoad(Ctx.getF64Ty(), F->getArg(0));
+  B.createStore(L, F->getArg(0));
+  B.createRet();
+
+  auto It = BB->begin();
+  Instruction &Load = *It;
+  ++It;
+  Instruction &Store = *It;
+  ++It;
+  Instruction &Ret = *It;
+  EXPECT_FALSE(Load.mayHaveSideEffects());
+  EXPECT_FALSE(Load.isSpeculatable()); // may fault
+  EXPECT_TRUE(Store.mayHaveSideEffects());
+  EXPECT_TRUE(Ret.isTerminator());
+  EXPECT_FALSE(Load.isTerminator());
+}
+
+TEST(CFGTest, SuccessorsAndPredecessors) {
+  Context Ctx;
+  Module M(Ctx, "m");
+  Function *F = buildDaxpyKernel(M);
+  auto Blocks = F->blockList();
+  ASSERT_EQ(Blocks.size(), 3u);
+  BasicBlock *Entry = Blocks[0];
+  BasicBlock *Then = Blocks[1];
+  BasicBlock *Exit = Blocks[2];
+  EXPECT_EQ(Entry->successors(),
+            (std::vector<BasicBlock *>{Then, Exit}));
+  EXPECT_EQ(Then->successors(), (std::vector<BasicBlock *>{Exit}));
+  EXPECT_TRUE(Exit->successors().empty());
+  auto ExitPreds = Exit->predecessors();
+  EXPECT_EQ(ExitPreds.size(), 2u);
+  EXPECT_TRUE(Entry->predecessors().empty());
+}
+
+TEST(VerifierTest, AcceptsWellFormedKernels) {
+  Context Ctx;
+  Module M(Ctx, "m");
+  buildDaxpyKernel(M);
+  buildLoopSumKernel(M);
+  expectValid(M);
+}
+
+TEST(VerifierTest, RejectsMissingTerminator) {
+  Context Ctx;
+  Module M(Ctx, "m");
+  Function *F = M.createFunction("k", Ctx.getVoidTy(), {}, {},
+                                 FunctionKind::Kernel);
+  F->createBlock("entry", Ctx.getVoidTy());
+  IRBuilder B(Ctx);
+  B.setInsertPoint(&F->getEntryBlock());
+  B.createThreadIdx(0);
+  VerifyResult R = verifyFunction(*F);
+  EXPECT_FALSE(R.ok());
+}
+
+TEST(VerifierTest, RejectsDominanceViolation) {
+  Context Ctx;
+  Module M(Ctx, "m");
+  Function *F = M.createFunction("k", Ctx.getVoidTy(), {Ctx.getI1Ty()},
+                                 {"c"}, FunctionKind::Kernel);
+  BasicBlock *Entry = F->createBlock("entry", Ctx.getVoidTy());
+  BasicBlock *A = F->createBlock("a", Ctx.getVoidTy());
+  BasicBlock *Bb = F->createBlock("b", Ctx.getVoidTy());
+  IRBuilder B(Ctx);
+  B.setInsertPoint(Entry);
+  B.createCondBr(F->getArg(0), A, Bb);
+  B.setInsertPoint(A);
+  Value *X = B.createAdd(B.getInt32(1), B.getInt32(2));
+  B.createRet();
+  B.setInsertPoint(Bb);
+  // Uses X, which does not dominate this block.
+  B.createAdd(X, B.getInt32(3));
+  B.createRet();
+  VerifyResult R = verifyFunction(*F);
+  EXPECT_FALSE(R.ok());
+  EXPECT_NE(R.message().find("dominate"), std::string::npos);
+}
+
+TEST(VerifierTest, RejectsBadAnnotationIndex) {
+  Context Ctx;
+  Module M(Ctx, "m");
+  Function *F = buildDaxpyKernel(M);
+  F->setJitAnnotation(JitAnnotation{{0}}); // 1-based: 0 is invalid
+  VerifyResult R = verifyModule(M);
+  EXPECT_FALSE(R.ok());
+  F->setJitAnnotation(JitAnnotation{{5}}); // only 4 args
+  R = verifyModule(M);
+  EXPECT_FALSE(R.ok());
+}
+
+TEST(VerifierTest, RejectsPhiPredMismatch) {
+  Context Ctx;
+  Module M(Ctx, "m");
+  Function *F = M.createFunction("k", Ctx.getVoidTy(), {}, {},
+                                 FunctionKind::Kernel);
+  BasicBlock *Entry = F->createBlock("entry", Ctx.getVoidTy());
+  BasicBlock *Next = F->createBlock("next", Ctx.getVoidTy());
+  IRBuilder B(Ctx);
+  B.setInsertPoint(Entry);
+  B.createBr(Next);
+  B.setInsertPoint(Next);
+  PhiInst *Phi = B.createPhi(Ctx.getI32Ty());
+  Phi->addIncoming(B.getInt32(1), Entry);
+  Phi->addIncoming(B.getInt32(2), Next); // Next is not a predecessor
+  B.createRet();
+  VerifyResult R = verifyFunction(*F);
+  EXPECT_FALSE(R.ok());
+}
+
+TEST(CloneTest, ModuleCloneIsDeepAndEquivalent) {
+  Context Ctx;
+  Module M(Ctx, "m");
+  buildDaxpyKernel(M);
+  buildLoopSumKernel(M);
+  auto Clone = cloneModule(M, Ctx, "m.clone");
+  expectValid(*Clone);
+  // Structural equality through the printer (module name differs).
+  std::string A = printModule(M);
+  std::string B = printModule(*Clone);
+  A = A.substr(A.find('\n'));
+  B = B.substr(B.find('\n'));
+  EXPECT_EQ(A, B);
+  // Mutating the clone leaves the original untouched.
+  Function *CF = Clone->getFunction("daxpy");
+  CF->getArg(0)->replaceAllUsesWith(Ctx.getDouble(2.0));
+  EXPECT_NE(printFunction(*M.getFunction("daxpy")), printFunction(*CF));
+}
+
+TEST(ModuleTest, ModuleIdChangesWithContent) {
+  Context Ctx;
+  Module M1(Ctx, "m");
+  buildDaxpyKernel(M1);
+  uint64_t Id1 = M1.computeModuleId();
+
+  Module M2(Ctx, "m");
+  Function *F2 = buildDaxpyKernel(M2);
+  EXPECT_EQ(Id1, M2.computeModuleId()) << "identical source, identical id";
+
+  // A "source change" (different constant) must change the module id — this
+  // is the property that keeps stale persistent-cache entries from being
+  // reused (paper section 3.3).
+  IRBuilder B(Ctx);
+  B.setInsertPoint(&F2->getEntryBlock().front());
+  B.createAdd(B.getInt32(41), B.getInt32(1));
+  EXPECT_NE(Id1, M2.computeModuleId());
+}
+
+TEST(ModuleTest, GlobalsAndLookup) {
+  Context Ctx;
+  Module M(Ctx, "m");
+  GlobalVariable *G =
+      M.createGlobal("table", Ctx.getF64Ty(), 16, std::vector<uint8_t>());
+  EXPECT_EQ(M.getGlobal("table"), G);
+  EXPECT_EQ(G->sizeInBytes(), 128u);
+  EXPECT_EQ(M.getGlobal("nope"), nullptr);
+  EXPECT_EQ(M.kernels().size(), 0u);
+  buildDaxpyKernel(M);
+  EXPECT_EQ(M.kernels().size(), 1u);
+}
+
+} // namespace

@@ -1,0 +1,220 @@
+//===- ir_extra_test.cpp - IR machinery edge cases -------------------------------===//
+//
+// Part of the Proteus reproduction project.
+//
+//===----------------------------------------------------------------------===//
+
+#include "TestUtil.h"
+
+#include "ir/Context.h"
+#include "ir/Dominators.h"
+#include "ir/IRParser.h"
+#include "ir/IRPrinter.h"
+
+#include <gtest/gtest.h>
+
+using namespace pir;
+using namespace proteus_test;
+
+namespace {
+
+TEST(DominatorsTest, DiamondAndLoop) {
+  Context Ctx;
+  Module M(Ctx, "m");
+  IRBuilder B(Ctx);
+  Function *F = M.createFunction("k", Ctx.getVoidTy(), {Ctx.getI1Ty()},
+                                 {"c"}, FunctionKind::Kernel);
+  BasicBlock *Entry = F->createBlock("entry", Ctx.getVoidTy());
+  BasicBlock *T = F->createBlock("t", Ctx.getVoidTy());
+  BasicBlock *E = F->createBlock("e", Ctx.getVoidTy());
+  BasicBlock *J = F->createBlock("j", Ctx.getVoidTy());
+  B.setInsertPoint(Entry);
+  B.createCondBr(F->getArg(0), T, E);
+  B.setInsertPoint(T);
+  B.createBr(J);
+  B.setInsertPoint(E);
+  B.createBr(J);
+  B.setInsertPoint(J);
+  B.createRet();
+
+  DominatorTree DT(*F);
+  EXPECT_TRUE(DT.dominates(Entry, J));
+  EXPECT_FALSE(DT.dominates(T, J)) << "join has two predecessors";
+  EXPECT_EQ(DT.getIDom(J), Entry);
+  EXPECT_EQ(DT.getIDom(T), Entry);
+  EXPECT_EQ(DT.getIDom(Entry), nullptr);
+  // The join is in both branches' dominance frontiers.
+  auto InFrontier = [&](BasicBlock *BB) {
+    const auto &DF = DT.getFrontier(BB);
+    return std::find(DF.begin(), DF.end(), J) != DF.end();
+  };
+  EXPECT_TRUE(InFrontier(T));
+  EXPECT_TRUE(InFrontier(E));
+}
+
+TEST(DominatorsTest, UnreachableBlocksExcluded) {
+  Context Ctx;
+  Module M(Ctx, "m");
+  IRBuilder B(Ctx);
+  Function *F = M.createFunction("k", Ctx.getVoidTy(), {}, {},
+                                 FunctionKind::Kernel);
+  BasicBlock *Entry = F->createBlock("entry", Ctx.getVoidTy());
+  BasicBlock *Dead = F->createBlock("dead", Ctx.getVoidTy());
+  B.setInsertPoint(Entry);
+  B.createRet();
+  B.setInsertPoint(Dead);
+  B.createRet();
+  DominatorTree DT(*F);
+  EXPECT_TRUE(DT.isReachable(Entry));
+  EXPECT_FALSE(DT.isReachable(Dead));
+  EXPECT_EQ(reversePostOrder(*F).size(), 1u);
+}
+
+TEST(UseListTest, RAUWWithThousandsOfUsesIsCorrect) {
+  Context Ctx;
+  Module M(Ctx, "m");
+  IRBuilder B(Ctx);
+  Function *F = M.createFunction("k", Ctx.getVoidTy(),
+                                 {Ctx.getI32Ty(), Ctx.getI32Ty()},
+                                 {"a", "b"}, FunctionKind::Kernel);
+  B.setInsertPoint(F->createBlock("entry", Ctx.getVoidTy()));
+  constexpr int N = 5000;
+  std::vector<Value *> Sums;
+  for (int I = 0; I != N; ++I)
+    Sums.push_back(B.createAdd(F->getArg(0), F->getArg(0)));
+  B.createRet();
+  ASSERT_EQ(F->getArg(0)->getNumUses(), 2u * N);
+  F->getArg(0)->replaceAllUsesWith(F->getArg(1));
+  EXPECT_EQ(F->getArg(0)->getNumUses(), 0u);
+  EXPECT_EQ(F->getArg(1)->getNumUses(), 2u * N);
+  for (Value *S : Sums) {
+    auto *I = cast<Instruction>(S);
+    EXPECT_EQ(I->getOperand(0), F->getArg(1));
+    EXPECT_EQ(I->getOperand(1), F->getArg(1));
+  }
+}
+
+TEST(PrinterTest, NameCollisionsGetUniqued) {
+  Context Ctx;
+  Module M(Ctx, "m");
+  IRBuilder B(Ctx);
+  Function *F = M.createFunction("k", Ctx.getVoidTy(), {Ctx.getI32Ty()},
+                                 {"x"}, FunctionKind::Kernel);
+  B.setInsertPoint(F->createBlock("entry", Ctx.getVoidTy()));
+  // Three instructions all named "x" (colliding with the argument too).
+  B.createAdd(F->getArg(0), B.getInt32(1), "x");
+  B.createAdd(F->getArg(0), B.getInt32(2), "x");
+  B.createAdd(F->getArg(0), B.getInt32(3), "x");
+  B.createRet();
+  std::string Text = printFunction(*F);
+  // Parse back: unique names required by the parser.
+  Context Ctx2;
+  ParseResult R = parseModule(Ctx2, "module \"m\"\n" + Text);
+  ASSERT_TRUE(R) << R.Error << "\n" << Text;
+}
+
+TEST(PrinterTest, WeirdCharactersSanitized) {
+  Context Ctx;
+  Module M(Ctx, "m");
+  IRBuilder B(Ctx);
+  Function *F = M.createFunction("k", Ctx.getVoidTy(), {Ctx.getI32Ty()},
+                                 {"x"}, FunctionKind::Kernel);
+  B.setInsertPoint(F->createBlock("entry", Ctx.getVoidTy()));
+  B.createAdd(F->getArg(0), B.getInt32(1), "has spaces & symbols!");
+  B.createRet();
+  std::string Text = printFunction(*F);
+  Context Ctx2;
+  ParseResult R = parseModule(Ctx2, "module \"m\"\n" + Text);
+  ASSERT_TRUE(R) << R.Error << "\n" << Text;
+}
+
+TEST(ParserExtraTest, CommentsAndBlankLines) {
+  Context Ctx;
+  const char *Src = R"(module "c"
+
+; a full-line comment
+kernel @k(%n: i32) {
+entry:
+  %a = add %n, i32 1   ; trailing comment
+  ; another comment
+
+  ret
+}
+)";
+  ParseResult R = parseModule(Ctx, Src);
+  ASSERT_TRUE(R) << R.Error;
+  EXPECT_EQ(R.M->getFunction("k")->getEntryBlock().size(), 2u);
+}
+
+TEST(ParserExtraTest, DeclarationsParse) {
+  Context Ctx;
+  ParseResult R = parseModule(
+      Ctx, "module \"d\"\ndevice @ext(%x: f64) : f64;\n");
+  ASSERT_TRUE(R) << R.Error;
+  Function *F = R.M->getFunction("ext");
+  ASSERT_NE(F, nullptr);
+  EXPECT_TRUE(F->isDeclaration());
+}
+
+TEST(ParserExtraTest, NegativeAndHexLiterals) {
+  Context Ctx;
+  const char *Src = R"(module "lits"
+kernel @k(%p: ptr) {
+entry:
+  %a = add i32 -5, i32 0x10
+  %f = fadd f64 -2.5e-3, f64 1.0
+  store %a, %p
+  ret
+}
+)";
+  ParseResult R = parseModule(Ctx, Src);
+  ASSERT_TRUE(R) << R.Error;
+  // Evaluate: -5 + 16 = 11.
+  Function *F = R.M->getFunction("k");
+  auto *Add = cast<BinaryInst>(&F->getEntryBlock().front());
+  EXPECT_EQ(cast<ConstantInt>(Add->getLHS())->getSExtValue(), -5);
+  EXPECT_EQ(cast<ConstantInt>(Add->getRHS())->getSExtValue(), 16);
+}
+
+TEST(ModuleExtraTest, EraseFunctionRequiresNoUses) {
+  Context Ctx;
+  Module M(Ctx, "m");
+  IRBuilder B(Ctx);
+  Function *Dev = M.createFunction("helper", Ctx.getF64Ty(),
+                                   {Ctx.getF64Ty()}, {"x"},
+                                   FunctionKind::Device);
+  B.setInsertPoint(Dev->createBlock("entry", Ctx.getVoidTy()));
+  B.createRet(Dev->getArg(0));
+  EXPECT_EQ(M.functions().size(), 1u);
+  M.eraseFunction(Dev);
+  EXPECT_EQ(M.functions().size(), 0u);
+  EXPECT_EQ(M.getFunction("helper"), nullptr);
+}
+
+TEST(InterpreterExtraTest, GlobalLinkedViaConstantPtr) {
+  Context Ctx;
+  Module M(Ctx, "m");
+  IRBuilder B(Ctx);
+  M.createGlobal("g", Ctx.getF64Ty(), 1);
+  Function *F = M.createFunction("k", Ctx.getVoidTy(), {Ctx.getPtrTy()},
+                                 {"out"}, FunctionKind::Kernel);
+  B.setInsertPoint(F->createBlock("entry", Ctx.getVoidTy()));
+  Value *G = M.getGlobal("g");
+  Value *V = B.createLoad(Ctx.getF64Ty(), G);
+  B.createStore(V, F->getArg(0));
+  B.createRet();
+
+  // Link the global at address 16 and place 3.5 there.
+  G->replaceAllUsesWith(Ctx.getConstantPtr(16));
+  std::vector<uint8_t> Mem(32, 0);
+  double Val = 3.5;
+  std::memcpy(Mem.data() + 16, &Val, 8);
+  IRInterpreter Interp(Mem);
+  auto R = Interp.run(*F, {0}, ThreadGeometry{});
+  ASSERT_TRUE(R.Ok) << R.Error;
+  double Out;
+  std::memcpy(&Out, Mem.data(), 8);
+  EXPECT_DOUBLE_EQ(Out, 3.5);
+}
+
+} // namespace

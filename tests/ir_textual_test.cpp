@@ -1,0 +1,232 @@
+//===- ir_textual_test.cpp - printer/parser round-trip tests ------------------===//
+//
+// Part of the Proteus reproduction project.
+//
+//===----------------------------------------------------------------------===//
+
+#include "TestUtil.h"
+
+#include "ir/Context.h"
+#include "ir/IRParser.h"
+#include "ir/IRPrinter.h"
+
+#include <gtest/gtest.h>
+
+using namespace pir;
+using namespace proteus_test;
+
+namespace {
+
+/// print -> parse -> print must be a fixpoint.
+void expectRoundTrip(Module &M) {
+  std::string Text1 = printModule(M);
+  Context Ctx2;
+  ParseResult R = parseModule(Ctx2, Text1);
+  ASSERT_TRUE(R) << R.Error << "\nsource:\n" << Text1;
+  expectValid(*R.M);
+  std::string Text2 = printModule(*R.M);
+  EXPECT_EQ(Text1, Text2);
+}
+
+TEST(PrinterTest, ContainsHeaderAttributesAndAnnotations) {
+  Context Ctx;
+  Module M(Ctx, "demo");
+  Function *F = buildDaxpyKernel(M);
+  F->setLaunchBounds(LaunchBounds{256, 1});
+  std::string Text = printModule(M);
+  EXPECT_NE(Text.find("kernel @daxpy("), std::string::npos);
+  EXPECT_NE(Text.find("annotate(\"jit\", 1, 4)"), std::string::npos);
+  EXPECT_NE(Text.find("launch_bounds(256, 1)"), std::string::npos);
+  EXPECT_NE(Text.find("thread_idx.x"), std::string::npos);
+}
+
+TEST(ParserTest, RoundTripDaxpy) {
+  Context Ctx;
+  Module M(Ctx, "demo");
+  buildDaxpyKernel(M);
+  expectRoundTrip(M);
+}
+
+TEST(ParserTest, RoundTripLoopWithPhis) {
+  Context Ctx;
+  Module M(Ctx, "demo");
+  buildLoopSumKernel(M);
+  expectRoundTrip(M);
+}
+
+TEST(ParserTest, RoundTripGlobalsAndDeviceFunctions) {
+  Context Ctx;
+  Module M(Ctx, "demo");
+  std::vector<uint8_t> Init(32, 0xAB);
+  M.createGlobal("lut", Ctx.getI32Ty(), 8, Init);
+  M.createGlobal("state", Ctx.getF64Ty(), 4);
+
+  IRBuilder B(Ctx);
+  Function *Dev = M.createFunction("helper", Ctx.getF64Ty(),
+                                   {Ctx.getF64Ty()}, {"v"},
+                                   FunctionKind::Device);
+  Dev->setAlwaysInline(true);
+  BasicBlock *DB = Dev->createBlock("entry", Ctx.getVoidTy());
+  B.setInsertPoint(DB);
+  B.createRet(B.createFMul(Dev->getArg(0), B.getDouble(2.0)));
+
+  Function *K = M.createFunction("kern", Ctx.getVoidTy(), {Ctx.getPtrTy()},
+                                 {"p"}, FunctionKind::Kernel);
+  BasicBlock *KB = K->createBlock("entry", Ctx.getVoidTy());
+  B.setInsertPoint(KB);
+  Value *G = M.getGlobal("state");
+  Value *L = B.createLoad(Ctx.getF64Ty(), G);
+  Value *H = B.createCall(Dev, {L});
+  B.createStore(H, K->getArg(0));
+  B.createRet();
+
+  expectRoundTrip(M);
+}
+
+TEST(ParserTest, RoundTripAllScalarInstructions) {
+  Context Ctx;
+  Module M(Ctx, "ops");
+  IRBuilder B(Ctx);
+  Function *F = M.createFunction(
+      "allops", Ctx.getVoidTy(),
+      {Ctx.getI32Ty(), Ctx.getI64Ty(), Ctx.getF32Ty(), Ctx.getF64Ty(),
+       Ctx.getPtrTy()},
+      {"a", "b", "f", "d", "p"}, FunctionKind::Kernel);
+  BasicBlock *BB = F->createBlock("entry", Ctx.getVoidTy());
+  B.setInsertPoint(BB);
+  Value *A = F->getArg(0);
+  Value *Bv = F->getArg(1);
+  Value *Fv = F->getArg(2);
+  Value *D = F->getArg(3);
+  Value *P = F->getArg(4);
+  B.createAdd(A, B.getInt32(1));
+  B.createSub(A, A);
+  B.createMul(A, A);
+  B.createSDiv(A, B.getInt32(3));
+  B.createUDiv(A, B.getInt32(3));
+  B.createSRem(A, B.getInt32(3));
+  B.createURem(A, B.getInt32(3));
+  B.createAnd(A, A);
+  B.createOr(A, A);
+  B.createXor(A, A);
+  B.createShl(A, B.getInt32(2));
+  B.createLShr(A, B.getInt32(2));
+  B.createAShr(A, B.getInt32(2));
+  B.createFAdd(D, D);
+  B.createFSub(D, D);
+  B.createFMul(D, D);
+  B.createFDiv(D, B.getDouble(2.0));
+  B.createPow(D, B.getDouble(2.0));
+  B.createFMin(D, D);
+  B.createFMax(D, D);
+  B.createSMin(A, A);
+  B.createSMax(A, A);
+  B.createFNeg(D);
+  B.createSqrt(D);
+  B.createExp(D);
+  B.createLog(D);
+  B.createSin(D);
+  B.createCos(D);
+  B.createFabs(D);
+  B.createFloor(D);
+  B.createTrunc(Bv, Ctx.getI32Ty());
+  B.createZExt(A, Ctx.getI64Ty());
+  B.createSExt(A, Ctx.getI64Ty());
+  B.createFPExt(Fv, Ctx.getF64Ty());
+  B.createFPTrunc(D, Ctx.getF32Ty());
+  B.createSIToFP(A, Ctx.getF64Ty());
+  B.createUIToFP(A, Ctx.getF32Ty());
+  B.createFPToSI(D, Ctx.getI64Ty());
+  Value *PI = B.createPtrToInt(P);
+  B.createIntToPtr(PI);
+  Value *Cmp = B.createICmp(ICmpPred::ULE, A, B.getInt32(10));
+  B.createFCmp(FCmpPred::OGE, D, B.getDouble(0.0));
+  B.createSelect(Cmp, A, B.getInt32(0));
+  Value *Slot = B.createAlloca(Ctx.getF64Ty(), 4);
+  Value *Elt = B.createGep(Ctx.getF64Ty(), Slot, B.getInt32(2));
+  B.createStore(D, Elt);
+  B.createLoad(Ctx.getF64Ty(), Elt);
+  B.createAtomicAdd(P, D);
+  B.createThreadIdx(0);
+  B.createThreadIdx(1);
+  B.createThreadIdx(2);
+  B.createBlockIdx(0);
+  B.createBlockDim(1);
+  B.createGridDim(2);
+  B.createBarrier();
+  B.createRet();
+  expectValid(M);
+  expectRoundTrip(M);
+}
+
+TEST(ParserTest, RoundTripSpecialFloats) {
+  Context Ctx;
+  Module M(Ctx, "floats");
+  IRBuilder B(Ctx);
+  Function *F = M.createFunction("f", Ctx.getVoidTy(), {Ctx.getPtrTy()},
+                                 {"p"}, FunctionKind::Kernel);
+  BasicBlock *BB = F->createBlock("entry", Ctx.getVoidTy());
+  B.setInsertPoint(BB);
+  B.createStore(B.getDouble(1e-300), F->getArg(0));
+  B.createStore(B.getDouble(-0.0), F->getArg(0));
+  B.createStore(B.getDouble(3.141592653589793), F->getArg(0));
+  B.createStore(B.getDouble(1.0000000000000002), F->getArg(0));
+  B.createStore(B.getFloat(1.5e-30f), F->getArg(0));
+  B.createRet();
+  expectRoundTrip(M);
+}
+
+TEST(ParserTest, ErrorsCarryLineNumbers) {
+  Context Ctx;
+  ParseResult R = parseModule(Ctx, "module \"x\"\nkernel @k() {\nentry:\n"
+                                   "  %a = frobnicate i32 1\n  ret\n}\n");
+  ASSERT_FALSE(R);
+  EXPECT_NE(R.Error.find("line 4"), std::string::npos);
+  EXPECT_NE(R.Error.find("frobnicate"), std::string::npos);
+}
+
+TEST(ParserTest, RejectsTypeMismatches) {
+  Context Ctx;
+  ParseResult R = parseModule(Ctx, "module \"x\"\nkernel @k() {\nentry:\n"
+                                   "  %a = add i32 1, i64 2\n  ret\n}\n");
+  EXPECT_FALSE(R);
+}
+
+TEST(ParserTest, RejectsUnknownValue) {
+  Context Ctx;
+  ParseResult R = parseModule(
+      Ctx, "module \"x\"\nkernel @k() {\nentry:\n  %a = add %ghost, i32 1\n"
+           "  ret\n}\n");
+  ASSERT_FALSE(R);
+  EXPECT_NE(R.Error.find("ghost"), std::string::npos);
+}
+
+TEST(ParserTest, RejectsDuplicateNames) {
+  Context Ctx;
+  ParseResult R = parseModule(
+      Ctx, "module \"x\"\nkernel @k() {\nentry:\n  %a = add i32 1, i32 1\n"
+           "  %a = add i32 2, i32 2\n  ret\n}\n");
+  EXPECT_FALSE(R);
+}
+
+TEST(ParserTest, ParsesForwardPhiReferences) {
+  Context Ctx;
+  const char *Src = R"(module "fwd"
+kernel @k(%n: i32) {
+entry:
+  br %header
+header:
+  %i = phi i32 [ i32 0, %entry ], [ %inext, %header ]
+  %inext = add %i, i32 1
+  %c = icmp slt %inext, %n
+  condbr %c, %header, %exit
+exit:
+  ret
+}
+)";
+  ParseResult R = parseModule(Ctx, Src);
+  ASSERT_TRUE(R) << R.Error;
+  expectValid(*R.M);
+}
+
+} // namespace

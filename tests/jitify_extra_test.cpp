@@ -1,0 +1,77 @@
+//===- jitify_extra_test.cpp - Jitify-sim edge cases ----------------------------===//
+//
+// Part of the Proteus reproduction project.
+//
+//===----------------------------------------------------------------------===//
+
+#include "TestUtil.h"
+
+#include "ir/Context.h"
+#include "ir/IRPrinter.h"
+#include "ir/IRParser.h"
+#include "jitify/Jitify.h"
+
+#include <gtest/gtest.h>
+
+using namespace pir;
+using namespace proteus;
+using namespace proteus::gpu;
+using namespace proteus_test;
+
+namespace {
+
+TEST(JitifyExtraTest, UnknownProgramFails) {
+  Device Dev(getNvPtxSimTarget(), 1 << 20);
+  JitifyRuntime J(Dev);
+  std::string Err;
+  EXPECT_EQ(J.launch("nope", Dim3{1, 1, 1}, Dim3{1, 1, 1}, {}, &Err),
+            GpuError::NotFound);
+  EXPECT_NE(Err.find("nope"), std::string::npos);
+}
+
+TEST(JitifyExtraTest, MalformedSourceFailsAtLaunch) {
+  Device Dev(getNvPtxSimTarget(), 1 << 20);
+  JitifyRuntime J(Dev);
+  J.addProgram("bad", "this is not pir source", {});
+  std::string Err;
+  EXPECT_EQ(J.launch("bad", Dim3{1, 1, 1}, Dim3{1, 1, 1}, {}, &Err),
+            GpuError::InvalidValue);
+  EXPECT_NE(Err.find("parse"), std::string::npos);
+}
+
+TEST(JitifyExtraTest, DistinctTemplateValuesCompileSeparately) {
+  Device Dev(getNvPtxSimTarget(), 1 << 22);
+  JitifyRuntime J(Dev);
+  Context Ctx;
+  Module M(Ctx, "m");
+  buildDaxpyKernel(M);
+  J.addProgram("daxpy", printModule(M), {1, 4});
+
+  DevicePtr X = 0, Y = 0;
+  gpuMalloc(Dev, &X, 64 * 8);
+  gpuMalloc(Dev, &Y, 64 * 8);
+  std::string Err;
+  auto Launch = [&](double A) {
+    std::vector<KernelArg> Args = {{sem::boxF64(A)}, {X}, {Y}, {64}};
+    ASSERT_EQ(J.launch("daxpy", Dim3{2, 1, 1}, Dim3{32, 1, 1}, Args, &Err),
+              GpuError::Success)
+        << Err;
+  };
+  Launch(1.0);
+  Launch(2.0);
+  Launch(1.0); // instantiation already cached
+  EXPECT_EQ(J.stats().Compilations, 2u);
+  EXPECT_EQ(J.stats().CacheHits, 1u);
+}
+
+TEST(JitifyExtraTest, HeaderTextIsLargeAndParses) {
+  const std::string &H = JitifyRuntime::headerText();
+  EXPECT_GT(H.size(), 50'000u) << "the header-only library must be big "
+                                  "enough to cost real parse time";
+  Context Ctx;
+  ParseResult R = parseModule(Ctx, H);
+  ASSERT_TRUE(R) << R.Error;
+  EXPECT_GT(R.M->functions().size(), 100u);
+}
+
+} // namespace

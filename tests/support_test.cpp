@@ -1,0 +1,150 @@
+//===- support_test.cpp - support-library tests ----------------------------------===//
+//
+// Part of the Proteus reproduction project.
+//
+//===----------------------------------------------------------------------===//
+//
+// Direct coverage of the foundations everything else relies on: FNV-1a
+// hashing (stability across runs is what keeps persistent cache file names
+// valid), the bounds-checked binary streams, string helpers, and the
+// filesystem utilities behind the persistent cache.
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/BinaryStream.h"
+#include "support/FileSystem.h"
+#include "support/Hashing.h"
+#include "support/StringUtils.h"
+
+#include <gtest/gtest.h>
+
+using namespace proteus;
+
+namespace {
+
+TEST(HashingTest, KnownFnv1aVectors) {
+  // Standard FNV-1a 64 test vectors.
+  EXPECT_EQ(hashString(""), 0xcbf29ce484222325ull);
+  EXPECT_EQ(hashString("a"), 0xaf63dc4c8601ec8cull);
+  EXPECT_EQ(hashString("foobar"), 0x85944171f73967e8ull);
+}
+
+TEST(HashingTest, IncrementalMatchesOneShot) {
+  FNV1aHash H;
+  H.update(std::string_view("hello "));
+  H.update(std::string_view("world"));
+  EXPECT_EQ(H.digest(), hashString("hello world"));
+}
+
+TEST(HashingTest, TypedUpdatesAreOrderSensitive) {
+  FNV1aHash A, B;
+  A.update(uint64_t(1));
+  A.update(uint64_t(2));
+  B.update(uint64_t(2));
+  B.update(uint64_t(1));
+  EXPECT_NE(A.digest(), B.digest());
+}
+
+TEST(HashingTest, HexRendering) {
+  EXPECT_EQ(hashToHex(0), "0000000000000000");
+  EXPECT_EQ(hashToHex(0xdeadbeef), "00000000deadbeef");
+  EXPECT_EQ(hashToHex(~0ull), "ffffffffffffffff");
+}
+
+TEST(BinaryStreamTest, RoundTripAllTypes) {
+  ByteWriter W;
+  W.writeU8(0xAB);
+  W.writeU32(0x12345678);
+  W.writeU64(0x1122334455667788ull);
+  W.writeF64(-3.25);
+  W.writeString("proteus");
+  W.writeBytes({9, 8, 7});
+
+  ByteReader R(W.data());
+  EXPECT_EQ(R.readU8(), 0xAB);
+  EXPECT_EQ(R.readU32(), 0x12345678u);
+  EXPECT_EQ(R.readU64(), 0x1122334455667788ull);
+  EXPECT_DOUBLE_EQ(R.readF64(), -3.25);
+  EXPECT_EQ(R.readString(), "proteus");
+  EXPECT_EQ(R.readBytes(), (std::vector<uint8_t>{9, 8, 7}));
+  EXPECT_TRUE(R.ok());
+  EXPECT_EQ(R.remaining(), 0u);
+}
+
+TEST(BinaryStreamTest, TruncationLatchesError) {
+  ByteWriter W;
+  W.writeU32(42);
+  std::vector<uint8_t> Short(W.data().begin(), W.data().begin() + 2);
+  ByteReader R(Short);
+  EXPECT_EQ(R.readU32(), 0u);
+  EXPECT_FALSE(R.ok());
+  // Every subsequent read stays failed and yields zeros.
+  EXPECT_EQ(R.readU64(), 0u);
+  EXPECT_EQ(R.readString(), "");
+  EXPECT_EQ(R.remaining(), 0u);
+}
+
+TEST(BinaryStreamTest, HugeLengthPrefixIsRejected) {
+  ByteWriter W;
+  W.writeU32(0xFFFFFFFF); // claims a 4GiB string follows
+  ByteReader R(W.data());
+  EXPECT_EQ(R.readString(), "");
+  EXPECT_FALSE(R.ok());
+}
+
+TEST(StringUtilsTest, TrimAndSplit) {
+  EXPECT_EQ(trim("  x  "), "x");
+  EXPECT_EQ(trim(""), "");
+  EXPECT_EQ(trim(" \t\n "), "");
+  auto Parts = split("a,b,,c", ',');
+  ASSERT_EQ(Parts.size(), 4u);
+  EXPECT_EQ(Parts[0], "a");
+  EXPECT_EQ(Parts[2], "");
+  EXPECT_EQ(Parts[3], "c");
+  EXPECT_EQ(split("", ',').size(), 1u);
+}
+
+TEST(StringUtilsTest, FormatDoubleRoundTrips) {
+  for (double V : {0.0, -0.0, 1.0 / 3.0, 1e-300, 3.141592653589793,
+                   1.0000000000000002, -2.5e17}) {
+    std::string S = formatDouble(V);
+    EXPECT_EQ(std::strtod(S.c_str(), nullptr), V) << S;
+  }
+  // Integral values must still lex as floating point.
+  EXPECT_NE(formatDouble(4.0).find('.'), std::string::npos);
+}
+
+TEST(StringUtilsTest, ByteSizeFormatting) {
+  EXPECT_EQ(formatByteSize(512), "512B");
+  EXPECT_EQ(formatByteSize(6 * 1024 + 512), "6.5KB");
+  EXPECT_EQ(formatByteSize(3 * 1024 * 1024), "3.0MB");
+}
+
+TEST(FileSystemTest, ReadWriteListRemove) {
+  std::string Dir = fs::makeTempDirectory("proteus-fs-test");
+  std::vector<uint8_t> Data = {1, 2, 3, 4, 5};
+  std::string Path = Dir + "/blob.bin";
+  EXPECT_TRUE(fs::writeFile(Path, Data));
+  EXPECT_TRUE(fs::exists(Path));
+  auto Back = fs::readFile(Path);
+  ASSERT_TRUE(Back.has_value());
+  EXPECT_EQ(*Back, Data);
+  EXPECT_EQ(fs::directorySize(Dir), Data.size());
+  auto Names = fs::listFiles(Dir);
+  ASSERT_EQ(Names.size(), 1u);
+  EXPECT_EQ(Names[0], "blob.bin");
+  EXPECT_TRUE(fs::removeFile(Path));
+  EXPECT_FALSE(fs::exists(Path));
+  EXPECT_FALSE(fs::readFile(Path).has_value());
+  fs::removeAllFiles(Dir);
+}
+
+TEST(FileSystemTest, TempDirectoriesAreUnique) {
+  std::string A = fs::makeTempDirectory("proteus-uniq");
+  std::string B = fs::makeTempDirectory("proteus-uniq");
+  EXPECT_NE(A, B);
+  fs::removeAllFiles(A);
+  fs::removeAllFiles(B);
+}
+
+} // namespace
