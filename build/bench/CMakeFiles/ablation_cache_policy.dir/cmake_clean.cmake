@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_cache_policy.dir/ablation_cache_policy.cpp.o"
+  "CMakeFiles/ablation_cache_policy.dir/ablation_cache_policy.cpp.o.d"
+  "ablation_cache_policy"
+  "ablation_cache_policy.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_cache_policy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

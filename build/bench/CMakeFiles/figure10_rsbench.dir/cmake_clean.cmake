@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/figure10_rsbench.dir/figure10_rsbench.cpp.o"
+  "CMakeFiles/figure10_rsbench.dir/figure10_rsbench.cpp.o.d"
+  "figure10_rsbench"
+  "figure10_rsbench.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/figure10_rsbench.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/figure11_sw4ck.dir/figure11_sw4ck.cpp.o"
+  "CMakeFiles/figure11_sw4ck.dir/figure11_sw4ck.cpp.o.d"
+  "figure11_sw4ck"
+  "figure11_sw4ck.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/figure11_sw4ck.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/figure3_speedup.dir/figure3_speedup.cpp.o"
+  "CMakeFiles/figure3_speedup.dir/figure3_speedup.cpp.o.d"
+  "figure3_speedup"
+  "figure3_speedup.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/figure3_speedup.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

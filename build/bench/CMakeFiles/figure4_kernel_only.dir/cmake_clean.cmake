@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/figure4_kernel_only.dir/figure4_kernel_only.cpp.o"
+  "CMakeFiles/figure4_kernel_only.dir/figure4_kernel_only.cpp.o.d"
+  "figure4_kernel_only"
+  "figure4_kernel_only.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/figure4_kernel_only.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

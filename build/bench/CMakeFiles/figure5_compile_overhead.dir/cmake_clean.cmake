@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/figure5_compile_overhead.dir/figure5_compile_overhead.cpp.o"
+  "CMakeFiles/figure5_compile_overhead.dir/figure5_compile_overhead.cpp.o.d"
+  "figure5_compile_overhead"
+  "figure5_compile_overhead.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/figure5_compile_overhead.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

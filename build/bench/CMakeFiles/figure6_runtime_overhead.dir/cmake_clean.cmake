@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/figure6_runtime_overhead.dir/figure6_runtime_overhead.cpp.o"
+  "CMakeFiles/figure6_runtime_overhead.dir/figure6_runtime_overhead.cpp.o.d"
+  "figure6_runtime_overhead"
+  "figure6_runtime_overhead.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/figure6_runtime_overhead.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/figure7_adam.dir/figure7_adam.cpp.o"
+  "CMakeFiles/figure7_adam.dir/figure7_adam.cpp.o.d"
+  "figure7_adam"
+  "figure7_adam.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/figure7_adam.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/figure8_feykac.dir/figure8_feykac.cpp.o"
+  "CMakeFiles/figure8_feykac.dir/figure8_feykac.cpp.o.d"
+  "figure8_feykac"
+  "figure8_feykac.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/figure8_feykac.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for figure8_feykac.
+# This may be replaced when dependencies are built.

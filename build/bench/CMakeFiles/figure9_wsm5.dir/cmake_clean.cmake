@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/figure9_wsm5.dir/figure9_wsm5.cpp.o"
+  "CMakeFiles/figure9_wsm5.dir/figure9_wsm5.cpp.o.d"
+  "figure9_wsm5"
+  "figure9_wsm5.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/figure9_wsm5.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/micro_jit_stages.dir/micro_jit_stages.cpp.o"
+  "CMakeFiles/micro_jit_stages.dir/micro_jit_stages.cpp.o.d"
+  "micro_jit_stages"
+  "micro_jit_stages.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/micro_jit_stages.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

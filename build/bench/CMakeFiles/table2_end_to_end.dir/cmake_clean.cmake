@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table2_end_to_end.dir/table2_end_to_end.cpp.o"
+  "CMakeFiles/table2_end_to_end.dir/table2_end_to_end.cpp.o.d"
+  "table2_end_to_end"
+  "table2_end_to_end.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table2_end_to_end.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

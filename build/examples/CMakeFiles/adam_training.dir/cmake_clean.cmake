@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/adam_training.dir/adam_training.cpp.o"
+  "CMakeFiles/adam_training.dir/adam_training.cpp.o.d"
+  "adam_training"
+  "adam_training.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/adam_training.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/autotune_launch.dir/autotune_launch.cpp.o"
+  "CMakeFiles/autotune_launch.dir/autotune_launch.cpp.o.d"
+  "autotune_launch"
+  "autotune_launch.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/autotune_launch.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/portable_jit.dir/portable_jit.cpp.o"
+  "CMakeFiles/portable_jit.dir/portable_jit.cpp.o.d"
+  "portable_jit"
+  "portable_jit.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/portable_jit.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

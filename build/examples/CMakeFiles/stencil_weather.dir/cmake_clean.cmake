@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/stencil_weather.dir/stencil_weather.cpp.o"
+  "CMakeFiles/stencil_weather.dir/stencil_weather.cpp.o.d"
+  "stencil_weather"
+  "stencil_weather.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/stencil_weather.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

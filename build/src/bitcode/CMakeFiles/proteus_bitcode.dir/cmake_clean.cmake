@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/proteus_bitcode.dir/Bitcode.cpp.o"
+  "CMakeFiles/proteus_bitcode.dir/Bitcode.cpp.o.d"
+  "libproteus_bitcode.a"
+  "libproteus_bitcode.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/proteus_bitcode.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

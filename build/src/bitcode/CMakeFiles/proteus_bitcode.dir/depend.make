@@ -1,0 +1,2 @@
+# Empty dependencies file for proteus_bitcode.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/codegen/Compiler.cpp" "src/codegen/CMakeFiles/proteus_codegen.dir/Compiler.cpp.o" "gcc" "src/codegen/CMakeFiles/proteus_codegen.dir/Compiler.cpp.o.d"
+  "/root/repo/src/codegen/ISel.cpp" "src/codegen/CMakeFiles/proteus_codegen.dir/ISel.cpp.o" "gcc" "src/codegen/CMakeFiles/proteus_codegen.dir/ISel.cpp.o.d"
+  "/root/repo/src/codegen/MachineIR.cpp" "src/codegen/CMakeFiles/proteus_codegen.dir/MachineIR.cpp.o" "gcc" "src/codegen/CMakeFiles/proteus_codegen.dir/MachineIR.cpp.o.d"
+  "/root/repo/src/codegen/ObjectFile.cpp" "src/codegen/CMakeFiles/proteus_codegen.dir/ObjectFile.cpp.o" "gcc" "src/codegen/CMakeFiles/proteus_codegen.dir/ObjectFile.cpp.o.d"
+  "/root/repo/src/codegen/Ptx.cpp" "src/codegen/CMakeFiles/proteus_codegen.dir/Ptx.cpp.o" "gcc" "src/codegen/CMakeFiles/proteus_codegen.dir/Ptx.cpp.o.d"
+  "/root/repo/src/codegen/RegAlloc.cpp" "src/codegen/CMakeFiles/proteus_codegen.dir/RegAlloc.cpp.o" "gcc" "src/codegen/CMakeFiles/proteus_codegen.dir/RegAlloc.cpp.o.d"
+  "/root/repo/src/codegen/Target.cpp" "src/codegen/CMakeFiles/proteus_codegen.dir/Target.cpp.o" "gcc" "src/codegen/CMakeFiles/proteus_codegen.dir/Target.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/ir/CMakeFiles/proteus_ir.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/proteus_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

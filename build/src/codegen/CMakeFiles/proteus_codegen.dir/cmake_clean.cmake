@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/proteus_codegen.dir/Compiler.cpp.o"
+  "CMakeFiles/proteus_codegen.dir/Compiler.cpp.o.d"
+  "CMakeFiles/proteus_codegen.dir/ISel.cpp.o"
+  "CMakeFiles/proteus_codegen.dir/ISel.cpp.o.d"
+  "CMakeFiles/proteus_codegen.dir/MachineIR.cpp.o"
+  "CMakeFiles/proteus_codegen.dir/MachineIR.cpp.o.d"
+  "CMakeFiles/proteus_codegen.dir/ObjectFile.cpp.o"
+  "CMakeFiles/proteus_codegen.dir/ObjectFile.cpp.o.d"
+  "CMakeFiles/proteus_codegen.dir/Ptx.cpp.o"
+  "CMakeFiles/proteus_codegen.dir/Ptx.cpp.o.d"
+  "CMakeFiles/proteus_codegen.dir/RegAlloc.cpp.o"
+  "CMakeFiles/proteus_codegen.dir/RegAlloc.cpp.o.d"
+  "CMakeFiles/proteus_codegen.dir/Target.cpp.o"
+  "CMakeFiles/proteus_codegen.dir/Target.cpp.o.d"
+  "libproteus_codegen.a"
+  "libproteus_codegen.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/proteus_codegen.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/gpu/Device.cpp" "src/gpu/CMakeFiles/proteus_gpu.dir/Device.cpp.o" "gcc" "src/gpu/CMakeFiles/proteus_gpu.dir/Device.cpp.o.d"
+  "/root/repo/src/gpu/Executor.cpp" "src/gpu/CMakeFiles/proteus_gpu.dir/Executor.cpp.o" "gcc" "src/gpu/CMakeFiles/proteus_gpu.dir/Executor.cpp.o.d"
+  "/root/repo/src/gpu/PerfModel.cpp" "src/gpu/CMakeFiles/proteus_gpu.dir/PerfModel.cpp.o" "gcc" "src/gpu/CMakeFiles/proteus_gpu.dir/PerfModel.cpp.o.d"
+  "/root/repo/src/gpu/Runtime.cpp" "src/gpu/CMakeFiles/proteus_gpu.dir/Runtime.cpp.o" "gcc" "src/gpu/CMakeFiles/proteus_gpu.dir/Runtime.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/codegen/CMakeFiles/proteus_codegen.dir/DependInfo.cmake"
+  "/root/repo/build/src/ir/CMakeFiles/proteus_ir.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/proteus_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/proteus_gpu.dir/Device.cpp.o"
+  "CMakeFiles/proteus_gpu.dir/Device.cpp.o.d"
+  "CMakeFiles/proteus_gpu.dir/Executor.cpp.o"
+  "CMakeFiles/proteus_gpu.dir/Executor.cpp.o.d"
+  "CMakeFiles/proteus_gpu.dir/PerfModel.cpp.o"
+  "CMakeFiles/proteus_gpu.dir/PerfModel.cpp.o.d"
+  "CMakeFiles/proteus_gpu.dir/Runtime.cpp.o"
+  "CMakeFiles/proteus_gpu.dir/Runtime.cpp.o.d"
+  "libproteus_gpu.a"
+  "libproteus_gpu.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/proteus_gpu.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/proteus_hecbench.dir/Adam.cpp.o"
+  "CMakeFiles/proteus_hecbench.dir/Adam.cpp.o.d"
+  "CMakeFiles/proteus_hecbench.dir/Benchmark.cpp.o"
+  "CMakeFiles/proteus_hecbench.dir/Benchmark.cpp.o.d"
+  "CMakeFiles/proteus_hecbench.dir/Feykac.cpp.o"
+  "CMakeFiles/proteus_hecbench.dir/Feykac.cpp.o.d"
+  "CMakeFiles/proteus_hecbench.dir/Lulesh.cpp.o"
+  "CMakeFiles/proteus_hecbench.dir/Lulesh.cpp.o.d"
+  "CMakeFiles/proteus_hecbench.dir/Rsbench.cpp.o"
+  "CMakeFiles/proteus_hecbench.dir/Rsbench.cpp.o.d"
+  "CMakeFiles/proteus_hecbench.dir/Sw4ck.cpp.o"
+  "CMakeFiles/proteus_hecbench.dir/Sw4ck.cpp.o.d"
+  "CMakeFiles/proteus_hecbench.dir/Wsm5.cpp.o"
+  "CMakeFiles/proteus_hecbench.dir/Wsm5.cpp.o.d"
+  "libproteus_hecbench.a"
+  "libproteus_hecbench.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/proteus_hecbench.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

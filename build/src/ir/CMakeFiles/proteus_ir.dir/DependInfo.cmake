@@ -1,0 +1,33 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/ir/BasicBlock.cpp" "src/ir/CMakeFiles/proteus_ir.dir/BasicBlock.cpp.o" "gcc" "src/ir/CMakeFiles/proteus_ir.dir/BasicBlock.cpp.o.d"
+  "/root/repo/src/ir/Cloning.cpp" "src/ir/CMakeFiles/proteus_ir.dir/Cloning.cpp.o" "gcc" "src/ir/CMakeFiles/proteus_ir.dir/Cloning.cpp.o.d"
+  "/root/repo/src/ir/Context.cpp" "src/ir/CMakeFiles/proteus_ir.dir/Context.cpp.o" "gcc" "src/ir/CMakeFiles/proteus_ir.dir/Context.cpp.o.d"
+  "/root/repo/src/ir/Dominators.cpp" "src/ir/CMakeFiles/proteus_ir.dir/Dominators.cpp.o" "gcc" "src/ir/CMakeFiles/proteus_ir.dir/Dominators.cpp.o.d"
+  "/root/repo/src/ir/Function.cpp" "src/ir/CMakeFiles/proteus_ir.dir/Function.cpp.o" "gcc" "src/ir/CMakeFiles/proteus_ir.dir/Function.cpp.o.d"
+  "/root/repo/src/ir/IRBuilder.cpp" "src/ir/CMakeFiles/proteus_ir.dir/IRBuilder.cpp.o" "gcc" "src/ir/CMakeFiles/proteus_ir.dir/IRBuilder.cpp.o.d"
+  "/root/repo/src/ir/IRParser.cpp" "src/ir/CMakeFiles/proteus_ir.dir/IRParser.cpp.o" "gcc" "src/ir/CMakeFiles/proteus_ir.dir/IRParser.cpp.o.d"
+  "/root/repo/src/ir/IRPrinter.cpp" "src/ir/CMakeFiles/proteus_ir.dir/IRPrinter.cpp.o" "gcc" "src/ir/CMakeFiles/proteus_ir.dir/IRPrinter.cpp.o.d"
+  "/root/repo/src/ir/Instructions.cpp" "src/ir/CMakeFiles/proteus_ir.dir/Instructions.cpp.o" "gcc" "src/ir/CMakeFiles/proteus_ir.dir/Instructions.cpp.o.d"
+  "/root/repo/src/ir/Interpreter.cpp" "src/ir/CMakeFiles/proteus_ir.dir/Interpreter.cpp.o" "gcc" "src/ir/CMakeFiles/proteus_ir.dir/Interpreter.cpp.o.d"
+  "/root/repo/src/ir/Module.cpp" "src/ir/CMakeFiles/proteus_ir.dir/Module.cpp.o" "gcc" "src/ir/CMakeFiles/proteus_ir.dir/Module.cpp.o.d"
+  "/root/repo/src/ir/Type.cpp" "src/ir/CMakeFiles/proteus_ir.dir/Type.cpp.o" "gcc" "src/ir/CMakeFiles/proteus_ir.dir/Type.cpp.o.d"
+  "/root/repo/src/ir/Value.cpp" "src/ir/CMakeFiles/proteus_ir.dir/Value.cpp.o" "gcc" "src/ir/CMakeFiles/proteus_ir.dir/Value.cpp.o.d"
+  "/root/repo/src/ir/Verifier.cpp" "src/ir/CMakeFiles/proteus_ir.dir/Verifier.cpp.o" "gcc" "src/ir/CMakeFiles/proteus_ir.dir/Verifier.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/support/CMakeFiles/proteus_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,37 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/proteus_ir.dir/BasicBlock.cpp.o"
+  "CMakeFiles/proteus_ir.dir/BasicBlock.cpp.o.d"
+  "CMakeFiles/proteus_ir.dir/Cloning.cpp.o"
+  "CMakeFiles/proteus_ir.dir/Cloning.cpp.o.d"
+  "CMakeFiles/proteus_ir.dir/Context.cpp.o"
+  "CMakeFiles/proteus_ir.dir/Context.cpp.o.d"
+  "CMakeFiles/proteus_ir.dir/Dominators.cpp.o"
+  "CMakeFiles/proteus_ir.dir/Dominators.cpp.o.d"
+  "CMakeFiles/proteus_ir.dir/Function.cpp.o"
+  "CMakeFiles/proteus_ir.dir/Function.cpp.o.d"
+  "CMakeFiles/proteus_ir.dir/IRBuilder.cpp.o"
+  "CMakeFiles/proteus_ir.dir/IRBuilder.cpp.o.d"
+  "CMakeFiles/proteus_ir.dir/IRParser.cpp.o"
+  "CMakeFiles/proteus_ir.dir/IRParser.cpp.o.d"
+  "CMakeFiles/proteus_ir.dir/IRPrinter.cpp.o"
+  "CMakeFiles/proteus_ir.dir/IRPrinter.cpp.o.d"
+  "CMakeFiles/proteus_ir.dir/Instructions.cpp.o"
+  "CMakeFiles/proteus_ir.dir/Instructions.cpp.o.d"
+  "CMakeFiles/proteus_ir.dir/Interpreter.cpp.o"
+  "CMakeFiles/proteus_ir.dir/Interpreter.cpp.o.d"
+  "CMakeFiles/proteus_ir.dir/Module.cpp.o"
+  "CMakeFiles/proteus_ir.dir/Module.cpp.o.d"
+  "CMakeFiles/proteus_ir.dir/Type.cpp.o"
+  "CMakeFiles/proteus_ir.dir/Type.cpp.o.d"
+  "CMakeFiles/proteus_ir.dir/Value.cpp.o"
+  "CMakeFiles/proteus_ir.dir/Value.cpp.o.d"
+  "CMakeFiles/proteus_ir.dir/Verifier.cpp.o"
+  "CMakeFiles/proteus_ir.dir/Verifier.cpp.o.d"
+  "libproteus_ir.a"
+  "libproteus_ir.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/proteus_ir.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/proteus_jit.dir/AotCompiler.cpp.o"
+  "CMakeFiles/proteus_jit.dir/AotCompiler.cpp.o.d"
+  "CMakeFiles/proteus_jit.dir/AutoAnnotate.cpp.o"
+  "CMakeFiles/proteus_jit.dir/AutoAnnotate.cpp.o.d"
+  "CMakeFiles/proteus_jit.dir/AutoTuner.cpp.o"
+  "CMakeFiles/proteus_jit.dir/AutoTuner.cpp.o.d"
+  "CMakeFiles/proteus_jit.dir/CodeCache.cpp.o"
+  "CMakeFiles/proteus_jit.dir/CodeCache.cpp.o.d"
+  "CMakeFiles/proteus_jit.dir/JitRuntime.cpp.o"
+  "CMakeFiles/proteus_jit.dir/JitRuntime.cpp.o.d"
+  "CMakeFiles/proteus_jit.dir/Program.cpp.o"
+  "CMakeFiles/proteus_jit.dir/Program.cpp.o.d"
+  "libproteus_jit.a"
+  "libproteus_jit.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/proteus_jit.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/proteus_jitify.dir/Jitify.cpp.o"
+  "CMakeFiles/proteus_jitify.dir/Jitify.cpp.o.d"
+  "libproteus_jitify.a"
+  "libproteus_jitify.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/proteus_jitify.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

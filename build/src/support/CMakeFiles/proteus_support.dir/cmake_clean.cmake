@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/proteus_support.dir/Error.cpp.o"
+  "CMakeFiles/proteus_support.dir/Error.cpp.o.d"
+  "CMakeFiles/proteus_support.dir/FileSystem.cpp.o"
+  "CMakeFiles/proteus_support.dir/FileSystem.cpp.o.d"
+  "CMakeFiles/proteus_support.dir/Hashing.cpp.o"
+  "CMakeFiles/proteus_support.dir/Hashing.cpp.o.d"
+  "CMakeFiles/proteus_support.dir/StringUtils.cpp.o"
+  "CMakeFiles/proteus_support.dir/StringUtils.cpp.o.d"
+  "libproteus_support.a"
+  "libproteus_support.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/proteus_support.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,32 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/transforms/CSE.cpp" "src/transforms/CMakeFiles/proteus_transforms.dir/CSE.cpp.o" "gcc" "src/transforms/CMakeFiles/proteus_transforms.dir/CSE.cpp.o.d"
+  "/root/repo/src/transforms/DCE.cpp" "src/transforms/CMakeFiles/proteus_transforms.dir/DCE.cpp.o" "gcc" "src/transforms/CMakeFiles/proteus_transforms.dir/DCE.cpp.o.d"
+  "/root/repo/src/transforms/Inliner.cpp" "src/transforms/CMakeFiles/proteus_transforms.dir/Inliner.cpp.o" "gcc" "src/transforms/CMakeFiles/proteus_transforms.dir/Inliner.cpp.o.d"
+  "/root/repo/src/transforms/InstCombine.cpp" "src/transforms/CMakeFiles/proteus_transforms.dir/InstCombine.cpp.o" "gcc" "src/transforms/CMakeFiles/proteus_transforms.dir/InstCombine.cpp.o.d"
+  "/root/repo/src/transforms/LICM.cpp" "src/transforms/CMakeFiles/proteus_transforms.dir/LICM.cpp.o" "gcc" "src/transforms/CMakeFiles/proteus_transforms.dir/LICM.cpp.o.d"
+  "/root/repo/src/transforms/LoopInfo.cpp" "src/transforms/CMakeFiles/proteus_transforms.dir/LoopInfo.cpp.o" "gcc" "src/transforms/CMakeFiles/proteus_transforms.dir/LoopInfo.cpp.o.d"
+  "/root/repo/src/transforms/LoopUnroll.cpp" "src/transforms/CMakeFiles/proteus_transforms.dir/LoopUnroll.cpp.o" "gcc" "src/transforms/CMakeFiles/proteus_transforms.dir/LoopUnroll.cpp.o.d"
+  "/root/repo/src/transforms/Mem2Reg.cpp" "src/transforms/CMakeFiles/proteus_transforms.dir/Mem2Reg.cpp.o" "gcc" "src/transforms/CMakeFiles/proteus_transforms.dir/Mem2Reg.cpp.o.d"
+  "/root/repo/src/transforms/O3Pipeline.cpp" "src/transforms/CMakeFiles/proteus_transforms.dir/O3Pipeline.cpp.o" "gcc" "src/transforms/CMakeFiles/proteus_transforms.dir/O3Pipeline.cpp.o.d"
+  "/root/repo/src/transforms/Pass.cpp" "src/transforms/CMakeFiles/proteus_transforms.dir/Pass.cpp.o" "gcc" "src/transforms/CMakeFiles/proteus_transforms.dir/Pass.cpp.o.d"
+  "/root/repo/src/transforms/SimplifyCFG.cpp" "src/transforms/CMakeFiles/proteus_transforms.dir/SimplifyCFG.cpp.o" "gcc" "src/transforms/CMakeFiles/proteus_transforms.dir/SimplifyCFG.cpp.o.d"
+  "/root/repo/src/transforms/SpecializeArgs.cpp" "src/transforms/CMakeFiles/proteus_transforms.dir/SpecializeArgs.cpp.o" "gcc" "src/transforms/CMakeFiles/proteus_transforms.dir/SpecializeArgs.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/ir/CMakeFiles/proteus_ir.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/proteus_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

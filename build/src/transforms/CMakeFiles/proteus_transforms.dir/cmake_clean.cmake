@@ -1,0 +1,33 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/proteus_transforms.dir/CSE.cpp.o"
+  "CMakeFiles/proteus_transforms.dir/CSE.cpp.o.d"
+  "CMakeFiles/proteus_transforms.dir/DCE.cpp.o"
+  "CMakeFiles/proteus_transforms.dir/DCE.cpp.o.d"
+  "CMakeFiles/proteus_transforms.dir/Inliner.cpp.o"
+  "CMakeFiles/proteus_transforms.dir/Inliner.cpp.o.d"
+  "CMakeFiles/proteus_transforms.dir/InstCombine.cpp.o"
+  "CMakeFiles/proteus_transforms.dir/InstCombine.cpp.o.d"
+  "CMakeFiles/proteus_transforms.dir/LICM.cpp.o"
+  "CMakeFiles/proteus_transforms.dir/LICM.cpp.o.d"
+  "CMakeFiles/proteus_transforms.dir/LoopInfo.cpp.o"
+  "CMakeFiles/proteus_transforms.dir/LoopInfo.cpp.o.d"
+  "CMakeFiles/proteus_transforms.dir/LoopUnroll.cpp.o"
+  "CMakeFiles/proteus_transforms.dir/LoopUnroll.cpp.o.d"
+  "CMakeFiles/proteus_transforms.dir/Mem2Reg.cpp.o"
+  "CMakeFiles/proteus_transforms.dir/Mem2Reg.cpp.o.d"
+  "CMakeFiles/proteus_transforms.dir/O3Pipeline.cpp.o"
+  "CMakeFiles/proteus_transforms.dir/O3Pipeline.cpp.o.d"
+  "CMakeFiles/proteus_transforms.dir/Pass.cpp.o"
+  "CMakeFiles/proteus_transforms.dir/Pass.cpp.o.d"
+  "CMakeFiles/proteus_transforms.dir/SimplifyCFG.cpp.o"
+  "CMakeFiles/proteus_transforms.dir/SimplifyCFG.cpp.o.d"
+  "CMakeFiles/proteus_transforms.dir/SpecializeArgs.cpp.o"
+  "CMakeFiles/proteus_transforms.dir/SpecializeArgs.cpp.o.d"
+  "libproteus_transforms.a"
+  "libproteus_transforms.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/proteus_transforms.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/autoannotate_test.dir/autoannotate_test.cpp.o"
+  "CMakeFiles/autoannotate_test.dir/autoannotate_test.cpp.o.d"
+  "autoannotate_test"
+  "autoannotate_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/autoannotate_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

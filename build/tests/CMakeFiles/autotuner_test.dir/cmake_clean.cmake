@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/autotuner_test.dir/autotuner_test.cpp.o"
+  "CMakeFiles/autotuner_test.dir/autotuner_test.cpp.o.d"
+  "autotuner_test"
+  "autotuner_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/autotuner_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

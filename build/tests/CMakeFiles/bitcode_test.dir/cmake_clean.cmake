@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bitcode_test.dir/bitcode_test.cpp.o"
+  "CMakeFiles/bitcode_test.dir/bitcode_test.cpp.o.d"
+  "bitcode_test"
+  "bitcode_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bitcode_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cache_eviction_test.dir/cache_eviction_test.cpp.o"
+  "CMakeFiles/cache_eviction_test.dir/cache_eviction_test.cpp.o.d"
+  "cache_eviction_test"
+  "cache_eviction_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cache_eviction_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gpu_extras_test.dir/gpu_extras_test.cpp.o"
+  "CMakeFiles/gpu_extras_test.dir/gpu_extras_test.cpp.o.d"
+  "gpu_extras_test"
+  "gpu_extras_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gpu_extras_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

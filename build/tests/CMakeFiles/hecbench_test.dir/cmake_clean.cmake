@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hecbench_test.dir/hecbench_test.cpp.o"
+  "CMakeFiles/hecbench_test.dir/hecbench_test.cpp.o.d"
+  "hecbench_test"
+  "hecbench_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hecbench_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

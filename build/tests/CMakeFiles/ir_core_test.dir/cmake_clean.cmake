@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ir_core_test.dir/ir_core_test.cpp.o"
+  "CMakeFiles/ir_core_test.dir/ir_core_test.cpp.o.d"
+  "ir_core_test"
+  "ir_core_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ir_core_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ir_extra_test.dir/ir_extra_test.cpp.o"
+  "CMakeFiles/ir_extra_test.dir/ir_extra_test.cpp.o.d"
+  "ir_extra_test"
+  "ir_extra_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ir_extra_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/jitify_extra_test.dir/jitify_extra_test.cpp.o"
+  "CMakeFiles/jitify_extra_test.dir/jitify_extra_test.cpp.o.d"
+  "jitify_extra_test"
+  "jitify_extra_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/jitify_extra_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/transforms_extra_test.dir/transforms_extra_test.cpp.o"
+  "CMakeFiles/transforms_extra_test.dir/transforms_extra_test.cpp.o.d"
+  "transforms_extra_test"
+  "transforms_extra_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/transforms_extra_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

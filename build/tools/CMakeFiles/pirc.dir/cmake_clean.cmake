@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pirc.dir/pirc.cpp.o"
+  "CMakeFiles/pirc.dir/pirc.cpp.o.d"
+  "pirc"
+  "pirc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pirc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

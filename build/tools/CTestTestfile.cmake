@@ -1,0 +1,18 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tools
+# Build directory: /root/repo/build/tools
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+add_test(pirc_verify "/root/repo/build/tools/pirc" "verify" "/root/repo/examples/pir/saxpy.pir")
+set_tests_properties(pirc_verify PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;6;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(pirc_opt "/root/repo/build/tools/pirc" "opt" "/root/repo/examples/pir/saxpy.pir")
+set_tests_properties(pirc_opt PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;8;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(pirc_compile_nv "/root/repo/build/tools/pirc" "compile" "/root/repo/examples/pir/saxpy.pir" "--target=nvptx-sim")
+set_tests_properties(pirc_compile_nv PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;10;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(pirc_run "/root/repo/build/tools/pirc" "run" "/root/repo/examples/pir/saxpy.pir" "--blocks=2" "--threads=64" "--args=1.5,128")
+set_tests_properties(pirc_run PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;13;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(pirc_run_reduction "/root/repo/build/tools/pirc" "run" "/root/repo/examples/pir/reduction.pir" "--kernel=weighted_sum" "--blocks=2" "--threads=32" "--args=64,8")
+set_tests_properties(pirc_run_reduction PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;16;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(pirc_annotate "/root/repo/build/tools/pirc" "annotate" "/root/repo/examples/pir/reduction.pir")
+set_tests_properties(pirc_annotate PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;19;add_test;/root/repo/tools/CMakeLists.txt;0;")
