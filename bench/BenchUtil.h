@@ -46,17 +46,18 @@ inline hecbench::RunResult runAot(const hecbench::Benchmark &B,
 /// Runs \p B under Proteus. \p Cold clears the persistent cache first
 /// (full dynamic-compilation overhead); warm reuses cache-jit-*.o files
 /// from a previous run, like a fresh process start with a populated cache.
-inline hecbench::RunResult runProteus(const hecbench::Benchmark &B,
-                                      GpuArch Arch,
-                                      const std::string &CacheDir, bool Cold,
-                                      bool EnableRCF = true,
-                                      bool EnableLB = true) {
+inline hecbench::RunResult
+runProteus(const hecbench::Benchmark &B, GpuArch Arch,
+           const std::string &CacheDir, bool Cold, bool EnableRCF = true,
+           bool EnableLB = true,
+           JitConfig::AsyncMode Async = JitConfig::AsyncMode::Sync) {
   hecbench::RunConfig C;
   C.Arch = Arch;
   C.Mode = hecbench::ExecMode::Proteus;
   C.Jit.CacheDir = CacheDir;
   C.Jit.EnableRCF = EnableRCF;
   C.Jit.EnableLaunchBounds = EnableLB;
+  C.Jit.Async = Async;
   C.ColdCache = Cold;
   return runBenchmark(B, C);
 }

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/async_throughput.dir/async_throughput.cpp.o"
+  "CMakeFiles/async_throughput.dir/async_throughput.cpp.o.d"
+  "async_throughput"
+  "async_throughput.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/async_throughput.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

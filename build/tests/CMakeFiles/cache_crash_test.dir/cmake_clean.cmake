@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cache_crash_test.dir/cache_crash_test.cpp.o"
+  "CMakeFiles/cache_crash_test.dir/cache_crash_test.cpp.o.d"
+  "cache_crash_test"
+  "cache_crash_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cache_crash_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

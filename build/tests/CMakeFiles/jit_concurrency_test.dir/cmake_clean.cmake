@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/jit_concurrency_test.dir/jit_concurrency_test.cpp.o"
+  "CMakeFiles/jit_concurrency_test.dir/jit_concurrency_test.cpp.o.d"
+  "jit_concurrency_test"
+  "jit_concurrency_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/jit_concurrency_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -331,6 +331,17 @@ tests/CMakeFiles/jit_test.dir/jit_test.cpp.o: \
  /root/repo/src/jit/JitRuntime.h /root/repo/src/gpu/Runtime.h \
  /root/repo/src/gpu/Executor.h /root/repo/src/gpu/Device.h \
  /root/repo/src/gpu/LaunchStats.h /root/repo/src/jit/CodeCache.h \
- /root/repo/src/transforms/SpecializeArgs.h \
- /root/repo/src/jitify/Jitify.h /root/repo/src/ir/IRPrinter.h \
- /root/repo/src/support/FileSystem.h
+ /root/repo/src/transforms/SpecializeArgs.h /usr/include/c++/12/mutex \
+ /usr/include/c++/12/bits/chrono.h /usr/include/c++/12/ratio \
+ /usr/include/c++/12/bits/unique_lock.h \
+ /root/repo/src/support/ThreadPool.h \
+ /usr/include/c++/12/condition_variable /usr/include/c++/12/stop_token \
+ /usr/include/c++/12/bits/std_thread.h /usr/include/c++/12/semaphore \
+ /usr/include/c++/12/bits/semaphore_base.h \
+ /usr/include/c++/12/bits/atomic_timed_wait.h \
+ /usr/include/c++/12/bits/this_thread_sleep.h \
+ /usr/include/x86_64-linux-gnu/sys/time.h /usr/include/semaphore.h \
+ /usr/include/x86_64-linux-gnu/bits/semaphore.h /usr/include/c++/12/deque \
+ /usr/include/c++/12/bits/stl_deque.h /usr/include/c++/12/bits/deque.tcc \
+ /usr/include/c++/12/thread /root/repo/src/jitify/Jitify.h \
+ /root/repo/src/ir/IRPrinter.h /root/repo/src/support/FileSystem.h

@@ -14,6 +14,12 @@ set(CMAKE_DEPENDS_DEPENDENCY_FILES
 # Targets to which this target links.
 set(CMAKE_TARGET_LINKED_INFO_FILES
   "/root/repo/build/src/support/CMakeFiles/proteus_support.dir/DependInfo.cmake"
+  "/root/repo/build/src/jit/CMakeFiles/proteus_jit.dir/DependInfo.cmake"
+  "/root/repo/build/src/gpu/CMakeFiles/proteus_gpu.dir/DependInfo.cmake"
+  "/root/repo/build/src/codegen/CMakeFiles/proteus_codegen.dir/DependInfo.cmake"
+  "/root/repo/build/src/transforms/CMakeFiles/proteus_transforms.dir/DependInfo.cmake"
+  "/root/repo/build/src/bitcode/CMakeFiles/proteus_bitcode.dir/DependInfo.cmake"
+  "/root/repo/build/src/ir/CMakeFiles/proteus_ir.dir/DependInfo.cmake"
   )
 
 # Fortran module output directory.

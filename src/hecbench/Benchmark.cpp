@@ -251,12 +251,15 @@ RunResult proteus::hecbench::runBenchmark(const Benchmark &B,
   }
 
   // --- Account time ------------------------------------------------------------------
+  if (Jit)
+    Jit->drain(); // join background compiles before reading counters
   Out.DeviceSeconds = Dev.simulatedSeconds();
   Out.KernelSeconds = Dev.kernelSeconds();
   if (Jit) {
+    Out.Jit = Jit->stats();
     Out.HostJitSeconds =
-        Jit->stats().totalCompileSeconds() + Jit->stats().CacheLookupSeconds;
-    Out.JitCompilations = Jit->stats().Compilations;
+        Out.Jit.totalCompileSeconds() + Out.Jit.CacheLookupSeconds;
+    Out.JitCompilations = Out.Jit.Compilations;
     Out.CodeCacheBytes = Jit->cache().memoryBytes();
   }
   if (Jitify) {

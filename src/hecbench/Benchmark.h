@@ -157,6 +157,9 @@ struct RunResult {
 
   uint64_t JitCompilations = 0;
   uint64_t CodeCacheBytes = 0; // in-memory code cache footprint (Table 3)
+  /// Full JIT runtime counters (Proteus mode only) — includes the async
+  /// pipeline's launch-visible vs hidden compile-time split (Figure 6).
+  JitRuntimeStats Jit;
   /// Per-kernel aggregated counters (Figures 7-11).
   std::map<std::string, gpu::LaunchStats> Profile;
 };

@@ -12,6 +12,7 @@
 
 #include <algorithm>
 #include <cstdlib>
+#include <cstring>
 
 using namespace proteus;
 
@@ -41,6 +42,68 @@ CacheLimits CacheLimits::fromEnvironment() {
   return L;
 }
 
+// --- Persistent entry framing ------------------------------------------------
+//
+// cache-jit-<hash>.o files carry a fixed 32-byte header ahead of the object
+// payload so that lookup() can reject truncated or corrupted files (a crash
+// mid-write, bit rot, manual tampering) instead of loading garbage:
+//
+//   [0..8)   magic "PJITCC1\0"
+//   [8..16)  payload size (LE u64)
+//   [16..24) payload FNV-1a hash (LE u64)
+//   [24..32) execution (hit) count — outside the payload hash so the LFU
+//            policy's counts can be written back without re-hashing
+//   [32..)   object payload
+
+namespace {
+
+constexpr char EntryMagic[8] = {'P', 'J', 'I', 'T', 'C', 'C', '1', '\0'};
+constexpr size_t EntryHeaderBytes = 32;
+
+void putU64(std::vector<uint8_t> &Buf, size_t Offset, uint64_t V) {
+  std::memcpy(Buf.data() + Offset, &V, sizeof(V));
+}
+
+uint64_t getU64(const std::vector<uint8_t> &Buf, size_t Offset) {
+  uint64_t V;
+  std::memcpy(&V, Buf.data() + Offset, sizeof(V));
+  return V;
+}
+
+std::vector<uint8_t> encodeEntry(const std::vector<uint8_t> &Payload,
+                                 uint64_t HitCount) {
+  std::vector<uint8_t> Buf(EntryHeaderBytes + Payload.size());
+  std::memcpy(Buf.data(), EntryMagic, sizeof(EntryMagic));
+  putU64(Buf, 8, Payload.size());
+  putU64(Buf, 16, hashBytes(Payload.data(), Payload.size()));
+  putU64(Buf, 24, HitCount);
+  std::memcpy(Buf.data() + EntryHeaderBytes, Payload.data(), Payload.size());
+  return Buf;
+}
+
+struct DecodedEntry {
+  std::vector<uint8_t> Payload;
+  uint64_t HitCount = 0;
+};
+
+std::optional<DecodedEntry> decodeEntry(const std::vector<uint8_t> &Bytes) {
+  if (Bytes.size() < EntryHeaderBytes)
+    return std::nullopt;
+  if (std::memcmp(Bytes.data(), EntryMagic, sizeof(EntryMagic)) != 0)
+    return std::nullopt;
+  uint64_t Size = getU64(Bytes, 8);
+  if (Size != Bytes.size() - EntryHeaderBytes)
+    return std::nullopt;
+  DecodedEntry D;
+  D.Payload.assign(Bytes.begin() + EntryHeaderBytes, Bytes.end());
+  if (getU64(Bytes, 16) != hashBytes(D.Payload.data(), D.Payload.size()))
+    return std::nullopt;
+  D.HitCount = getU64(Bytes, 24);
+  return D;
+}
+
+} // namespace
+
 CodeCache::CodeCache(bool UseMemory, bool UsePersistent,
                      std::string PersistentDir, CacheLimits Limits)
     : UseMemory(UseMemory),
@@ -61,7 +124,20 @@ void CodeCache::touchEntry(uint64_t Hash, Entry &E) {
   E.LruIt = LruOrder.begin();
 }
 
+void CodeCache::insertMemoryEntry(uint64_t Hash, std::vector<uint8_t> Object,
+                                  uint64_t HitCount) {
+  Entry E;
+  E.Object = std::move(Object);
+  E.HitCount = HitCount;
+  LruOrder.push_front(Hash);
+  E.LruIt = LruOrder.begin();
+  MemoryBytesTotal += E.Object.size();
+  Memory.emplace(Hash, std::move(E));
+  enforceMemoryLimit();
+}
+
 std::optional<std::vector<uint8_t>> CodeCache::lookup(uint64_t Hash) {
+  std::lock_guard<std::mutex> Lock(Mutex);
   if (UseMemory) {
     auto It = Memory.find(Hash);
     if (It != Memory.end()) {
@@ -73,18 +149,23 @@ std::optional<std::vector<uint8_t>> CodeCache::lookup(uint64_t Hash) {
   if (UsePersistent) {
     std::string Path = pathFor(Hash);
     if (auto Bytes = fs::readFile(Path)) {
-      ++Stats.PersistentHits;
-      fs::touchFile(Path); // persistent LRU recency
-      if (UseMemory) {
-        Entry E;
-        E.Object = *Bytes;
-        LruOrder.push_front(Hash);
-        E.LruIt = LruOrder.begin();
-        MemoryBytesTotal += Bytes->size();
-        Memory.emplace(Hash, std::move(E));
-        enforceMemoryLimit();
+      auto Decoded = decodeEntry(*Bytes);
+      if (!Decoded) {
+        // Truncated/corrupted entry (e.g. a crash mid-write): delete it and
+        // report a miss so the JIT recompiles instead of loading garbage.
+        ++Stats.CorruptPersistentEntries;
+        fs::removeFile(Path);
+      } else {
+        ++Stats.PersistentHits;
+        fs::touchFile(Path); // persistent LRU recency
+        if (UseMemory) {
+          // Preserve the execution count across the promotion so the LFU
+          // policy is not biased against entries that round-tripped through
+          // the persistent level; this access counts too.
+          insertMemoryEntry(Hash, Decoded->Payload, Decoded->HitCount + 1);
+        }
+        return std::move(Decoded->Payload);
       }
-      return Bytes;
     }
   }
   ++Stats.Misses;
@@ -92,20 +173,27 @@ std::optional<std::vector<uint8_t>> CodeCache::lookup(uint64_t Hash) {
 }
 
 void CodeCache::insert(uint64_t Hash, const std::vector<uint8_t> &Object) {
+  std::lock_guard<std::mutex> Lock(Mutex);
   ++Stats.Insertions;
-  if (UseMemory && !Memory.count(Hash)) {
-    Entry E;
-    E.Object = Object;
-    LruOrder.push_front(Hash);
-    E.LruIt = LruOrder.begin();
-    MemoryBytesTotal += Object.size();
-    Memory.emplace(Hash, std::move(E));
-    enforceMemoryLimit();
-  }
+  if (UseMemory && !Memory.count(Hash))
+    insertMemoryEntry(Hash, Object, 0);
   if (UsePersistent) {
-    fs::writeFile(pathFor(Hash), Object);
+    fs::writeFileAtomic(pathFor(Hash), encodeEntry(Object, 0));
     enforcePersistentLimit();
   }
+}
+
+void CodeCache::writeBackHitCount(uint64_t Hash, uint64_t Count) {
+  if (!UsePersistent || Count == 0)
+    return;
+  std::string Path = pathFor(Hash);
+  auto Bytes = fs::readFile(Path);
+  if (!Bytes)
+    return;
+  auto Decoded = decodeEntry(*Bytes);
+  if (!Decoded || Decoded->HitCount == Count)
+    return;
+  fs::writeFileAtomic(Path, encodeEntry(Decoded->Payload, Count));
 }
 
 void CodeCache::enforceMemoryLimit() {
@@ -129,6 +217,7 @@ void CodeCache::enforceMemoryLimit() {
       Victim = LruOrder.back();
     }
     auto It = Memory.find(Victim);
+    writeBackHitCount(Victim, It->second.HitCount);
     MemoryBytesTotal -= It->second.Object.size();
     LruOrder.erase(It->second.LruIt);
     Memory.erase(It);
@@ -162,17 +251,39 @@ void CodeCache::enforcePersistentLimit() {
   }
 }
 
+CodeCacheStats CodeCache::stats() const {
+  std::lock_guard<std::mutex> Lock(Mutex);
+  return Stats;
+}
+
+uint64_t CodeCache::memoryBytes() const {
+  std::lock_guard<std::mutex> Lock(Mutex);
+  return MemoryBytesTotal;
+}
+
+size_t CodeCache::memoryEntries() const {
+  std::lock_guard<std::mutex> Lock(Mutex);
+  return Memory.size();
+}
+
 uint64_t CodeCache::persistentBytes() const {
+  std::lock_guard<std::mutex> Lock(Mutex);
   return UsePersistent ? fs::directorySize(Dir) : 0;
 }
 
 void CodeCache::clearMemory() {
+  std::lock_guard<std::mutex> Lock(Mutex);
+  // Write execution counts back so a "fresh process" still sees
+  // runtime-informed frequencies at the persistent level.
+  for (const auto &[Hash, E] : Memory)
+    writeBackHitCount(Hash, E.HitCount);
   Memory.clear();
   LruOrder.clear();
   MemoryBytesTotal = 0;
 }
 
 void CodeCache::clearPersistent() {
+  std::lock_guard<std::mutex> Lock(Mutex);
   if (!UsePersistent)
     return;
   for (const std::string &Name : fs::listFiles(Dir))

@@ -19,6 +19,15 @@
 /// specializations, and environment-variable configuration
 /// (PROTEUS_CACHE_*).
 ///
+/// The cache is thread-safe: every public operation is serialized by an
+/// internal mutex, so concurrent launch threads and asynchronous compile
+/// workers (JitConfig::AsyncMode) can share one instance. Persistent
+/// entries are framed with a small integrity header (magic, payload size,
+/// payload hash, execution count) and written via write-to-temp +
+/// atomic-rename, so a crash mid-write can never produce a loadable
+/// truncated object: lookup() validates the frame and treats corrupt files
+/// as misses (deleting them), forcing a clean recompilation.
+///
 //===----------------------------------------------------------------------===//
 
 #ifndef PROTEUS_JIT_CODECACHE_H
@@ -29,6 +38,7 @@
 
 #include <cstdint>
 #include <list>
+#include <mutex>
 #include <optional>
 #include <string>
 #include <unordered_map>
@@ -59,6 +69,10 @@ struct CodeCacheStats {
   uint64_t Insertions = 0;
   uint64_t MemoryEvictions = 0;
   uint64_t PersistentEvictions = 0;
+  /// Persistent entries rejected by the integrity check (truncated or
+  /// corrupted files, e.g. after a crash mid-write on a pre-atomic-rename
+  /// cache); each is deleted and recompiled.
+  uint64_t CorruptPersistentEntries = 0;
 };
 
 /// Eviction policy when a size limit is hit (paper section 3.4).
@@ -86,30 +100,35 @@ public:
             CacheLimits Limits = CacheLimits());
 
   /// Looks up \p Hash: memory first, then persistent storage (promoting the
-  /// entry into memory on a persistent hit).
+  /// entry into memory on a persistent hit, preserving its execution count
+  /// for the LFU policy).
   std::optional<std::vector<uint8_t>> lookup(uint64_t Hash);
 
   /// Inserts a freshly compiled object into both enabled levels, evicting
   /// per policy when a size limit would be exceeded.
   void insert(uint64_t Hash, const std::vector<uint8_t> &Object);
 
-  const CodeCacheStats &stats() const { return Stats; }
+  /// Snapshot of the counters, taken under the cache lock (safe to read
+  /// while other threads keep hitting the cache).
+  CodeCacheStats stats() const;
 
   /// Total bytes held by the in-memory level (Table 3's "maximal code cache
   /// size" when no eviction runs).
-  uint64_t memoryBytes() const { return MemoryBytesTotal; }
+  uint64_t memoryBytes() const;
 
   /// Number of in-memory entries.
-  size_t memoryEntries() const { return Memory.size(); }
+  size_t memoryEntries() const;
 
   /// Total bytes in the persistent directory.
   uint64_t persistentBytes() const;
 
   /// Drops the in-memory level (simulates a fresh process start while
-  /// keeping the persistent level warm).
+  /// keeping the persistent level warm); execution counts are written back
+  /// to the persistent entries so LFU survives restarts.
   void clearMemory();
 
-  /// Deletes cache-jit-*.o files (the "clear on rebuild" workflow).
+  /// Deletes cache-jit-*.o files (the "clear on rebuild" workflow), along
+  /// with any stale cache-jit-*.o.tmp-* leftovers from interrupted writes.
   void clearPersistent();
 
   const std::string &persistentDir() const { return Dir; }
@@ -123,13 +142,18 @@ private:
 
   std::string pathFor(uint64_t Hash) const;
   void touchEntry(uint64_t Hash, Entry &E);
+  void insertMemoryEntry(uint64_t Hash, std::vector<uint8_t> Object,
+                         uint64_t HitCount);
   void enforceMemoryLimit();
   void enforcePersistentLimit();
+  void writeBackHitCount(uint64_t Hash, uint64_t Count);
 
-  bool UseMemory;
-  bool UsePersistent;
-  std::string Dir;
-  CacheLimits Limits;
+  const bool UseMemory;
+  const bool UsePersistent;
+  const std::string Dir;
+  const CacheLimits Limits;
+
+  mutable std::mutex Mutex; // guards everything below
   std::unordered_map<uint64_t, Entry> Memory;
   /// Recency order: front = most recent.
   std::list<uint64_t> LruOrder;

@@ -13,7 +13,9 @@
 #include "ir/Verifier.h"
 #include "support/Timer.h"
 
+#include <chrono>
 #include <cstdlib>
+#include <future>
 #include "transforms/SpecializeArgs.h"
 
 using namespace proteus;
@@ -27,45 +29,114 @@ JitConfig JitConfig::fromEnvironment() {
     C.EnableLaunchBounds = false;
   if (const char *Dir = std::getenv("PROTEUS_CACHE_DIR"))
     C.CacheDir = Dir;
+  if (const char *Async = std::getenv("PROTEUS_ASYNC")) {
+    std::string S = Async;
+    if (S == "block")
+      C.Async = AsyncMode::Block;
+    else if (S == "fallback")
+      C.Async = AsyncMode::Fallback;
+    else
+      C.Async = AsyncMode::Sync;
+  }
+  if (const char *W = std::getenv("PROTEUS_ASYNC_WORKERS"))
+    if (unsigned N = static_cast<unsigned>(std::strtoul(W, nullptr, 10)))
+      C.AsyncWorkers = N;
   C.Limits = CacheLimits::fromEnvironment();
   return C;
 }
 
+const char *proteus::asyncModeName(JitConfig::AsyncMode M) {
+  switch (M) {
+  case JitConfig::AsyncMode::Sync:
+    return "sync";
+  case JitConfig::AsyncMode::Block:
+    return "block";
+  case JitConfig::AsyncMode::Fallback:
+    return "fallback";
+  }
+  return "unknown";
+}
+
+/// Result of one specialization compile, delivered to every waiter through
+/// the in-flight table's shared future.
+struct JitRuntime::CompileOutcome {
+  GpuError Err = GpuError::Success;
+  std::string Message;
+  std::vector<uint8_t> Object;
+};
+
+/// One in-flight compilation: the owner fulfils the promise (inline in Sync
+/// mode, on a worker otherwise); any number of launches hold the shared
+/// future.
+struct JitRuntime::InFlightCompile {
+  std::promise<CompileOutcome> Promise;
+  std::shared_future<CompileOutcome> Future{Promise.get_future().share()};
+};
+
 JitRuntime::JitRuntime(Device &Dev, uint64_t ModuleId, JitConfig Config)
     : Dev(Dev), ModuleId(ModuleId), Config(Config),
       Cache(Config.UseMemoryCache, Config.UsePersistentCache,
-            Config.CacheDir, Config.Limits) {}
+            Config.CacheDir, Config.Limits) {
+  if (this->Config.Async != JitConfig::AsyncMode::Sync)
+    Pool = std::make_unique<ThreadPool>(
+        this->Config.AsyncWorkers ? this->Config.AsyncWorkers : 1u);
+}
+
+JitRuntime::~JitRuntime() {
+  if (Pool)
+    Pool->shutdown(); // drain compiles that still reference this runtime
+}
 
 void JitRuntime::registerKernel(JitKernelInfo Info) {
+  // In Fallback mode the generic binary is loaded eagerly, at registration
+  // time, so the tier-0 path of a cold launch is a plain kernel launch with
+  // no module load on it.
+  if (Config.Async == JitConfig::AsyncMode::Fallback &&
+      !Info.GenericObject.empty()) {
+    std::lock_guard<std::mutex> Lock(DevMutex);
+    if (!GenericLoaded.count(Info.Symbol)) {
+      LoadedKernel *K = nullptr;
+      if (gpuModuleLoad(Dev, &K, Info.GenericObject, nullptr) ==
+          GpuError::Success)
+        GenericLoaded[Info.Symbol] = K;
+      // On failure fall back to the lazy load in launchGeneric.
+    }
+  }
+  std::lock_guard<std::mutex> Lock(RegistryMutex);
   Kernels[Info.Symbol] = std::move(Info);
 }
 
 void JitRuntime::registerVar(const std::string &Symbol, DevicePtr Address) {
+  std::lock_guard<std::mutex> Lock(RegistryMutex);
   GlobalAddresses[Symbol] = Address;
 }
 
-void JitRuntime::resetInMemoryState() {
-  Cache.clearMemory();
-  Loaded.clear();
+JitRuntimeStats JitRuntime::stats() const {
+  std::lock_guard<std::mutex> Lock(StatsMutex);
+  return Stats;
 }
 
-GpuError JitRuntime::launchKernel(const std::string &Symbol, Dim3 Grid,
-                                  Dim3 Block,
-                                  const std::vector<KernelArg> &Args,
-                                  std::string *Error) {
-  ++Stats.Launches;
-  auto KIt = Kernels.find(Symbol);
-  if (KIt == Kernels.end()) {
-    if (Error)
-      *Error = "kernel @" + Symbol + " is not registered for JIT";
-    return GpuError::NotFound;
-  }
-  const JitKernelInfo &Info = KIt->second;
+void JitRuntime::drain() {
+  if (Pool)
+    Pool->waitIdle();
+}
 
-  // --- Build the specialization key ----------------------------------------
+void JitRuntime::resetInMemoryState() {
+  drain();
+  {
+    std::lock_guard<std::mutex> Lock(DevMutex);
+    Loaded.clear();
+    GenericLoaded.clear();
+  }
+  Cache.clearMemory();
+}
+
+SpecializationKey
+JitRuntime::buildKey(const JitKernelInfo &Info, Dim3 Block,
+                     const std::vector<KernelArg> &Args) const {
   SpecializationKey Key;
   Key.ModuleId = ModuleId;
-  Key.KernelSymbol = Symbol;
+  Key.KernelSymbol = Info.Symbol;
   Key.Arch = Dev.target().Arch;
   if (Config.EnableRCF) {
     for (uint32_t OneBased : Info.AnnotatedArgs) {
@@ -76,124 +147,354 @@ GpuError JitRuntime::launchKernel(const std::string &Symbol, Dim3 Grid,
   }
   if (Config.EnableLaunchBounds)
     Key.LaunchBoundsThreads = static_cast<uint32_t>(Block.count());
+  return Key;
+}
+
+GpuError JitRuntime::fetchBitcode(const JitKernelInfo &Info,
+                                  std::vector<uint8_t> &Out,
+                                  std::string *Error) {
+  Timer FetchT;
+  if (!Info.HostBitcode.empty()) {
+    Out = Info.HostBitcode;
+  } else if (Info.DeviceBitcodeAddr) {
+    Out.resize(Info.DeviceBitcodeSize);
+    GpuError E;
+    {
+      std::lock_guard<std::mutex> Lock(DevMutex);
+      E = gpuMemcpyDtoH(Dev, Out.data(), Info.DeviceBitcodeAddr,
+                        Info.DeviceBitcodeSize);
+    }
+    if (E != GpuError::Success) {
+      if (Error)
+        *Error = "failed to read __jit_bc_" + Info.Symbol +
+                 " from device memory";
+      return E;
+    }
+  } else {
+    if (Error)
+      *Error = "no bitcode registered for @" + Info.Symbol;
+    return GpuError::InvalidValue;
+  }
+  std::lock_guard<std::mutex> Lock(StatsMutex);
+  Stats.BitcodeFetchSeconds += FetchT.seconds();
+  return GpuError::Success;
+}
+
+JitRuntime::CompileOutcome
+JitRuntime::compileSpecialization(const std::string &Symbol,
+                                  std::vector<uint8_t> Bitcode,
+                                  const SpecializationKey &Key,
+                                  uint64_t Hash) {
+  CompileOutcome Out;
+  {
+    std::lock_guard<std::mutex> Lock(StatsMutex);
+    ++Stats.Compilations;
+  }
+
+  // (1) Parse bitcode.
+  Timer ParseT;
+  pir::Context Ctx;
+  proteus::BitcodeReadResult BR = readBitcode(Ctx, Bitcode);
+  double ParseSeconds = ParseT.seconds();
+  if (!BR) {
+    Out.Err = GpuError::InvalidValue;
+    Out.Message = "corrupt kernel bitcode for @" + Symbol + ": " + BR.Error;
+    std::lock_guard<std::mutex> Lock(StatsMutex);
+    Stats.BitcodeParseSeconds += ParseSeconds;
+    return Out;
+  }
+  pir::Module &M = *BR.M;
+  pir::Function *F = M.getFunction(Symbol);
+  if (!F || !F->isKernel()) {
+    Out.Err = GpuError::InvalidValue;
+    Out.Message = "bitcode for @" + Symbol + " does not contain the kernel";
+    return Out;
+  }
+  if (Config.VerifyIR) {
+    pir::VerifyResult VR = pir::verifyModule(M);
+    if (!VR.ok()) {
+      Out.Err = GpuError::InvalidValue;
+      Out.Message = "kernel bitcode for @" + Symbol +
+                    " failed verification:\n" + VR.message();
+      return Out;
+    }
+  }
+
+  // (2) Link device globals: replace references with their resolved device
+  // addresses so JIT code shares state with AOT code. Addresses registered
+  // through __jit_register_var are snapshotted; unknown symbols fall back
+  // to the vendor runtime's table (a device operation, taken under the
+  // device lock).
+  std::map<std::string, DevicePtr> Globals;
+  {
+    std::lock_guard<std::mutex> Lock(RegistryMutex);
+    Globals = GlobalAddresses;
+  }
+  Timer LinkT;
+  for (const auto &G : M.globals()) {
+    if (!G->hasUses())
+      continue;
+    auto AIt = Globals.find(G->getName());
+    DevicePtr Addr = AIt != Globals.end() ? AIt->second : 0;
+    if (!Addr) {
+      std::lock_guard<std::mutex> Lock(DevMutex);
+      gpuGetSymbolAddress(Dev, &Addr, G->getName());
+    }
+    if (!Addr) {
+      Out.Err = GpuError::NotFound;
+      Out.Message = "cannot link device global @" + G->getName();
+      return Out;
+    }
+    G->replaceAllUsesWith(Ctx.getConstantPtr(Addr));
+  }
+  double LinkSeconds = LinkT.seconds();
+
+  // (3) Specialize.
+  Timer SpecT;
+  if (Config.EnableRCF && !Key.FoldedArgs.empty())
+    specializeArguments(*F, Key.FoldedArgs);
+  if (Config.EnableLaunchBounds)
+    specializeLaunchBounds(*F, Key.LaunchBoundsThreads);
+  double SpecSeconds = SpecT.seconds();
+
+  // (4) Aggressive O3.
+  Timer OptT;
+  runO3(M, Config.O3);
+  double OptSeconds = OptT.seconds();
+
+  // (5) Backend (includes the PTX assembler detour on nvptx-sim).
+  Timer BackT;
+  BackendStats BS;
+  Out.Object = compileKernelToObject(*F, Dev.target(), &BS);
+  double BackSeconds = BackT.seconds();
+
+  // (6) Publish: insert into both cache levels before the in-flight entry
+  // is retired, so no launch can miss both.
+  Cache.insert(Hash, Out.Object);
+
+  std::lock_guard<std::mutex> Lock(StatsMutex);
+  Stats.BitcodeParseSeconds += ParseSeconds;
+  Stats.LinkGlobalsSeconds += LinkSeconds;
+  Stats.SpecializeSeconds += SpecSeconds;
+  Stats.OptimizeSeconds += OptSeconds;
+  Stats.BackendSeconds += BackSeconds;
+  return Out;
+}
+
+void JitRuntime::completeJob(uint64_t Hash,
+                             const std::shared_ptr<InFlightCompile> &Job,
+                             CompileOutcome Outcome) {
+  // Publish the result to waiters first; the cache entry (on success) was
+  // already inserted, so a launch that finds neither the in-flight job nor
+  // the table entry still finds the object in the cache.
+  Job->Promise.set_value(std::move(Outcome));
+  std::lock_guard<std::mutex> Lock(InFlightMutex);
+  InFlight.erase(Hash);
+}
+
+std::optional<GpuError>
+JitRuntime::launchGeneric(const JitKernelInfo &Info, Dim3 Grid, Dim3 Block,
+                          const std::vector<KernelArg> &Args,
+                          std::string *Error) {
+  std::lock_guard<std::mutex> Lock(DevMutex);
+  LoadedKernel *K = nullptr;
+  if (auto It = GenericLoaded.find(Info.Symbol); It != GenericLoaded.end()) {
+    K = It->second;
+  } else {
+    if (Info.GenericObject.empty())
+      return std::nullopt; // no tier-0 binary: caller must wait instead
+    std::string LoadErr;
+    if (gpuModuleLoad(Dev, &K, Info.GenericObject, &LoadErr) !=
+        GpuError::Success) {
+      if (Error)
+        *Error = "failed to load generic binary for @" + Info.Symbol + ": " +
+                 LoadErr;
+      return GpuError::LaunchFailure;
+    }
+    GenericLoaded[Info.Symbol] = K;
+  }
+  {
+    std::lock_guard<std::mutex> SLock(StatsMutex);
+    ++Stats.FallbackLaunches;
+  }
+  return gpuLaunchKernel(Dev, *K, Grid, Block, Args, Error);
+}
+
+GpuError JitRuntime::loadAndLaunch(uint64_t Hash,
+                                   const std::vector<uint8_t> &Object,
+                                   const std::string &Symbol, Dim3 Grid,
+                                   Dim3 Block,
+                                   const std::vector<KernelArg> &Args,
+                                   std::string *Error) {
+  std::lock_guard<std::mutex> Lock(DevMutex);
+  LoadedKernel *K = nullptr;
+  if (auto It = Loaded.find(Hash); It != Loaded.end()) {
+    K = It->second;
+  } else {
+    std::string LoadError;
+    if (gpuModuleLoad(Dev, &K, Object, &LoadError) != GpuError::Success) {
+      if (Error)
+        *Error = "failed to load JIT object for @" + Symbol + ": " +
+                 LoadError;
+      return GpuError::LaunchFailure;
+    }
+    Loaded[Hash] = K;
+  }
+  return gpuLaunchKernel(Dev, *K, Grid, Block, Args, Error);
+}
+
+GpuError JitRuntime::launchKernel(const std::string &Symbol, Dim3 Grid,
+                                  Dim3 Block,
+                                  const std::vector<KernelArg> &Args,
+                                  std::string *Error) {
+  {
+    std::lock_guard<std::mutex> Lock(StatsMutex);
+    ++Stats.Launches;
+  }
+  const JitKernelInfo *Info = nullptr;
+  {
+    std::lock_guard<std::mutex> Lock(RegistryMutex);
+    auto KIt = Kernels.find(Symbol);
+    if (KIt != Kernels.end())
+      Info = &KIt->second; // map nodes are stable; registration precedes launches
+  }
+  if (!Info) {
+    if (Error)
+      *Error = "kernel @" + Symbol + " is not registered for JIT";
+    return GpuError::NotFound;
+  }
+
+  SpecializationKey Key = buildKey(*Info, Block, Args);
   uint64_t Hash = computeSpecializationHash(Key);
 
   // --- Already loaded? -------------------------------------------------------
-  if (auto LIt = Loaded.find(Hash); LIt != Loaded.end())
-    return gpuLaunchKernel(Dev, *LIt->second, Grid, Block, Args, Error);
+  {
+    std::lock_guard<std::mutex> Lock(DevMutex);
+    if (auto LIt = Loaded.find(Hash); LIt != Loaded.end())
+      return gpuLaunchKernel(Dev, *LIt->second, Grid, Block, Args, Error);
+  }
 
-  // --- Cache lookup -----------------------------------------------------------
-  Timer LookupT;
-  std::optional<std::vector<uint8_t>> Object = Cache.lookup(Hash);
-  Stats.CacheLookupSeconds += LookupT.seconds();
+  // --- Cache lookup + in-flight dedup, atomically ----------------------------
+  // Checking the in-flight table and the cache under one lock closes the
+  // window where a finished compile has been retired from the table but a
+  // racing launch misses the cache: compiles insert into the cache before
+  // erasing their table entry.
+  std::shared_ptr<InFlightCompile> Job;
+  bool Owner = false;
+  std::optional<std::vector<uint8_t>> Object;
+  {
+    std::lock_guard<std::mutex> Lock(InFlightMutex);
+    auto JIt = InFlight.find(Hash);
+    if (JIt != InFlight.end()) {
+      Job = JIt->second;
+    } else {
+      Timer LookupT;
+      Object = Cache.lookup(Hash);
+      double LookupSeconds = LookupT.seconds();
+      {
+        std::lock_guard<std::mutex> SLock(StatsMutex);
+        Stats.CacheLookupSeconds += LookupSeconds;
+      }
+      if (!Object) {
+        Job = std::make_shared<InFlightCompile>();
+        InFlight.emplace(Hash, Job);
+        Owner = true;
+      }
+    }
+  }
 
   if (!Object) {
-    // --- Compile the specialization -----------------------------------------
-    ++Stats.Compilations;
-
-    // (1) Obtain bitcode.
-    Timer FetchT;
-    std::vector<uint8_t> Bitcode;
-    if (!Info.HostBitcode.empty()) {
-      Bitcode = Info.HostBitcode;
-    } else if (Info.DeviceBitcodeAddr) {
-      Bitcode.resize(Info.DeviceBitcodeSize);
-      GpuError E = gpuMemcpyDtoH(Dev, Bitcode.data(),
-                                 Info.DeviceBitcodeAddr,
-                                 Info.DeviceBitcodeSize);
-      if (E != GpuError::Success) {
+    if (Owner) {
+      // The bitcode fetch stays on the launching thread: the NVIDIA path
+      // reads __jit_bc_<sym> back from device memory, a device operation.
+      std::vector<uint8_t> Bitcode;
+      std::string FetchError;
+      GpuError FE = fetchBitcode(*Info, Bitcode, &FetchError);
+      if (FE != GpuError::Success) {
+        completeJob(Hash, Job, CompileOutcome{FE, FetchError, {}});
         if (Error)
-          *Error = "failed to read __jit_bc_" + Symbol +
-                   " from device memory";
-        return E;
+          *Error = FetchError;
+        return FE;
+      }
+      if (!Pool) {
+        // Sync: compile inline; the full cost is launch-visible.
+        Timer InlineT;
+        CompileOutcome O =
+            compileSpecialization(Symbol, std::move(Bitcode), Key, Hash);
+        double InlineSeconds = InlineT.seconds();
+        {
+          std::lock_guard<std::mutex> SLock(StatsMutex);
+          Stats.LaunchBlockedSeconds += InlineSeconds;
+        }
+        GpuError CE = O.Err;
+        if (CE != GpuError::Success) {
+          if (Error)
+            *Error = O.Message;
+          completeJob(Hash, Job, std::move(O));
+          return CE;
+        }
+        Object = O.Object;
+        completeJob(Hash, Job, std::move(O));
+      } else {
+        {
+          std::lock_guard<std::mutex> SLock(StatsMutex);
+          ++Stats.AsyncCompiles;
+        }
+        Timer QueueT;
+        Pool->enqueue([this, Symbol, Key, Hash, Job, QueueT,
+                       BC = std::move(Bitcode)]() mutable {
+          double Queued = QueueT.seconds();
+          {
+            std::lock_guard<std::mutex> SLock(StatsMutex);
+            Stats.QueueWaitSeconds += Queued;
+          }
+          completeJob(Hash, Job,
+                      compileSpecialization(Symbol, std::move(BC), Key,
+                                            Hash));
+        });
       }
     } else {
-      if (Error)
-        *Error = "no bitcode registered for @" + Symbol;
-      return GpuError::InvalidValue;
+      std::lock_guard<std::mutex> SLock(StatsMutex);
+      ++Stats.DedupedWaits;
     }
-    Stats.BitcodeFetchSeconds += FetchT.seconds();
 
-    // (2) Parse bitcode.
-    Timer ParseT;
-    pir::Context Ctx;
-    proteus::BitcodeReadResult BR = readBitcode(Ctx, Bitcode);
-    Stats.BitcodeParseSeconds += ParseT.seconds();
-    if (!BR) {
-      if (Error)
-        *Error = "corrupt kernel bitcode for @" + Symbol + ": " + BR.Error;
-      return GpuError::InvalidValue;
+    if (!Object && Config.Async == JitConfig::AsyncMode::Fallback) {
+      bool Ready = Job->Future.wait_for(std::chrono::seconds(0)) ==
+                   std::future_status::ready;
+      if (Ready) {
+        const CompileOutcome &O = Job->Future.get();
+        if (O.Err != GpuError::Success) {
+          if (Error)
+            *Error = O.Message;
+          return O.Err;
+        }
+        Object = O.Object;
+      } else if (std::optional<GpuError> GE =
+                     launchGeneric(*Info, Grid, Block, Args, Error)) {
+        // Tier-0 launch; the specialized binary is hot-swapped in by a
+        // later launch once the background compile lands in the cache.
+        return *GE;
+      }
+      // No generic binary available: degrade to blocking on the future.
     }
-    pir::Module &M = *BR.M;
-    pir::Function *F = M.getFunction(Symbol);
-    if (!F || !F->isKernel()) {
-      if (Error)
-        *Error = "bitcode for @" + Symbol + " does not contain the kernel";
-      return GpuError::InvalidValue;
-    }
-    if (Config.VerifyIR) {
-      pir::VerifyResult VR = pir::verifyModule(M);
-      if (!VR.ok()) {
+
+    if (!Object) {
+      Timer WaitT;
+      const CompileOutcome &O = Job->Future.get();
+      double Waited = WaitT.seconds();
+      {
+        std::lock_guard<std::mutex> SLock(StatsMutex);
+        Stats.LaunchBlockedSeconds += Waited;
+      }
+      if (O.Err != GpuError::Success) {
         if (Error)
-          *Error = "kernel bitcode for @" + Symbol +
-                   " failed verification:\n" + VR.message();
-        return GpuError::InvalidValue;
+          *Error = O.Message;
+        return O.Err;
       }
+      Object = O.Object;
     }
-
-    // (3) Link device globals: replace references with their resolved
-    // device addresses so JIT code shares state with AOT code.
-    Timer LinkT;
-    for (const auto &G : M.globals()) {
-      if (!G->hasUses())
-        continue;
-      auto AIt = GlobalAddresses.find(G->getName());
-      DevicePtr Addr =
-          AIt != GlobalAddresses.end() ? AIt->second : 0;
-      if (!Addr) {
-        // Fall back to the vendor runtime's symbol table.
-        gpuGetSymbolAddress(Dev, &Addr, G->getName());
-      }
-      if (!Addr) {
-        if (Error)
-          *Error = "cannot link device global @" + G->getName();
-        return GpuError::NotFound;
-      }
-      G->replaceAllUsesWith(Ctx.getConstantPtr(Addr));
-    }
-    Stats.LinkGlobalsSeconds += LinkT.seconds();
-
-    // (4) Specialize.
-    Timer SpecT;
-    if (Config.EnableRCF && !Key.FoldedArgs.empty())
-      specializeArguments(*F, Key.FoldedArgs);
-    if (Config.EnableLaunchBounds)
-      specializeLaunchBounds(*F, Key.LaunchBoundsThreads);
-    Stats.SpecializeSeconds += SpecT.seconds();
-
-    // (5) Aggressive O3.
-    Timer OptT;
-    runO3(M, Config.O3);
-    Stats.OptimizeSeconds += OptT.seconds();
-
-    // (6) Backend (includes the PTX assembler detour on nvptx-sim).
-    Timer BackT;
-    BackendStats BS;
-    Object = compileKernelToObject(*F, Dev.target(), &BS);
-    Stats.BackendSeconds += BackT.seconds();
-
-    Cache.insert(Hash, *Object);
   }
 
   // --- Load and launch ---------------------------------------------------------
-  LoadedKernel *K = nullptr;
-  std::string LoadError;
-  GpuError E = gpuModuleLoad(Dev, &K, *Object, &LoadError);
-  if (E != GpuError::Success) {
-    if (Error)
-      *Error = "failed to load JIT object for @" + Symbol + ": " + LoadError;
-    return E;
-  }
-  Loaded[Hash] = K;
-  return gpuLaunchKernel(Dev, *K, Grid, Block, Args, Error);
+  return loadAndLaunch(Hash, *Object, Symbol, Grid, Block, Args, Error);
 }

@@ -23,6 +23,18 @@
 /// the paper's None/LB/RCF/LB+RCF analysis modes (section 4.5) and the
 /// overhead experiment (Figure 6) are produced.
 ///
+/// The runtime is thread-safe and optionally asynchronous. Concurrent
+/// launches of the same not-yet-compiled specialization are deduplicated
+/// through an in-flight compilation table (one compile, many waiters), and
+/// JitConfig::AsyncMode selects how a miss is served:
+///
+///   * Sync     — compile on the launching thread (the paper's behaviour);
+///   * Block    — compile on a worker pool; the launch waits on a future;
+///   * Fallback — the launch immediately runs the kernel's generic
+///                (unspecialized AOT) binary while the specialized one
+///                compiles in the background and is hot-swapped in on a
+///                later launch, as in tiered JITs.
+///
 //===----------------------------------------------------------------------===//
 
 #ifndef PROTEUS_JIT_JITRUNTIME_H
@@ -30,15 +42,26 @@
 
 #include "gpu/Runtime.h"
 #include "jit/CodeCache.h"
+#include "support/ThreadPool.h"
 #include "transforms/O3Pipeline.h"
 
 #include <map>
 #include <memory>
+#include <mutex>
+#include <unordered_map>
 
 namespace proteus {
 
 /// Runtime configuration (environment-variable equivalents).
 struct JitConfig {
+  /// How a launch that misses the code cache obtains its binary.
+  enum class AsyncMode {
+    Sync,     ///< compile inline on the launching thread (default)
+    Block,    ///< compile on the worker pool; the launch waits on a future
+    Fallback, ///< launch the generic AOT binary now, hot-swap the
+              ///< specialized binary once the background compile finishes
+  };
+
   bool EnableRCF = true;          // runtime constant folding of arguments
   bool EnableLaunchBounds = true; // launch-bounds specialization
   bool UseMemoryCache = true;
@@ -49,13 +72,19 @@ struct JitConfig {
   /// Verify the deserialized kernel IR before specializing (defensive mode
   /// for untrusted persistent caches / debugging; off by default).
   bool VerifyIR = false;
+  /// Asynchronous compilation pipeline (PROTEUS_ASYNC=sync|block|fallback).
+  AsyncMode Async = AsyncMode::Sync;
+  /// Worker threads for the async pipeline (PROTEUS_ASYNC_WORKERS).
+  unsigned AsyncWorkers = 4;
   O3Options O3;
 
   /// Applies the PROTEUS_* environment variables on top of the defaults
-  /// (PROTEUS_NO_RCF, PROTEUS_NO_LAUNCH_BOUNDS, PROTEUS_CACHE_DIR and the
-  /// CacheLimits variables).
+  /// (PROTEUS_NO_RCF, PROTEUS_NO_LAUNCH_BOUNDS, PROTEUS_CACHE_DIR,
+  /// PROTEUS_ASYNC, PROTEUS_ASYNC_WORKERS and the CacheLimits variables).
   static JitConfig fromEnvironment();
 };
+
+const char *asyncModeName(JitConfig::AsyncMode M);
 
 /// Cumulative runtime accounting.
 struct JitRuntimeStats {
@@ -69,9 +98,25 @@ struct JitRuntimeStats {
   double BackendSeconds = 0;
   double CacheLookupSeconds = 0;
 
+  // Asynchronous-pipeline accounting.
+  uint64_t AsyncCompiles = 0;    // compiles dispatched to the worker pool
+  uint64_t FallbackLaunches = 0; // launches served by the generic binary
+  uint64_t DedupedWaits = 0;     // launches that joined an in-flight compile
+  double QueueWaitSeconds = 0;   // enqueue -> worker pickup latency
+  /// Compile time visible on the launch path: inline compiles (Sync) and
+  /// time launches spent blocked on a compile future (Block / dedup waits).
+  double LaunchBlockedSeconds = 0;
+
   double totalCompileSeconds() const {
     return BitcodeFetchSeconds + BitcodeParseSeconds + LinkGlobalsSeconds +
            SpecializeSeconds + OptimizeSeconds + BackendSeconds;
+  }
+
+  /// Compile time hidden from the launch path by the async pipeline
+  /// (Figure 6's launch-visible vs hidden split).
+  double hiddenCompileSeconds() const {
+    double Hidden = totalCompileSeconds() - LaunchBlockedSeconds;
+    return Hidden > 0 ? Hidden : 0;
   }
 };
 
@@ -84,12 +129,19 @@ struct JitKernelInfo {
   /// nvptx-sim: device address/size of __jit_bc_<symbol> to read back.
   gpu::DevicePtr DeviceBitcodeAddr = 0;
   uint64_t DeviceBitcodeSize = 0;
+  /// The kernel's generic (unspecialized) AOT binary, used as the tier-0
+  /// launch target in AsyncMode::Fallback while a specialization compiles.
+  std::vector<uint8_t> GenericObject;
 };
 
 /// The runtime library instance bound to one device.
 class JitRuntime {
 public:
   JitRuntime(gpu::Device &Dev, uint64_t ModuleId, JitConfig Config);
+  ~JitRuntime();
+
+  JitRuntime(const JitRuntime &) = delete;
+  JitRuntime &operator=(const JitRuntime &) = delete;
 
   /// Registers a JIT-annotated kernel (done by program load).
   void registerKernel(JitKernelInfo Info);
@@ -99,29 +151,82 @@ public:
   void registerVar(const std::string &Symbol, gpu::DevicePtr Address);
 
   /// __jit_launch_kernel: the entry point replacing direct kernel launches.
+  /// Safe to call concurrently from multiple threads.
   gpu::GpuError launchKernel(const std::string &Symbol, gpu::Dim3 Grid,
                              gpu::Dim3 Block,
                              const std::vector<gpu::KernelArg> &Args,
                              std::string *Error = nullptr);
 
-  const JitRuntimeStats &stats() const { return Stats; }
+  /// Snapshot of the counters, taken under the stats lock.
+  JitRuntimeStats stats() const;
+
   CodeCache &cache() { return Cache; }
   const JitConfig &config() const { return Config; }
 
+  /// Waits until every background compilation dispatched so far has
+  /// finished (no-op in Sync mode).
+  void drain();
+
   /// Drops in-memory state (fresh-process simulation; persistent cache
-  /// stays warm).
+  /// stays warm). Drains background compiles first.
   void resetInMemoryState();
 
 private:
+  struct CompileOutcome;
+  struct InFlightCompile;
+
+  SpecializationKey buildKey(const JitKernelInfo &Info, gpu::Dim3 Block,
+                             const std::vector<gpu::KernelArg> &Args) const;
+  gpu::GpuError fetchBitcode(const JitKernelInfo &Info,
+                             std::vector<uint8_t> &Out, std::string *Error);
+  CompileOutcome compileSpecialization(const std::string &Symbol,
+                                       std::vector<uint8_t> Bitcode,
+                                       const SpecializationKey &Key,
+                                       uint64_t Hash);
+  void completeJob(uint64_t Hash, const std::shared_ptr<InFlightCompile> &Job,
+                   CompileOutcome Outcome);
+  /// Loads the generic AOT binary (once) and launches it; returns
+  /// std::nullopt when the kernel carries no generic binary.
+  std::optional<gpu::GpuError>
+  launchGeneric(const JitKernelInfo &Info, gpu::Dim3 Grid, gpu::Dim3 Block,
+                const std::vector<gpu::KernelArg> &Args, std::string *Error);
+  gpu::GpuError loadAndLaunch(uint64_t Hash,
+                              const std::vector<uint8_t> &Object,
+                              const std::string &Symbol, gpu::Dim3 Grid,
+                              gpu::Dim3 Block,
+                              const std::vector<gpu::KernelArg> &Args,
+                              std::string *Error);
+
   gpu::Device &Dev;
-  uint64_t ModuleId;
-  JitConfig Config;
+  const uint64_t ModuleId;
+  const JitConfig Config;
   CodeCache Cache;
+
+  mutable std::mutex StatsMutex; // guards Stats
   JitRuntimeStats Stats;
+
+  std::mutex RegistryMutex; // guards Kernels + GlobalAddresses
   std::map<std::string, JitKernelInfo> Kernels;
   std::map<std::string, gpu::DevicePtr> GlobalAddresses;
+
+  /// DevMutex serializes every operation against the (thread-oblivious)
+  /// simulated device: module loads, launches, symbol resolution and
+  /// device-memory bitcode readback — and guards the two loaded-kernel maps.
+  std::mutex DevMutex;
   /// Specialization hash -> kernel already loaded on the device.
   std::map<uint64_t, gpu::LoadedKernel *> Loaded;
+  /// Kernel symbol -> loaded generic (unspecialized) binary.
+  std::map<std::string, gpu::LoadedKernel *> GenericLoaded;
+
+  /// In-flight compilation table: one compile per specialization hash, any
+  /// number of waiters (the dedup structure of the async pipeline).
+  std::mutex InFlightMutex;
+  std::unordered_map<uint64_t, std::shared_ptr<InFlightCompile>> InFlight;
+
+  /// Worker pool for Block/Fallback modes; null in Sync mode. Declared
+  /// last so it is destroyed (drained and joined) before any state the
+  /// compile tasks reference.
+  std::unique_ptr<ThreadPool> Pool;
 };
 
 } // namespace proteus

@@ -12,6 +12,7 @@
 #include <filesystem>
 #include <fstream>
 #include <system_error>
+#include <unistd.h>
 
 namespace stdfs = std::filesystem;
 using namespace proteus;
@@ -34,6 +35,28 @@ bool fs::writeFile(const std::string &Path, const std::vector<uint8_t> &Data) {
   Out.write(reinterpret_cast<const char *>(Data.data()),
             static_cast<std::streamsize>(Data.size()));
   return static_cast<bool>(Out);
+}
+
+std::string fs::uniqueNameToken() {
+  static std::atomic<uint64_t> Counter{0};
+  return std::to_string(::getpid()) + "-" +
+         std::to_string(Counter.fetch_add(1));
+}
+
+bool fs::writeFileAtomic(const std::string &Path,
+                         const std::vector<uint8_t> &Data) {
+  std::string Tmp = Path + ".tmp-" + uniqueNameToken();
+  if (!writeFile(Tmp, Data)) {
+    removeFile(Tmp);
+    return false;
+  }
+  std::error_code EC;
+  stdfs::rename(Tmp, Path, EC);
+  if (EC) {
+    removeFile(Tmp);
+    return false;
+  }
+  return true;
 }
 
 bool fs::exists(const std::string &Path) {
@@ -106,16 +129,12 @@ uint64_t fs::directorySize(const std::string &Dir) {
 }
 
 std::string fs::makeTempDirectory(const std::string &Prefix) {
-  static std::atomic<uint64_t> Counter{0};
   std::error_code EC;
   stdfs::path Base = stdfs::temp_directory_path(EC);
   if (EC)
     Base = ".";
   for (;;) {
-    uint64_t N = Counter.fetch_add(1);
-    stdfs::path Candidate =
-        Base / (Prefix + "-" + std::to_string(::getpid()) + "-" +
-                std::to_string(N));
+    stdfs::path Candidate = Base / (Prefix + "-" + uniqueNameToken());
     if (stdfs::create_directories(Candidate, EC) && !EC)
       return Candidate.string();
   }

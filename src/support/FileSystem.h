@@ -31,6 +31,17 @@ std::optional<std::vector<uint8_t>> readFile(const std::string &Path);
 /// IO failure.
 bool writeFile(const std::string &Path, const std::vector<uint8_t> &Data);
 
+/// Crash-safe replacement of \p Path: writes \p Data to a unique sibling
+/// temporary file (\p Path + ".tmp-<pid>-<n>") and renames it over \p Path.
+/// A crash mid-write leaves either the previous file or a stale .tmp-*
+/// sibling, never a truncated \p Path. Returns false on IO failure.
+bool writeFileAtomic(const std::string &Path,
+                     const std::vector<uint8_t> &Data);
+
+/// Process-unique token ("<pid>-<counter>") used to build collision-free
+/// temporary names (shared by writeFileAtomic and makeTempDirectory).
+std::string uniqueNameToken();
+
 /// Returns true if a regular file exists at \p Path.
 bool exists(const std::string &Path);
 

@@ -46,20 +46,21 @@ private:
   uint64_t State;
 };
 
-/// Builds a random kernel named "rk" into a fresh module.
-/// Signature: rk(in: ptr, out: ptr, n: i32, sf: f64, si: i32).
+/// Builds a random kernel named \p Name into an existing module (so test
+/// programs can carry several independent random kernels at once).
+/// Signature: <name>(in: ptr, out: ptr, n: i32, sf: f64, si: i32).
 /// The scalar arguments sf (4) and si (5) are jit-annotated.
-inline std::unique_ptr<pir::Module> buildRandomKernel(pir::Context &Ctx,
-                                                      uint64_t Seed) {
+inline pir::Function *buildRandomKernelInto(pir::Module &M, uint64_t Seed,
+                                            const std::string &Name = "rk") {
   using namespace pir;
   Rng R(Seed);
-  auto M = std::make_unique<Module>(Ctx, "random" + std::to_string(Seed));
+  pir::Context &Ctx = M.getContext();
   IRBuilder B(Ctx);
   Type *F64 = Ctx.getF64Ty();
   Type *I32 = Ctx.getI32Ty();
 
-  Function *F = M->createFunction(
-      "rk", Ctx.getVoidTy(),
+  Function *F = M.createFunction(
+      Name, Ctx.getVoidTy(),
       {Ctx.getPtrTy(), Ctx.getPtrTy(), I32, F64, I32},
       {"in", "out", "n", "sf", "si"}, FunctionKind::Kernel);
   F->setJitAnnotation(JitAnnotation{{4, 5}});
@@ -191,6 +192,14 @@ inline std::unique_ptr<pir::Module> buildRandomKernel(pir::Context &Ctx,
   Sum = B.createFAdd(Sum, IntBits);
   B.createStore(Sum, B.createGep(F64, Out, Gtid));
   B.createRet();
+  return F;
+}
+
+/// Builds a random kernel named "rk" into a fresh module.
+inline std::unique_ptr<pir::Module> buildRandomKernel(pir::Context &Ctx,
+                                                      uint64_t Seed) {
+  auto M = std::make_unique<pir::Module>(Ctx, "random" + std::to_string(Seed));
+  buildRandomKernelInto(*M, Seed);
   return M;
 }
 

@@ -1,0 +1,183 @@
+//===- cache_crash_test.cpp - persistent-cache fault injection -------------------===//
+//
+// Part of the Proteus reproduction project.
+//
+//===----------------------------------------------------------------------===//
+//
+// Fault battery for the persistent code cache: truncated, bit-flipped and
+// garbage cache-jit-<hash>.o files (simulating crashes mid-write on the
+// pre-atomic-rename protocol, bit rot, or tampering) must be detected by
+// the entry integrity header, treated as misses, deleted, and recompiled —
+// never loaded as kernel objects. Also covers the write-to-temp +
+// atomic-rename protocol itself: no temp files survive a successful insert,
+// and stale temp leftovers are swept by clearPersistent().
+//
+//===----------------------------------------------------------------------===//
+
+#include "TestUtil.h"
+
+#include "ir/Context.h"
+#include "jit/Program.h"
+#include "support/FileSystem.h"
+#include "support/Hashing.h"
+
+#include <gtest/gtest.h>
+
+using namespace pir;
+using namespace proteus;
+using namespace proteus::gpu;
+using namespace proteus_test;
+
+namespace {
+
+struct TempDir {
+  std::string Path;
+  TempDir() : Path(fs::makeTempDirectory("proteus-crash")) {}
+  ~TempDir() { fs::removeAllFiles(Path); }
+};
+
+/// The single cache file in \p Dir (asserts there is exactly one).
+std::string onlyCacheFile(const std::string &Dir) {
+  auto Names = fs::listFiles(Dir);
+  EXPECT_EQ(Names.size(), 1u);
+  return Names.empty() ? "" : Dir + "/" + Names[0];
+}
+
+std::vector<uint8_t> objBlob() {
+  std::vector<uint8_t> Obj(256);
+  for (size_t I = 0; I != Obj.size(); ++I)
+    Obj[I] = static_cast<uint8_t>(I * 7 + 1);
+  return Obj;
+}
+
+TEST(CacheCrashTest, TruncatedEntriesAreDetectedAndRecompiled) {
+  TempDir Tmp;
+  const std::vector<uint8_t> Obj = objBlob();
+  // Memory level disabled so every lookup exercises the persistent path.
+  CodeCache C(false, true, Tmp.Path);
+  C.insert(7, Obj);
+  std::string Path = onlyCacheFile(Tmp.Path);
+  auto Full = fs::readFile(Path);
+  ASSERT_TRUE(Full.has_value());
+  ASSERT_GT(Full->size(), Obj.size()) << "entries must carry a header";
+
+  uint64_t ExpectedCorrupt = 0;
+  for (size_t Keep : {size_t(0), size_t(10), Full->size() - Obj.size() - 1,
+                      Full->size() - Obj.size() + Obj.size() / 2,
+                      Full->size() - 1}) {
+    // Simulate a crash mid-write: only a prefix reached the disk.
+    std::vector<uint8_t> Truncated(Full->begin(), Full->begin() + Keep);
+    ASSERT_TRUE(fs::writeFile(Path, Truncated));
+    EXPECT_FALSE(C.lookup(7).has_value())
+        << "truncated to " << Keep << " bytes must be a miss";
+    EXPECT_EQ(C.stats().CorruptPersistentEntries, ++ExpectedCorrupt);
+    EXPECT_FALSE(fs::exists(Path)) << "corrupt entry must be deleted";
+    // The JIT recompiles and re-inserts on such a miss.
+    C.insert(7, Obj);
+    auto Hit = C.lookup(7);
+    ASSERT_TRUE(Hit.has_value());
+    EXPECT_EQ(*Hit, Obj);
+  }
+}
+
+TEST(CacheCrashTest, BitFlippedPayloadIsRejectedByHash) {
+  TempDir Tmp;
+  const std::vector<uint8_t> Obj = objBlob();
+  CodeCache C(false, true, Tmp.Path);
+  C.insert(9, Obj);
+  std::string Path = onlyCacheFile(Tmp.Path);
+  auto Bytes = fs::readFile(Path);
+  ASSERT_TRUE(Bytes.has_value());
+  // Flip one bit in the payload region (past the header) — size still
+  // matches, so only the payload hash can catch it.
+  (*Bytes)[Bytes->size() - Obj.size() / 2] ^= 0x40;
+  ASSERT_TRUE(fs::writeFile(Path, *Bytes));
+  EXPECT_FALSE(C.lookup(9).has_value());
+  EXPECT_EQ(C.stats().CorruptPersistentEntries, 1u);
+  EXPECT_FALSE(fs::exists(Path));
+}
+
+TEST(CacheCrashTest, GarbageAndWrongMagicFilesAreRejected) {
+  TempDir Tmp;
+  CodeCache C(false, true, Tmp.Path);
+  std::string Path = Tmp.Path + "/cache-jit-" + hashToHex(0x77) + ".o";
+  // A raw object written by an old (pre-framing) cache version, or any
+  // garbage: no magic, must be treated as a miss.
+  ASSERT_TRUE(fs::writeFile(Path, std::vector<uint8_t>(512, 0xCD)));
+  EXPECT_FALSE(C.lookup(0x77).has_value());
+  EXPECT_EQ(C.stats().CorruptPersistentEntries, 1u);
+  EXPECT_FALSE(fs::exists(Path));
+}
+
+TEST(CacheCrashTest, InsertLeavesNoTempFilesAndSweepCleansStaleOnes) {
+  TempDir Tmp;
+  CodeCache C(true, true, Tmp.Path);
+  for (uint64_t H = 1; H <= 8; ++H)
+    C.insert(H, objBlob());
+  for (const std::string &Name : fs::listFiles(Tmp.Path))
+    EXPECT_EQ(Name.find(".tmp-"), std::string::npos)
+        << "temp file leaked: " << Name;
+
+  // A crash between writing the temp file and renaming it leaves a
+  // cache-jit-*.tmp-* orphan; clearPersistent() must sweep it.
+  std::string Stale =
+      Tmp.Path + "/cache-jit-" + hashToHex(0xbad) + ".o.tmp-12345-0";
+  ASSERT_TRUE(fs::writeFile(Stale, {1, 2, 3}));
+  C.clearPersistent();
+  EXPECT_TRUE(fs::listFiles(Tmp.Path).empty())
+      << "stale temp files must be swept";
+}
+
+TEST(CacheCrashTest, EndToEndJitRecompilesAfterCorruption) {
+  TempDir Tmp;
+  Context Ctx;
+  Module M(Ctx, "app");
+  buildDaxpyKernel(M);
+  AotOptions AO;
+  AO.Arch = GpuArch::AmdGcnSim;
+  AO.EnableProteusExtensions = true;
+  CompiledProgram Prog = aotCompile(M, AO);
+
+  JitConfig JC;
+  JC.CacheDir = Tmp.Path;
+
+  auto RunOnce = [&](uint64_t ExpectCompilations) {
+    Device Dev(getAmdGcnSimTarget(), 1 << 22);
+    JitRuntime Jit(Dev, Prog.ModuleId, JC);
+    LoadedProgram LP(Dev, Prog, &Jit);
+    ASSERT_TRUE(LP.ok()) << LP.error();
+    DevicePtr X = 0, Y = 0;
+    gpuMalloc(Dev, &X, 64 * 8);
+    gpuMalloc(Dev, &Y, 64 * 8);
+    std::vector<double> HX(64, 2.0), HY(64, 1.0);
+    gpuMemcpyHtoD(Dev, X, HX.data(), 64 * 8);
+    gpuMemcpyHtoD(Dev, Y, HY.data(), 64 * 8);
+    std::vector<KernelArg> Args = {{sem::boxF64(3.0)}, {X}, {Y}, {64}};
+    std::string Err;
+    ASSERT_EQ(LP.launch("daxpy", Dim3{2, 1, 1}, Dim3{32, 1, 1}, Args, &Err),
+              GpuError::Success)
+        << Err;
+    std::vector<double> Out(64);
+    gpuMemcpyDtoH(Dev, Out.data(), Y, 64 * 8);
+    for (double V : Out)
+      EXPECT_DOUBLE_EQ(V, 7.0); // 3*2 + 1
+    EXPECT_EQ(Jit.stats().Compilations, ExpectCompilations);
+    if (ExpectCompilations > 0) {
+      EXPECT_GE(Jit.cache().stats().Misses, ExpectCompilations);
+    }
+  };
+
+  RunOnce(1); // cold: compiles and persists
+
+  // Corrupt the persisted entry as a crash mid-write would have.
+  std::string Path = onlyCacheFile(Tmp.Path);
+  auto Bytes = fs::readFile(Path);
+  ASSERT_TRUE(Bytes.has_value());
+  Bytes->resize(Bytes->size() / 2);
+  ASSERT_TRUE(fs::writeFile(Path, *Bytes));
+
+  RunOnce(1); // detects corruption, recompiles, correct results
+  RunOnce(0); // the re-persisted entry is valid again
+}
+
+} // namespace

@@ -112,12 +112,132 @@ TEST(CacheEvictionTest, EvictedEntryIsRecompiledNotCorrupted) {
   EXPECT_EQ((*Again)[0], 9);
 }
 
+TEST(CacheEvictionTest, PromotionPreservesHitCountForLfu) {
+  // Regression: promoting an entry from the persistent level used to reset
+  // its execution count, biasing the LFU policy against specializations
+  // that round-tripped through disk (e.g. across a clearMemory "restart").
+  TempDir Tmp;
+  CacheLimits L;
+  L.MaxMemoryBytes = 2 * 1024;
+  L.Policy = EvictionPolicy::LFU;
+  CodeCache C(true, true, Tmp.Path, L);
+
+  C.insert(1, blob(1024, 1));
+  for (int I = 0; I != 5; ++I)
+    EXPECT_TRUE(C.lookup(1).has_value()); // hot: executed 5 times
+  C.clearMemory(); // "process restart"; count written back to disk
+
+  // Promote 1 back from the persistent level, then fill memory.
+  EXPECT_TRUE(C.lookup(1).has_value());
+  C.insert(2, blob(1024, 2)); // cold, never executed
+  C.insert(3, blob(1024, 3)); // forces one LFU eviction
+
+  // With the count preserved (1: 6 executions) the cold entry 2 must be
+  // the victim; the buggy reset-to-zero behaviour evicted 1 instead.
+  CodeCacheStats Before = C.stats();
+  EXPECT_TRUE(C.lookup(1).has_value());
+  CodeCacheStats After = C.stats();
+  EXPECT_EQ(After.MemoryHits, Before.MemoryHits + 1)
+      << "the hot promoted entry must still be in memory";
+  EXPECT_EQ(After.PersistentHits, Before.PersistentHits);
+  // 2 fell back to the persistent level (still correct, just slower).
+  Before = C.stats();
+  EXPECT_TRUE(C.lookup(2).has_value());
+  After = C.stats();
+  EXPECT_EQ(After.PersistentHits, Before.PersistentHits + 1)
+      << "the cold entry must have been the LFU victim";
+}
+
+TEST(CacheEvictionTest, WriteBackPersistsExecutionCountsAcrossRestart) {
+  // Execution counts survive clearMemory() (write-back into the entry
+  // header), so a restarted process still sees runtime-informed
+  // frequencies — verified end to end via LFU victim selection.
+  TempDir Tmp;
+  CacheLimits L;
+  L.MaxMemoryBytes = 2 * 1024;
+  L.Policy = EvictionPolicy::LFU;
+  {
+    CodeCache C(true, true, Tmp.Path, L);
+    C.insert(1, blob(1024, 1));
+    C.insert(2, blob(1024, 2)); // evicts nothing: exactly at the limit
+    for (int I = 0; I != 4; ++I)
+      C.lookup(1);
+    C.clearMemory();
+  }
+  // New cache instance ("new process"), same disk.
+  CodeCache C(true, true, Tmp.Path, L);
+  EXPECT_TRUE(C.lookup(1).has_value()); // promoted with count 4+1
+  EXPECT_TRUE(C.lookup(2).has_value()); // promoted with count 0+1
+  C.insert(3, blob(1024, 3));           // LFU eviction
+  CodeCacheStats Before = C.stats();
+  EXPECT_TRUE(C.lookup(1).has_value());
+  EXPECT_EQ(C.stats().MemoryHits, Before.MemoryHits + 1)
+      << "frequently executed entry must survive the restart";
+}
+
+TEST(CacheEvictionTest, StatsSnapshotIsStableCopy) {
+  CodeCache C(true, false, "");
+  C.insert(1, blob(64, 1));
+  C.lookup(1);
+  C.lookup(2);
+  CodeCacheStats S = C.stats(); // snapshot by value
+  EXPECT_EQ(S.MemoryHits, 1u);
+  EXPECT_EQ(S.Misses, 1u);
+  // Further cache activity must not mutate the snapshot.
+  for (int I = 0; I != 10; ++I)
+    C.lookup(1);
+  EXPECT_EQ(S.MemoryHits, 1u);
+  EXPECT_EQ(C.stats().MemoryHits, 11u);
+}
+
+TEST(CacheEvictionTest, ConcurrentMixedOperationsAreSafe) {
+  // Thread-safety smoke for the cache itself (run under TSan by
+  // tools/ci_tsan.sh): concurrent inserts, lookups, stats snapshots and
+  // clears must neither crash nor corrupt counters.
+  TempDir Tmp;
+  CacheLimits L;
+  L.MaxMemoryBytes = 8 * 1024;
+  L.Policy = EvictionPolicy::LFU;
+  CodeCache C(true, true, Tmp.Path, L);
+  constexpr unsigned Threads = 8, Iters = 200;
+  std::vector<std::thread> Ts;
+  for (unsigned T = 0; T != Threads; ++T)
+    Ts.emplace_back([&C, T] {
+      for (unsigned I = 0; I != Iters; ++I) {
+        uint64_t H = (T * 13 + I) % 24;
+        if (I % 3 == 0)
+          C.insert(H, blob(512, static_cast<uint8_t>(H)));
+        else
+          C.lookup(H);
+        if (I % 17 == 0)
+          (void)C.stats();
+        if (T == 0 && I % 97 == 0)
+          C.clearMemory();
+      }
+    });
+  for (std::thread &T : Ts)
+    T.join();
+  // Per thread: 67 of the 200 iterations insert (I % 3 == 0), 133 look up.
+  CodeCacheStats S = C.stats();
+  EXPECT_EQ(S.MemoryHits + S.PersistentHits + S.Misses,
+            uint64_t(Threads) * 133)
+      << "every lookup must be accounted exactly once";
+  // Every surviving lookup result must round-trip correctly.
+  for (uint64_t H = 0; H != 24; ++H)
+    if (auto Hit = C.lookup(H)) {
+      ASSERT_EQ(Hit->size(), 512u);
+      EXPECT_EQ((*Hit)[0], static_cast<uint8_t>(H));
+    }
+}
+
 TEST(CacheEvictionTest, EnvironmentConfiguration) {
   setenv("PROTEUS_CACHE_MEM_LIMIT", "12345", 1);
   setenv("PROTEUS_CACHE_DISK_LIMIT", "67890", 1);
   setenv("PROTEUS_CACHE_POLICY", "lfu", 1);
   setenv("PROTEUS_NO_RCF", "1", 1);
   setenv("PROTEUS_CACHE_DIR", "/tmp/proteus-env-cache", 1);
+  setenv("PROTEUS_ASYNC", "fallback", 1);
+  setenv("PROTEUS_ASYNC_WORKERS", "6", 1);
   JitConfig C = JitConfig::fromEnvironment();
   EXPECT_EQ(C.Limits.MaxMemoryBytes, 12345u);
   EXPECT_EQ(C.Limits.MaxPersistentBytes, 67890u);
@@ -125,11 +245,19 @@ TEST(CacheEvictionTest, EnvironmentConfiguration) {
   EXPECT_FALSE(C.EnableRCF);
   EXPECT_TRUE(C.EnableLaunchBounds);
   EXPECT_EQ(C.CacheDir, "/tmp/proteus-env-cache");
+  EXPECT_EQ(C.Async, JitConfig::AsyncMode::Fallback);
+  EXPECT_EQ(C.AsyncWorkers, 6u);
+  setenv("PROTEUS_ASYNC", "block", 1);
+  EXPECT_EQ(JitConfig::fromEnvironment().Async, JitConfig::AsyncMode::Block);
+  setenv("PROTEUS_ASYNC", "sync", 1);
+  EXPECT_EQ(JitConfig::fromEnvironment().Async, JitConfig::AsyncMode::Sync);
   unsetenv("PROTEUS_CACHE_MEM_LIMIT");
   unsetenv("PROTEUS_CACHE_DISK_LIMIT");
   unsetenv("PROTEUS_CACHE_POLICY");
   unsetenv("PROTEUS_NO_RCF");
   unsetenv("PROTEUS_CACHE_DIR");
+  unsetenv("PROTEUS_ASYNC");
+  unsetenv("PROTEUS_ASYNC_WORKERS");
 }
 
 } // namespace

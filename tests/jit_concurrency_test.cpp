@@ -1,0 +1,335 @@
+//===- jit_concurrency_test.cpp - async JIT pipeline battery ---------------------===//
+//
+// Part of the Proteus reproduction project.
+//
+//===----------------------------------------------------------------------===//
+//
+// Concurrency battery for the asynchronous JIT pipeline: many threads
+// hammer one JitRuntime with a mix of kernels and specializations, in each
+// AsyncMode, and the results must be bit-identical to a single-threaded
+// synchronous baseline. The in-flight compilation table must deduplicate
+// concurrent misses to exactly one compilation per distinct specialization
+// key. Designed to run under -DPROTEUS_SANITIZE=thread (tools/ci_tsan.sh).
+//
+// gtest assertions are not thread-safe: worker threads only record results;
+// all checking happens on the main thread after join.
+//
+//===----------------------------------------------------------------------===//
+
+#include "RandomKernel.h"
+
+#include "ir/Context.h"
+#include "ir/OpSemantics.h"
+#include "jit/Program.h"
+#include "support/FileSystem.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <thread>
+
+using namespace pir;
+using namespace proteus;
+using namespace proteus::gpu;
+using namespace proteus_test;
+
+namespace {
+
+struct TempDir {
+  std::string Path;
+  TempDir() : Path(fs::makeTempDirectory("proteus-conc")) {}
+  ~TempDir() { fs::removeAllFiles(Path); }
+};
+
+constexpr unsigned NumKernels = 5;
+constexpr unsigned NumSpecs = 3;
+constexpr unsigned NumThreads = 8;
+constexpr unsigned Repeats = 3; // each thread launches every item this often
+constexpr uint32_t N = 64;      // elements per buffer
+
+struct WorkItem {
+  std::string Symbol;
+  double Sf;
+  int32_t Si;
+  unsigned OutIndex; // which output buffer this (kernel, spec) pair owns
+};
+
+std::vector<WorkItem> makeWorkItems() {
+  std::vector<WorkItem> Items;
+  for (unsigned K = 0; K != NumKernels; ++K)
+    for (unsigned S = 0; S != NumSpecs; ++S)
+      Items.push_back(WorkItem{"rk" + std::to_string(K), 1.25 + 0.5 * S,
+                               static_cast<int32_t>(3 + S),
+                               K * NumSpecs + S});
+  return Items;
+}
+
+/// One program holding NumKernels distinct random kernels.
+std::unique_ptr<Module> buildProgram(Context &Ctx) {
+  auto M = std::make_unique<Module>(Ctx, "conc_app");
+  for (unsigned K = 0; K != NumKernels; ++K)
+    buildRandomKernelInto(*M, /*Seed=*/1000 + 17 * K,
+                          "rk" + std::to_string(K));
+  return M;
+}
+
+/// Shared per-run state: device, runtime, program, buffers.
+struct Harness {
+  Device Dev;
+  JitRuntime Jit;
+  LoadedProgram LP;
+  DevicePtr In = 0;
+  std::vector<DevicePtr> Outs;
+
+  Harness(const CompiledProgram &Prog, GpuArch Arch, const JitConfig &JC)
+      : Dev(getTarget(Arch), 1ull << 24), Jit(Dev, Prog.ModuleId, JC),
+        LP(Dev, Prog, &Jit) {
+    EXPECT_TRUE(LP.ok()) << LP.error();
+    EXPECT_EQ(gpuMalloc(Dev, &In, N * 8), GpuError::Success);
+    std::vector<double> HIn(N);
+    for (uint32_t I = 0; I != N; ++I)
+      HIn[I] = 0.25 * I - 3.0;
+    gpuMemcpyHtoD(Dev, In, HIn.data(), N * 8);
+    Outs.resize(NumKernels * NumSpecs);
+    for (DevicePtr &P : Outs)
+      EXPECT_EQ(gpuMalloc(Dev, &P, N * 8), GpuError::Success);
+  }
+
+  GpuError launch(const WorkItem &W, std::string *Err) {
+    std::vector<KernelArg> Args = {{In},
+                                   {Outs[W.OutIndex]},
+                                   {N},
+                                   {sem::boxF64(W.Sf)},
+                                   {static_cast<uint64_t>(
+                                       static_cast<uint32_t>(W.Si))}};
+    return LP.launch(W.Symbol, Dim3{2, 1, 1}, Dim3{32, 1, 1}, Args, Err);
+  }
+
+  std::vector<uint8_t> readOut(unsigned Index) {
+    std::vector<uint8_t> Bytes(N * 8);
+    gpuMemcpyDtoH(Dev, Bytes.data(), Outs[Index], N * 8);
+    return Bytes;
+  }
+};
+
+/// Single-threaded synchronous reference execution.
+std::vector<std::vector<uint8_t>> baselineResults(const CompiledProgram &Prog,
+                                                  GpuArch Arch) {
+  JitConfig JC;
+  JC.UsePersistentCache = false;
+  Harness H(Prog, Arch, JC);
+  std::vector<std::vector<uint8_t>> Out;
+  for (const WorkItem &W : makeWorkItems()) {
+    std::string Err;
+    EXPECT_EQ(H.launch(W, &Err), GpuError::Success) << Err;
+  }
+  EXPECT_EQ(H.Jit.stats().Compilations, uint64_t(NumKernels * NumSpecs));
+  for (unsigned I = 0; I != NumKernels * NumSpecs; ++I)
+    Out.push_back(H.readOut(I));
+  return Out;
+}
+
+/// Hammers one runtime from NumThreads threads; checks results, error-free
+/// execution and exactly one compilation per distinct specialization key.
+void runConcurrent(const CompiledProgram &Prog, GpuArch Arch,
+                   JitConfig::AsyncMode Mode,
+                   const std::vector<std::vector<uint8_t>> &Expected) {
+  SCOPED_TRACE(std::string("mode=") + asyncModeName(Mode));
+  JitConfig JC;
+  JC.UsePersistentCache = false;
+  JC.Async = Mode;
+  JC.AsyncWorkers = 4;
+  Harness H(Prog, Arch, JC);
+
+  const std::vector<WorkItem> Items = makeWorkItems();
+  std::atomic<unsigned> Ready{0};
+  std::atomic<bool> Go{false};
+  std::vector<std::string> ThreadErrors(NumThreads);
+
+  std::vector<std::thread> Threads;
+  for (unsigned T = 0; T != NumThreads; ++T)
+    Threads.emplace_back([&, T] {
+      ++Ready;
+      while (!Go.load(std::memory_order_acquire))
+        std::this_thread::yield();
+      // Each thread walks the items from a different offset so distinct
+      // specializations race with duplicate ones.
+      for (unsigned R = 0; R != Repeats; ++R)
+        for (unsigned I = 0; I != Items.size(); ++I) {
+          const WorkItem &W = Items[(I + T * 7 + R) % Items.size()];
+          std::string Err;
+          if (H.launch(W, &Err) != GpuError::Success) {
+            ThreadErrors[T] = "@" + W.Symbol + ": " + Err;
+            return;
+          }
+        }
+    });
+
+  while (Ready.load() != NumThreads)
+    std::this_thread::yield();
+  Go.store(true, std::memory_order_release);
+  for (std::thread &T : Threads)
+    T.join();
+  for (unsigned T = 0; T != NumThreads; ++T)
+    EXPECT_TRUE(ThreadErrors[T].empty())
+        << "thread " << T << " failed: " << ThreadErrors[T];
+
+  H.Jit.drain(); // join background compiles before reading stats
+
+  JitRuntimeStats S = H.Jit.stats();
+  EXPECT_EQ(S.Compilations, uint64_t(NumKernels * NumSpecs))
+      << "in-flight dedup must yield one compile per distinct key";
+  EXPECT_EQ(S.Launches,
+            uint64_t(NumThreads) * Repeats * Items.size());
+  if (Mode == JitConfig::AsyncMode::Sync) {
+    EXPECT_EQ(S.AsyncCompiles, 0u);
+    EXPECT_EQ(S.FallbackLaunches, 0u);
+  } else {
+    EXPECT_EQ(S.AsyncCompiles, uint64_t(NumKernels * NumSpecs));
+  }
+  if (Mode != JitConfig::AsyncMode::Fallback) {
+    EXPECT_EQ(S.FallbackLaunches, 0u);
+  }
+
+  // Bit-identical to the single-threaded synchronous baseline — in
+  // Fallback mode this also proves the generic binary computes the same
+  // function as the specialized one.
+  for (unsigned I = 0; I != Items.size(); ++I)
+    EXPECT_EQ(H.readOut(I), Expected[I]) << "output " << I << " diverged";
+
+  // After everything is compiled and loaded, launches take the fast path:
+  // no new compiles, no fallbacks, no waits.
+  uint64_t FallbacksBefore = S.FallbackLaunches;
+  for (const WorkItem &W : Items) {
+    std::string Err;
+    EXPECT_EQ(H.launch(W, &Err), GpuError::Success) << Err;
+  }
+  JitRuntimeStats S2 = H.Jit.stats();
+  EXPECT_EQ(S2.Compilations, uint64_t(NumKernels * NumSpecs));
+  EXPECT_EQ(S2.FallbackLaunches, FallbacksBefore)
+      << "steady state must use the specialized binaries";
+}
+
+TEST(JitConcurrencyTest, AllModesMatchSyncBaseline) {
+  Context Ctx;
+  std::unique_ptr<Module> M = buildProgram(Ctx);
+  AotOptions AO;
+  AO.Arch = GpuArch::AmdGcnSim;
+  AO.EnableProteusExtensions = true;
+  CompiledProgram Prog = aotCompile(*M, AO);
+
+  std::vector<std::vector<uint8_t>> Expected =
+      baselineResults(Prog, GpuArch::AmdGcnSim);
+  ASSERT_EQ(Expected.size(), size_t(NumKernels * NumSpecs));
+
+  for (JitConfig::AsyncMode Mode :
+       {JitConfig::AsyncMode::Sync, JitConfig::AsyncMode::Block,
+        JitConfig::AsyncMode::Fallback})
+    runConcurrent(Prog, GpuArch::AmdGcnSim, Mode, Expected);
+}
+
+TEST(JitConcurrencyTest, BlockModeOnNvPtxSim) {
+  // The NVIDIA path reads bitcode back from device memory on the launch
+  // thread — exercise that flow concurrently too.
+  Context Ctx;
+  std::unique_ptr<Module> M = buildProgram(Ctx);
+  AotOptions AO;
+  AO.Arch = GpuArch::NvPtxSim;
+  AO.EnableProteusExtensions = true;
+  CompiledProgram Prog = aotCompile(*M, AO);
+
+  std::vector<std::vector<uint8_t>> Expected =
+      baselineResults(Prog, GpuArch::NvPtxSim);
+  runConcurrent(Prog, GpuArch::NvPtxSim, JitConfig::AsyncMode::Block,
+                Expected);
+}
+
+TEST(JitConcurrencyTest, FallbackHotSwapsToSpecializedBinary) {
+  Context Ctx;
+  std::unique_ptr<Module> M = buildProgram(Ctx);
+  AotOptions AO;
+  AO.Arch = GpuArch::AmdGcnSim;
+  AO.EnableProteusExtensions = true;
+  CompiledProgram Prog = aotCompile(*M, AO);
+
+  JitConfig JC;
+  JC.UsePersistentCache = false;
+  JC.Async = JitConfig::AsyncMode::Fallback;
+  JC.AsyncWorkers = 1;
+  Harness H(Prog, GpuArch::AmdGcnSim, JC);
+
+  WorkItem W{"rk0", 2.0, 4, 0};
+  std::string Err;
+  // Cold launch: served by the generic binary or (if the compile won the
+  // race) the specialized one — correct either way, and never blocking on
+  // the whole pipeline.
+  ASSERT_EQ(H.launch(W, &Err), GpuError::Success) << Err;
+  H.Jit.drain();
+  std::vector<uint8_t> AfterCold = H.readOut(0);
+
+  // Warm launch: the specialized binary must now serve, with no further
+  // fallback launches and no recompilation.
+  JitRuntimeStats S1 = H.Jit.stats();
+  ASSERT_EQ(H.launch(W, &Err), GpuError::Success) << Err;
+  JitRuntimeStats S2 = H.Jit.stats();
+  EXPECT_EQ(S2.FallbackLaunches, S1.FallbackLaunches);
+  EXPECT_EQ(S2.Compilations, S1.Compilations);
+  EXPECT_EQ(S2.Compilations, 1u);
+  EXPECT_EQ(H.readOut(0), AfterCold) << "hot swap changed results";
+}
+
+TEST(JitConcurrencyTest, PersistentCacheWritesAreConcurrencySafe) {
+  // All three modes writing cache-jit-<hash>.o concurrently into one
+  // directory must produce only valid entries (atomic rename, no torn
+  // files) that a fresh runtime can reuse without recompiling.
+  Context Ctx;
+  std::unique_ptr<Module> M = buildProgram(Ctx);
+  AotOptions AO;
+  AO.Arch = GpuArch::AmdGcnSim;
+  AO.EnableProteusExtensions = true;
+  CompiledProgram Prog = aotCompile(*M, AO);
+
+  TempDir Tmp;
+  JitConfig JC;
+  JC.CacheDir = Tmp.Path;
+  JC.Async = JitConfig::AsyncMode::Block;
+  JC.AsyncWorkers = 4;
+  {
+    Harness H(Prog, GpuArch::AmdGcnSim, JC);
+    const std::vector<WorkItem> Items = makeWorkItems();
+    std::vector<std::string> ThreadErrors(NumThreads);
+    std::vector<std::thread> Threads;
+    for (unsigned T = 0; T != NumThreads; ++T)
+      Threads.emplace_back([&, T] {
+        for (unsigned I = 0; I != Items.size(); ++I) {
+          std::string Err;
+          if (H.launch(Items[(I + T) % Items.size()], &Err) !=
+              GpuError::Success) {
+            ThreadErrors[T] = Err;
+            return;
+          }
+        }
+      });
+    for (std::thread &T : Threads)
+      T.join();
+    for (const std::string &E : ThreadErrors)
+      EXPECT_TRUE(E.empty()) << E;
+    H.Jit.drain();
+  }
+  // No stale temp files may remain.
+  for (const std::string &Name : fs::listFiles(Tmp.Path))
+    EXPECT_EQ(Name.find(".tmp-"), std::string::npos) << Name;
+
+  // Fresh runtime, warm disk: every entry must load (0 compilations).
+  JitConfig Warm;
+  Warm.CacheDir = Tmp.Path;
+  Harness H2(Prog, GpuArch::AmdGcnSim, Warm);
+  for (const WorkItem &W : makeWorkItems()) {
+    std::string Err;
+    EXPECT_EQ(H2.launch(W, &Err), GpuError::Success) << Err;
+  }
+  EXPECT_EQ(H2.Jit.stats().Compilations, 0u);
+  EXPECT_EQ(H2.Jit.cache().stats().CorruptPersistentEntries, 0u);
+}
+
+} // namespace

@@ -1,0 +1,52 @@
+#!/usr/bin/env bash
+#===- tools/ci_tsan.sh - ThreadSanitizer CI battery ----------------------===#
+#
+# Part of the Proteus reproduction project.
+#
+# Configures a dedicated build tree with -DPROTEUS_SANITIZE=thread, builds
+# the JIT/cache/concurrency test binaries, and runs them under TSan. Any
+# data race, lock-order inversion, or thread leak fails the script.
+#
+# Usage: tools/ci_tsan.sh [build-dir]   (default: build-tsan)
+#
+#===----------------------------------------------------------------------===#
+set -euo pipefail
+
+REPO_ROOT="$(cd "$(dirname "${BASH_SOURCE[0]}")/.." && pwd)"
+BUILD_DIR="${1:-${REPO_ROOT}/build-tsan}"
+
+# halt_on_error makes the first report fatal so CI fails fast;
+# second_deadlock_stack improves lock-order-inversion diagnostics.
+export TSAN_OPTIONS="${TSAN_OPTIONS:-halt_on_error=1 second_deadlock_stack=1}"
+
+TESTS=(
+  support_test
+  cache_eviction_test
+  cache_crash_test
+  jit_test
+  jit_concurrency_test
+)
+
+echo "== Configuring TSan build in ${BUILD_DIR} =="
+cmake -B "${BUILD_DIR}" -S "${REPO_ROOT}" \
+  -DCMAKE_BUILD_TYPE=RelWithDebInfo \
+  -DPROTEUS_SANITIZE=thread
+
+echo "== Building test battery =="
+cmake --build "${BUILD_DIR}" -j "$(nproc)" --target "${TESTS[@]}"
+
+STATUS=0
+for T in "${TESTS[@]}"; do
+  echo "== TSan: ${T} =="
+  if ! "${BUILD_DIR}/tests/${T}"; then
+    echo "!! ${T} FAILED under ThreadSanitizer"
+    STATUS=1
+  fi
+done
+
+if [ "${STATUS}" -eq 0 ]; then
+  echo "== TSan battery passed: no data races detected =="
+else
+  echo "== TSan battery FAILED =="
+fi
+exit "${STATUS}"
