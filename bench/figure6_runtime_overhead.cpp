@@ -15,6 +15,8 @@
 
 #include "BenchUtil.h"
 
+#include <map>
+
 using namespace proteus;
 using namespace proteus::bench;
 using namespace proteus::hecbench;
@@ -66,6 +68,7 @@ int main() {
   std::printf("\n=== Figure 6b: compile time visible on the launch path"
               " (visible/hidden ms, cold cache) ===\n");
   printRow(Header, Widths);
+  std::map<std::string, JitRuntimeStats> SyncStats;
   for (GpuArch Arch : {GpuArch::AmdGcnSim, GpuArch::NvPtxSim}) {
     for (JitConfig::AsyncMode Mode :
          {JitConfig::AsyncMode::Sync, JitConfig::AsyncMode::Block,
@@ -85,11 +88,70 @@ int main() {
                                    R.Jit.hiddenCompileSeconds() * 1e3));
         FbRow.push_back(formatString("%llu", (unsigned long long)
                                                  R.Jit.FallbackLaunches));
+        if (Mode == JitConfig::AsyncMode::Sync)
+          SyncStats[std::string(gpuArchName(Arch)) + "/" + B->name()] = R.Jit;
       }
       printRow(Row, Widths);
       if (Mode == JitConfig::AsyncMode::Fallback)
         printRow(FbRow, Widths);
     }
+  }
+
+  // --- Per-stage compile-time breakdown ------------------------------------
+  //
+  // Where the cold dynamic-compilation overhead of Figure 6 actually goes,
+  // from the per-stage timer metrics collected on the Sync runs above. The
+  // same stages appear as spans in a chrome://tracing export: re-run any
+  // harness with PROTEUS_TRACE=<file> for the full timeline view.
+  std::printf("\n=== Figure 6c: cold-compile per-stage breakdown"
+              " (ms, Sync mode) ===\n");
+  struct StageRow {
+    const char *Label;
+    double JitRuntimeStats::*Field;
+  };
+  const StageRow Stages[] = {
+      {"bitcode fetch", &JitRuntimeStats::BitcodeFetchSeconds},
+      {"bitcode parse", &JitRuntimeStats::BitcodeParseSeconds},
+      {"link globals", &JitRuntimeStats::LinkGlobalsSeconds},
+      {"specialize", &JitRuntimeStats::SpecializeSeconds},
+      {"O3 pipeline", &JitRuntimeStats::OptimizeSeconds},
+      {"backend", &JitRuntimeStats::BackendSeconds},
+      {"cache lookup", &JitRuntimeStats::CacheLookupSeconds},
+  };
+  for (GpuArch Arch : {GpuArch::AmdGcnSim, GpuArch::NvPtxSim}) {
+    std::vector<std::string> ArchHeader = {std::string(gpuArchName(Arch)) +
+                                           " stage"};
+    for (const auto &B : Benchmarks)
+      ArchHeader.push_back(B->name());
+    printRow(ArchHeader, Widths);
+    for (const StageRow &S : Stages) {
+      std::vector<std::string> Row = {std::string("  ") + S.Label};
+      for (const auto &B : Benchmarks) {
+        const JitRuntimeStats &J =
+            SyncStats[std::string(gpuArchName(Arch)) + "/" + B->name()];
+        Row.push_back(formatString("%.2f", J.*(S.Field) * 1e3));
+      }
+      printRow(Row, Widths);
+    }
+    // The single most expensive O3 pass, attributed via the per-pass timing
+    // hook (o3.pass.* timers in the metrics registry).
+    std::vector<std::string> HotRow = {"  hottest O3 pass"};
+    for (const auto &B : Benchmarks) {
+      const JitRuntimeStats &J =
+          SyncStats[std::string(gpuArchName(Arch)) + "/" + B->name()];
+      std::string Best;
+      double BestSeconds = -1.0;
+      for (const auto &[Name, Seconds] : J.O3PassSeconds) {
+        if (Seconds > BestSeconds) {
+          BestSeconds = Seconds;
+          Best = Name;
+        }
+      }
+      HotRow.push_back(Best.empty()
+                           ? std::string("-")
+                           : Best + formatString(" %.2f", BestSeconds * 1e3));
+    }
+    printRow(HotRow, Widths);
   }
   return 0;
 }

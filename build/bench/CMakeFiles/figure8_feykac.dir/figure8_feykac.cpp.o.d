@@ -210,37 +210,42 @@ bench/CMakeFiles/figure8_feykac.dir/figure8_feykac.cpp.o: \
  /usr/include/c++/12/bits/enable_special_members.h \
  /root/repo/src/codegen/RegAlloc.h /root/repo/src/transforms/O3Pipeline.h \
  /root/repo/src/transforms/LoopUnroll.h /root/repo/src/transforms/Pass.h \
- /usr/include/c++/12/map /usr/include/c++/12/bits/stl_tree.h \
+ /usr/include/c++/12/functional /usr/include/c++/12/bits/std_function.h \
+ /usr/include/c++/12/unordered_map /usr/include/c++/12/bits/hashtable.h \
+ /usr/include/c++/12/bits/hashtable_policy.h \
  /usr/include/c++/12/bits/node_handle.h \
- /usr/include/c++/12/bits/stl_map.h \
- /usr/include/c++/12/bits/stl_multimap.h \
- /usr/include/c++/12/bits/erase_if.h /usr/include/c++/12/set \
+ /usr/include/c++/12/bits/unordered_map.h \
+ /usr/include/c++/12/bits/erase_if.h /usr/include/c++/12/array \
+ /usr/include/c++/12/bits/stl_algo.h \
+ /usr/include/c++/12/bits/algorithmfwd.h \
+ /usr/include/c++/12/bits/stl_heap.h \
+ /usr/include/c++/12/bits/uniform_int_dist.h /usr/include/c++/12/map \
+ /usr/include/c++/12/bits/stl_tree.h /usr/include/c++/12/bits/stl_map.h \
+ /usr/include/c++/12/bits/stl_multimap.h /usr/include/c++/12/set \
  /usr/include/c++/12/bits/stl_set.h \
  /usr/include/c++/12/bits/stl_multiset.h /root/repo/src/jit/JitRuntime.h \
  /root/repo/src/gpu/Runtime.h /root/repo/src/gpu/Executor.h \
  /root/repo/src/gpu/Device.h /root/repo/src/gpu/LaunchStats.h \
- /usr/include/c++/12/unordered_map /usr/include/c++/12/bits/hashtable.h \
- /usr/include/c++/12/bits/hashtable_policy.h \
- /usr/include/c++/12/bits/unordered_map.h /root/repo/src/jit/CodeCache.h \
+ /root/repo/src/jit/CodeCache.h \
  /root/repo/src/transforms/SpecializeArgs.h /usr/include/c++/12/mutex \
  /usr/include/c++/12/bits/chrono.h /usr/include/c++/12/ratio \
  /usr/include/c++/12/limits /usr/include/c++/12/ctime \
  /usr/include/c++/12/bits/parse_numbers.h \
- /usr/include/c++/12/bits/unique_lock.h \
- /root/repo/src/support/ThreadPool.h \
- /usr/include/c++/12/condition_variable /usr/include/c++/12/stop_token \
- /usr/include/c++/12/atomic /usr/include/c++/12/bits/std_thread.h \
+ /usr/include/c++/12/bits/unique_lock.h /root/repo/src/support/Metrics.h \
+ /root/repo/src/support/Timer.h /usr/include/c++/12/chrono \
+ /usr/include/c++/12/sstream /usr/include/c++/12/istream \
+ /usr/include/c++/12/bits/istream.tcc \
+ /usr/include/c++/12/bits/sstream.tcc /usr/include/c++/12/atomic \
+ /root/repo/src/support/ThreadPool.h /root/repo/src/support/Trace.h \
+ /usr/include/c++/12/cstddef /usr/include/c++/12/condition_variable \
+ /usr/include/c++/12/stop_token /usr/include/c++/12/bits/std_thread.h \
  /usr/include/c++/12/semaphore /usr/include/c++/12/bits/semaphore_base.h \
  /usr/include/c++/12/bits/atomic_timed_wait.h \
  /usr/include/c++/12/bits/this_thread_sleep.h \
  /usr/include/x86_64-linux-gnu/sys/time.h /usr/include/semaphore.h \
  /usr/include/x86_64-linux-gnu/bits/semaphore.h /usr/include/c++/12/deque \
  /usr/include/c++/12/bits/stl_deque.h /usr/include/c++/12/bits/deque.tcc \
- /usr/include/c++/12/functional /usr/include/c++/12/bits/std_function.h \
- /usr/include/c++/12/array /usr/include/c++/12/bits/stl_algo.h \
- /usr/include/c++/12/bits/algorithmfwd.h \
- /usr/include/c++/12/bits/stl_heap.h \
- /usr/include/c++/12/bits/uniform_int_dist.h /usr/include/c++/12/thread \
- /root/repo/src/jitify/Jitify.h /root/repo/src/support/FileSystem.h \
- /root/repo/src/support/StringUtils.h /usr/include/c++/12/cstdarg \
- /usr/include/c++/12/cinttypes /usr/include/inttypes.h
+ /usr/include/c++/12/thread /root/repo/src/jitify/Jitify.h \
+ /root/repo/src/support/FileSystem.h /root/repo/src/support/StringUtils.h \
+ /usr/include/c++/12/cstdarg /usr/include/c++/12/cinttypes \
+ /usr/include/inttypes.h

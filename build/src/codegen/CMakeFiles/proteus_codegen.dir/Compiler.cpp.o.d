@@ -213,4 +213,5 @@ src/codegen/CMakeFiles/proteus_codegen.dir/Compiler.cpp.o: \
  /usr/include/c++/12/limits /usr/include/c++/12/ctime \
  /usr/include/c++/12/bits/parse_numbers.h /usr/include/c++/12/sstream \
  /usr/include/c++/12/istream /usr/include/c++/12/bits/istream.tcc \
- /usr/include/c++/12/bits/sstream.tcc
+ /usr/include/c++/12/bits/sstream.tcc /root/repo/src/support/Trace.h \
+ /usr/include/c++/12/atomic /usr/include/c++/12/cstddef

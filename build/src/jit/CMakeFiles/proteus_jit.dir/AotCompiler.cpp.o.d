@@ -208,17 +208,21 @@ src/jit/CMakeFiles/proteus_jit.dir/AotCompiler.cpp.o: \
  /usr/include/c++/12/bits/enable_special_members.h \
  /root/repo/src/codegen/RegAlloc.h /root/repo/src/transforms/O3Pipeline.h \
  /root/repo/src/transforms/LoopUnroll.h /root/repo/src/transforms/Pass.h \
- /usr/include/c++/12/map /usr/include/c++/12/bits/stl_tree.h \
+ /usr/include/c++/12/functional /usr/include/c++/12/bits/std_function.h \
+ /usr/include/c++/12/unordered_map /usr/include/c++/12/bits/hashtable.h \
+ /usr/include/c++/12/bits/hashtable_policy.h \
  /usr/include/c++/12/bits/node_handle.h \
- /usr/include/c++/12/bits/stl_map.h \
- /usr/include/c++/12/bits/stl_multimap.h \
- /usr/include/c++/12/bits/erase_if.h /usr/include/c++/12/set \
+ /usr/include/c++/12/bits/unordered_map.h \
+ /usr/include/c++/12/bits/erase_if.h /usr/include/c++/12/array \
+ /usr/include/c++/12/bits/stl_algo.h \
+ /usr/include/c++/12/bits/algorithmfwd.h \
+ /usr/include/c++/12/bits/stl_heap.h \
+ /usr/include/c++/12/bits/uniform_int_dist.h /usr/include/c++/12/map \
+ /usr/include/c++/12/bits/stl_tree.h /usr/include/c++/12/bits/stl_map.h \
+ /usr/include/c++/12/bits/stl_multimap.h /usr/include/c++/12/set \
  /usr/include/c++/12/bits/stl_set.h \
  /usr/include/c++/12/bits/stl_multiset.h /root/repo/src/bitcode/Bitcode.h \
- /root/repo/src/ir/Cloning.h /usr/include/c++/12/unordered_map \
- /usr/include/c++/12/bits/hashtable.h \
- /usr/include/c++/12/bits/hashtable_policy.h \
- /usr/include/c++/12/bits/unordered_map.h /root/repo/src/ir/Context.h \
+ /root/repo/src/ir/Cloning.h /root/repo/src/ir/Context.h \
  /root/repo/src/ir/IRParser.h /root/repo/src/ir/IRPrinter.h \
  /root/repo/src/ir/Module.h /root/repo/src/support/Hashing.h \
  /usr/include/c++/12/cstring /usr/include/string.h /usr/include/strings.h \
@@ -227,11 +231,5 @@ src/jit/CMakeFiles/proteus_jit.dir/AotCompiler.cpp.o: \
  /usr/include/c++/12/limits /usr/include/c++/12/ctime \
  /usr/include/c++/12/bits/parse_numbers.h /usr/include/c++/12/sstream \
  /usr/include/c++/12/istream /usr/include/c++/12/bits/istream.tcc \
- /usr/include/c++/12/bits/sstream.tcc /usr/include/c++/12/functional \
- /usr/include/c++/12/bits/std_function.h /usr/include/c++/12/array \
- /usr/include/c++/12/bits/stl_algo.h \
- /usr/include/c++/12/bits/algorithmfwd.h \
- /usr/include/c++/12/bits/stl_heap.h \
- /usr/include/c++/12/bits/uniform_int_dist.h \
- /usr/include/c++/12/unordered_set \
+ /usr/include/c++/12/bits/sstream.tcc /usr/include/c++/12/unordered_set \
  /usr/include/c++/12/bits/unordered_set.h

@@ -219,7 +219,9 @@ src/jit/CMakeFiles/proteus_jit.dir/CodeCache.cpp.o: \
  /root/repo/src/support/Hashing.h /usr/include/c++/12/cstring \
  /usr/include/string.h /usr/include/strings.h \
  /root/repo/src/support/StringUtils.h /usr/include/c++/12/cstdarg \
- /usr/include/c++/12/algorithm /usr/include/c++/12/bits/stl_algo.h \
+ /root/repo/src/support/Trace.h /usr/include/c++/12/atomic \
+ /usr/include/c++/12/cstddef /usr/include/c++/12/algorithm \
+ /usr/include/c++/12/bits/stl_algo.h \
  /usr/include/c++/12/bits/algorithmfwd.h \
  /usr/include/c++/12/bits/stl_heap.h \
  /usr/include/c++/12/bits/uniform_int_dist.h \

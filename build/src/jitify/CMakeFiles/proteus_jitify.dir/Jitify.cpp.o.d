@@ -218,6 +218,11 @@ src/jitify/CMakeFiles/proteus_jitify.dir/Jitify.cpp.o: \
  /usr/include/c++/12/bits/unordered_map.h \
  /root/repo/src/transforms/O3Pipeline.h \
  /root/repo/src/transforms/LoopUnroll.h /root/repo/src/transforms/Pass.h \
+ /usr/include/c++/12/functional /usr/include/c++/12/bits/std_function.h \
+ /usr/include/c++/12/array /usr/include/c++/12/bits/stl_algo.h \
+ /usr/include/c++/12/bits/algorithmfwd.h \
+ /usr/include/c++/12/bits/stl_heap.h \
+ /usr/include/c++/12/bits/uniform_int_dist.h \
  /root/repo/src/codegen/Compiler.h /root/repo/src/codegen/ObjectFile.h \
  /root/repo/src/codegen/RegAlloc.h /root/repo/src/ir/Context.h \
  /root/repo/src/ir/IRParser.h /root/repo/src/ir/Module.h \

@@ -11,7 +11,10 @@ set(CMAKE_DEPENDS_DEPENDENCY_FILES
   "/root/repo/src/support/Error.cpp" "src/support/CMakeFiles/proteus_support.dir/Error.cpp.o" "gcc" "src/support/CMakeFiles/proteus_support.dir/Error.cpp.o.d"
   "/root/repo/src/support/FileSystem.cpp" "src/support/CMakeFiles/proteus_support.dir/FileSystem.cpp.o" "gcc" "src/support/CMakeFiles/proteus_support.dir/FileSystem.cpp.o.d"
   "/root/repo/src/support/Hashing.cpp" "src/support/CMakeFiles/proteus_support.dir/Hashing.cpp.o" "gcc" "src/support/CMakeFiles/proteus_support.dir/Hashing.cpp.o.d"
+  "/root/repo/src/support/JsonLite.cpp" "src/support/CMakeFiles/proteus_support.dir/JsonLite.cpp.o" "gcc" "src/support/CMakeFiles/proteus_support.dir/JsonLite.cpp.o.d"
+  "/root/repo/src/support/Metrics.cpp" "src/support/CMakeFiles/proteus_support.dir/Metrics.cpp.o" "gcc" "src/support/CMakeFiles/proteus_support.dir/Metrics.cpp.o.d"
   "/root/repo/src/support/StringUtils.cpp" "src/support/CMakeFiles/proteus_support.dir/StringUtils.cpp.o" "gcc" "src/support/CMakeFiles/proteus_support.dir/StringUtils.cpp.o.d"
+  "/root/repo/src/support/Trace.cpp" "src/support/CMakeFiles/proteus_support.dir/Trace.cpp.o" "gcc" "src/support/CMakeFiles/proteus_support.dir/Trace.cpp.o.d"
   )
 
 # Targets to which this target links.

@@ -5,8 +5,14 @@ file(REMOVE_RECURSE
   "CMakeFiles/proteus_support.dir/FileSystem.cpp.o.d"
   "CMakeFiles/proteus_support.dir/Hashing.cpp.o"
   "CMakeFiles/proteus_support.dir/Hashing.cpp.o.d"
+  "CMakeFiles/proteus_support.dir/JsonLite.cpp.o"
+  "CMakeFiles/proteus_support.dir/JsonLite.cpp.o.d"
+  "CMakeFiles/proteus_support.dir/Metrics.cpp.o"
+  "CMakeFiles/proteus_support.dir/Metrics.cpp.o.d"
   "CMakeFiles/proteus_support.dir/StringUtils.cpp.o"
   "CMakeFiles/proteus_support.dir/StringUtils.cpp.o.d"
+  "CMakeFiles/proteus_support.dir/Trace.cpp.o"
+  "CMakeFiles/proteus_support.dir/Trace.cpp.o.d"
   "libproteus_support.a"
   "libproteus_support.pdb"
 )

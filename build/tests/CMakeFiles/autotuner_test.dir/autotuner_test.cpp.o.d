@@ -330,8 +330,9 @@ tests/CMakeFiles/autotuner_test.dir/autotuner_test.cpp.o: \
  /root/repo/src/jit/CodeCache.h \
  /root/repo/src/transforms/SpecializeArgs.h /usr/include/c++/12/mutex \
  /usr/include/c++/12/bits/chrono.h /usr/include/c++/12/ratio \
- /usr/include/c++/12/bits/unique_lock.h \
- /root/repo/src/support/ThreadPool.h \
+ /usr/include/c++/12/bits/unique_lock.h /root/repo/src/support/Metrics.h \
+ /root/repo/src/support/Timer.h /usr/include/c++/12/chrono \
+ /root/repo/src/support/ThreadPool.h /root/repo/src/support/Trace.h \
  /usr/include/c++/12/condition_variable /usr/include/c++/12/stop_token \
  /usr/include/c++/12/bits/std_thread.h /usr/include/c++/12/semaphore \
  /usr/include/c++/12/bits/semaphore_base.h \

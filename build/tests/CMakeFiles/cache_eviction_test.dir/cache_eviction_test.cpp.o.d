@@ -220,10 +220,14 @@ tests/CMakeFiles/cache_eviction_test.dir/cache_eviction_test.cpp.o: \
  /root/repo/src/gpu/Device.h /root/repo/src/codegen/MachineIR.h \
  /root/repo/src/gpu/LaunchStats.h /usr/include/c++/12/map \
  /usr/include/c++/12/bits/stl_tree.h /usr/include/c++/12/bits/stl_map.h \
- /usr/include/c++/12/bits/stl_multimap.h \
- /root/repo/src/support/ThreadPool.h \
- /usr/include/c++/12/condition_variable /usr/include/c++/12/stop_token \
- /usr/include/c++/12/atomic /usr/include/c++/12/bits/std_thread.h \
+ /usr/include/c++/12/bits/stl_multimap.h /root/repo/src/support/Metrics.h \
+ /root/repo/src/support/Timer.h /usr/include/c++/12/chrono \
+ /usr/include/c++/12/sstream /usr/include/c++/12/istream \
+ /usr/include/c++/12/bits/istream.tcc \
+ /usr/include/c++/12/bits/sstream.tcc /usr/include/c++/12/atomic \
+ /root/repo/src/support/ThreadPool.h /root/repo/src/support/Trace.h \
+ /usr/include/c++/12/cstddef /usr/include/c++/12/condition_variable \
+ /usr/include/c++/12/stop_token /usr/include/c++/12/bits/std_thread.h \
  /usr/include/c++/12/semaphore /usr/include/c++/12/bits/semaphore_base.h \
  /usr/include/c++/12/bits/atomic_timed_wait.h \
  /usr/include/c++/12/bits/this_thread_sleep.h \
@@ -238,7 +242,7 @@ tests/CMakeFiles/cache_eviction_test.dir/cache_eviction_test.cpp.o: \
  /root/repo/src/transforms/O3Pipeline.h \
  /root/repo/src/transforms/LoopUnroll.h /root/repo/src/transforms/Pass.h \
  /root/repo/src/support/FileSystem.h \
- /root/miniconda/include/gtest/gtest.h /usr/include/c++/12/cstddef \
+ /root/miniconda/include/gtest/gtest.h \
  /root/miniconda/include/gtest/internal/gtest-internal.h \
  /root/miniconda/include/gtest/internal/gtest-port.h \
  /usr/include/c++/12/stdlib.h /usr/include/string.h \
@@ -257,8 +261,7 @@ tests/CMakeFiles/cache_eviction_test.dir/cache_eviction_test.cpp.o: \
  /usr/include/x86_64-linux-gnu/bits/statx-generic.h \
  /usr/include/x86_64-linux-gnu/bits/types/struct_statx_timestamp.h \
  /usr/include/x86_64-linux-gnu/bits/types/struct_statx.h \
- /usr/include/c++/12/iostream /usr/include/c++/12/istream \
- /usr/include/c++/12/bits/istream.tcc /usr/include/c++/12/locale \
+ /usr/include/c++/12/iostream /usr/include/c++/12/locale \
  /usr/include/c++/12/bits/locale_facets_nonio.h \
  /usr/include/x86_64-linux-gnu/c++/12/bits/time_members.h \
  /usr/include/x86_64-linux-gnu/c++/12/bits/messages_members.h \
@@ -293,7 +296,6 @@ tests/CMakeFiles/cache_eviction_test.dir/cache_eviction_test.cpp.o: \
  /usr/include/x86_64-linux-gnu/bits/types/idtype_t.h \
  /usr/lib/gcc/x86_64-linux-gnu/12/include/float.h \
  /usr/include/c++/12/iomanip /usr/include/c++/12/bits/quoted_string.h \
- /usr/include/c++/12/sstream /usr/include/c++/12/bits/sstream.tcc \
  /usr/include/c++/12/set /usr/include/c++/12/bits/stl_set.h \
  /usr/include/c++/12/bits/stl_multiset.h \
  /root/miniconda/include/gtest/gtest-message.h \

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/observability_test.cpp" "tests/CMakeFiles/observability_test.dir/observability_test.cpp.o" "gcc" "tests/CMakeFiles/observability_test.dir/observability_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/jit/CMakeFiles/proteus_jit.dir/DependInfo.cmake"
+  "/root/repo/build/src/gpu/CMakeFiles/proteus_gpu.dir/DependInfo.cmake"
+  "/root/repo/build/src/codegen/CMakeFiles/proteus_codegen.dir/DependInfo.cmake"
+  "/root/repo/build/src/transforms/CMakeFiles/proteus_transforms.dir/DependInfo.cmake"
+  "/root/repo/build/src/bitcode/CMakeFiles/proteus_bitcode.dir/DependInfo.cmake"
+  "/root/repo/build/src/ir/CMakeFiles/proteus_ir.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/proteus_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

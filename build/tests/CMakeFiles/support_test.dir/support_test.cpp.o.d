@@ -220,10 +220,11 @@ tests/CMakeFiles/support_test.dir/support_test.cpp.o: \
  /usr/include/string.h /usr/include/strings.h \
  /root/repo/src/support/FileSystem.h /root/repo/src/support/Hashing.h \
  /root/repo/src/support/StringUtils.h /usr/include/c++/12/cstdarg \
- /root/repo/src/support/ThreadPool.h \
+ /root/repo/src/support/ThreadPool.h /root/repo/src/support/Trace.h \
+ /usr/include/c++/12/atomic /usr/include/c++/12/cstddef \
  /usr/include/c++/12/condition_variable /usr/include/c++/12/stop_token \
- /usr/include/c++/12/atomic /usr/include/c++/12/bits/std_thread.h \
- /usr/include/c++/12/semaphore /usr/include/c++/12/bits/semaphore_base.h \
+ /usr/include/c++/12/bits/std_thread.h /usr/include/c++/12/semaphore \
+ /usr/include/c++/12/bits/semaphore_base.h \
  /usr/include/c++/12/bits/atomic_timed_wait.h \
  /usr/include/c++/12/bits/this_thread_sleep.h \
  /usr/include/x86_64-linux-gnu/sys/time.h /usr/include/semaphore.h \
@@ -234,7 +235,7 @@ tests/CMakeFiles/support_test.dir/support_test.cpp.o: \
  /usr/include/c++/12/bits/algorithmfwd.h \
  /usr/include/c++/12/bits/stl_heap.h \
  /usr/include/c++/12/bits/uniform_int_dist.h /usr/include/c++/12/thread \
- /root/miniconda/include/gtest/gtest.h /usr/include/c++/12/cstddef \
+ /root/miniconda/include/gtest/gtest.h \
  /root/miniconda/include/gtest/internal/gtest-internal.h \
  /root/miniconda/include/gtest/internal/gtest-port.h \
  /usr/include/c++/12/stdlib.h /usr/include/x86_64-linux-gnu/sys/stat.h \

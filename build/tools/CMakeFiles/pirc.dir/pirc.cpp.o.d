@@ -246,4 +246,9 @@ tools/CMakeFiles/pirc.dir/pirc.cpp.o: /root/repo/tools/pirc.cpp \
  /root/repo/src/ir/Verifier.h /root/repo/src/jit/AutoAnnotate.h \
  /root/repo/src/support/FileSystem.h /root/repo/src/support/StringUtils.h \
  /usr/include/c++/12/cstdarg /root/repo/src/transforms/O3Pipeline.h \
- /root/repo/src/transforms/LoopUnroll.h /root/repo/src/transforms/Pass.h
+ /root/repo/src/transforms/LoopUnroll.h /root/repo/src/transforms/Pass.h \
+ /usr/include/c++/12/functional /usr/include/c++/12/bits/std_function.h \
+ /usr/include/c++/12/array /usr/include/c++/12/bits/stl_algo.h \
+ /usr/include/c++/12/bits/algorithmfwd.h \
+ /usr/include/c++/12/bits/stl_heap.h \
+ /usr/include/c++/12/bits/uniform_int_dist.h

@@ -16,3 +16,5 @@ add_test(pirc_run_reduction "/root/repo/build/tools/pirc" "run" "/root/repo/exam
 set_tests_properties(pirc_run_reduction PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;16;add_test;/root/repo/tools/CMakeLists.txt;0;")
 add_test(pirc_annotate "/root/repo/build/tools/pirc" "annotate" "/root/repo/examples/pir/reduction.pir")
 set_tests_properties(pirc_annotate PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;19;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(trace_check "/usr/bin/cmake" "-DQUICKSTART=/root/repo/build/examples/quickstart" "-DVALIDATOR=/root/repo/build/tools/trace_validate" "-DTRACE_FILE=/root/repo/build/trace_check.json" "-P" "/root/repo/tools/trace_check.cmake")
+set_tests_properties(trace_check PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;28;add_test;/root/repo/tools/CMakeLists.txt;0;")

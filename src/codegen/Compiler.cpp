@@ -11,6 +11,7 @@
 #include "ir/Function.h"
 #include "support/Error.h"
 #include "support/Timer.h"
+#include "support/Trace.h"
 
 using namespace proteus;
 using namespace proteus::mcode;
@@ -22,17 +23,26 @@ MachineFunction proteus::compileKernel(pir::Function &F,
   BackendStats &S = Stats ? *Stats : Local;
 
   Timer T;
-  MachineFunction MF = selectInstructions(F);
+  MachineFunction MF = [&] {
+    trace::Span Sp("backend.isel", "backend");
+    return selectInstructions(F);
+  }();
   S.ISelSeconds = T.seconds();
 
   if (Target.EmitsPtx) {
     // NVIDIA path: print PTX-like text and re-assemble it — the extra step
     // the real toolchain performs in ptxas / nvPTXCompilerCompile.
     T.reset();
-    std::string Ptx = printPtx(MF);
+    std::string Ptx = [&] {
+      trace::Span Sp("backend.ptx_emit", "backend");
+      return printPtx(MF);
+    }();
     S.PtxEmitSeconds = T.seconds();
     T.reset();
-    PtxAssembleResult Asm = assemblePtx(Ptx);
+    PtxAssembleResult Asm = [&] {
+      trace::Span Sp("backend.ptx_asm", "backend");
+      return assemblePtx(Ptx);
+    }();
     S.PtxAsmSeconds = T.seconds();
     if (!Asm.Ok)
       reportFatalError("ptx-sim assembler rejected generated code: " +
@@ -42,7 +52,10 @@ MachineFunction proteus::compileKernel(pir::Function &F,
 
   S.RegisterBudget = Target.registerBudget(F.getLaunchBounds());
   T.reset();
-  S.RA = allocateRegisters(MF, S.RegisterBudget);
+  {
+    trace::Span Sp("backend.regalloc", "backend");
+    S.RA = allocateRegisters(MF, S.RegisterBudget);
+  }
   S.RegAllocSeconds = T.seconds();
   return MF;
 }

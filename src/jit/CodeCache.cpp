@@ -9,6 +9,7 @@
 #include "support/FileSystem.h"
 #include "support/Hashing.h"
 #include "support/StringUtils.h"
+#include "support/Trace.h"
 
 #include <algorithm>
 #include <cstdlib>
@@ -142,6 +143,7 @@ std::optional<std::vector<uint8_t>> CodeCache::lookup(uint64_t Hash) {
     auto It = Memory.find(Hash);
     if (It != Memory.end()) {
       ++Stats.MemoryHits;
+      trace::instant("cache.hit.memory", "cache");
       touchEntry(Hash, It->second);
       return It->second.Object;
     }
@@ -154,14 +156,17 @@ std::optional<std::vector<uint8_t>> CodeCache::lookup(uint64_t Hash) {
         // Truncated/corrupted entry (e.g. a crash mid-write): delete it and
         // report a miss so the JIT recompiles instead of loading garbage.
         ++Stats.CorruptPersistentEntries;
+        trace::instant("cache.corrupt", "cache");
         fs::removeFile(Path);
       } else {
         ++Stats.PersistentHits;
+        trace::instant("cache.hit.persistent", "cache");
         fs::touchFile(Path); // persistent LRU recency
         if (UseMemory) {
           // Preserve the execution count across the promotion so the LFU
           // policy is not biased against entries that round-tripped through
           // the persistent level; this access counts too.
+          trace::instant("cache.promote", "cache");
           insertMemoryEntry(Hash, Decoded->Payload, Decoded->HitCount + 1);
         }
         return std::move(Decoded->Payload);
@@ -169,12 +174,14 @@ std::optional<std::vector<uint8_t>> CodeCache::lookup(uint64_t Hash) {
     }
   }
   ++Stats.Misses;
+  trace::instant("cache.miss", "cache");
   return std::nullopt;
 }
 
 void CodeCache::insert(uint64_t Hash, const std::vector<uint8_t> &Object) {
   std::lock_guard<std::mutex> Lock(Mutex);
   ++Stats.Insertions;
+  trace::instant("cache.insert", "cache");
   if (UseMemory && !Memory.count(Hash))
     insertMemoryEntry(Hash, Object, 0);
   if (UsePersistent) {
@@ -222,6 +229,7 @@ void CodeCache::enforceMemoryLimit() {
     LruOrder.erase(It->second.LruIt);
     Memory.erase(It);
     ++Stats.MemoryEvictions;
+    trace::instant("cache.evict.memory", "cache");
   }
 }
 
@@ -247,6 +255,7 @@ void CodeCache::enforcePersistentLimit() {
     if (fs::removeFile(Dir + "/" + F.Name)) {
       Total -= F.Bytes;
       ++Stats.PersistentEvictions;
+      trace::instant("cache.evict.persistent", "cache");
     }
   }
 }

@@ -12,8 +12,10 @@
 #include "ir/Module.h"
 #include "ir/Verifier.h"
 #include "support/Timer.h"
+#include "support/Trace.h"
 
 #include <chrono>
+#include <cstdio>
 #include <cstdlib>
 #include <future>
 #include "transforms/SpecializeArgs.h"
@@ -21,7 +23,18 @@
 using namespace proteus;
 using namespace proteus::gpu;
 
-JitConfig JitConfig::fromEnvironment() {
+namespace {
+
+void emitConfigWarning(std::vector<std::string> *Warnings, std::string Msg) {
+  if (Warnings)
+    Warnings->push_back(std::move(Msg));
+  else
+    std::fprintf(stderr, "proteus: warning: %s\n", Msg.c_str());
+}
+
+} // namespace
+
+JitConfig JitConfig::fromEnvironment(std::vector<std::string> *Warnings) {
   JitConfig C;
   if (std::getenv("PROTEUS_NO_RCF"))
     C.EnableRCF = false;
@@ -31,16 +44,30 @@ JitConfig JitConfig::fromEnvironment() {
     C.CacheDir = Dir;
   if (const char *Async = std::getenv("PROTEUS_ASYNC")) {
     std::string S = Async;
-    if (S == "block")
+    if (S == "sync")
+      C.Async = AsyncMode::Sync;
+    else if (S == "block")
       C.Async = AsyncMode::Block;
     else if (S == "fallback")
       C.Async = AsyncMode::Fallback;
     else
-      C.Async = AsyncMode::Sync;
+      // Keep the default rather than silently running a mode the user did
+      // not ask for (a typo like "blocking" used to select Sync).
+      emitConfigWarning(Warnings, "ignoring invalid PROTEUS_ASYNC value '" +
+                                      S + "' (expected sync|block|fallback)");
   }
-  if (const char *W = std::getenv("PROTEUS_ASYNC_WORKERS"))
-    if (unsigned N = static_cast<unsigned>(std::strtoul(W, nullptr, 10)))
-      C.AsyncWorkers = N;
+  if (const char *W = std::getenv("PROTEUS_ASYNC_WORKERS")) {
+    std::string S = W;
+    bool AllDigits =
+        !S.empty() && S.find_first_not_of("0123456789") == std::string::npos;
+    unsigned long N = AllDigits ? std::strtoul(S.c_str(), nullptr, 10) : 0;
+    if (AllDigits && N >= 1 && N <= 1024)
+      C.AsyncWorkers = static_cast<unsigned>(N);
+    else
+      emitConfigWarning(Warnings,
+                        "ignoring invalid PROTEUS_ASYNC_WORKERS value '" + S +
+                            "' (expected an integer in [1, 1024])");
+  }
   C.Limits = CacheLimits::fromEnvironment();
   return C;
 }
@@ -77,6 +104,14 @@ JitRuntime::JitRuntime(Device &Dev, uint64_t ModuleId, JitConfig Config)
     : Dev(Dev), ModuleId(ModuleId), Config(Config),
       Cache(Config.UseMemoryCache, Config.UsePersistentCache,
             Config.CacheDir, Config.Limits) {
+#define PROTEUS_JIT_STAT_REGISTER(Field, Name)                                 \
+  Stat.Field = &Metrics.counter(Name);
+  PROTEUS_JIT_COUNTERS(PROTEUS_JIT_STAT_REGISTER)
+#undef PROTEUS_JIT_STAT_REGISTER
+#define PROTEUS_JIT_STAT_REGISTER(Field, Name)                                 \
+  Stat.Field = &Metrics.timer(Name);
+  PROTEUS_JIT_TIMERS(PROTEUS_JIT_STAT_REGISTER)
+#undef PROTEUS_JIT_STAT_REGISTER
   if (this->Config.Async != JitConfig::AsyncMode::Sync)
     Pool = std::make_unique<ThreadPool>(
         this->Config.AsyncWorkers ? this->Config.AsyncWorkers : 1u);
@@ -112,8 +147,17 @@ void JitRuntime::registerVar(const std::string &Symbol, DevicePtr Address) {
 }
 
 JitRuntimeStats JitRuntime::stats() const {
-  std::lock_guard<std::mutex> Lock(StatsMutex);
-  return Stats;
+  JitRuntimeStats S;
+#define PROTEUS_JIT_STAT_SNAPSHOT(Field, Name) S.Field = Stat.Field->value();
+  PROTEUS_JIT_COUNTERS(PROTEUS_JIT_STAT_SNAPSHOT)
+#undef PROTEUS_JIT_STAT_SNAPSHOT
+#define PROTEUS_JIT_STAT_SNAPSHOT(Field, Name) S.Field = Stat.Field->seconds();
+  PROTEUS_JIT_TIMERS(PROTEUS_JIT_STAT_SNAPSHOT)
+#undef PROTEUS_JIT_STAT_SNAPSHOT
+  for (const auto &[Name, Seconds] : Metrics.timerValues())
+    if (Name.rfind("o3.pass.", 0) == 0)
+      S.O3PassSeconds[Name.substr(8)] = Seconds;
+  return S;
 }
 
 void JitRuntime::drain() {
@@ -131,29 +175,44 @@ void JitRuntime::resetInMemoryState() {
   Cache.clearMemory();
 }
 
-SpecializationKey
-JitRuntime::buildKey(const JitKernelInfo &Info, Dim3 Block,
-                     const std::vector<KernelArg> &Args) const {
+bool JitRuntime::buildKey(const JitKernelInfo &Info, Dim3 Block,
+                          const std::vector<KernelArg> &Args,
+                          SpecializationKey &Out, std::string *Error) const {
   SpecializationKey Key;
   Key.ModuleId = ModuleId;
   Key.KernelSymbol = Info.Symbol;
   Key.Arch = Dev.target().Arch;
   if (Config.EnableRCF) {
     for (uint32_t OneBased : Info.AnnotatedArgs) {
+      if (OneBased == 0 || OneBased > Args.size()) {
+        // An out-of-range annotation means the launch and the annotation
+        // disagree about the kernel's signature; folding a garbage value
+        // (or silently not specializing) would be worse than failing.
+        Stat.AnnotationRangeErrors->add();
+        trace::instant("jit.annotation_range_error");
+        if (Error)
+          *Error = "jit-annotated argument index " +
+                   std::to_string(OneBased) + " of kernel @" + Info.Symbol +
+                   " is out of range: launch provided " +
+                   std::to_string(Args.size()) +
+                   " argument(s) (indices are 1-based)";
+        return false;
+      }
       uint32_t Idx = OneBased - 1;
-      if (Idx < Args.size())
-        Key.FoldedArgs.push_back(RuntimeArgValue{Idx, Args[Idx].Bits});
+      Key.FoldedArgs.push_back(RuntimeArgValue{Idx, Args[Idx].Bits});
     }
   }
   if (Config.EnableLaunchBounds)
     Key.LaunchBoundsThreads = static_cast<uint32_t>(Block.count());
-  return Key;
+  Out = std::move(Key);
+  return true;
 }
 
 GpuError JitRuntime::fetchBitcode(const JitKernelInfo &Info,
                                   std::vector<uint8_t> &Out,
                                   std::string *Error) {
-  Timer FetchT;
+  trace::Span Sp("jit.fetch_bitcode", "jit");
+  metrics::ScopedTimer FetchT(*Stat.BitcodeFetchSeconds);
   if (!Info.HostBitcode.empty()) {
     Out = Info.HostBitcode;
   } else if (Info.DeviceBitcodeAddr) {
@@ -175,8 +234,6 @@ GpuError JitRuntime::fetchBitcode(const JitKernelInfo &Info,
       *Error = "no bitcode registered for @" + Info.Symbol;
     return GpuError::InvalidValue;
   }
-  std::lock_guard<std::mutex> Lock(StatsMutex);
-  Stats.BitcodeFetchSeconds += FetchT.seconds();
   return GpuError::Success;
 }
 
@@ -186,21 +243,24 @@ JitRuntime::compileSpecialization(const std::string &Symbol,
                                   const SpecializationKey &Key,
                                   uint64_t Hash) {
   CompileOutcome Out;
-  {
-    std::lock_guard<std::mutex> Lock(StatsMutex);
-    ++Stats.Compilations;
-  }
+  Stat.Compilations->add();
+  trace::Span CompileSp("jit.compile", "jit");
+
+  // Stage timers are RAII-scoped (metrics::ScopedTimer) so every exit path
+  // — including the error returns below — records the time spent. The old
+  // accumulate-locals-then-publish-at-the-end scheme dropped the parse and
+  // link timings whenever a compile failed.
 
   // (1) Parse bitcode.
-  Timer ParseT;
   pir::Context Ctx;
-  proteus::BitcodeReadResult BR = readBitcode(Ctx, Bitcode);
-  double ParseSeconds = ParseT.seconds();
+  proteus::BitcodeReadResult BR = [&] {
+    trace::Span Sp("compile.parse", "jit");
+    metrics::ScopedTimer T(*Stat.BitcodeParseSeconds);
+    return readBitcode(Ctx, Bitcode);
+  }();
   if (!BR) {
     Out.Err = GpuError::InvalidValue;
     Out.Message = "corrupt kernel bitcode for @" + Symbol + ": " + BR.Error;
-    std::lock_guard<std::mutex> Lock(StatsMutex);
-    Stats.BitcodeParseSeconds += ParseSeconds;
     return Out;
   }
   pir::Module &M = *BR.M;
@@ -230,54 +290,62 @@ JitRuntime::compileSpecialization(const std::string &Symbol,
     std::lock_guard<std::mutex> Lock(RegistryMutex);
     Globals = GlobalAddresses;
   }
-  Timer LinkT;
-  for (const auto &G : M.globals()) {
-    if (!G->hasUses())
-      continue;
-    auto AIt = Globals.find(G->getName());
-    DevicePtr Addr = AIt != Globals.end() ? AIt->second : 0;
-    if (!Addr) {
-      std::lock_guard<std::mutex> Lock(DevMutex);
-      gpuGetSymbolAddress(Dev, &Addr, G->getName());
+  {
+    trace::Span Sp("compile.link_globals", "jit");
+    metrics::ScopedTimer T(*Stat.LinkGlobalsSeconds);
+    for (const auto &G : M.globals()) {
+      if (!G->hasUses())
+        continue;
+      auto AIt = Globals.find(G->getName());
+      DevicePtr Addr = AIt != Globals.end() ? AIt->second : 0;
+      if (!Addr) {
+        std::lock_guard<std::mutex> Lock(DevMutex);
+        gpuGetSymbolAddress(Dev, &Addr, G->getName());
+      }
+      if (!Addr) {
+        Out.Err = GpuError::NotFound;
+        Out.Message = "cannot link device global @" + G->getName();
+        return Out;
+      }
+      G->replaceAllUsesWith(Ctx.getConstantPtr(Addr));
     }
-    if (!Addr) {
-      Out.Err = GpuError::NotFound;
-      Out.Message = "cannot link device global @" + G->getName();
-      return Out;
-    }
-    G->replaceAllUsesWith(Ctx.getConstantPtr(Addr));
   }
-  double LinkSeconds = LinkT.seconds();
 
   // (3) Specialize.
-  Timer SpecT;
-  if (Config.EnableRCF && !Key.FoldedArgs.empty())
-    specializeArguments(*F, Key.FoldedArgs);
-  if (Config.EnableLaunchBounds)
-    specializeLaunchBounds(*F, Key.LaunchBoundsThreads);
-  double SpecSeconds = SpecT.seconds();
+  {
+    trace::Span Sp("compile.specialize", "jit");
+    metrics::ScopedTimer T(*Stat.SpecializeSeconds);
+    if (Config.EnableRCF && !Key.FoldedArgs.empty())
+      specializeArguments(*F, Key.FoldedArgs);
+    if (Config.EnableLaunchBounds)
+      specializeLaunchBounds(*F, Key.LaunchBoundsThreads);
+  }
 
-  // (4) Aggressive O3.
-  Timer OptT;
-  runO3(M, Config.O3);
-  double OptSeconds = OptT.seconds();
+  // (4) Aggressive O3, with per-pass attribution: the pass manager's timing
+  // hook feeds one "o3.pass.<name>" timer per pass (surfaced through
+  // JitRuntimeStats::O3PassSeconds), and each pass invocation emits an
+  // "o3.<name>" trace span.
+  {
+    trace::Span Sp("compile.o3", "jit");
+    metrics::ScopedTimer T(*Stat.OptimizeSeconds);
+    std::unique_ptr<PassManager> PM = buildO3Pipeline(Config.O3);
+    PM->setTimingHook([this](const std::string &PassName, double Seconds) {
+      Metrics.timer("o3.pass." + PassName).addSeconds(Seconds);
+    });
+    PM->run(M);
+  }
 
   // (5) Backend (includes the PTX assembler detour on nvptx-sim).
-  Timer BackT;
-  BackendStats BS;
-  Out.Object = compileKernelToObject(*F, Dev.target(), &BS);
-  double BackSeconds = BackT.seconds();
+  {
+    trace::Span Sp("compile.backend", "jit");
+    metrics::ScopedTimer T(*Stat.BackendSeconds);
+    BackendStats BS;
+    Out.Object = compileKernelToObject(*F, Dev.target(), &BS);
+  }
 
   // (6) Publish: insert into both cache levels before the in-flight entry
   // is retired, so no launch can miss both.
   Cache.insert(Hash, Out.Object);
-
-  std::lock_guard<std::mutex> Lock(StatsMutex);
-  Stats.BitcodeParseSeconds += ParseSeconds;
-  Stats.LinkGlobalsSeconds += LinkSeconds;
-  Stats.SpecializeSeconds += SpecSeconds;
-  Stats.OptimizeSeconds += OptSeconds;
-  Stats.BackendSeconds += BackSeconds;
   return Out;
 }
 
@@ -313,10 +381,9 @@ JitRuntime::launchGeneric(const JitKernelInfo &Info, Dim3 Grid, Dim3 Block,
     }
     GenericLoaded[Info.Symbol] = K;
   }
-  {
-    std::lock_guard<std::mutex> SLock(StatsMutex);
-    ++Stats.FallbackLaunches;
-  }
+  Stat.FallbackLaunches->add();
+  trace::instant("jit.fallback_launch");
+  trace::Span Sp("jit.kernel_launch", "jit");
   return gpuLaunchKernel(Dev, *K, Grid, Block, Args, Error);
 }
 
@@ -331,6 +398,7 @@ GpuError JitRuntime::loadAndLaunch(uint64_t Hash,
   if (auto It = Loaded.find(Hash); It != Loaded.end()) {
     K = It->second;
   } else {
+    trace::Span Sp("jit.module_load", "jit");
     std::string LoadError;
     if (gpuModuleLoad(Dev, &K, Object, &LoadError) != GpuError::Success) {
       if (Error)
@@ -340,6 +408,7 @@ GpuError JitRuntime::loadAndLaunch(uint64_t Hash,
     }
     Loaded[Hash] = K;
   }
+  trace::Span Sp("jit.kernel_launch", "jit");
   return gpuLaunchKernel(Dev, *K, Grid, Block, Args, Error);
 }
 
@@ -347,10 +416,8 @@ GpuError JitRuntime::launchKernel(const std::string &Symbol, Dim3 Grid,
                                   Dim3 Block,
                                   const std::vector<KernelArg> &Args,
                                   std::string *Error) {
-  {
-    std::lock_guard<std::mutex> Lock(StatsMutex);
-    ++Stats.Launches;
-  }
+  trace::Span LaunchSp("jit.launch", "jit");
+  Stat.Launches->add();
   const JitKernelInfo *Info = nullptr;
   {
     std::lock_guard<std::mutex> Lock(RegistryMutex);
@@ -364,14 +431,21 @@ GpuError JitRuntime::launchKernel(const std::string &Symbol, Dim3 Grid,
     return GpuError::NotFound;
   }
 
-  SpecializationKey Key = buildKey(*Info, Block, Args);
+  SpecializationKey Key;
+  {
+    trace::Span Sp("jit.build_key", "jit");
+    if (!buildKey(*Info, Block, Args, Key, Error))
+      return GpuError::InvalidValue;
+  }
   uint64_t Hash = computeSpecializationHash(Key);
 
   // --- Already loaded? -------------------------------------------------------
   {
     std::lock_guard<std::mutex> Lock(DevMutex);
-    if (auto LIt = Loaded.find(Hash); LIt != Loaded.end())
+    if (auto LIt = Loaded.find(Hash); LIt != Loaded.end()) {
+      trace::Span Sp("jit.kernel_launch", "jit");
       return gpuLaunchKernel(Dev, *LIt->second, Grid, Block, Args, Error);
+    }
   }
 
   // --- Cache lookup + in-flight dedup, atomically ----------------------------
@@ -388,12 +462,10 @@ GpuError JitRuntime::launchKernel(const std::string &Symbol, Dim3 Grid,
     if (JIt != InFlight.end()) {
       Job = JIt->second;
     } else {
-      Timer LookupT;
-      Object = Cache.lookup(Hash);
-      double LookupSeconds = LookupT.seconds();
       {
-        std::lock_guard<std::mutex> SLock(StatsMutex);
-        Stats.CacheLookupSeconds += LookupSeconds;
+        trace::Span Sp("jit.cache_lookup", "jit");
+        metrics::ScopedTimer T(*Stat.CacheLookupSeconds);
+        Object = Cache.lookup(Hash);
       }
       if (!Object) {
         Job = std::make_shared<InFlightCompile>();
@@ -418,13 +490,10 @@ GpuError JitRuntime::launchKernel(const std::string &Symbol, Dim3 Grid,
       }
       if (!Pool) {
         // Sync: compile inline; the full cost is launch-visible.
-        Timer InlineT;
-        CompileOutcome O =
-            compileSpecialization(Symbol, std::move(Bitcode), Key, Hash);
-        double InlineSeconds = InlineT.seconds();
+        CompileOutcome O;
         {
-          std::lock_guard<std::mutex> SLock(StatsMutex);
-          Stats.LaunchBlockedSeconds += InlineSeconds;
+          metrics::ScopedTimer T(*Stat.LaunchBlockedSeconds);
+          O = compileSpecialization(Symbol, std::move(Bitcode), Key, Hash);
         }
         GpuError CE = O.Err;
         if (CE != GpuError::Success) {
@@ -436,26 +505,19 @@ GpuError JitRuntime::launchKernel(const std::string &Symbol, Dim3 Grid,
         Object = O.Object;
         completeJob(Hash, Job, std::move(O));
       } else {
-        {
-          std::lock_guard<std::mutex> SLock(StatsMutex);
-          ++Stats.AsyncCompiles;
-        }
+        Stat.AsyncCompiles->add();
         Timer QueueT;
         Pool->enqueue([this, Symbol, Key, Hash, Job, QueueT,
                        BC = std::move(Bitcode)]() mutable {
-          double Queued = QueueT.seconds();
-          {
-            std::lock_guard<std::mutex> SLock(StatsMutex);
-            Stats.QueueWaitSeconds += Queued;
-          }
+          Stat.QueueWaitSeconds->addSeconds(QueueT.seconds());
           completeJob(Hash, Job,
                       compileSpecialization(Symbol, std::move(BC), Key,
                                             Hash));
         });
       }
     } else {
-      std::lock_guard<std::mutex> SLock(StatsMutex);
-      ++Stats.DedupedWaits;
+      Stat.DedupedWaits->add();
+      trace::instant("jit.deduped_wait");
     }
 
     if (!Object && Config.Async == JitConfig::AsyncMode::Fallback) {
@@ -479,19 +541,18 @@ GpuError JitRuntime::launchKernel(const std::string &Symbol, Dim3 Grid,
     }
 
     if (!Object) {
-      Timer WaitT;
-      const CompileOutcome &O = Job->Future.get();
-      double Waited = WaitT.seconds();
+      const CompileOutcome *O;
       {
-        std::lock_guard<std::mutex> SLock(StatsMutex);
-        Stats.LaunchBlockedSeconds += Waited;
+        trace::Span Sp("jit.inflight_wait", "jit");
+        metrics::ScopedTimer T(*Stat.LaunchBlockedSeconds);
+        O = &Job->Future.get();
       }
-      if (O.Err != GpuError::Success) {
+      if (O->Err != GpuError::Success) {
         if (Error)
-          *Error = O.Message;
-        return O.Err;
+          *Error = O->Message;
+        return O->Err;
       }
-      Object = O.Object;
+      Object = O->Object;
     }
   }
 

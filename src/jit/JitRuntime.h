@@ -42,6 +42,7 @@
 
 #include "gpu/Runtime.h"
 #include "jit/CodeCache.h"
+#include "support/Metrics.h"
 #include "support/ThreadPool.h"
 #include "transforms/O3Pipeline.h"
 
@@ -81,31 +82,64 @@ struct JitConfig {
   /// Applies the PROTEUS_* environment variables on top of the defaults
   /// (PROTEUS_NO_RCF, PROTEUS_NO_LAUNCH_BOUNDS, PROTEUS_CACHE_DIR,
   /// PROTEUS_ASYNC, PROTEUS_ASYNC_WORKERS and the CacheLimits variables).
-  static JitConfig fromEnvironment();
+  /// Unrecognized or out-of-range values are rejected: the default is kept
+  /// and a diagnostic is appended to \p Warnings (or printed to stderr as
+  /// "proteus: warning: ..." when \p Warnings is null) instead of being
+  /// silently coerced.
+  static JitConfig fromEnvironment(std::vector<std::string> *Warnings =
+                                       nullptr);
 };
 
 const char *asyncModeName(JitConfig::AsyncMode M);
 
-/// Cumulative runtime accounting.
-struct JitRuntimeStats {
-  uint64_t Launches = 0;
-  uint64_t Compilations = 0;
-  double BitcodeFetchSeconds = 0; // incl. simulated device readback (NVIDIA)
-  double BitcodeParseSeconds = 0;
-  double LinkGlobalsSeconds = 0;
-  double SpecializeSeconds = 0;
-  double OptimizeSeconds = 0;
-  double BackendSeconds = 0;
-  double CacheLookupSeconds = 0;
+/// Every JitRuntime statistic, defined exactly once: (field name, registry
+/// metric name). The lists expand into the JitRuntimeStats snapshot fields,
+/// the runtime's metric-handle struct, handle registration and the stats()
+/// snapshot — adding a stat means adding one line here.
+///
+/// Counters: Launches; Compilations; AsyncCompiles (compiles dispatched to
+/// the worker pool); FallbackLaunches (launches served by the generic
+/// binary); DedupedWaits (launches that joined an in-flight compile);
+/// AnnotationRangeErrors (launches rejected because a jit-annotated
+/// argument index was out of range).
+#define PROTEUS_JIT_COUNTERS(X)                                                \
+  X(Launches, "jit.launches")                                                  \
+  X(Compilations, "jit.compilations")                                          \
+  X(AsyncCompiles, "jit.async_compiles")                                       \
+  X(FallbackLaunches, "jit.fallback_launches")                                 \
+  X(DedupedWaits, "jit.deduped_waits")                                         \
+  X(AnnotationRangeErrors, "jit.annotation_range_errors")
 
-  // Asynchronous-pipeline accounting.
-  uint64_t AsyncCompiles = 0;    // compiles dispatched to the worker pool
-  uint64_t FallbackLaunches = 0; // launches served by the generic binary
-  uint64_t DedupedWaits = 0;     // launches that joined an in-flight compile
-  double QueueWaitSeconds = 0;   // enqueue -> worker pickup latency
-  /// Compile time visible on the launch path: inline compiles (Sync) and
-  /// time launches spent blocked on a compile future (Block / dedup waits).
-  double LaunchBlockedSeconds = 0;
+/// Timers: BitcodeFetchSeconds includes the simulated device readback
+/// (NVIDIA); QueueWaitSeconds is enqueue -> worker pickup latency;
+/// LaunchBlockedSeconds is compile time visible on the launch path (inline
+/// compiles in Sync mode plus time launches spent blocked on a compile
+/// future in Block / dedup waits). Stage timers accumulate on every exit
+/// path, including compile errors (metrics::ScopedTimer).
+#define PROTEUS_JIT_TIMERS(X)                                                  \
+  X(BitcodeFetchSeconds, "jit.bitcode_fetch_seconds")                          \
+  X(BitcodeParseSeconds, "jit.bitcode_parse_seconds")                          \
+  X(LinkGlobalsSeconds, "jit.link_globals_seconds")                            \
+  X(SpecializeSeconds, "jit.specialize_seconds")                               \
+  X(OptimizeSeconds, "jit.optimize_seconds")                                   \
+  X(BackendSeconds, "jit.backend_seconds")                                     \
+  X(CacheLookupSeconds, "jit.cache_lookup_seconds")                            \
+  X(QueueWaitSeconds, "jit.queue_wait_seconds")                                \
+  X(LaunchBlockedSeconds, "jit.launch_blocked_seconds")
+
+/// Cumulative runtime accounting: a point-in-time snapshot of the metrics
+/// registry, safe to read while launches and background compiles proceed.
+struct JitRuntimeStats {
+#define PROTEUS_JIT_STAT_FIELD(Field, Name) uint64_t Field = 0;
+  PROTEUS_JIT_COUNTERS(PROTEUS_JIT_STAT_FIELD)
+#undef PROTEUS_JIT_STAT_FIELD
+#define PROTEUS_JIT_STAT_FIELD(Field, Name) double Field = 0;
+  PROTEUS_JIT_TIMERS(PROTEUS_JIT_STAT_FIELD)
+#undef PROTEUS_JIT_STAT_FIELD
+
+  /// Per-pass attribution of OptimizeSeconds, keyed by pass name (from the
+  /// registry's "o3.pass.<name>" timers fed by the PassManager timing hook).
+  std::map<std::string, double> O3PassSeconds;
 
   double totalCompileSeconds() const {
     return BitcodeFetchSeconds + BitcodeParseSeconds + LinkGlobalsSeconds +
@@ -157,8 +191,13 @@ public:
                              const std::vector<gpu::KernelArg> &Args,
                              std::string *Error = nullptr);
 
-  /// Snapshot of the counters, taken under the stats lock.
+  /// Snapshot of the counters. Lock-free with respect to the hot paths:
+  /// reads the relaxed-atomic instruments, no stats mutex exists.
   JitRuntimeStats stats() const;
+
+  /// The registry backing stats(); exposes every named instrument,
+  /// including the per-pass "o3.pass.<name>" timers.
+  const metrics::Registry &metricsRegistry() const { return Metrics; }
 
   CodeCache &cache() { return Cache; }
   const JitConfig &config() const { return Config; }
@@ -175,8 +214,12 @@ private:
   struct CompileOutcome;
   struct InFlightCompile;
 
-  SpecializationKey buildKey(const JitKernelInfo &Info, gpu::Dim3 Block,
-                             const std::vector<gpu::KernelArg> &Args) const;
+  /// Builds the specialization key. Returns false (with \p Error set and
+  /// AnnotationRangeErrors counted) when an annotated 1-based argument
+  /// index is out of range for \p Args instead of silently skipping it.
+  bool buildKey(const JitKernelInfo &Info, gpu::Dim3 Block,
+                const std::vector<gpu::KernelArg> &Args,
+                SpecializationKey &Out, std::string *Error) const;
   gpu::GpuError fetchBitcode(const JitKernelInfo &Info,
                              std::vector<uint8_t> &Out, std::string *Error);
   CompileOutcome compileSpecialization(const std::string &Symbol,
@@ -202,8 +245,20 @@ private:
   const JitConfig Config;
   CodeCache Cache;
 
-  mutable std::mutex StatsMutex; // guards Stats
-  JitRuntimeStats Stats;
+  /// Named instruments behind stats(). Handles are resolved once in the
+  /// constructor (the Stat struct below); updates are relaxed atomics, so
+  /// launches and workers never serialize on accounting.
+  metrics::Registry Metrics;
+  struct StatHandles {
+#define PROTEUS_JIT_STAT_HANDLE(Field, Name) metrics::Counter *Field = nullptr;
+    PROTEUS_JIT_COUNTERS(PROTEUS_JIT_STAT_HANDLE)
+#undef PROTEUS_JIT_STAT_HANDLE
+#define PROTEUS_JIT_STAT_HANDLE(Field, Name)                                   \
+  metrics::TimerMetric *Field = nullptr;
+    PROTEUS_JIT_TIMERS(PROTEUS_JIT_STAT_HANDLE)
+#undef PROTEUS_JIT_STAT_HANDLE
+  };
+  StatHandles Stat;
 
   std::mutex RegistryMutex; // guards Kernels + GlobalAddresses
   std::map<std::string, JitKernelInfo> Kernels;

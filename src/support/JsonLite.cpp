@@ -1,0 +1,265 @@
+//===- JsonLite.cpp - minimal JSON parser -----------------------------------------===//
+//
+// Part of the Proteus reproduction project.
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/JsonLite.h"
+
+#include <cctype>
+#include <cstdlib>
+#include <cstring>
+
+using namespace proteus;
+using namespace proteus::json;
+
+const Value *Value::find(std::string_view Key) const {
+  if (K != Kind::Object)
+    return nullptr;
+  for (const auto &[Name, V] : Obj)
+    if (Name == Key)
+      return &V;
+  return nullptr;
+}
+
+namespace {
+
+constexpr unsigned MaxDepth = 64;
+
+class Parser {
+public:
+  explicit Parser(std::string_view Text) : Text(Text) {}
+
+  ParseResult run() {
+    ParseResult R;
+    skipWs();
+    if (!parseValue(R.V, 0)) {
+      R.Error = Err;
+      R.ErrorOffset = Pos;
+      return R;
+    }
+    skipWs();
+    if (Pos != Text.size()) {
+      R.Error = "trailing garbage after document";
+      R.ErrorOffset = Pos;
+      return R;
+    }
+    R.Ok = true;
+    return R;
+  }
+
+private:
+  bool fail(const char *Msg) {
+    if (Err.empty())
+      Err = Msg;
+    return false;
+  }
+
+  void skipWs() {
+    while (Pos < Text.size() &&
+           (Text[Pos] == ' ' || Text[Pos] == '\t' || Text[Pos] == '\n' ||
+            Text[Pos] == '\r'))
+      ++Pos;
+  }
+
+  bool consume(char C) {
+    if (Pos < Text.size() && Text[Pos] == C) {
+      ++Pos;
+      return true;
+    }
+    return false;
+  }
+
+  bool parseLiteral(const char *Lit) {
+    size_t Len = std::strlen(Lit);
+    if (Text.substr(Pos, Len) != Lit)
+      return fail("invalid literal");
+    Pos += Len;
+    return true;
+  }
+
+  bool parseString(std::string &Out) {
+    if (!consume('"'))
+      return fail("expected string");
+    while (Pos < Text.size()) {
+      char C = Text[Pos++];
+      if (C == '"')
+        return true;
+      if (static_cast<unsigned char>(C) < 0x20)
+        return fail("raw control character in string");
+      if (C != '\\') {
+        Out.push_back(C);
+        continue;
+      }
+      if (Pos >= Text.size())
+        return fail("dangling escape");
+      char E = Text[Pos++];
+      switch (E) {
+      case '"': Out.push_back('"'); break;
+      case '\\': Out.push_back('\\'); break;
+      case '/': Out.push_back('/'); break;
+      case 'b': Out.push_back('\b'); break;
+      case 'f': Out.push_back('\f'); break;
+      case 'n': Out.push_back('\n'); break;
+      case 'r': Out.push_back('\r'); break;
+      case 't': Out.push_back('\t'); break;
+      case 'u': {
+        if (Pos + 4 > Text.size())
+          return fail("truncated \\u escape");
+        unsigned V = 0;
+        for (int I = 0; I != 4; ++I) {
+          char H = Text[Pos++];
+          V <<= 4;
+          if (H >= '0' && H <= '9')
+            V |= unsigned(H - '0');
+          else if (H >= 'a' && H <= 'f')
+            V |= unsigned(H - 'a' + 10);
+          else if (H >= 'A' && H <= 'F')
+            V |= unsigned(H - 'A' + 10);
+          else
+            return fail("invalid \\u escape");
+        }
+        // UTF-8 encode the code point (surrogate pairs are passed through
+        // as two separate encodings; good enough for trace names).
+        if (V < 0x80) {
+          Out.push_back(static_cast<char>(V));
+        } else if (V < 0x800) {
+          Out.push_back(static_cast<char>(0xC0 | (V >> 6)));
+          Out.push_back(static_cast<char>(0x80 | (V & 0x3F)));
+        } else {
+          Out.push_back(static_cast<char>(0xE0 | (V >> 12)));
+          Out.push_back(static_cast<char>(0x80 | ((V >> 6) & 0x3F)));
+          Out.push_back(static_cast<char>(0x80 | (V & 0x3F)));
+        }
+        break;
+      }
+      default:
+        return fail("invalid escape character");
+      }
+    }
+    return fail("unterminated string");
+  }
+
+  bool parseNumber(Value &Out) {
+    size_t Start = Pos;
+    if (consume('-')) {
+    }
+    if (Pos >= Text.size() || !std::isdigit(static_cast<unsigned char>(Text[Pos])))
+      return fail("invalid number");
+    if (Text[Pos] == '0') {
+      ++Pos;
+      if (Pos < Text.size() &&
+          std::isdigit(static_cast<unsigned char>(Text[Pos])))
+        return fail("leading zero in number");
+    } else {
+      while (Pos < Text.size() &&
+             std::isdigit(static_cast<unsigned char>(Text[Pos])))
+        ++Pos;
+    }
+    if (consume('.')) {
+      if (Pos >= Text.size() ||
+          !std::isdigit(static_cast<unsigned char>(Text[Pos])))
+        return fail("digit expected after decimal point");
+      while (Pos < Text.size() &&
+             std::isdigit(static_cast<unsigned char>(Text[Pos])))
+        ++Pos;
+    }
+    if (Pos < Text.size() && (Text[Pos] == 'e' || Text[Pos] == 'E')) {
+      ++Pos;
+      if (Pos < Text.size() && (Text[Pos] == '+' || Text[Pos] == '-'))
+        ++Pos;
+      if (Pos >= Text.size() ||
+          !std::isdigit(static_cast<unsigned char>(Text[Pos])))
+        return fail("digit expected in exponent");
+      while (Pos < Text.size() &&
+             std::isdigit(static_cast<unsigned char>(Text[Pos])))
+        ++Pos;
+    }
+    Out.K = Value::Kind::Number;
+    Out.Num = std::strtod(std::string(Text.substr(Start, Pos - Start)).c_str(),
+                          nullptr);
+    return true;
+  }
+
+  bool parseValue(Value &Out, unsigned Depth) {
+    if (Depth > MaxDepth)
+      return fail("nesting too deep");
+    skipWs();
+    if (Pos >= Text.size())
+      return fail("unexpected end of input");
+    char C = Text[Pos];
+    switch (C) {
+    case '{': {
+      ++Pos;
+      Out.K = Value::Kind::Object;
+      skipWs();
+      if (consume('}'))
+        return true;
+      for (;;) {
+        skipWs();
+        std::string Key;
+        if (!parseString(Key))
+          return false;
+        skipWs();
+        if (!consume(':'))
+          return fail("expected ':' in object");
+        Value V;
+        if (!parseValue(V, Depth + 1))
+          return false;
+        Out.Obj.emplace_back(std::move(Key), std::move(V));
+        skipWs();
+        if (consume(','))
+          continue;
+        if (consume('}'))
+          return true;
+        return fail("expected ',' or '}' in object");
+      }
+    }
+    case '[': {
+      ++Pos;
+      Out.K = Value::Kind::Array;
+      skipWs();
+      if (consume(']'))
+        return true;
+      for (;;) {
+        Value V;
+        if (!parseValue(V, Depth + 1))
+          return false;
+        Out.Arr.push_back(std::move(V));
+        skipWs();
+        if (consume(','))
+          continue;
+        if (consume(']'))
+          return true;
+        return fail("expected ',' or ']' in array");
+      }
+    }
+    case '"':
+      Out.K = Value::Kind::String;
+      return parseString(Out.Str);
+    case 't':
+      Out.K = Value::Kind::Bool;
+      Out.B = true;
+      return parseLiteral("true");
+    case 'f':
+      Out.K = Value::Kind::Bool;
+      Out.B = false;
+      return parseLiteral("false");
+    case 'n':
+      Out.K = Value::Kind::Null;
+      return parseLiteral("null");
+    default:
+      return parseNumber(Out);
+    }
+  }
+
+  std::string_view Text;
+  size_t Pos = 0;
+  std::string Err;
+};
+
+} // namespace
+
+ParseResult proteus::json::parse(std::string_view Text) {
+  return Parser(Text).run();
+}

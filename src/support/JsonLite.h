@@ -1,0 +1,70 @@
+//===- JsonLite.h - minimal JSON parser -------------------------*- C++ -*-===//
+//
+// Part of the Proteus reproduction project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A small, dependency-free JSON reader used to round-trip and validate the
+/// chrome://tracing exports produced by support/Trace. It parses the full
+/// JSON grammar (objects, arrays, strings with escapes, numbers, booleans,
+/// null) into a simple tree; malformed input yields a diagnostic with the
+/// byte offset, never undefined behavior — exports may be truncated by a
+/// crashed process.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PROTEUS_SUPPORT_JSONLITE_H
+#define PROTEUS_SUPPORT_JSONLITE_H
+
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+namespace proteus {
+namespace json {
+
+/// One parsed JSON value. Members are public; only the slot matching the
+/// kind is meaningful.
+struct Value {
+  enum class Kind { Null, Bool, Number, String, Array, Object };
+
+  Kind K = Kind::Null;
+  bool B = false;
+  double Num = 0;
+  std::string Str;
+  std::vector<Value> Arr;
+  /// Object members in document order (duplicate keys are preserved).
+  std::vector<std::pair<std::string, Value>> Obj;
+
+  bool isNull() const { return K == Kind::Null; }
+  bool isBool() const { return K == Kind::Bool; }
+  bool isNumber() const { return K == Kind::Number; }
+  bool isString() const { return K == Kind::String; }
+  bool isArray() const { return K == Kind::Array; }
+  bool isObject() const { return K == Kind::Object; }
+
+  /// First object member named \p Key, or nullptr (also for non-objects).
+  const Value *find(std::string_view Key) const;
+};
+
+/// Outcome of a parse: the document, or a diagnostic with its byte offset.
+struct ParseResult {
+  bool Ok = false;
+  Value V;
+  std::string Error;
+  size_t ErrorOffset = 0;
+
+  explicit operator bool() const { return Ok; }
+};
+
+/// Parses \p Text as one JSON document (trailing whitespace allowed,
+/// trailing garbage rejected). Nesting depth is bounded to keep recursion
+/// safe on adversarial input.
+ParseResult parse(std::string_view Text);
+
+} // namespace json
+} // namespace proteus
+
+#endif // PROTEUS_SUPPORT_JSONLITE_H

@@ -1,0 +1,44 @@
+//===- Metrics.cpp - lock-free counters behind a named registry -------------------===//
+//
+// Part of the Proteus reproduction project.
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/Metrics.h"
+
+using namespace proteus;
+using namespace proteus::metrics;
+
+Counter &Registry::counter(const std::string &Name) {
+  std::lock_guard<std::mutex> Lock(Mutex);
+  auto &Slot = Counters[Name];
+  if (!Slot)
+    Slot = std::make_unique<Counter>();
+  return *Slot;
+}
+
+TimerMetric &Registry::timer(const std::string &Name) {
+  std::lock_guard<std::mutex> Lock(Mutex);
+  auto &Slot = Timers[Name];
+  if (!Slot)
+    Slot = std::make_unique<TimerMetric>();
+  return *Slot;
+}
+
+std::vector<std::pair<std::string, uint64_t>> Registry::counterValues() const {
+  std::lock_guard<std::mutex> Lock(Mutex);
+  std::vector<std::pair<std::string, uint64_t>> Out;
+  Out.reserve(Counters.size());
+  for (const auto &[Name, C] : Counters)
+    Out.emplace_back(Name, C->value());
+  return Out;
+}
+
+std::vector<std::pair<std::string, double>> Registry::timerValues() const {
+  std::lock_guard<std::mutex> Lock(Mutex);
+  std::vector<std::pair<std::string, double>> Out;
+  Out.reserve(Timers.size());
+  for (const auto &[Name, T] : Timers)
+    Out.emplace_back(Name, T->seconds());
+  return Out;
+}

@@ -1,0 +1,98 @@
+//===- Metrics.h - lock-free counters behind a named registry ---*- C++ -*-===//
+//
+// Part of the Proteus reproduction project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The metrics substrate of the JIT observability layer. A Registry owns
+/// named Counter (monotonic u64) and TimerMetric (accumulated wall seconds)
+/// instruments; creation is serialized, but every update on an obtained
+/// handle is a relaxed atomic — hot paths (launches, async compile workers)
+/// never contend on a stats lock. JitRuntimeStats snapshots are built by
+/// enumerating a registry, so each counter is defined exactly once (see the
+/// PROTEUS_JIT_COUNTERS / PROTEUS_JIT_TIMERS X-macros in jit/JitRuntime.h).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PROTEUS_SUPPORT_METRICS_H
+#define PROTEUS_SUPPORT_METRICS_H
+
+#include "support/Timer.h"
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace proteus {
+namespace metrics {
+
+/// Monotonic event counter; updates and reads are lock-free.
+class Counter {
+public:
+  void add(uint64_t N = 1) { V.fetch_add(N, std::memory_order_relaxed); }
+  uint64_t value() const { return V.load(std::memory_order_relaxed); }
+
+private:
+  std::atomic<uint64_t> V{0};
+};
+
+/// Accumulated wall time. Stored as integer nanoseconds so concurrent
+/// additions stay lock-free (atomic<double> fetch_add is not universally
+/// lock-free); sub-nanosecond intervals round to zero.
+class TimerMetric {
+public:
+  void addSeconds(double S) {
+    if (S > 0)
+      Nanos.fetch_add(static_cast<uint64_t>(S * 1e9),
+                      std::memory_order_relaxed);
+  }
+  double seconds() const {
+    return static_cast<double>(Nanos.load(std::memory_order_relaxed)) * 1e-9;
+  }
+
+private:
+  std::atomic<uint64_t> Nanos{0};
+};
+
+/// RAII region that adds its scope's wall time to a TimerMetric on every
+/// exit path — the fix for stage timings being dropped by early returns.
+class ScopedTimer {
+public:
+  explicit ScopedTimer(TimerMetric &M) : M(M) {}
+  ~ScopedTimer() { M.addSeconds(T.seconds()); }
+
+  ScopedTimer(const ScopedTimer &) = delete;
+  ScopedTimer &operator=(const ScopedTimer &) = delete;
+
+private:
+  TimerMetric &M;
+  Timer T;
+};
+
+/// Owns named instruments. Handles returned by counter()/timer() are stable
+/// for the registry's lifetime; looking up the same name twice returns the
+/// same instrument (get-or-create).
+class Registry {
+public:
+  Counter &counter(const std::string &Name);
+  TimerMetric &timer(const std::string &Name);
+
+  /// Snapshot of every counter / timer, sorted by name.
+  std::vector<std::pair<std::string, uint64_t>> counterValues() const;
+  std::vector<std::pair<std::string, double>> timerValues() const;
+
+private:
+  mutable std::mutex Mutex; // guards the maps, not the instruments
+  std::map<std::string, std::unique_ptr<Counter>> Counters;
+  std::map<std::string, std::unique_ptr<TimerMetric>> Timers;
+};
+
+} // namespace metrics
+} // namespace proteus
+
+#endif // PROTEUS_SUPPORT_METRICS_H

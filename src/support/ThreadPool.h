@@ -13,10 +13,17 @@
 /// worker is executing a task — the property JitRuntime::drain() relies on
 /// before reading final statistics.
 ///
+/// When a trace session is active (support/Trace.h) the pool emits
+/// "pool.queue_depth" and "pool.active_workers" counter series plus one
+/// "pool.task" span per executed task, which is how worker occupancy shows
+/// up in chrome://tracing.
+///
 //===----------------------------------------------------------------------===//
 
 #ifndef PROTEUS_SUPPORT_THREADPOOL_H
 #define PROTEUS_SUPPORT_THREADPOOL_H
+
+#include "support/Trace.h"
 
 #include <condition_variable>
 #include <cstdint>
@@ -55,6 +62,7 @@ public:
         return false;
       Queue.push_back(std::move(Task));
       ++Enqueued;
+      trace::counterValue("pool.queue_depth", double(Queue.size()));
     }
     WorkCv.notify_one();
     return true;
@@ -105,12 +113,18 @@ private:
         Task = std::move(Queue.front());
         Queue.pop_front();
         ++Active;
+        trace::counterValue("pool.queue_depth", double(Queue.size()));
+        trace::counterValue("pool.active_workers", double(Active));
       }
-      Task();
+      {
+        trace::Span S("pool.task", "pool");
+        Task();
+      }
       {
         std::lock_guard<std::mutex> L(M);
         --Active;
         ++Completed;
+        trace::counterValue("pool.active_workers", double(Active));
         if (Queue.empty() && Active == 0)
           IdleCv.notify_all();
       }

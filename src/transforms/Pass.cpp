@@ -9,17 +9,32 @@
 #include "ir/Module.h"
 #include "ir/Verifier.h"
 #include "support/Error.h"
+#include "support/Timer.h"
+#include "support/Trace.h"
 
 using namespace proteus;
 using namespace pir;
 
 bool PassManager::runOnce(Function &F) {
   bool Changed = false;
-  if (Stats.empty())
-    for (const auto &P : Passes)
-      Stats.push_back(PassStatistics{P->name(), 0, 0});
+  if (Stats.empty()) {
+    for (const auto &P : Passes) {
+      Stats.push_back(PassStatistics{P->name(), 0, 0, 0.0});
+      SpanNames.push_back(trace::internName("o3." + P->name()));
+    }
+  }
   for (size_t I = 0; I != Passes.size(); ++I) {
-    bool PassChanged = Passes[I]->run(F);
+    bool PassChanged;
+    double Seconds;
+    {
+      trace::Span Sp(SpanNames[I], "o3");
+      Timer T;
+      PassChanged = Passes[I]->run(F);
+      Seconds = T.seconds();
+    }
+    Stats[I].Seconds += Seconds;
+    if (TimingHookFn)
+      TimingHookFn(Stats[I].Name, Seconds);
     ++Stats[I].Invocations;
     if (PassChanged)
       ++Stats[I].ChangedInvocations;

@@ -14,6 +14,7 @@
 #ifndef PROTEUS_TRANSFORMS_PASS_H
 #define PROTEUS_TRANSFORMS_PASS_H
 
+#include <functional>
 #include <memory>
 #include <string>
 #include <vector>
@@ -42,6 +43,9 @@ struct PassStatistics {
   std::string Name;
   unsigned Invocations = 0;
   unsigned ChangedInvocations = 0;
+  /// Accumulated wall time across all invocations of this pass — the
+  /// per-pass O3 attribution behind Figure 5/6's optimization bar.
+  double Seconds = 0;
 };
 
 /// Runs a sequence of function passes over every function with a body,
@@ -61,6 +65,13 @@ public:
   /// Aborts with the verifier message if a pass breaks the IR (test mode).
   void setVerifyEach(bool V) { VerifyEach = V; }
 
+  /// Observer invoked after every pass invocation with its name and wall
+  /// time. The JIT runtime uses this to feed per-pass O3 timing into its
+  /// metrics registry; tracing spans ("o3.<pass>") are emitted regardless.
+  using TimingHook = std::function<void(const std::string &PassName,
+                                        double Seconds)>;
+  void setTimingHook(TimingHook Hook) { TimingHookFn = std::move(Hook); }
+
   /// Runs the pipeline over all functions of \p M that have bodies.
   /// Returns true if anything changed.
   bool run(pir::Module &M);
@@ -75,6 +86,9 @@ private:
 
   std::vector<std::unique_ptr<FunctionPass>> Passes;
   std::vector<PassStatistics> Stats;
+  /// Interned "o3.<pass>" span names, built lazily alongside Stats.
+  std::vector<const char *> SpanNames;
+  TimingHook TimingHookFn;
   unsigned MaxIterations;
   bool VerifyEach = false;
 };

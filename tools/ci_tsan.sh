@@ -25,6 +25,8 @@ TESTS=(
   cache_crash_test
   jit_test
   jit_concurrency_test
+  trace_test
+  observability_test
 )
 
 echo "== Configuring TSan build in ${BUILD_DIR} =="
@@ -43,6 +45,18 @@ for T in "${TESTS[@]}"; do
     STATUS=1
   fi
 done
+
+# Re-run the concurrency battery with tracing enabled so the trace ring
+# buffer, name interning, and counter paths are exercised under contention
+# from every pipeline thread. The export itself is discarded.
+TRACE_TMP="$(mktemp -d)"
+trap 'rm -rf "${TRACE_TMP}"' EXIT
+echo "== TSan: jit_concurrency_test (PROTEUS_TRACE enabled) =="
+if ! PROTEUS_TRACE="${TRACE_TMP}/tsan_trace.json" \
+     "${BUILD_DIR}/tests/jit_concurrency_test"; then
+  echo "!! jit_concurrency_test FAILED under ThreadSanitizer with tracing"
+  STATUS=1
+fi
 
 if [ "${STATUS}" -eq 0 ]; then
   echo "== TSan battery passed: no data races detected =="

@@ -1,0 +1,60 @@
+# Runs the quickstart example with PROTEUS_TRACE set, then validates the
+# exported chrome://tracing JSON: the file must be well-formed, per-thread
+# spans properly nested, and every JIT pipeline stage present as an event.
+# Invoked by the trace_check ctest (see tools/CMakeLists.txt) with
+# -DQUICKSTART=..., -DVALIDATOR=..., -DTRACE_FILE=...
+
+file(REMOVE "${TRACE_FILE}")
+
+execute_process(
+  COMMAND ${CMAKE_COMMAND} -E env "PROTEUS_TRACE=${TRACE_FILE}" "${QUICKSTART}"
+  RESULT_VARIABLE RunResult
+  OUTPUT_VARIABLE RunOut
+  ERROR_VARIABLE RunErr)
+if(NOT RunResult EQUAL 0)
+  message(FATAL_ERROR
+    "quickstart failed under PROTEUS_TRACE (rc=${RunResult}):\n"
+    "${RunOut}\n${RunErr}")
+endif()
+
+if(NOT EXISTS "${TRACE_FILE}")
+  message(FATAL_ERROR "PROTEUS_TRACE did not produce ${TRACE_FILE}")
+endif()
+
+# One required name per pipeline stage of a cold specialization compile on
+# amdgcn-sim (the quickstart target). cache.hit.memory is intentionally not
+# required: repeat launches of the same specialization short-circuit at the
+# loaded-kernel map and never reach the cache.
+execute_process(
+  COMMAND "${VALIDATOR}" "${TRACE_FILE}"
+    --require=jit.launch
+    --require=jit.build_key
+    --require=jit.cache_lookup
+    --require=jit.fetch_bitcode
+    --require=jit.compile
+    --require=compile.parse
+    --require=compile.link_globals
+    --require=compile.specialize
+    --require=compile.o3
+    --require=compile.backend
+    --require=o3.inline
+    --require=o3.mem2reg
+    --require=o3.instcombine
+    --require=o3.simplifycfg
+    --require=o3.cse
+    --require=o3.licm
+    --require=o3.dce
+    --require=o3.loop-unroll
+    --require=backend.isel
+    --require=backend.regalloc
+    --require=cache.miss
+    --require=cache.insert
+    --require=jit.module_load
+    --require=jit.kernel_launch
+  RESULT_VARIABLE ValResult
+  OUTPUT_VARIABLE ValOut
+  ERROR_VARIABLE ValErr)
+if(NOT ValResult EQUAL 0)
+  message(FATAL_ERROR "trace validation failed:\n${ValOut}\n${ValErr}")
+endif()
+message(STATUS "${ValOut}")

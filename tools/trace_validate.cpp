@@ -1,0 +1,51 @@
+//===- trace_validate.cpp - chrome trace export checker ---------------------------===//
+//
+// Part of the Proteus reproduction project.
+//
+//===----------------------------------------------------------------------===//
+//
+// Validates a PROTEUS_TRACE export: well-formed trace-event JSON, properly
+// nested per-thread spans, and (optionally) that a set of required event
+// names was recorded. Used by the trace_check ctest and by hand:
+//
+//   trace_validate trace.json [--require=name ...]
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/Trace.h"
+
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <vector>
+
+int main(int argc, char **argv) {
+  std::string Path;
+  std::vector<std::string> Required;
+  for (int I = 1; I < argc; ++I) {
+    if (std::strncmp(argv[I], "--require=", 10) == 0) {
+      Required.push_back(argv[I] + 10);
+    } else if (Path.empty()) {
+      Path = argv[I];
+    } else {
+      std::fprintf(stderr, "usage: %s <trace.json> [--require=name ...]\n",
+                   argv[0]);
+      return 2;
+    }
+  }
+  if (Path.empty()) {
+    std::fprintf(stderr, "usage: %s <trace.json> [--require=name ...]\n",
+                 argv[0]);
+    return 2;
+  }
+
+  std::string Error;
+  if (!proteus::trace::validateTraceFile(Path, Required, &Error)) {
+    std::fprintf(stderr, "trace_validate: %s: %s\n", Path.c_str(),
+                 Error.c_str());
+    return 1;
+  }
+  std::printf("trace_validate: %s: ok (%zu required events present)\n",
+              Path.c_str(), Required.size());
+  return 0;
+}
