@@ -15,6 +15,7 @@
 
 #include "BenchUtil.h"
 
+#include <algorithm>
 #include <map>
 
 using namespace proteus;
@@ -115,6 +116,7 @@ int main() {
       {"link globals", &JitRuntimeStats::LinkGlobalsSeconds},
       {"specialize", &JitRuntimeStats::SpecializeSeconds},
       {"O3 pipeline", &JitRuntimeStats::OptimizeSeconds},
+      {"analyze", &JitRuntimeStats::AnalyzeSeconds},
       {"backend", &JitRuntimeStats::BackendSeconds},
       {"cache lookup", &JitRuntimeStats::CacheLookupSeconds},
   };
@@ -152,6 +154,59 @@ int main() {
                            : Best + formatString(" %.2f", BestSeconds * 1e3));
     }
     printRow(HotRow, Widths);
+  }
+
+  // --- Kernel-sanitizer overhead -------------------------------------------
+  //
+  // What the default PROTEUS_ANALYZE=warn stage costs on a cold compile:
+  // total compile time with the analysis off vs on, and the analysis
+  // stage's share of the latter. The contract is that the share stays
+  // small (<5% of the median cold compile) — the analysis reuses the IR
+  // the optimizer already produced, so it is one dataflow fixpoint plus
+  // three linear scans per kernel.
+  std::printf("\n=== Figure 6d: kernel-sanitizer overhead"
+              " (PROTEUS_ANALYZE, cold compile, Sync mode) ===\n");
+  printRow(Header, Widths);
+  for (GpuArch Arch : {GpuArch::AmdGcnSim, GpuArch::NvPtxSim}) {
+    std::vector<std::string> OffRow = {std::string(gpuArchName(Arch)) +
+                                       " off (ms)"};
+    std::vector<std::string> WarnRow = {std::string(gpuArchName(Arch)) +
+                                        " warn (ms)"};
+    std::vector<std::string> ShareRow = {"  analyze share"};
+    std::vector<double> Shares;
+    for (const auto &B : Benchmarks) {
+      auto runWithAnalyze = [&](JitConfig::AnalyzeMode AM, const char *Tag) {
+        hecbench::RunConfig C;
+        C.Arch = Arch;
+        C.Mode = hecbench::ExecMode::Proteus;
+        C.Jit.CacheDir =
+            cacheDirFor(Root, B->name() + "-analyze-" + Tag, Arch);
+        C.Jit.EnableRCF = false;
+        C.Jit.EnableLaunchBounds = false;
+        C.Jit.Analyze = AM;
+        C.ColdCache = true;
+        return checked(runBenchmark(*B, C),
+                       B->name() + " analyze-" + Tag);
+      };
+      const RunResult Off =
+          runWithAnalyze(JitConfig::AnalyzeMode::Off, "off");
+      const RunResult Warn =
+          runWithAnalyze(JitConfig::AnalyzeMode::Warn, "warn");
+      const double OffMs = Off.Jit.totalCompileSeconds() * 1e3;
+      const double WarnMs = Warn.Jit.totalCompileSeconds() * 1e3;
+      const double Share =
+          WarnMs > 0 ? Warn.Jit.AnalyzeSeconds * 1e3 / WarnMs * 100.0 : 0.0;
+      Shares.push_back(Share);
+      OffRow.push_back(formatString("%.2f", OffMs));
+      WarnRow.push_back(formatString("%.2f", WarnMs));
+      ShareRow.push_back(formatString("%.1f%%", Share));
+    }
+    printRow(OffRow, Widths);
+    printRow(WarnRow, Widths);
+    printRow(ShareRow, Widths);
+    std::sort(Shares.begin(), Shares.end());
+    std::printf("  median analyze share (%s): %.1f%% of cold compile time\n",
+                gpuArchName(Arch), Shares[Shares.size() / 2]);
   }
   return 0;
 }

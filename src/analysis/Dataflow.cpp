@@ -1,0 +1,42 @@
+//===- Dataflow.cpp - forward dataflow framework over PIR -----------------===//
+//
+// Part of the Proteus reproduction project.
+//
+//===----------------------------------------------------------------------===//
+
+#include "analysis/Dataflow.h"
+
+#include "ir/BasicBlock.h"
+
+#include <unordered_set>
+
+namespace pir {
+namespace dataflow {
+
+std::vector<BasicBlock *>
+iteratedDominanceFrontier(const DominatorTree &DT,
+                          const std::vector<BasicBlock *> &Seeds) {
+  std::vector<BasicBlock *> Result;
+  std::unordered_set<BasicBlock *> InResult;
+  std::vector<BasicBlock *> Worklist;
+  std::unordered_set<BasicBlock *> Visited;
+  for (BasicBlock *BB : Seeds)
+    if (DT.isReachable(BB) && Visited.insert(BB).second)
+      Worklist.push_back(BB);
+  while (!Worklist.empty()) {
+    BasicBlock *BB = Worklist.back();
+    Worklist.pop_back();
+    for (BasicBlock *Front : DT.getFrontier(BB)) {
+      if (InResult.insert(Front).second)
+        Result.push_back(Front);
+      // The frontier block itself becomes a seed for the next iteration
+      // (iterated frontier), exactly as in phi placement.
+      if (Visited.insert(Front).second)
+        Worklist.push_back(Front);
+    }
+  }
+  return Result;
+}
+
+} // namespace dataflow
+} // namespace pir

@@ -1,0 +1,89 @@
+//===- KernelAnalyzer.h - GPU-specific kernel lints -------------*- C++ -*-===//
+//
+// Part of the Proteus reproduction project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The launch-time kernel sanitizer: GPU-semantics lints layered on
+/// UniformityAnalysis. Because the JIT sees the exact specialized kernel as
+/// IR at launch time, this is the one place a semantic analyzer can inspect
+/// what will actually run on-device — where a divergent barrier simply
+/// hangs the GPU.
+///
+/// Checks:
+///  * BarrierDivergenceCheck — a BarrierInst control-dependent on a
+///    thread-dependent branch (the __syncthreads-in-divergent-branch
+///    deadlock).
+///  * SharedMemLint — for Alloca-backed scratch buffers (PIR's stand-in
+///    for block-shared memory; the IR has no separate shared address
+///    space): stores indexed by a thread-dependent-but-not-injective value
+///    alongside a conflicting access between consecutive barriers (a data
+///    race), loads that no store may precede on any path (uninitialized
+///    read), and constant-index accesses that overrun
+///    AllocaInst::getAllocatedType()/count (out of bounds).
+///
+/// Consumed by the JIT hot path (PROTEUS_ANALYZE=off|warn|error) and the
+/// standalone tools/pir-lint CLI.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PROTEUS_ANALYSIS_KERNELANALYZER_H
+#define PROTEUS_ANALYSIS_KERNELANALYZER_H
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+namespace pir {
+
+class Function;
+class Module;
+
+namespace analysis {
+
+/// Category of a sanitizer finding.
+enum class LintKind : uint8_t {
+  DivergentBarrier,
+  SharedMemRace,
+  SharedMemOOB,
+  UninitializedLoad,
+};
+
+const char *lintKindName(LintKind K);
+
+/// One finding, formatted for kernel authors.
+struct LintDiagnostic {
+  LintKind Kind;
+  std::string FunctionName; ///< kernel the finding is in
+  std::string BlockName;    ///< block the offending instruction lives in
+  std::string Message;      ///< human-readable description
+
+  /// "[kind] @kernel(block): message" — the canonical rendering used by
+  /// the JIT warning path and pir-lint.
+  std::string render() const;
+};
+
+/// All findings for one kernel (or one module).
+struct AnalysisReport {
+  std::vector<LintDiagnostic> Diags;
+
+  bool clean() const { return Diags.empty(); }
+  size_t count(LintKind K) const;
+
+  /// All findings rendered one per line.
+  std::string message() const;
+};
+
+/// Runs the full lint suite over one kernel body.
+AnalysisReport analyzeKernel(Function &F);
+
+/// Runs analyzeKernel over every kernel definition in \p M. Device
+/// functions are analyzed only in their inlined/called context (they have
+/// no thread geometry of their own).
+AnalysisReport analyzeModule(Module &M);
+
+} // namespace analysis
+} // namespace pir
+
+#endif // PROTEUS_ANALYSIS_KERNELANALYZER_H

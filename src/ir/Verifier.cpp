@@ -116,7 +116,14 @@ private:
     }
     case ValueKind::Call: {
       auto &Call = cast<CallInst>(I);
-      Function *Callee = Call.getCallee();
+      // The accessor cast<Function>s operand 0; a call whose callee slot
+      // holds a null or non-function value (possible after a bad RAUW or a
+      // corrupted bitcode round trip) must be diagnosed, not dereferenced.
+      Function *Callee = dyn_cast_if_present<Function>(Call.getOperand(0));
+      if (!Callee) {
+        err("call callee is not a function");
+        return;
+      }
       if (Callee->getParent() != F.getParent()) {
         err("call to function outside this module");
         return;
@@ -134,6 +141,42 @@ private:
         err("call result type mismatch");
       return;
     }
+    case ValueKind::Load:
+      if (!cast<LoadInst>(I).getPointer()->getType()->isPointer())
+        err("load pointer operand must be pointer-typed");
+      return;
+    case ValueKind::Store: {
+      auto &St = cast<StoreInst>(I);
+      if (!St.getPointer()->getType()->isPointer()) {
+        err("store pointer operand must be pointer-typed");
+        return;
+      }
+      // Pointers are opaque, so the pointee contract is only checkable when
+      // the address is a direct alloca (chasing ptradd chains would claim
+      // type knowledge reinterpreting accesses legitimately lack).
+      if (auto *A = dyn_cast<AllocaInst>(St.getPointer()))
+        if (St.getValue()->getType() != A->getAllocatedType())
+          err("store value type does not match the allocated type of its "
+              "alloca pointee");
+      return;
+    }
+    case ValueKind::PtrAdd: {
+      auto &PA = cast<PtrAddInst>(I);
+      if (!PA.getBase()->getType()->isPointer())
+        err("ptradd base operand must be pointer-typed");
+      if (!PA.getIndex()->getType()->isInteger() ||
+          PA.getIndex()->getType()->isI1())
+        err("ptradd index must be i32/i64");
+      return;
+    }
+    case ValueKind::AtomicAdd:
+      if (!cast<AtomicAddInst>(I).getPointer()->getType()->isPointer())
+        err("atomicadd pointer operand must be pointer-typed");
+      return;
+    case ValueKind::CondBr:
+      if (!cast<BranchInst>(I).getCondition()->getType()->isI1())
+        err("conditional branch condition must be i1");
+      return;
     default:
       break;
     }

@@ -6,6 +6,7 @@
 
 #include "jit/JitRuntime.h"
 
+#include "analysis/KernelAnalyzer.h"
 #include "bitcode/Bitcode.h"
 #include "codegen/Compiler.h"
 #include "ir/Context.h"
@@ -68,6 +69,29 @@ JitConfig JitConfig::fromEnvironment(std::vector<std::string> *Warnings) {
                         "ignoring invalid PROTEUS_ASYNC_WORKERS value '" + S +
                             "' (expected an integer in [1, 1024])");
   }
+  if (const char *Analyze = std::getenv("PROTEUS_ANALYZE")) {
+    std::string S = Analyze;
+    if (S == "off")
+      C.Analyze = AnalyzeMode::Off;
+    else if (S == "warn")
+      C.Analyze = AnalyzeMode::Warn;
+    else if (S == "error")
+      C.Analyze = AnalyzeMode::Error;
+    else
+      emitConfigWarning(Warnings, "ignoring invalid PROTEUS_ANALYZE value '" +
+                                      S + "' (expected off|warn|error)");
+  }
+  if (const char *V = std::getenv("PROTEUS_VERIFY_EACH")) {
+    std::string S = V;
+    if (S == "1")
+      C.VerifyEachPass = true;
+    else if (S == "0")
+      C.VerifyEachPass = false;
+    else
+      emitConfigWarning(Warnings,
+                        "ignoring invalid PROTEUS_VERIFY_EACH value '" + S +
+                            "' (expected 0 or 1)");
+  }
   C.Limits = CacheLimits::fromEnvironment();
   return C;
 }
@@ -80,6 +104,18 @@ const char *proteus::asyncModeName(JitConfig::AsyncMode M) {
     return "block";
   case JitConfig::AsyncMode::Fallback:
     return "fallback";
+  }
+  return "unknown";
+}
+
+const char *proteus::analyzeModeName(JitConfig::AnalyzeMode M) {
+  switch (M) {
+  case JitConfig::AnalyzeMode::Off:
+    return "off";
+  case JitConfig::AnalyzeMode::Warn:
+    return "warn";
+  case JitConfig::AnalyzeMode::Error:
+    return "error";
   }
   return "unknown";
 }
@@ -324,7 +360,12 @@ JitRuntime::compileSpecialization(const std::string &Symbol,
   // (4) Aggressive O3, with per-pass attribution: the pass manager's timing
   // hook feeds one "o3.pass.<name>" timer per pass (surfaced through
   // JitRuntimeStats::O3PassSeconds), and each pass invocation emits an
-  // "o3.<name>" trace span.
+  // "o3.<name>" trace span. In verify-each mode (PROTEUS_VERIFY_EACH=1) a
+  // post-pass hook re-verifies the IR after every pass invocation and
+  // attributes the first breakage to the offending pass by name — failing
+  // this compile rather than emitting a miscompiled kernel (and rather than
+  // aborting the process like the PassManager's own test-mode VerifyEach).
+  std::string VerifyEachFailure;
   {
     trace::Span Sp("compile.o3", "jit");
     metrics::ScopedTimer T(*Stat.OptimizeSeconds);
@@ -332,7 +373,50 @@ JitRuntime::compileSpecialization(const std::string &Symbol,
     PM->setTimingHook([this](const std::string &PassName, double Seconds) {
       Metrics.timer("o3.pass." + PassName).addSeconds(Seconds);
     });
+    if (Config.VerifyEachPass)
+      PM->setPostPassHook([&](const std::string &PassName, pir::Function &Fn) {
+        metrics::ScopedTimer VT(*Stat.VerifyEachSeconds);
+        if (!VerifyEachFailure.empty())
+          return; // the first broken pass is the actionable one
+        pir::VerifyResult VR = pir::verifyFunction(Fn);
+        if (!VR.ok()) {
+          Stat.VerifyFailures->add();
+          trace::instant("jit.verify_each_failure");
+          VerifyEachFailure = "pass '" + PassName + "' broke function @" +
+                              Fn.getName() + ":\n" + VR.message();
+        }
+      });
     PM->run(M);
+  }
+  if (!VerifyEachFailure.empty()) {
+    Out.Err = GpuError::InvalidValue;
+    Out.Message = "verify-each: " + VerifyEachFailure;
+    return Out;
+  }
+
+  // (4b) Kernel sanitizer: the JIT sees the exact specialized, optimized
+  // kernel that is about to run on-device, so this is where GPU-semantics
+  // bugs (divergent barriers, shared-scratch races/OOB/uninitialized
+  // reads) are reported — as warnings, or as a launch failure in
+  // AnalyzeMode::Error.
+  if (Config.Analyze != JitConfig::AnalyzeMode::Off) {
+    trace::Span Sp("compile.analyze", "jit");
+    metrics::ScopedTimer T(*Stat.AnalyzeSeconds);
+    pir::analysis::AnalysisReport AR = pir::analysis::analyzeKernel(*F);
+    if (!AR.clean()) {
+      Stat.AnalysisDiagnostics->add(AR.Diags.size());
+      trace::instant("jit.analysis_diagnostic");
+      if (Config.Analyze == JitConfig::AnalyzeMode::Error) {
+        Stat.AnalysisRejects->add();
+        Out.Err = GpuError::InvalidValue;
+        Out.Message = "kernel @" + Symbol + " failed launch-time analysis (" +
+                      std::to_string(AR.Diags.size()) + " finding(s)):\n" +
+                      AR.message();
+        return Out;
+      }
+      for (const pir::analysis::LintDiagnostic &D : AR.Diags)
+        std::fprintf(stderr, "proteus: warning: %s\n", D.render().c_str());
+    }
   }
 
   // (5) Backend (includes the PTX assembler detour on nvptx-sim).

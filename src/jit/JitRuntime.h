@@ -79,6 +79,22 @@ struct JitConfig {
   unsigned AsyncWorkers = 4;
   O3Options O3;
 
+  /// What to do with kernel-sanitizer findings (divergent barriers,
+  /// shared-scratch races/OOB/uninitialized reads — see
+  /// analysis/KernelAnalyzer.h) on the specialized, optimized kernel
+  /// (PROTEUS_ANALYZE=off|warn|error).
+  enum class AnalyzeMode {
+    Off,   ///< skip the analysis stage entirely
+    Warn,  ///< report findings to stderr, launch anyway (default)
+    Error, ///< fail the launch with the findings as the error message
+  };
+  AnalyzeMode Analyze = AnalyzeMode::Warn;
+
+  /// Run verifyFunction after every O3 pass and attribute any breakage to
+  /// the offending pass by name; a failure fails the compile instead of
+  /// emitting a miscompiled kernel (PROTEUS_VERIFY_EACH=1).
+  bool VerifyEachPass = false;
+
   /// Applies the PROTEUS_* environment variables on top of the defaults
   /// (PROTEUS_NO_RCF, PROTEUS_NO_LAUNCH_BOUNDS, PROTEUS_CACHE_DIR,
   /// PROTEUS_ASYNC, PROTEUS_ASYNC_WORKERS and the CacheLimits variables).
@@ -91,6 +107,7 @@ struct JitConfig {
 };
 
 const char *asyncModeName(JitConfig::AsyncMode M);
+const char *analyzeModeName(JitConfig::AnalyzeMode M);
 
 /// Every JitRuntime statistic, defined exactly once: (field name, registry
 /// metric name). The lists expand into the JitRuntimeStats snapshot fields,
@@ -101,14 +118,20 @@ const char *asyncModeName(JitConfig::AsyncMode M);
 /// the worker pool); FallbackLaunches (launches served by the generic
 /// binary); DedupedWaits (launches that joined an in-flight compile);
 /// AnnotationRangeErrors (launches rejected because a jit-annotated
-/// argument index was out of range).
+/// argument index was out of range); AnalysisDiagnostics (individual
+/// kernel-sanitizer findings); AnalysisRejects (compiles failed by
+/// AnalyzeMode::Error); VerifyFailures (O3 passes caught breaking the IR
+/// in verify-each mode).
 #define PROTEUS_JIT_COUNTERS(X)                                                \
   X(Launches, "jit.launches")                                                  \
   X(Compilations, "jit.compilations")                                          \
   X(AsyncCompiles, "jit.async_compiles")                                       \
   X(FallbackLaunches, "jit.fallback_launches")                                 \
   X(DedupedWaits, "jit.deduped_waits")                                         \
-  X(AnnotationRangeErrors, "jit.annotation_range_errors")
+  X(AnnotationRangeErrors, "jit.annotation_range_errors")                      \
+  X(AnalysisDiagnostics, "jit.analysis_diagnostics")                           \
+  X(AnalysisRejects, "jit.analysis_rejects")                                   \
+  X(VerifyFailures, "jit.verify_failures")
 
 /// Timers: BitcodeFetchSeconds includes the simulated device readback
 /// (NVIDIA); QueueWaitSeconds is enqueue -> worker pickup latency;
@@ -122,6 +145,8 @@ const char *asyncModeName(JitConfig::AsyncMode M);
   X(LinkGlobalsSeconds, "jit.link_globals_seconds")                            \
   X(SpecializeSeconds, "jit.specialize_seconds")                               \
   X(OptimizeSeconds, "jit.optimize_seconds")                                   \
+  X(AnalyzeSeconds, "jit.analyze_seconds")                                     \
+  X(VerifyEachSeconds, "jit.verify_each_seconds")                              \
   X(BackendSeconds, "jit.backend_seconds")                                     \
   X(CacheLookupSeconds, "jit.cache_lookup_seconds")                            \
   X(QueueWaitSeconds, "jit.queue_wait_seconds")                                \
@@ -143,7 +168,8 @@ struct JitRuntimeStats {
 
   double totalCompileSeconds() const {
     return BitcodeFetchSeconds + BitcodeParseSeconds + LinkGlobalsSeconds +
-           SpecializeSeconds + OptimizeSeconds + BackendSeconds;
+           SpecializeSeconds + OptimizeSeconds + AnalyzeSeconds +
+           VerifyEachSeconds + BackendSeconds;
   }
 
   /// Compile time hidden from the launch path by the async pipeline

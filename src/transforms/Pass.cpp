@@ -35,6 +35,8 @@ bool PassManager::runOnce(Function &F) {
     Stats[I].Seconds += Seconds;
     if (TimingHookFn)
       TimingHookFn(Stats[I].Name, Seconds);
+    if (PostPassHookFn)
+      PostPassHookFn(Stats[I].Name, F);
     ++Stats[I].Invocations;
     if (PassChanged)
       ++Stats[I].ChangedInvocations;

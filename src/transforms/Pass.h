@@ -72,6 +72,15 @@ public:
                                         double Seconds)>;
   void setTimingHook(TimingHook Hook) { TimingHookFn = std::move(Hook); }
 
+  /// Observer invoked after every pass invocation with the pass name and
+  /// the function it just transformed. Unlike setVerifyEach (which aborts
+  /// the process — test mode), this lets the JIT run verifyFunction after
+  /// each pass recoverably and attribute any breakage to the offending
+  /// pass by name (PROTEUS_VERIFY_EACH=1).
+  using PostPassHook = std::function<void(const std::string &PassName,
+                                          pir::Function &F)>;
+  void setPostPassHook(PostPassHook Hook) { PostPassHookFn = std::move(Hook); }
+
   /// Runs the pipeline over all functions of \p M that have bodies.
   /// Returns true if anything changed.
   bool run(pir::Module &M);
@@ -89,6 +98,7 @@ private:
   /// Interned "o3.<pass>" span names, built lazily alongside Stats.
   std::vector<const char *> SpanNames;
   TimingHook TimingHookFn;
+  PostPassHook PostPassHookFn;
   unsigned MaxIterations;
   bool VerifyEach = false;
 };

@@ -14,6 +14,11 @@
 // gtest assertions are not thread-safe: worker threads only record results;
 // all checking happens on the main thread after join.
 //
+// Configs are seeded from the environment so the CI battery can re-run the
+// whole file with the kernel sanitizer and per-pass verification on the hot
+// path (PROTEUS_ANALYZE=error PROTEUS_VERIFY_EACH=1): every kernel here is
+// lint-clean, so any rejection under contention is a sanitizer race.
+//
 //===----------------------------------------------------------------------===//
 
 #include "RandomKernel.h"
@@ -115,7 +120,7 @@ struct Harness {
 /// Single-threaded synchronous reference execution.
 std::vector<std::vector<uint8_t>> baselineResults(const CompiledProgram &Prog,
                                                   GpuArch Arch) {
-  JitConfig JC;
+  JitConfig JC = JitConfig::fromEnvironment();
   JC.UsePersistentCache = false;
   Harness H(Prog, Arch, JC);
   std::vector<std::vector<uint8_t>> Out;
@@ -135,7 +140,7 @@ void runConcurrent(const CompiledProgram &Prog, GpuArch Arch,
                    JitConfig::AsyncMode Mode,
                    const std::vector<std::vector<uint8_t>> &Expected) {
   SCOPED_TRACE(std::string("mode=") + asyncModeName(Mode));
-  JitConfig JC;
+  JitConfig JC = JitConfig::fromEnvironment();
   JC.UsePersistentCache = false;
   JC.Async = Mode;
   JC.AsyncWorkers = 4;
@@ -252,7 +257,7 @@ TEST(JitConcurrencyTest, FallbackHotSwapsToSpecializedBinary) {
   AO.EnableProteusExtensions = true;
   CompiledProgram Prog = aotCompile(*M, AO);
 
-  JitConfig JC;
+  JitConfig JC = JitConfig::fromEnvironment();
   JC.UsePersistentCache = false;
   JC.Async = JitConfig::AsyncMode::Fallback;
   JC.AsyncWorkers = 1;
@@ -290,7 +295,7 @@ TEST(JitConcurrencyTest, PersistentCacheWritesAreConcurrencySafe) {
   CompiledProgram Prog = aotCompile(*M, AO);
 
   TempDir Tmp;
-  JitConfig JC;
+  JitConfig JC = JitConfig::fromEnvironment();
   JC.CacheDir = Tmp.Path;
   JC.Async = JitConfig::AsyncMode::Block;
   JC.AsyncWorkers = 4;

@@ -374,4 +374,125 @@ TEST(SpecializeExtraTest, PointerArgumentFoldsToConstantAddress) {
   expectValid(*F);
 }
 
+/// Uniform-trip-count loop whose body synchronizes each iteration:
+/// for (i = 0; i < n; ++i) { barrier; out[i] = i; } — the GPU invariant is
+/// that every transformation preserves both the barriers and their count
+/// per iteration.
+Function *buildBarrierLoopKernel(Module &M) {
+  Context &Ctx = M.getContext();
+  IRBuilder B(Ctx);
+  Function *F = M.createFunction("kbar", Ctx.getVoidTy(),
+                                 {Ctx.getPtrTy(), Ctx.getI32Ty()},
+                                 {"out", "n"}, FunctionKind::Kernel);
+  BasicBlock *Entry = F->createBlock("entry", Ctx.getVoidTy());
+  BasicBlock *H = F->createBlock("header", Ctx.getVoidTy());
+  BasicBlock *Body = F->createBlock("body", Ctx.getVoidTy());
+  BasicBlock *Exit = F->createBlock("exit", Ctx.getVoidTy());
+  B.setInsertPoint(Entry);
+  B.createBr(H);
+  B.setInsertPoint(H);
+  PhiInst *I = B.createPhi(Ctx.getI32Ty(), "i");
+  I->addIncoming(B.getInt32(0), Entry);
+  B.createCondBr(B.createICmp(ICmpPred::SLT, I, F->getArg(1), "c"), Body,
+                 Exit);
+  B.setInsertPoint(Body);
+  B.createBarrier();
+  B.createStore(I, B.createGep(Ctx.getI32Ty(), F->getArg(0), I, "p"));
+  Value *I2 = B.createAdd(I, B.getInt32(1), "i2");
+  I->addIncoming(I2, Body);
+  B.createBr(H);
+  B.setInsertPoint(Exit);
+  B.createRet();
+  return F;
+}
+
+TEST(DCEBarrierTest, NeverDeletesBarriers) {
+  Context Ctx;
+  Module M(Ctx, "m");
+  IRBuilder B(Ctx);
+  Function *F = M.createFunction("k", Ctx.getVoidTy(), {Ctx.getPtrTy()},
+                                 {"out"}, FunctionKind::Kernel);
+  B.setInsertPoint(F->createBlock("entry", Ctx.getVoidTy()));
+  B.createBarrier();
+  // Dead arithmetic around the barrier: removable. The barrier produces no
+  // value and has no uses, yet is a synchronization side effect.
+  B.createAdd(B.getInt32(1), B.getInt32(2), "dead");
+  B.createBarrier();
+  B.createRet();
+
+  EXPECT_TRUE(DCEPass().run(*F));
+  EXPECT_EQ(countKind(*F, ValueKind::Add), 0u);
+  EXPECT_EQ(countKind(*F, ValueKind::Barrier), 2u);
+  expectValid(*F);
+}
+
+TEST(LICMBarrierTest, DoesNotMoveMemoryAccessesAcrossLoopBarrier) {
+  Context Ctx;
+  Module M(Ctx, "m");
+  IRBuilder B(Ctx);
+  Function *F = M.createFunction(
+      "k", Ctx.getVoidTy(), {Ctx.getPtrTy(), Ctx.getI32Ty()}, {"p", "n"},
+      FunctionKind::Kernel);
+  BasicBlock *Entry = F->createBlock("entry", Ctx.getVoidTy());
+  BasicBlock *H = F->createBlock("h", Ctx.getVoidTy());
+  BasicBlock *Body = F->createBlock("b", Ctx.getVoidTy());
+  BasicBlock *Exit = F->createBlock("x", Ctx.getVoidTy());
+  B.setInsertPoint(Entry);
+  B.createBr(H);
+  B.setInsertPoint(H);
+  PhiInst *I = B.createPhi(Ctx.getI32Ty(), "i");
+  I->addIncoming(B.getInt32(0), Entry);
+  B.createCondBr(B.createICmp(ICmpPred::SLT, I, F->getArg(1)), Body, Exit);
+  B.setInsertPoint(Body);
+  // A loop-invariant load and a store bracketing a barrier. Another
+  // thread's store becomes visible at the barrier, so neither access may
+  // cross it (the load is non-speculatable; the store is effectful).
+  Value *Ld = B.createLoad(Ctx.getI32Ty(), F->getArg(0), "ld");
+  B.createBarrier();
+  B.createStore(B.createAdd(Ld, I, "s"), F->getArg(0));
+  Value *I2 = B.createAdd(I, B.getInt32(1));
+  I->addIncoming(I2, Body);
+  B.createBr(H);
+  B.setInsertPoint(Exit);
+  B.createRet();
+
+  LICMPass().run(*F);
+  expectValid(*F);
+  bool SawLoad = false, SawBarrier = false, SawStore = false;
+  // Order within the body must also be intact: load, barrier, store.
+  for (Instruction &Inst : *Body) {
+    if (Inst.getKind() == ValueKind::Load) {
+      EXPECT_FALSE(SawBarrier) << "load moved across the barrier";
+      SawLoad = true;
+    }
+    if (Inst.getKind() == ValueKind::Barrier) {
+      EXPECT_TRUE(SawLoad);
+      SawBarrier = true;
+    }
+    if (Inst.getKind() == ValueKind::Store) {
+      EXPECT_TRUE(SawBarrier) << "store moved across the barrier";
+      SawStore = true;
+    }
+  }
+  EXPECT_TRUE(SawLoad && SawBarrier && SawStore)
+      << "an access left the loop body";
+}
+
+TEST(LoopUnrollBarrierTest, UnrollPreservesBarrierCountPerIteration) {
+  Context Ctx;
+  Module M(Ctx, "m");
+  Function *F = buildBarrierLoopKernel(M);
+  EXPECT_EQ(countKind(*F, ValueKind::Barrier), 1u);
+
+  specializeArguments(*F, {{1, 4}}); // n = 4: the trip count is now exact
+  O3Options Opts;
+  Opts.VerifyEach = true;
+  runO3(*F, Opts);
+  expectValid(*F);
+  // Fully unrolled: one barrier per original iteration, no more, no less.
+  EXPECT_EQ(countKind(*F, ValueKind::Phi), 0u) << "loop did not unroll";
+  EXPECT_EQ(countKind(*F, ValueKind::Barrier), 4u);
+  EXPECT_EQ(countKind(*F, ValueKind::Store), 4u);
+}
+
 } // namespace

@@ -27,6 +27,7 @@ TESTS=(
   jit_concurrency_test
   trace_test
   observability_test
+  analysis_test
 )
 
 echo "== Configuring TSan build in ${BUILD_DIR} =="
@@ -55,6 +56,17 @@ echo "== TSan: jit_concurrency_test (PROTEUS_TRACE enabled) =="
 if ! PROTEUS_TRACE="${TRACE_TMP}/tsan_trace.json" \
      "${BUILD_DIR}/tests/jit_concurrency_test"; then
   echo "!! jit_concurrency_test FAILED under ThreadSanitizer with tracing"
+  STATUS=1
+fi
+
+# One more concurrency pass with the sanitizer and per-pass verification on
+# the hot path: the analysis stage and the PostPassHook closure run on every
+# compile worker, so races in their shared state (the report, the verify
+# failure slot, the counters) would surface here.
+echo "== TSan: jit_concurrency_test (PROTEUS_ANALYZE=error, PROTEUS_VERIFY_EACH=1) =="
+if ! PROTEUS_ANALYZE=error PROTEUS_VERIFY_EACH=1 \
+     "${BUILD_DIR}/tests/jit_concurrency_test"; then
+  echo "!! jit_concurrency_test FAILED under ThreadSanitizer with analysis enabled"
   STATUS=1
 fi
 
