@@ -8,7 +8,9 @@
 /// Helpers shared by the per-table/per-figure harnesses: standard run
 /// configurations for the paper's modes (AOT / Proteus cold / Proteus warm
 /// cache / Jitify, and the section 4.5 None/LB/RCF/LB+RCF specialization
-/// modes), plus simple fixed-width table printing.
+/// modes), simple fixed-width table printing, and a machine-readable JSON
+/// reporter (BENCH_*.json) for harnesses whose numbers feed dashboards or
+/// regression checks rather than eyeballs.
 ///
 //===----------------------------------------------------------------------===//
 
@@ -17,8 +19,10 @@
 
 #include "hecbench/Benchmark.h"
 #include "support/FileSystem.h"
+#include "support/JsonLite.h"
 #include "support/StringUtils.h"
 
+#include <cmath>
 #include <cstdio>
 #include <memory>
 
@@ -93,6 +97,102 @@ checked(const hecbench::RunResult &R, const std::string &What) {
   }
   return R;
 }
+
+/// Machine-readable benchmark output: accumulates named rows of string
+/// labels and numeric metrics and renders one JSON document per harness
+/// (BENCH_<name>.json). write() re-parses the rendered text with the
+/// bundled JSON reader before it reaches the disk, so a formatting bug can
+/// never publish a report downstream tooling cannot read.
+class JsonReporter {
+public:
+  explicit JsonReporter(std::string Benchmark)
+      : Benchmark(std::move(Benchmark)) {}
+
+  /// Starts a new datapoint; label()/metric() append to the latest row.
+  JsonReporter &beginRow(const std::string &Name) {
+    Rows.push_back(Row{Name, {}, {}});
+    return *this;
+  }
+  JsonReporter &label(const std::string &Key, const std::string &Value) {
+    Rows.back().Labels.emplace_back(Key, Value);
+    return *this;
+  }
+  JsonReporter &metric(const std::string &Key, double Value) {
+    Rows.back().Metrics.emplace_back(Key, Value);
+    return *this;
+  }
+
+  /// Renders the document (exposed so smoke checks can validate without
+  /// touching the filesystem).
+  std::string render() const {
+    std::string S = "{\n  \"benchmark\": " + quoted(Benchmark) +
+                    ",\n  \"rows\": [";
+    for (size_t I = 0; I != Rows.size(); ++I) {
+      const Row &R = Rows[I];
+      S += I ? ",\n    {" : "\n    {";
+      S += "\"name\": " + quoted(R.Name);
+      for (const auto &KV : R.Labels)
+        S += ", " + quoted(KV.first) + ": " + quoted(KV.second);
+      for (const auto &KV : R.Metrics)
+        S += ", " + quoted(KV.first) + ": " + number(KV.second);
+      S += "}";
+    }
+    S += "\n  ]\n}\n";
+    return S;
+  }
+
+  /// Self-validates and writes the report. Returns false (with \p Error
+  /// set) on a render the JSON parser rejects or an IO failure.
+  bool write(const std::string &Path, std::string *Error = nullptr) const {
+    std::string Doc = render();
+    json::ParseResult PR = json::parse(Doc);
+    if (!PR) {
+      if (Error)
+        *Error = "JSON self-validation failed: " + PR.Error;
+      return false;
+    }
+    if (!fs::writeFile(Path, std::vector<uint8_t>(Doc.begin(), Doc.end()))) {
+      if (Error)
+        *Error = "cannot write " + Path;
+      return false;
+    }
+    return true;
+  }
+
+private:
+  struct Row {
+    std::string Name;
+    std::vector<std::pair<std::string, std::string>> Labels;
+    std::vector<std::pair<std::string, double>> Metrics;
+  };
+
+  static std::string quoted(const std::string &S) {
+    std::string Out = "\"";
+    for (char C : S) {
+      if (C == '"' || C == '\\') {
+        Out += '\\';
+        Out += C;
+      } else if (static_cast<unsigned char>(C) < 0x20) {
+        Out += formatString("\\u%04x", C);
+      } else {
+        Out += C;
+      }
+    }
+    Out += '"';
+    return Out;
+  }
+
+  /// JSON has no inf/nan literals; a non-finite measurement becomes null
+  /// rather than corrupting the document.
+  static std::string number(double V) {
+    if (!std::isfinite(V))
+      return "null";
+    return formatString("%.9g", V);
+  }
+
+  std::string Benchmark;
+  std::vector<Row> Rows;
+};
 
 } // namespace bench
 } // namespace proteus

@@ -81,6 +81,7 @@ double buildSecondsJitify(const Benchmark &B) {
 int main() {
   auto Benchmarks = allBenchmarks();
   const std::vector<int> Widths = {22, 12, 12, 12, 12, 12, 12};
+  JsonReporter Rep("compile_overhead");
 
   std::printf("=== Figure 5: AOT compilation slowdown with JIT extensions"
               " ===\n");
@@ -96,6 +97,12 @@ int main() {
       double Plain = buildSeconds(*B, Arch, false);
       double WithExt = buildSeconds(*B, Arch, true);
       Row.push_back(fmtSpeedup(WithExt / Plain));
+      Rep.beginRow(B->name())
+          .label("config", "proteus")
+          .label("arch", gpuArchName(Arch))
+          .metric("plain_build_seconds", Plain)
+          .metric("ext_build_seconds", WithExt)
+          .metric("slowdown", WithExt / Plain);
     }
     printRow(Row, Widths);
   }
@@ -105,10 +112,23 @@ int main() {
       double Plain = buildSeconds(*B, GpuArch::NvPtxSim, false);
       double WithJitify = buildSecondsJitify(*B);
       Row.push_back(fmtSpeedup(WithJitify / Plain));
+      Rep.beginRow(B->name())
+          .label("config", "jitify")
+          .label("arch", gpuArchName(GpuArch::NvPtxSim))
+          .metric("plain_build_seconds", Plain)
+          .metric("ext_build_seconds", WithJitify)
+          .metric("slowdown", WithJitify / Plain);
     }
     printRow(Row, Widths);
   }
   std::printf("\n(values are slowdown factors of the AOT build; 1.00x ="
               " no overhead)\n");
+
+  std::string Err;
+  if (!Rep.write("BENCH_compile_overhead.json", &Err)) {
+    std::fprintf(stderr, "FATAL: %s\n", Err.c_str());
+    return 1;
+  }
+  std::printf("machine-readable report -> BENCH_compile_overhead.json\n");
   return 0;
 }

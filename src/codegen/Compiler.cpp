@@ -18,7 +18,8 @@ using namespace proteus::mcode;
 
 MachineFunction proteus::compileKernel(pir::Function &F,
                                        const TargetInfo &Target,
-                                       BackendStats *Stats) {
+                                       BackendStats *Stats,
+                                       const BackendOptions &Options) {
   BackendStats Local;
   BackendStats &S = Stats ? *Stats : Local;
 
@@ -54,7 +55,7 @@ MachineFunction proteus::compileKernel(pir::Function &F,
   T.reset();
   {
     trace::Span Sp("backend.regalloc", "backend");
-    S.RA = allocateRegisters(MF, S.RegisterBudget);
+    S.RA = allocateRegisters(MF, S.RegisterBudget, Options.RegAlloc);
   }
   S.RegAllocSeconds = T.seconds();
   return MF;
@@ -62,7 +63,8 @@ MachineFunction proteus::compileKernel(pir::Function &F,
 
 std::vector<uint8_t> proteus::compileKernelToObject(pir::Function &F,
                                                     const TargetInfo &Target,
-                                                    BackendStats *Stats) {
-  MachineFunction MF = compileKernel(F, Target, Stats);
+                                                    BackendStats *Stats,
+                                                    const BackendOptions &Options) {
+  MachineFunction MF = compileKernel(F, Target, Stats, Options);
   return writeObject(MF, Target.Arch);
 }

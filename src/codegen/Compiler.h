@@ -34,16 +34,25 @@ struct BackendStats {
   uint32_t RegisterBudget = 0;
 };
 
+/// Backend policy knobs shared by both tiers.
+struct BackendOptions {
+  /// Register allocation policy; Tier-0 sets RegAlloc.Fast.
+  RegAllocOptions RegAlloc;
+};
+
 /// Compiles \p F for \p Target into an executable machine function. \p F
-/// must be a void kernel with all calls inlined (runO3 guarantees this).
+/// must be a void kernel with all calls inlined (runO3 guarantees this,
+/// in both its Full and Fast presets).
 mcode::MachineFunction compileKernel(pir::Function &F,
                                      const TargetInfo &Target,
-                                     BackendStats *Stats = nullptr);
+                                     BackendStats *Stats = nullptr,
+                                     const BackendOptions &Options = {});
 
 /// Convenience: compile and serialize.
 std::vector<uint8_t> compileKernelToObject(pir::Function &F,
                                            const TargetInfo &Target,
-                                           BackendStats *Stats = nullptr);
+                                           BackendStats *Stats = nullptr,
+                                           const BackendOptions &Options = {});
 
 } // namespace proteus
 

@@ -77,7 +77,8 @@ struct Interval {
 } // namespace
 
 RegAllocResult proteus::allocateRegisters(MachineFunction &MF,
-                                          unsigned RegisterBudget) {
+                                          unsigned RegisterBudget,
+                                          const RegAllocOptions &Options) {
   if (MF.Allocated)
     reportFatalError("regalloc: function already allocated");
   if (RegisterBudget < 8)
@@ -97,44 +98,6 @@ RegAllocResult proteus::allocateRegisters(MachineFunction &MF,
     BlockEnd[B] = Pos;
   }
 
-  // --- Successor map ------------------------------------------------------
-  std::vector<std::vector<uint32_t>> Succs(NumBlocks);
-  for (size_t B = 0; B != NumBlocks; ++B) {
-    if (MF.Blocks[B].Instrs.empty())
-      continue;
-    const MachineInstr &Term = MF.Blocks[B].Instrs.back();
-    if (Term.Op == MOp::Br)
-      Succs[B].push_back(static_cast<uint32_t>(Term.Imm));
-    else if (Term.Op == MOp::CondBr) {
-      Succs[B].push_back(static_cast<uint32_t>(Term.Imm));
-      Succs[B].push_back(static_cast<uint32_t>(Term.Imm2));
-    }
-  }
-
-  // --- Liveness ------------------------------------------------------------
-  std::vector<RegSet> LiveIn(NumBlocks, RegSet(NumVRegs));
-  std::vector<RegSet> LiveOut(NumBlocks, RegSet(NumVRegs));
-  bool Changed = true;
-  while (Changed) {
-    Changed = false;
-    for (size_t B = NumBlocks; B-- > 0;) {
-      RegSet Out(NumVRegs);
-      for (uint32_t S : Succs[B])
-        Out.unionWith(LiveIn[S]);
-      Changed |= LiveOut[B].unionWith(Out);
-      // In = (Out - defs) + uses, computed backward through the block.
-      RegSet In = LiveOut[B];
-      const auto &Instrs = MF.Blocks[B].Instrs;
-      for (size_t I = Instrs.size(); I-- > 0;) {
-        const MachineInstr &MI = Instrs[I];
-        if (MI.Dst != NoReg)
-          In.reset(MI.Dst);
-        forEachUse(MI, [&](Reg R) { In.set(R); });
-      }
-      Changed |= LiveIn[B].unionWith(In);
-    }
-  }
-
   // --- Live intervals ------------------------------------------------------
   constexpr uint32_t NoPos = ~0u;
   std::vector<uint32_t> IvStart(NumVRegs, NoPos), IvEnd(NumVRegs, 0);
@@ -144,18 +107,98 @@ RegAllocResult proteus::allocateRegisters(MachineFunction &MF,
     if (P > IvEnd[R])
       IvEnd[R] = P;
   };
-  for (size_t B = 0; B != NumBlocks; ++B) {
-    const auto &Instrs = MF.Blocks[B].Instrs;
-    LiveIn[B].forEach([&](Reg R) { extend(R, BlockStart[B]); });
-    LiveOut[B].forEach([&](Reg R) {
-      extend(R, BlockEnd[B] == 0 ? 0 : BlockEnd[B] - 1);
-    });
-    for (size_t I = 0; I != Instrs.size(); ++I) {
-      uint32_t P = BlockStart[B] + static_cast<uint32_t>(I);
-      const MachineInstr &MI = Instrs[I];
-      if (MI.Dst != NoReg)
-        extend(MI.Dst, P);
-      forEachUse(MI, [&](Reg R) { extend(R, P); });
+  if (Options.Fast) {
+    // Tier-0 interval approximation in one forward pass, no dataflow.
+    // A value whose every reference sits in a single block *and* whose
+    // first reference is its definition cannot be live around a back edge,
+    // so its [first-ref, last-ref] range is exact. Everything else is
+    // conservatively live for the whole function — always safe (a
+    // cross-block value may be live around any loop), just greedier on
+    // registers than the full liveness fixpoint.
+    const uint32_t LastPos = Pos == 0 ? 0 : Pos - 1;
+    std::vector<uint32_t> FirstBlock(NumVRegs, NoPos);
+    std::vector<bool> CrossBlock(NumVRegs, false);
+    std::vector<bool> FirstIsDef(NumVRegs, false);
+    auto reference = [&](Reg R, uint32_t B, uint32_t P, bool IsDef) {
+      if (FirstBlock[R] == NoPos) {
+        FirstBlock[R] = B;
+        FirstIsDef[R] = IsDef;
+      } else if (FirstBlock[R] != B) {
+        CrossBlock[R] = true;
+      }
+      extend(R, P);
+    };
+    for (size_t B = 0; B != NumBlocks; ++B) {
+      const auto &Instrs = MF.Blocks[B].Instrs;
+      for (size_t I = 0; I != Instrs.size(); ++I) {
+        uint32_t P = BlockStart[B] + static_cast<uint32_t>(I);
+        const MachineInstr &MI = Instrs[I];
+        // Uses before the def: a reg both read and written by one
+        // instruction is first referenced as a use.
+        forEachUse(MI, [&](Reg R) {
+          reference(R, static_cast<uint32_t>(B), P, false);
+        });
+        if (MI.Dst != NoReg)
+          reference(MI.Dst, static_cast<uint32_t>(B), P, true);
+      }
+    }
+    for (Reg R = 0; R != NumVRegs; ++R)
+      if (IvStart[R] != NoPos && (CrossBlock[R] || !FirstIsDef[R])) {
+        IvStart[R] = 0;
+        IvEnd[R] = LastPos;
+      }
+  } else {
+    // --- Successor map ----------------------------------------------------
+    std::vector<std::vector<uint32_t>> Succs(NumBlocks);
+    for (size_t B = 0; B != NumBlocks; ++B) {
+      if (MF.Blocks[B].Instrs.empty())
+        continue;
+      const MachineInstr &Term = MF.Blocks[B].Instrs.back();
+      if (Term.Op == MOp::Br)
+        Succs[B].push_back(static_cast<uint32_t>(Term.Imm));
+      else if (Term.Op == MOp::CondBr) {
+        Succs[B].push_back(static_cast<uint32_t>(Term.Imm));
+        Succs[B].push_back(static_cast<uint32_t>(Term.Imm2));
+      }
+    }
+
+    // --- Liveness ----------------------------------------------------------
+    std::vector<RegSet> LiveIn(NumBlocks, RegSet(NumVRegs));
+    std::vector<RegSet> LiveOut(NumBlocks, RegSet(NumVRegs));
+    bool Changed = true;
+    while (Changed) {
+      Changed = false;
+      for (size_t B = NumBlocks; B-- > 0;) {
+        RegSet Out(NumVRegs);
+        for (uint32_t S : Succs[B])
+          Out.unionWith(LiveIn[S]);
+        Changed |= LiveOut[B].unionWith(Out);
+        // In = (Out - defs) + uses, computed backward through the block.
+        RegSet In = LiveOut[B];
+        const auto &Instrs = MF.Blocks[B].Instrs;
+        for (size_t I = Instrs.size(); I-- > 0;) {
+          const MachineInstr &MI = Instrs[I];
+          if (MI.Dst != NoReg)
+            In.reset(MI.Dst);
+          forEachUse(MI, [&](Reg R) { In.set(R); });
+        }
+        Changed |= LiveIn[B].unionWith(In);
+      }
+    }
+
+    for (size_t B = 0; B != NumBlocks; ++B) {
+      const auto &Instrs = MF.Blocks[B].Instrs;
+      LiveIn[B].forEach([&](Reg R) { extend(R, BlockStart[B]); });
+      LiveOut[B].forEach([&](Reg R) {
+        extend(R, BlockEnd[B] == 0 ? 0 : BlockEnd[B] - 1);
+      });
+      for (size_t I = 0; I != Instrs.size(); ++I) {
+        uint32_t P = BlockStart[B] + static_cast<uint32_t>(I);
+        const MachineInstr &MI = Instrs[I];
+        if (MI.Dst != NoReg)
+          extend(MI.Dst, P);
+        forEachUse(MI, [&](Reg R) { extend(R, P); });
+      }
     }
   }
 
@@ -182,30 +225,35 @@ RegAllocResult proteus::allocateRegisters(MachineFunction &MF,
   std::vector<int8_t> DefCount(NumVRegs, 0);
   std::vector<int64_t> RematImm(NumVRegs, 0);
   std::vector<bool> Remat(NumVRegs, false);
-  for (const MachineBlock &MB : MF.Blocks)
-    for (const MachineInstr &MI : MB.Instrs)
-      if (MI.Dst != NoReg && DefCount[MI.Dst] < 2) {
-        ++DefCount[MI.Dst];
-        if (MI.Op == MOp::MovImm) {
-          RematImm[MI.Dst] = MI.Imm;
-          Remat[MI.Dst] = true;
-        } else {
-          Remat[MI.Dst] = false;
+  // Fast (Tier-0) mode skips rematerialization entirely: every spill gets a
+  // scratch slot and a plain reload, saving the def-count and relocation
+  // scans on the launch-visible path.
+  if (!Options.Fast) {
+    for (const MachineBlock &MB : MF.Blocks)
+      for (const MachineInstr &MI : MB.Instrs)
+        if (MI.Dst != NoReg && DefCount[MI.Dst] < 2) {
+          ++DefCount[MI.Dst];
+          if (MI.Op == MOp::MovImm) {
+            RematImm[MI.Dst] = MI.Imm;
+            Remat[MI.Dst] = true;
+          } else {
+            Remat[MI.Dst] = false;
+          }
         }
-      }
-  for (Reg R = 0; R != NumVRegs; ++R)
-    if (DefCount[R] > 1)
-      Remat[R] = false;
+    for (Reg R = 0; R != NumVRegs; ++R)
+      if (DefCount[R] > 1)
+        Remat[R] = false;
 
-  // A MovImm whose payload is patched by a relocation (device global
-  // address) must stay in place: its uses cannot re-emit the immediate.
-  for (const Relocation &Rel : MF.Relocs) {
-    if (Rel.Block >= MF.Blocks.size() ||
-        Rel.InstrIndex >= MF.Blocks[Rel.Block].Instrs.size())
-      continue;
-    const MachineInstr &MI = MF.Blocks[Rel.Block].Instrs[Rel.InstrIndex];
-    if (MI.Dst != NoReg)
-      Remat[MI.Dst] = false;
+    // A MovImm whose payload is patched by a relocation (device global
+    // address) must stay in place: its uses cannot re-emit the immediate.
+    for (const Relocation &Rel : MF.Relocs) {
+      if (Rel.Block >= MF.Blocks.size() ||
+          Rel.InstrIndex >= MF.Blocks[Rel.Block].Instrs.size())
+        continue;
+      const MachineInstr &MI = MF.Blocks[Rel.Block].Instrs[Rel.InstrIndex];
+      if (MI.Dst != NoReg)
+        Remat[MI.Dst] = false;
+    }
   }
 
   // --- Linear scan ----------------------------------------------------------
@@ -250,8 +298,10 @@ RegAllocResult proteus::allocateRegisters(MachineFunction &MF,
       continue;
     }
     // Spill: the active interval with the furthest end, or this one.
-    // Rematerializable values need no scratch slot.
-    if (!Active.empty() && Active.back().End > Iv.End) {
+    // Rematerializable values need no scratch slot. Fast mode skips the
+    // victim search (spill-cost tuning) and always spills the incoming
+    // interval itself.
+    if (!Options.Fast && !Active.empty() && Active.back().End > Iv.End) {
       Interval Victim = Active.back();
       Active.pop_back();
       Assignment[Iv.VReg] = Assignment[Victim.VReg];

@@ -29,11 +29,24 @@ struct RegAllocResult {
   uint32_t SpillStores = 0;   // spill-store instructions inserted
 };
 
+/// Allocation policy knobs.
+struct RegAllocOptions {
+  /// Tier-0 baseline mode: a single forward pass builds approximate live
+  /// intervals (block-local values get exact ranges; anything live across
+  /// blocks is conservatively live for the whole function), and the scan
+  /// skips rematerialization and furthest-end victim selection (a value
+  /// that finds no free register spills itself). Much cheaper than the
+  /// full liveness fixpoint; worse spill placement is acceptable because
+  /// Tier-1 re-runs the full allocator in the background.
+  bool Fast = false;
+};
+
 /// Allocates \p MF in place under \p RegisterBudget physical registers
 /// (including three reserved spill temporaries). Inserts LdSpill/StSpill
 /// around spilled uses/defs and rewrites all operands to physical registers.
 RegAllocResult allocateRegisters(mcode::MachineFunction &MF,
-                                 unsigned RegisterBudget);
+                                 unsigned RegisterBudget,
+                                 const RegAllocOptions &Options = {});
 
 } // namespace proteus
 

@@ -6,6 +6,7 @@
 
 #include "ir/Cloning.h"
 
+#include "ir/Constants.h"
 #include "ir/Context.h"
 #include "ir/Module.h"
 #include "support/Error.h"
@@ -15,9 +16,54 @@ using namespace proteus;
 
 namespace {
 
-Value *mapOperand(Value *Op, ValueMap &VM) {
+/// Returns the destination-context singleton for \p Ty. Identity when the
+/// source already lives in \p Ctx (types are uniqued per context), which is
+/// what makes cross-context cloning a strict generalization of the original
+/// same-context behavior.
+Type *mapType(Type *Ty, Context &Ctx) { return Ctx.getType(Ty->getKind()); }
+
+/// Re-creates \p C inside \p Ctx. Constants are uniqued per context, so for
+/// same-context cloning this returns \p C itself.
+Constant *translateConstant(Constant *C, Context &Ctx) {
+  if (auto *CI = dyn_cast<ConstantInt>(C))
+    return Ctx.getConstantInt(mapType(CI->getType(), Ctx), CI->getZExtValue());
+  if (auto *CF = dyn_cast<ConstantFP>(C))
+    return Ctx.getConstantFP(mapType(CF->getType(), Ctx), CF->getValue());
+  if (auto *CP = dyn_cast<ConstantPtr>(C))
+    return Ctx.getConstantPtr(CP->getAddress());
+  proteus_unreachable("unhandled constant kind in translateConstant");
+}
+
+Value *mapOperand(Value *Op, ValueMap &VM, Context &Ctx) {
   auto It = VM.find(Op);
-  return It == VM.end() ? Op : It->second;
+  if (It != VM.end())
+    return It->second;
+  // Unmapped constants are translated into the destination context (identity
+  // for same-context clones) and memoized. Other unmapped values are used
+  // as-is, which is correct only for values the caller guarantees are shared
+  // (e.g. caller-context values during inlining).
+  if (auto *C = dyn_cast<Constant>(Op)) {
+    Value *T = translateConstant(C, Ctx);
+    VM[Op] = T;
+    return T;
+  }
+  return Op;
+}
+
+/// A typed throw-away incoming value for phi forward references. Using a
+/// destination-context constant (instead of the original value) keeps the
+/// source IR's use lists untouched, so a shared read-only prototype module
+/// can be cloned from concurrently. The second phi-patch pass replaces it.
+Value *phiPlaceholder(Type *Ty, Context &Ctx) {
+  switch (Ty->getKind()) {
+  case Type::Kind::F32:
+  case Type::Kind::F64:
+    return Ctx.getConstantFP(Ty, 0.0);
+  case Type::Kind::Ptr:
+    return Ctx.getNullPtr();
+  default:
+    return Ctx.getConstantInt(Ty, 0);
+  }
 }
 
 } // namespace
@@ -25,7 +71,7 @@ Value *mapOperand(Value *Op, ValueMap &VM) {
 std::unique_ptr<Instruction> pir::cloneInstruction(Instruction &I,
                                                    ValueMap &VM,
                                                    Context &Ctx) {
-  auto Op = [&](size_t K) { return mapOperand(I.getOperand(K), VM); };
+  auto Op = [&](size_t K) { return mapOperand(I.getOperand(K), VM, Ctx); };
 
   switch (I.getKind()) {
   case ValueKind::ICmp: {
@@ -42,11 +88,12 @@ std::unique_ptr<Instruction> pir::cloneInstruction(Instruction &I,
     return std::make_unique<SelectInst>(Op(0), Op(1), Op(2));
   case ValueKind::Alloca: {
     auto &A = cast<AllocaInst>(I);
-    return std::make_unique<AllocaInst>(Ctx.getPtrTy(), A.getAllocatedType(),
+    return std::make_unique<AllocaInst>(Ctx.getPtrTy(),
+                                        mapType(A.getAllocatedType(), Ctx),
                                         A.getNumElements());
   }
   case ValueKind::Load:
-    return std::make_unique<LoadInst>(I.getType(), Op(0));
+    return std::make_unique<LoadInst>(mapType(I.getType(), Ctx), Op(0));
   case ValueKind::Store:
     return std::make_unique<StoreInst>(Op(0), Op(1), Ctx.getVoidTy());
   case ValueKind::PtrAdd: {
@@ -70,14 +117,28 @@ std::unique_ptr<Instruction> pir::cloneInstruction(Instruction &I,
     std::vector<Value *> Args;
     for (size_t K = 0; K != C.getNumArgs(); ++K)
       Args.push_back(Op(K + 1));
-    return std::make_unique<CallInst>(I.getType(), Op(0), Args);
+    return std::make_unique<CallInst>(mapType(I.getType(), Ctx), Op(0), Args);
   }
   case ValueKind::Phi: {
     auto &P = cast<PhiInst>(I);
-    auto Clone = std::make_unique<PhiInst>(P.getType());
+    Type *Ty = mapType(P.getType(), Ctx);
+    auto Clone = std::make_unique<PhiInst>(Ty);
     for (size_t K = 0; K != P.getNumIncoming(); ++K) {
-      Value *InV = mapOperand(P.getIncomingValue(K), VM);
-      auto *InB = cast<BasicBlock>(mapOperand(P.getIncomingBlock(K), VM));
+      // Incoming values may be forward references to instructions not yet
+      // cloned. Install a typed placeholder rather than the original value:
+      // touching the original would append to its use list, mutating the
+      // source function (a data race when cloning from a shared prototype).
+      // The caller's second phi-patch pass resolves the real value.
+      Value *OrigV = P.getIncomingValue(K);
+      auto It = VM.find(OrigV);
+      Value *InV;
+      if (It != VM.end())
+        InV = It->second;
+      else if (isa<Constant>(OrigV))
+        InV = mapOperand(OrigV, VM, Ctx);
+      else
+        InV = phiPlaceholder(Ty, Ctx);
+      auto *InB = cast<BasicBlock>(mapOperand(P.getIncomingBlock(K), VM, Ctx));
       Clone->addIncoming(InV, InB);
     }
     return Clone;
@@ -85,14 +146,15 @@ std::unique_ptr<Instruction> pir::cloneInstruction(Instruction &I,
   case ValueKind::Br: {
     auto &Br = cast<BranchInst>(I);
     return std::make_unique<BranchInst>(
-        cast<BasicBlock>(mapOperand(Br.getSuccessor(0), VM)),
+        cast<BasicBlock>(mapOperand(Br.getSuccessor(0), VM, Ctx)),
         Ctx.getVoidTy());
   }
   case ValueKind::CondBr: {
     auto &Br = cast<BranchInst>(I);
     return std::make_unique<BranchInst>(
-        Op(0), cast<BasicBlock>(mapOperand(Br.getSuccessor(0), VM)),
-        cast<BasicBlock>(mapOperand(Br.getSuccessor(1), VM)), Ctx.getVoidTy());
+        Op(0), cast<BasicBlock>(mapOperand(Br.getSuccessor(0), VM, Ctx)),
+        cast<BasicBlock>(mapOperand(Br.getSuccessor(1), VM, Ctx)),
+        Ctx.getVoidTy());
   }
   case ValueKind::Ret: {
     auto &R = cast<RetInst>(I);
@@ -108,7 +170,8 @@ std::unique_ptr<Instruction> pir::cloneInstruction(Instruction &I,
   if (isa<UnaryInst>(&I))
     return std::make_unique<UnaryInst>(I.getKind(), Op(0));
   if (isa<CastInst>(&I))
-    return std::make_unique<CastInst>(I.getKind(), Op(0), I.getType());
+    return std::make_unique<CastInst>(I.getKind(), Op(0),
+                                      mapType(I.getType(), Ctx));
   proteus_unreachable("unhandled instruction kind in cloneInstruction");
 }
 
@@ -118,12 +181,12 @@ Function *pir::cloneFunctionInto(Module &DestModule, Function &Src,
   std::vector<Type *> ParamTypes;
   std::vector<std::string> ParamNames;
   for (const auto &A : Src.args()) {
-    ParamTypes.push_back(A->getType());
+    ParamTypes.push_back(mapType(A->getType(), Ctx));
     ParamNames.push_back(A->getName());
   }
-  Function *Dst =
-      DestModule.createFunction(NewName, Src.getReturnType(), ParamTypes,
-                                ParamNames, Src.getFunctionKind());
+  Function *Dst = DestModule.createFunction(
+      NewName, mapType(Src.getReturnType(), Ctx), ParamTypes, ParamNames,
+      Src.getFunctionKind());
   Dst->setAlwaysInline(Src.isAlwaysInline());
   if (Src.getLaunchBounds())
     Dst->setLaunchBounds(*Src.getLaunchBounds());
@@ -152,7 +215,7 @@ Function *pir::cloneFunctionInto(Module &DestModule, Function &Src,
     VM[&BB] = Dst->createBlock(BB.getName(), Ctx.getVoidTy());
 
   // Clone instructions; phi incoming values may be forward references, which
-  // is fine because mapOperand falls back to the original value — patch them
+  // cloneInstruction fills with destination-context placeholders — patch them
   // in a second pass.
   struct PhiPatch {
     PhiInst *Clone;
@@ -173,7 +236,7 @@ Function *pir::cloneFunctionInto(Module &DestModule, Function &Src,
   for (const PhiPatch &P : Phis)
     for (size_t K = 0; K != P.Clone->getNumIncoming(); ++K)
       P.Clone->setIncomingValue(
-          K, mapOperand(P.Orig->getIncomingValue(K), VM));
+          K, mapOperand(P.Orig->getIncomingValue(K), VM, Ctx));
   return Dst;
 }
 
@@ -181,17 +244,18 @@ std::unique_ptr<Module> pir::cloneModule(Module &Src, Context &Ctx,
                                          const std::string &NewName) {
   auto Dst = std::make_unique<Module>(Ctx, NewName);
   for (const auto &G : Src.globals())
-    Dst->createGlobal(G->getName(), G->getElemType(), G->getNumElements(),
-                      G->getInit());
+    Dst->createGlobal(G->getName(), mapType(G->getElemType(), Ctx),
+                      G->getNumElements(), G->getInit());
   // Declarations first so cross-calls resolve regardless of order.
   for (const auto &F : Src.functions()) {
     std::vector<Type *> ParamTypes;
     std::vector<std::string> ParamNames;
     for (const auto &A : F->args()) {
-      ParamTypes.push_back(A->getType());
+      ParamTypes.push_back(mapType(A->getType(), Ctx));
       ParamNames.push_back(A->getName());
     }
-    Function *DF = Dst->createFunction(F->getName(), F->getReturnType(),
+    Function *DF = Dst->createFunction(F->getName(),
+                                       mapType(F->getReturnType(), Ctx),
                                        ParamTypes, ParamNames,
                                        F->getFunctionKind());
     DF->setAlwaysInline(F->isAlwaysInline());
@@ -233,7 +297,7 @@ std::unique_ptr<Module> pir::cloneModule(Module &Src, Context &Ctx,
     for (const PhiPatch &P : Phis)
       for (size_t K = 0; K != P.Clone->getNumIncoming(); ++K)
         P.Clone->setIncomingValue(
-            K, mapOperand(P.Orig->getIncomingValue(K), VM));
+            K, mapOperand(P.Orig->getIncomingValue(K), VM, Ctx));
   }
   return Dst;
 }

@@ -30,9 +30,15 @@ class Value;
 /// Mapping from original values to their clones, extended as cloning runs.
 using ValueMap = std::unordered_map<Value *, Value *>;
 
-/// Clones a single instruction (operands remapped through \p VM; unmapped
-/// operands are used as-is, which is correct for constants and for values
-/// the caller guarantees are shared).
+/// Clones a single instruction. Operands are remapped through \p VM;
+/// unmapped constants are translated into \p Ctx (identity for same-context
+/// clones, since constants are uniqued per context) and memoized in \p VM;
+/// other unmapped operands are used as-is, which is correct only for values
+/// the caller guarantees are shared (same-context cloning, e.g. inlining).
+/// Phi forward references get destination-context placeholders instead of
+/// the original values so the source IR's use lists are never mutated —
+/// cloning from a shared read-only prototype module is therefore safe to
+/// run concurrently from multiple threads.
 class Instruction;
 std::unique_ptr<Instruction> cloneInstruction(Instruction &I, ValueMap &VM,
                                               Context &Ctx);
@@ -45,7 +51,8 @@ Function *cloneFunctionInto(Module &DestModule, Function &Src,
                             const std::string &NewName);
 
 /// Deep-clones an entire module (globals first, then functions, remapping
-/// cross-references).
+/// cross-references). \p Ctx may be a different context than the source's:
+/// types and constants are translated into it.
 std::unique_ptr<Module> cloneModule(Module &Src, Context &Ctx,
                                     const std::string &NewName);
 

@@ -45,21 +45,28 @@ CacheLimits CacheLimits::fromEnvironment() {
 
 // --- Persistent entry framing ------------------------------------------------
 //
-// cache-jit-<hash>.o files carry a fixed 32-byte header ahead of the object
+// cache-jit-<hash>.o files carry a fixed 48-byte header ahead of the object
 // payload so that lookup() can reject truncated or corrupted files (a crash
 // mid-write, bit rot, manual tampering) instead of loading garbage:
 //
-//   [0..8)   magic "PJITCC1\0"
+//   [0..8)   magic "PJITCC2\0"
 //   [8..16)  payload size (LE u64)
-//   [16..24) payload FNV-1a hash (LE u64)
-//   [24..32) execution (hit) count — outside the payload hash so the LFU
+//   [16..24) integrity FNV-1a hash (LE u64) over payload bytes, then the
+//            tier tag, then the pipeline fingerprint — so a flipped tier
+//            byte is as detectable as a flipped payload byte
+//   [24..32) execution (hit) count — outside the integrity hash so the LFU
 //            policy's counts can be written back without re-hashing
-//   [32..)   object payload
+//   [32..40) pipeline fingerprint (LE u64)
+//   [40..48) tier tag (LE u64; 0 = Tier-0 baseline, 1 = final)
+//   [48..)   object payload
+//
+// "PJITCC1\0" files from older builds fail the magic check and are deleted
+// like any other corrupt entry — a clean forced recompile on upgrade.
 
 namespace {
 
-constexpr char EntryMagic[8] = {'P', 'J', 'I', 'T', 'C', 'C', '1', '\0'};
-constexpr size_t EntryHeaderBytes = 32;
+constexpr char EntryMagic[8] = {'P', 'J', 'I', 'T', 'C', 'C', '2', '\0'};
+constexpr size_t EntryHeaderBytes = 48;
 
 void putU64(std::vector<uint8_t> &Buf, size_t Offset, uint64_t V) {
   std::memcpy(Buf.data() + Offset, &V, sizeof(V));
@@ -71,13 +78,25 @@ uint64_t getU64(const std::vector<uint8_t> &Buf, size_t Offset) {
   return V;
 }
 
+uint64_t integrityHash(const std::vector<uint8_t> &Payload, CodeTier Tier,
+                       uint64_t Fingerprint) {
+  FNV1aHash H;
+  H.updateBytes(Payload.data(), Payload.size());
+  H.update(static_cast<uint8_t>(Tier));
+  H.update(Fingerprint);
+  return H.digest();
+}
+
 std::vector<uint8_t> encodeEntry(const std::vector<uint8_t> &Payload,
-                                 uint64_t HitCount) {
+                                 uint64_t HitCount, CodeTier Tier,
+                                 uint64_t Fingerprint) {
   std::vector<uint8_t> Buf(EntryHeaderBytes + Payload.size());
   std::memcpy(Buf.data(), EntryMagic, sizeof(EntryMagic));
   putU64(Buf, 8, Payload.size());
-  putU64(Buf, 16, hashBytes(Payload.data(), Payload.size()));
+  putU64(Buf, 16, integrityHash(Payload, Tier, Fingerprint));
   putU64(Buf, 24, HitCount);
+  putU64(Buf, 32, Fingerprint);
+  putU64(Buf, 40, static_cast<uint64_t>(Tier));
   std::memcpy(Buf.data() + EntryHeaderBytes, Payload.data(), Payload.size());
   return Buf;
 }
@@ -85,6 +104,8 @@ std::vector<uint8_t> encodeEntry(const std::vector<uint8_t> &Payload,
 struct DecodedEntry {
   std::vector<uint8_t> Payload;
   uint64_t HitCount = 0;
+  CodeTier Tier = CodeTier::Final;
+  uint64_t Fingerprint = 0;
 };
 
 std::optional<DecodedEntry> decodeEntry(const std::vector<uint8_t> &Bytes) {
@@ -95,9 +116,14 @@ std::optional<DecodedEntry> decodeEntry(const std::vector<uint8_t> &Bytes) {
   uint64_t Size = getU64(Bytes, 8);
   if (Size != Bytes.size() - EntryHeaderBytes)
     return std::nullopt;
+  uint64_t TierWord = getU64(Bytes, 40);
+  if (TierWord > static_cast<uint64_t>(CodeTier::Final))
+    return std::nullopt;
   DecodedEntry D;
   D.Payload.assign(Bytes.begin() + EntryHeaderBytes, Bytes.end());
-  if (getU64(Bytes, 16) != hashBytes(D.Payload.data(), D.Payload.size()))
+  D.Tier = static_cast<CodeTier>(TierWord);
+  D.Fingerprint = getU64(Bytes, 32);
+  if (getU64(Bytes, 16) != integrityHash(D.Payload, D.Tier, D.Fingerprint))
     return std::nullopt;
   D.HitCount = getU64(Bytes, 24);
   return D;
@@ -126,10 +152,13 @@ void CodeCache::touchEntry(uint64_t Hash, Entry &E) {
 }
 
 void CodeCache::insertMemoryEntry(uint64_t Hash, std::vector<uint8_t> Object,
-                                  uint64_t HitCount) {
+                                  uint64_t HitCount, CodeTier Tier,
+                                  uint64_t Fingerprint) {
   Entry E;
   E.Object = std::move(Object);
   E.HitCount = HitCount;
+  E.Tier = Tier;
+  E.Fingerprint = Fingerprint;
   LruOrder.push_front(Hash);
   E.LruIt = LruOrder.begin();
   MemoryBytesTotal += E.Object.size();
@@ -138,6 +167,13 @@ void CodeCache::insertMemoryEntry(uint64_t Hash, std::vector<uint8_t> Object,
 }
 
 std::optional<std::vector<uint8_t>> CodeCache::lookup(uint64_t Hash) {
+  auto Entry = lookupEntry(Hash);
+  if (!Entry)
+    return std::nullopt;
+  return std::move(Entry->Object);
+}
+
+std::optional<CachedCode> CodeCache::lookupEntry(uint64_t Hash) {
   std::lock_guard<std::mutex> Lock(Mutex);
   if (UseMemory) {
     auto It = Memory.find(Hash);
@@ -145,7 +181,8 @@ std::optional<std::vector<uint8_t>> CodeCache::lookup(uint64_t Hash) {
       ++Stats.MemoryHits;
       trace::instant("cache.hit.memory", "cache");
       touchEntry(Hash, It->second);
-      return It->second.Object;
+      return CachedCode{It->second.Object, It->second.Tier,
+                        It->second.Fingerprint};
     }
   }
   if (UsePersistent) {
@@ -167,9 +204,11 @@ std::optional<std::vector<uint8_t>> CodeCache::lookup(uint64_t Hash) {
           // policy is not biased against entries that round-tripped through
           // the persistent level; this access counts too.
           trace::instant("cache.promote", "cache");
-          insertMemoryEntry(Hash, Decoded->Payload, Decoded->HitCount + 1);
+          insertMemoryEntry(Hash, Decoded->Payload, Decoded->HitCount + 1,
+                            Decoded->Tier, Decoded->Fingerprint);
         }
-        return std::move(Decoded->Payload);
+        return CachedCode{std::move(Decoded->Payload), Decoded->Tier,
+                          Decoded->Fingerprint};
       }
     }
   }
@@ -178,14 +217,44 @@ std::optional<std::vector<uint8_t>> CodeCache::lookup(uint64_t Hash) {
   return std::nullopt;
 }
 
-void CodeCache::insert(uint64_t Hash, const std::vector<uint8_t> &Object) {
+void CodeCache::insert(uint64_t Hash, const std::vector<uint8_t> &Object,
+                       CodeTier Tier, uint64_t PipelineFingerprint) {
   std::lock_guard<std::mutex> Lock(Mutex);
   ++Stats.Insertions;
   trace::instant("cache.insert", "cache");
-  if (UseMemory && !Memory.count(Hash))
-    insertMemoryEntry(Hash, Object, 0);
+  uint64_t HitCount = 0;
+  if (UseMemory) {
+    auto It = Memory.find(Hash);
+    if (It == Memory.end()) {
+      insertMemoryEntry(Hash, Object, 0, Tier, PipelineFingerprint);
+    } else if (It->second.Tier == CodeTier::Final && Tier == CodeTier::Tier0) {
+      // Never downgrade: a straggling Tier-0 result must not replace the
+      // promoted artifact a racing Tier-1 compile already installed.
+      return;
+    } else {
+      // In-place update (Tier-1 promotion path): keep the execution count
+      // and recency position; only the object and tier provenance change.
+      MemoryBytesTotal += Object.size();
+      MemoryBytesTotal -= It->second.Object.size();
+      It->second.Object = Object;
+      It->second.Tier = Tier;
+      It->second.Fingerprint = PipelineFingerprint;
+      HitCount = It->second.HitCount;
+      enforceMemoryLimit();
+    }
+  }
   if (UsePersistent) {
-    fs::writeFileAtomic(pathFor(Hash), encodeEntry(Object, 0));
+    if (Tier == CodeTier::Tier0) {
+      // Same downgrade guard for the on-disk level (the memory level may be
+      // disabled, so check the file's own tier tag).
+      if (auto Bytes = fs::readFile(pathFor(Hash)))
+        if (auto Decoded = decodeEntry(*Bytes))
+          if (Decoded->Tier == CodeTier::Final)
+            return;
+    }
+    fs::writeFileAtomic(pathFor(Hash),
+                        encodeEntry(Object, HitCount, Tier,
+                                    PipelineFingerprint));
     enforcePersistentLimit();
   }
 }
@@ -200,7 +269,8 @@ void CodeCache::writeBackHitCount(uint64_t Hash, uint64_t Count) {
   auto Decoded = decodeEntry(*Bytes);
   if (!Decoded || Decoded->HitCount == Count)
     return;
-  fs::writeFileAtomic(Path, encodeEntry(Decoded->Payload, Count));
+  fs::writeFileAtomic(Path, encodeEntry(Decoded->Payload, Count,
+                                        Decoded->Tier, Decoded->Fingerprint));
 }
 
 void CodeCache::enforceMemoryLimit() {

@@ -23,7 +23,9 @@
 /// internal mutex, so concurrent launch threads and asynchronous compile
 /// workers (JitConfig::AsyncMode) can share one instance. Persistent
 /// entries are framed with a small integrity header (magic, payload size,
-/// payload hash, execution count) and written via write-to-temp +
+/// integrity hash, execution count, pipeline fingerprint, tier tag —
+/// the tiered JIT stores Tier-0 baselines and their promoted Tier-1
+/// replacements in the same slot) and written via write-to-temp +
 /// atomic-rename, so a crash mid-write can never produce a loadable
 /// truncated object: lookup() validates the frame and treats corrupt files
 /// as misses (deleting them), forcing a clean recompilation.
@@ -60,6 +62,22 @@ struct SpecializationKey {
 /// Deterministic 64-bit key hash (stable across runs — persistent cache
 /// file names depend on it).
 uint64_t computeSpecializationHash(const SpecializationKey &Key);
+
+/// Compilation tier of a cached object (tiered JIT, PROTEUS_TIER=on).
+enum class CodeTier : uint8_t {
+  Tier0 = 0, ///< fast baseline compile, awaiting background promotion
+  Final = 1, ///< full O3 + launch-bounds pipeline output
+};
+
+/// A decoded cache entry: the object plus its tier provenance. The
+/// fingerprint identifies the exact pipeline that produced the object so a
+/// binary persisted by an older/different pipeline is treated as a miss
+/// instead of being served as current.
+struct CachedCode {
+  std::vector<uint8_t> Object;
+  CodeTier Tier = CodeTier::Final;
+  uint64_t PipelineFingerprint = 0;
+};
 
 /// Cache hit/miss accounting.
 struct CodeCacheStats {
@@ -104,9 +122,18 @@ public:
   /// for the LFU policy).
   std::optional<std::vector<uint8_t>> lookup(uint64_t Hash);
 
+  /// Like lookup(), but also returns the entry's tier tag and pipeline
+  /// fingerprint so the tiered runtime can distinguish a persisted Tier-0
+  /// baseline (serve it, then promote) from a final artifact.
+  std::optional<CachedCode> lookupEntry(uint64_t Hash);
+
   /// Inserts a freshly compiled object into both enabled levels, evicting
-  /// per policy when a size limit would be exceeded.
-  void insert(uint64_t Hash, const std::vector<uint8_t> &Object);
+  /// per policy when a size limit would be exceeded. Re-inserting an
+  /// existing hash updates the entry in place (preserving its execution
+  /// count) — this is how a Tier-1 promotion replaces the Tier-0 baseline.
+  /// A Tier0 insert never downgrades an existing Final entry.
+  void insert(uint64_t Hash, const std::vector<uint8_t> &Object,
+              CodeTier Tier = CodeTier::Final, uint64_t PipelineFingerprint = 0);
 
   /// Snapshot of the counters, taken under the cache lock (safe to read
   /// while other threads keep hitting the cache).
@@ -137,13 +164,16 @@ private:
   struct Entry {
     std::vector<uint8_t> Object;
     uint64_t HitCount = 0;
+    CodeTier Tier = CodeTier::Final;
+    uint64_t Fingerprint = 0;
     std::list<uint64_t>::iterator LruIt; // position in LruOrder
   };
 
   std::string pathFor(uint64_t Hash) const;
   void touchEntry(uint64_t Hash, Entry &E);
   void insertMemoryEntry(uint64_t Hash, std::vector<uint8_t> Object,
-                         uint64_t HitCount);
+                         uint64_t HitCount, CodeTier Tier,
+                         uint64_t Fingerprint);
   void enforceMemoryLimit();
   void enforcePersistentLimit();
   void writeBackHitCount(uint64_t Hash, uint64_t Count);

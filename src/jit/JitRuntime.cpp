@@ -7,11 +7,12 @@
 #include "jit/JitRuntime.h"
 
 #include "analysis/KernelAnalyzer.h"
-#include "bitcode/Bitcode.h"
+#include "bitcode/ModuleIndex.h"
 #include "codegen/Compiler.h"
 #include "ir/Context.h"
 #include "ir/Module.h"
 #include "ir/Verifier.h"
+#include "support/Hashing.h"
 #include "support/Timer.h"
 #include "support/Trace.h"
 
@@ -33,7 +34,20 @@ void emitConfigWarning(std::vector<std::string> *Warnings, std::string Msg) {
     std::fprintf(stderr, "proteus: warning: %s\n", Msg.c_str());
 }
 
+/// Identifies the exact pipeline composition that produced a cached object.
+/// Bump PipelineVersion whenever the Tier-0 or Tier-1 pipeline changes
+/// shape, so persisted artifacts built by an older pipeline are recompiled
+/// instead of served as current.
+constexpr uint64_t PipelineVersion = 1;
+
 } // namespace
+
+uint64_t proteus::jitPipelineFingerprint(CodeTier Tier) {
+  FNV1aHash H;
+  H.update(PipelineVersion);
+  H.update(static_cast<uint8_t>(Tier));
+  return H.digest();
+}
 
 JitConfig JitConfig::fromEnvironment(std::vector<std::string> *Warnings) {
   JitConfig C;
@@ -68,6 +82,16 @@ JitConfig JitConfig::fromEnvironment(std::vector<std::string> *Warnings) {
       emitConfigWarning(Warnings,
                         "ignoring invalid PROTEUS_ASYNC_WORKERS value '" + S +
                             "' (expected an integer in [1, 1024])");
+  }
+  if (const char *Tier = std::getenv("PROTEUS_TIER")) {
+    std::string S = Tier;
+    if (S == "off")
+      C.Tier = false;
+    else if (S == "on")
+      C.Tier = true;
+    else
+      emitConfigWarning(Warnings, "ignoring invalid PROTEUS_TIER value '" + S +
+                                      "' (expected off|on)");
   }
   if (const char *Analyze = std::getenv("PROTEUS_ANALYZE")) {
     std::string S = Analyze;
@@ -120,6 +144,10 @@ const char *proteus::analyzeModeName(JitConfig::AnalyzeMode M) {
   return "unknown";
 }
 
+const char *proteus::tierModeName(bool TierEnabled) {
+  return TierEnabled ? "on" : "off";
+}
+
 /// Result of one specialization compile, delivered to every waiter through
 /// the in-flight table's shared future.
 struct JitRuntime::CompileOutcome {
@@ -148,7 +176,10 @@ JitRuntime::JitRuntime(Device &Dev, uint64_t ModuleId, JitConfig Config)
   Stat.Field = &Metrics.timer(Name);
   PROTEUS_JIT_TIMERS(PROTEUS_JIT_STAT_REGISTER)
 #undef PROTEUS_JIT_STAT_REGISTER
-  if (this->Config.Async != JitConfig::AsyncMode::Sync)
+  // The pool serves Block/Fallback launch-path compiles and, when tiering
+  // is on, the low-priority Tier-1 promotion compiles — so Sync mode with
+  // tiering still owns a pool (its Tier-0 compiles stay inline).
+  if (this->Config.Async != JitConfig::AsyncMode::Sync || this->Config.Tier)
     Pool = std::make_unique<ThreadPool>(
         this->Config.AsyncWorkers ? this->Config.AsyncWorkers : 1u);
 }
@@ -207,6 +238,14 @@ void JitRuntime::resetInMemoryState() {
     std::lock_guard<std::mutex> Lock(DevMutex);
     Loaded.clear();
     GenericLoaded.clear();
+  }
+  {
+    std::lock_guard<std::mutex> Lock(IndexMutex);
+    ModuleIndexes.clear();
+  }
+  {
+    std::lock_guard<std::mutex> Lock(MemoMutex);
+    HashMemo.clear();
   }
   Cache.clearMemory();
 }
@@ -273,49 +312,106 @@ GpuError JitRuntime::fetchBitcode(const JitKernelInfo &Info,
   return GpuError::Success;
 }
 
+std::shared_ptr<const KernelModuleIndex>
+JitRuntime::getOrBuildIndex(const std::string &Symbol,
+                            const std::vector<uint8_t> &Bitcode,
+                            std::string *Error) {
+  {
+    std::lock_guard<std::mutex> Lock(IndexMutex);
+    auto It = ModuleIndexes.find(Symbol);
+    if (It != ModuleIndexes.end())
+      return It->second;
+  }
+  if (Bitcode.empty()) {
+    if (Error)
+      *Error = "no parsed module index for @" + Symbol +
+               " and no bitcode to build one";
+    return nullptr;
+  }
+  // Parse outside the lock: first compiles of different kernels must not
+  // serialize on parsing. Racing builders of the same kernel both parse;
+  // the first insert wins and the loser's copy is dropped.
+  std::string ParseError;
+  std::shared_ptr<const KernelModuleIndex> Index = [&] {
+    trace::Span Sp("compile.parse", "jit");
+    metrics::ScopedTimer T(*Stat.BitcodeParseSeconds);
+    return KernelModuleIndex::create(Bitcode, ParseError);
+  }();
+  if (!Index) {
+    if (Error)
+      *Error = "corrupt kernel bitcode for @" + Symbol + ": " + ParseError;
+    return nullptr;
+  }
+  // Defensive mode: verify everything the bitcode contained, before any
+  // pruned materialization can drop an unreachable-but-broken function.
+  // Failures are not cached — each retry re-parses and re-reports.
+  if (Config.VerifyIR) {
+    pir::VerifyResult VR = pir::verifyModule(Index->prototype());
+    if (!VR.ok()) {
+      if (Error)
+        *Error = "kernel bitcode for @" + Symbol + " failed verification:\n" +
+                 VR.message();
+      return nullptr;
+    }
+  }
+  std::lock_guard<std::mutex> Lock(IndexMutex);
+  auto [It, Inserted] = ModuleIndexes.emplace(Symbol, std::move(Index));
+  (void)Inserted;
+  return It->second;
+}
+
 JitRuntime::CompileOutcome
 JitRuntime::compileSpecialization(const std::string &Symbol,
                                   std::vector<uint8_t> Bitcode,
                                   const SpecializationKey &Key,
-                                  uint64_t Hash) {
+                                  uint64_t Hash, CodeTier Tier) {
   CompileOutcome Out;
-  Stat.Compilations->add();
-  trace::Span CompileSp("jit.compile", "jit");
+  const bool Tier0 = Tier == CodeTier::Tier0;
+  if (Tier0)
+    Stat.Tier0Compiles->add();
+  else
+    Stat.Compilations->add();
+  trace::Span CompileSp(Tier0 ? "jit.compile.tier0" : "jit.compile", "jit");
 
   // Stage timers are RAII-scoped (metrics::ScopedTimer) so every exit path
   // — including the error returns below — records the time spent. The old
   // accumulate-locals-then-publish-at-the-end scheme dropped the parse and
   // link timings whenever a compile failed.
 
-  // (1) Parse bitcode.
-  pir::Context Ctx;
-  proteus::BitcodeReadResult BR = [&] {
-    trace::Span Sp("compile.parse", "jit");
-    metrics::ScopedTimer T(*Stat.BitcodeParseSeconds);
-    return readBitcode(Ctx, Bitcode);
-  }();
-  if (!BR) {
+  // (1) Materialize the kernel module from the parse-once index: the
+  // bitcode is parsed at most once per kernel and runtime lifetime; each
+  // compile clones only the launched kernel's reachable call closure into
+  // a fresh context it owns exclusively.
+  std::string IndexError;
+  std::shared_ptr<const KernelModuleIndex> Index =
+      getOrBuildIndex(Symbol, Bitcode, &IndexError);
+  if (!Index) {
     Out.Err = GpuError::InvalidValue;
-    Out.Message = "corrupt kernel bitcode for @" + Symbol + ": " + BR.Error;
+    Out.Message = std::move(IndexError);
     return Out;
   }
-  pir::Module &M = *BR.M;
+  pir::Context Ctx;
+  std::unique_ptr<pir::Module> MOwner = [&] {
+    trace::Span Sp("compile.materialize", "jit");
+    metrics::ScopedTimer T(*Stat.BitcodeParseSeconds);
+    uint64_t Pruned = 0;
+    std::unique_ptr<pir::Module> M = Index->materialize(Ctx, Symbol, &Pruned);
+    if (M)
+      Stat.PrunedFunctions->add(Pruned);
+    return M;
+  }();
+  if (!MOwner) {
+    Out.Err = GpuError::InvalidValue;
+    Out.Message = "bitcode for @" + Symbol + " does not contain the kernel";
+    return Out;
+  }
+  pir::Module &M = *MOwner;
   pir::Function *F = M.getFunction(Symbol);
   if (!F || !F->isKernel()) {
     Out.Err = GpuError::InvalidValue;
     Out.Message = "bitcode for @" + Symbol + " does not contain the kernel";
     return Out;
   }
-  if (Config.VerifyIR) {
-    pir::VerifyResult VR = pir::verifyModule(M);
-    if (!VR.ok()) {
-      Out.Err = GpuError::InvalidValue;
-      Out.Message = "kernel bitcode for @" + Symbol +
-                    " failed verification:\n" + VR.message();
-      return Out;
-    }
-  }
-
   // (2) Link device globals: replace references with their resolved device
   // addresses so JIT code shares state with AOT code. Addresses registered
   // through __jit_register_var are snapshotted; unknown symbols fall back
@@ -369,7 +465,12 @@ JitRuntime::compileSpecialization(const std::string &Symbol,
   {
     trace::Span Sp("compile.o3", "jit");
     metrics::ScopedTimer T(*Stat.OptimizeSeconds);
-    std::unique_ptr<PassManager> PM = buildO3Pipeline(Config.O3);
+    // Tier-0 swaps in the fast preset (inline + mem2reg + one InstCombine
+    // + DCE, single iteration) while keeping every other O3 knob.
+    O3Options O3Opts = Config.O3;
+    if (Tier0)
+      O3Opts.Preset = O3Preset::Fast;
+    std::unique_ptr<PassManager> PM = buildO3Pipeline(O3Opts);
     PM->setTimingHook([this](const std::string &PassName, double Seconds) {
       Metrics.timer("o3.pass." + PassName).addSeconds(Seconds);
     });
@@ -419,18 +520,108 @@ JitRuntime::compileSpecialization(const std::string &Symbol,
     }
   }
 
-  // (5) Backend (includes the PTX assembler detour on nvptx-sim).
+  // (5) Backend (includes the PTX assembler detour on nvptx-sim). Tier-0
+  // uses the single-pass register allocator.
   {
     trace::Span Sp("compile.backend", "jit");
     metrics::ScopedTimer T(*Stat.BackendSeconds);
     BackendStats BS;
-    Out.Object = compileKernelToObject(*F, Dev.target(), &BS);
+    BackendOptions BO;
+    BO.RegAlloc.Fast = Tier0;
+    Out.Object = compileKernelToObject(*F, Dev.target(), &BS, BO);
   }
 
   // (6) Publish: insert into both cache levels before the in-flight entry
-  // is retired, so no launch can miss both.
-  Cache.insert(Hash, Out.Object);
+  // is retired, so no launch can miss both. The tier tag and pipeline
+  // fingerprint travel with the entry (including its persisted form), so
+  // a Tier-0 baseline is never mistaken for a final artifact later.
+  Cache.insert(Hash, Out.Object, Tier, jitPipelineFingerprint(Tier));
   return Out;
+}
+
+uint64_t JitRuntime::lookupSpecHash(const std::string &Symbol,
+                                    const SpecializationKey &Key) {
+  // Memo key: only the hash inputs that vary per launch. ModuleId, Arch
+  // and each kernel's annotated-argument indices are fixed for the
+  // runtime's lifetime, so they are implied by the symbol.
+  std::vector<uint64_t> MemoKey;
+  MemoKey.reserve(Key.FoldedArgs.size() + 1);
+  for (const RuntimeArgValue &V : Key.FoldedArgs)
+    MemoKey.push_back(V.Bits);
+  MemoKey.push_back(Key.LaunchBoundsThreads);
+  {
+    std::lock_guard<std::mutex> Lock(MemoMutex);
+    auto KIt = HashMemo.find(Symbol);
+    if (KIt != HashMemo.end()) {
+      auto It = KIt->second.find(MemoKey);
+      if (It != KIt->second.end()) {
+        Stat.HashMemoHits->add();
+        return It->second;
+      }
+    }
+  }
+  uint64_t Hash = computeSpecializationHash(Key);
+  std::lock_guard<std::mutex> Lock(MemoMutex);
+  HashMemo[Symbol].emplace(std::move(MemoKey), Hash);
+  return Hash;
+}
+
+void JitRuntime::scheduleTier1Promotion(const JitKernelInfo &Info,
+                                        const SpecializationKey &Key,
+                                        uint64_t Hash) {
+  if (!Pool)
+    return;
+  {
+    std::lock_guard<std::mutex> Lock(InFlightMutex);
+    if (!PromotionsInFlight.insert(Hash).second)
+      return; // a promotion for this specialization is already in flight
+  }
+  auto Unschedule = [this, Hash] {
+    std::lock_guard<std::mutex> Lock(InFlightMutex);
+    PromotionsInFlight.erase(Hash);
+  };
+  // The promotion compile materializes from the module index; when this
+  // runtime has not parsed the kernel yet (a persisted Tier-0 entry served
+  // on a fresh process), fetch the bitcode here — the NVIDIA readback is a
+  // device operation that must not run on a worker.
+  std::vector<uint8_t> Bitcode;
+  bool HaveIndex;
+  {
+    std::lock_guard<std::mutex> Lock(IndexMutex);
+    HaveIndex = ModuleIndexes.count(Info.Symbol) != 0;
+  }
+  if (!HaveIndex &&
+      fetchBitcode(Info, Bitcode, nullptr) != GpuError::Success) {
+    Unschedule();
+    return; // keep serving Tier-0; a later cold lookup may retry
+  }
+  trace::instant("jit.tier1_schedule");
+  bool Enqueued = Pool->enqueue(
+      [this, Symbol = Info.Symbol, Key, Hash, Unschedule,
+       BC = std::move(Bitcode)]() mutable {
+        CompileOutcome O = compileSpecialization(Symbol, std::move(BC), Key,
+                                                 Hash, CodeTier::Final);
+        if (O.Err == GpuError::Success) {
+          // Hot-swap: load the promoted binary and atomically replace the
+          // Tier-0 mapping under the device lock, so the next launch runs
+          // Tier-1 code. A racing launch either still maps Tier-0
+          // (correct, just unpromoted) or already sees the new kernel.
+          std::lock_guard<std::mutex> Lock(DevMutex);
+          LoadedKernel *K = nullptr;
+          if (gpuModuleLoad(Dev, &K, O.Object, nullptr) ==
+              GpuError::Success) {
+            Loaded[Hash] = K;
+            Stat.Tier1Promotions->add();
+            trace::instant("jit.tier1_promotion");
+          }
+        }
+        // A failed promotion keeps the Tier-0 entry: correct code, just
+        // not final.
+        Unschedule();
+      },
+      ThreadPool::Priority::Low);
+  if (!Enqueued)
+    Unschedule(); // pool is shutting down
 }
 
 void JitRuntime::completeJob(uint64_t Hash,
@@ -521,7 +712,7 @@ GpuError JitRuntime::launchKernel(const std::string &Symbol, Dim3 Grid,
     if (!buildKey(*Info, Block, Args, Key, Error))
       return GpuError::InvalidValue;
   }
-  uint64_t Hash = computeSpecializationHash(Key);
+  uint64_t Hash = lookupSpecHash(Symbol, Key);
 
   // --- Already loaded? -------------------------------------------------------
   {
@@ -540,6 +731,7 @@ GpuError JitRuntime::launchKernel(const std::string &Symbol, Dim3 Grid,
   std::shared_ptr<InFlightCompile> Job;
   bool Owner = false;
   std::optional<std::vector<uint8_t>> Object;
+  bool PromoteServed = false; // serving a Tier-0 entry: promote it
   {
     std::lock_guard<std::mutex> Lock(InFlightMutex);
     auto JIt = InFlight.find(Hash);
@@ -549,7 +741,26 @@ GpuError JitRuntime::launchKernel(const std::string &Symbol, Dim3 Grid,
       {
         trace::Span Sp("jit.cache_lookup", "jit");
         metrics::ScopedTimer T(*Stat.CacheLookupSeconds);
-        Object = Cache.lookup(Hash);
+        if (std::optional<CachedCode> CC = Cache.lookupEntry(Hash)) {
+          if (CC->PipelineFingerprint != jitPipelineFingerprint(CC->Tier)) {
+            // Produced by a different pipeline composition: recompile
+            // instead of serving a stale artifact (the insert replaces
+            // the entry in place).
+            trace::instant("jit.stale_pipeline_entry");
+          } else if (CC->Tier == CodeTier::Tier0) {
+            if (Config.Tier) {
+              // A Tier-0 baseline (typically persisted by a previous run
+              // that exited before promoting): serve it now, promote it
+              // in the background.
+              Object = std::move(CC->Object);
+              PromoteServed = !PromotionsInFlight.count(Hash);
+            }
+            // Tiering off: treat the baseline as a miss and compile the
+            // final artifact on the spot, overwriting the entry.
+          } else {
+            Object = std::move(CC->Object);
+          }
+        }
       }
       if (!Object) {
         Job = std::make_shared<InFlightCompile>();
@@ -558,26 +769,46 @@ GpuError JitRuntime::launchKernel(const std::string &Symbol, Dim3 Grid,
       }
     }
   }
+  if (PromoteServed)
+    scheduleTier1Promotion(*Info, Key, Hash);
 
   if (!Object) {
+    // With tiering on a miss is served by the fast Tier-0 pipeline and the
+    // full compile is promoted in the background afterwards.
+    const CodeTier MissTier =
+        Config.Tier ? CodeTier::Tier0 : CodeTier::Final;
     if (Owner) {
       // The bitcode fetch stays on the launching thread: the NVIDIA path
       // reads __jit_bc_<sym> back from device memory, a device operation.
+      // When the kernel's module index is already built the bitcode is
+      // not needed at all.
       std::vector<uint8_t> Bitcode;
-      std::string FetchError;
-      GpuError FE = fetchBitcode(*Info, Bitcode, &FetchError);
-      if (FE != GpuError::Success) {
-        completeJob(Hash, Job, CompileOutcome{FE, FetchError, {}});
-        if (Error)
-          *Error = FetchError;
-        return FE;
+      bool HaveIndex;
+      {
+        std::lock_guard<std::mutex> Lock(IndexMutex);
+        HaveIndex = ModuleIndexes.count(Symbol) != 0;
       }
-      if (!Pool) {
-        // Sync: compile inline; the full cost is launch-visible.
+      if (!HaveIndex) {
+        std::string FetchError;
+        GpuError FE = fetchBitcode(*Info, Bitcode, &FetchError);
+        if (FE != GpuError::Success) {
+          completeJob(Hash, Job, CompileOutcome{FE, FetchError, {}});
+          if (Error)
+            *Error = FetchError;
+          return FE;
+        }
+      }
+      if (Config.Async == JitConfig::AsyncMode::Sync) {
+        // Sync: compile inline; the full cost is launch-visible (with
+        // tiering on, only the Tier-0 cost).
         CompileOutcome O;
         {
+          Timer VisT;
           metrics::ScopedTimer T(*Stat.LaunchBlockedSeconds);
-          O = compileSpecialization(Symbol, std::move(Bitcode), Key, Hash);
+          O = compileSpecialization(Symbol, std::move(Bitcode), Key, Hash,
+                                    MissTier);
+          if (Config.Tier)
+            Stat.Tier0VisibleSeconds->addSeconds(VisT.seconds());
         }
         GpuError CE = O.Err;
         if (CE != GpuError::Success) {
@@ -588,15 +819,20 @@ GpuError JitRuntime::launchKernel(const std::string &Symbol, Dim3 Grid,
         }
         Object = O.Object;
         completeJob(Hash, Job, std::move(O));
+        if (Config.Tier)
+          scheduleTier1Promotion(*Info, Key, Hash);
       } else {
         Stat.AsyncCompiles->add();
         Timer QueueT;
-        Pool->enqueue([this, Symbol, Key, Hash, Job, QueueT,
+        Pool->enqueue([this, Info, Symbol, Key, Hash, Job, QueueT, MissTier,
                        BC = std::move(Bitcode)]() mutable {
           Stat.QueueWaitSeconds->addSeconds(QueueT.seconds());
-          completeJob(Hash, Job,
-                      compileSpecialization(Symbol, std::move(BC), Key,
-                                            Hash));
+          CompileOutcome O = compileSpecialization(Symbol, std::move(BC),
+                                                   Key, Hash, MissTier);
+          bool Ok = O.Err == GpuError::Success;
+          completeJob(Hash, Job, std::move(O));
+          if (Ok && MissTier == CodeTier::Tier0)
+            scheduleTier1Promotion(*Info, Key, Hash);
         });
       }
     } else {
@@ -628,8 +864,13 @@ GpuError JitRuntime::launchKernel(const std::string &Symbol, Dim3 Grid,
       const CompileOutcome *O;
       {
         trace::Span Sp("jit.inflight_wait", "jit");
+        Timer VisT;
         metrics::ScopedTimer T(*Stat.LaunchBlockedSeconds);
         O = &Job->Future.get();
+        // With tiering on, every in-flight launch-path compile is Tier-0,
+        // so the wait is Tier-0-visible time.
+        if (Config.Tier)
+          Stat.Tier0VisibleSeconds->addSeconds(VisT.seconds());
       }
       if (O->Err != GpuError::Success) {
         if (Error)

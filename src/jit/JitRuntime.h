@@ -35,6 +35,17 @@
 ///                compiles in the background and is hot-swapped in on a
 ///                later launch, as in tiered JITs.
 ///
+/// Orthogonally, PROTEUS_TIER=on enables tiered compilation of the
+/// specialized binary itself: a miss is served by a fast Tier-0 compile
+/// (argument specialization + a minimal cleanup pipeline + single-pass
+/// register allocation) while the full Tier-1 pipeline runs on the worker
+/// pool at low priority and atomically hot-swaps the loaded kernel once
+/// ready. Cache entries carry a tier tag and a pipeline fingerprint, so a
+/// persisted Tier-0 baseline found on a later run is served immediately
+/// and promoted in place rather than mistaken for a final artifact.
+/// Kernels are materialized from a parse-once module index that clones
+/// only the launched kernel's reachable call closure per specialization.
+///
 //===----------------------------------------------------------------------===//
 
 #ifndef PROTEUS_JIT_JITRUNTIME_H
@@ -50,8 +61,11 @@
 #include <memory>
 #include <mutex>
 #include <unordered_map>
+#include <unordered_set>
 
 namespace proteus {
+
+class KernelModuleIndex;
 
 /// Runtime configuration (environment-variable equivalents).
 struct JitConfig {
@@ -78,6 +92,16 @@ struct JitConfig {
   /// Worker threads for the async pipeline (PROTEUS_ASYNC_WORKERS).
   unsigned AsyncWorkers = 4;
   O3Options O3;
+
+  /// Tiered compilation (PROTEUS_TIER=off|on). When on, a cold launch is
+  /// served by a fast Tier-0 compile (O3Preset::Fast + fast register
+  /// allocation) and the full Tier-1 pipeline runs on the worker pool at
+  /// low priority, hot-swapping the loaded kernel and promoting the cache
+  /// entry in place once ready. Composes with every AsyncMode: in Sync the
+  /// Tier-0 compile runs inline (but far cheaper than the full pipeline);
+  /// in Fallback the generic binary covers the launch while even Tier-0
+  /// compiles in the background.
+  bool Tier = false;
 
   /// What to do with kernel-sanitizer findings (divergent barriers,
   /// shared-scratch races/OOB/uninitialized reads — see
@@ -108,6 +132,13 @@ struct JitConfig {
 
 const char *asyncModeName(JitConfig::AsyncMode M);
 const char *analyzeModeName(JitConfig::AnalyzeMode M);
+const char *tierModeName(bool TierEnabled);
+
+/// Fingerprint of the pipeline composition that produces \p Tier objects.
+/// Stored in every cache entry the runtime writes; an entry whose recorded
+/// fingerprint does not match the current value for its tier is treated as
+/// a miss (stale pipeline) instead of being served.
+uint64_t jitPipelineFingerprint(CodeTier Tier);
 
 /// Every JitRuntime statistic, defined exactly once: (field name, registry
 /// metric name). The lists expand into the JitRuntimeStats snapshot fields,
@@ -122,9 +153,24 @@ const char *analyzeModeName(JitConfig::AnalyzeMode M);
 /// kernel-sanitizer findings); AnalysisRejects (compiles failed by
 /// AnalyzeMode::Error); VerifyFailures (O3 passes caught breaking the IR
 /// in verify-each mode).
+///
+/// Tiering counters: Compilations counts full-pipeline (final-tier)
+/// compiles only; Tier0Compiles counts fast baseline compiles, and
+/// Tier1Promotions counts background promotions that replaced a served
+/// Tier-0 binary — so with PROTEUS_TIER=on a cold specialization
+/// eventually contributes one Tier0Compiles, one Compilations and one
+/// Tier1Promotions. AsyncCompiles keeps counting only launch-path pool
+/// dispatches, never internal promotion jobs. PrunedFunctions counts
+/// module-index functions skipped by closure-pruned materialization;
+/// HashMemoHits counts launches whose specialization hash was served by
+/// the per-kernel memo instead of being recomputed.
 #define PROTEUS_JIT_COUNTERS(X)                                                \
   X(Launches, "jit.launches")                                                  \
   X(Compilations, "jit.compilations")                                          \
+  X(Tier0Compiles, "jit.tier0_compiles")                                       \
+  X(Tier1Promotions, "jit.tier1_promotions")                                   \
+  X(PrunedFunctions, "jit.pruned_functions")                                   \
+  X(HashMemoHits, "jit.hash_memo_hits")                                        \
   X(AsyncCompiles, "jit.async_compiles")                                       \
   X(FallbackLaunches, "jit.fallback_launches")                                 \
   X(DedupedWaits, "jit.deduped_waits")                                         \
@@ -139,8 +185,13 @@ const char *analyzeModeName(JitConfig::AnalyzeMode M);
 /// compiles in Sync mode plus time launches spent blocked on a compile
 /// future in Block / dedup waits). Stage timers accumulate on every exit
 /// path, including compile errors (metrics::ScopedTimer).
+/// Tier0VisibleSeconds is the slice of LaunchBlockedSeconds incurred while
+/// tiering is on — i.e. the launch-visible cost of the Tier-0 pipeline,
+/// the number the tiered cold-start benchmark compares against a
+/// full-pipeline baseline.
 #define PROTEUS_JIT_TIMERS(X)                                                  \
   X(BitcodeFetchSeconds, "jit.bitcode_fetch_seconds")                          \
+  X(Tier0VisibleSeconds, "jit.tier0_visible_seconds")                          \
   X(BitcodeParseSeconds, "jit.bitcode_parse_seconds")                          \
   X(LinkGlobalsSeconds, "jit.link_globals_seconds")                            \
   X(SpecializeSeconds, "jit.specialize_seconds")                               \
@@ -248,10 +299,34 @@ private:
                 SpecializationKey &Out, std::string *Error) const;
   gpu::GpuError fetchBitcode(const JitKernelInfo &Info,
                              std::vector<uint8_t> &Out, std::string *Error);
+  /// Compiles one specialization at \p Tier. Tier0 selects the fast O3
+  /// preset and fast register allocation and counts Tier0Compiles; Final
+  /// runs the full pipeline and counts Compilations. Both tag their cache
+  /// insert with the tier and its pipeline fingerprint. \p Bitcode may be
+  /// empty when the kernel's module index was already built.
   CompileOutcome compileSpecialization(const std::string &Symbol,
                                        std::vector<uint8_t> Bitcode,
                                        const SpecializationKey &Key,
-                                       uint64_t Hash);
+                                       uint64_t Hash,
+                                       CodeTier Tier = CodeTier::Final);
+  /// Returns the kernel's parse-once module index, building (and caching)
+  /// it from \p Bitcode on first use. Null with \p Error set on parse
+  /// failure or when no index exists and \p Bitcode is empty.
+  std::shared_ptr<const KernelModuleIndex>
+  getOrBuildIndex(const std::string &Symbol,
+                  const std::vector<uint8_t> &Bitcode, std::string *Error);
+  /// Memoized computeSpecializationHash: per (kernel, annotated-arg
+  /// values, launch-bounds threads) the hash is computed once and served
+  /// from a map afterwards (HashMemoHits counts the served launches).
+  uint64_t lookupSpecHash(const std::string &Symbol,
+                          const SpecializationKey &Key);
+  /// Enqueues the Tier-1 promotion compile for \p Hash at low pool
+  /// priority (deduplicated; at most one promotion per hash in flight).
+  /// On success the promoted binary replaces the cache entry in place and
+  /// hot-swaps the loaded kernel under DevMutex. Fetches bitcode on the
+  /// calling thread first when the kernel's module index is not built yet.
+  void scheduleTier1Promotion(const JitKernelInfo &Info,
+                              const SpecializationKey &Key, uint64_t Hash);
   void completeJob(uint64_t Hash, const std::shared_ptr<InFlightCompile> &Job,
                    CompileOutcome Outcome);
   /// Loads the generic AOT binary (once) and launches it; returns
@@ -303,10 +378,29 @@ private:
   /// number of waiters (the dedup structure of the async pipeline).
   std::mutex InFlightMutex;
   std::unordered_map<uint64_t, std::shared_ptr<InFlightCompile>> InFlight;
+  /// Hashes with a Tier-1 promotion scheduled or running (also guarded by
+  /// InFlightMutex); keeps a launch storm over a Tier-0 entry from
+  /// enqueueing redundant promotions.
+  std::unordered_set<uint64_t> PromotionsInFlight;
 
-  /// Worker pool for Block/Fallback modes; null in Sync mode. Declared
-  /// last so it is destroyed (drained and joined) before any state the
-  /// compile tasks reference.
+  /// Parse-once module indexes, one per kernel symbol: the pruned
+  /// parsed-module cache. Tier-0, Tier-1 and plain compiles all
+  /// materialize their module from here instead of re-parsing bitcode.
+  std::mutex IndexMutex;
+  std::map<std::string, std::shared_ptr<const KernelModuleIndex>>
+      ModuleIndexes;
+
+  /// Specialization-hash memo: kernel symbol -> (folded argument bits,
+  /// launch-bounds threads) -> hash. Valid because ModuleId, Arch and each
+  /// kernel's annotated-argument indices are fixed for the runtime's
+  /// lifetime, so those hash inputs are implied by the symbol.
+  std::mutex MemoMutex;
+  std::unordered_map<std::string, std::map<std::vector<uint64_t>, uint64_t>>
+      HashMemo;
+
+  /// Worker pool for Block/Fallback modes and for Tier-1 promotions when
+  /// tiering is on; null otherwise. Declared last so it is destroyed
+  /// (drained and joined) before any state the compile tasks reference.
   std::unique_ptr<ThreadPool> Pool;
 };
 

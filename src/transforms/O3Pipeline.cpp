@@ -18,6 +18,19 @@
 using namespace proteus;
 
 std::unique_ptr<PassManager> proteus::buildO3Pipeline(const O3Options &Opts) {
+  if (Opts.Preset == O3Preset::Fast) {
+    // Tier-0 baseline preset: one non-iterated sweep. The inliner stays
+    // because codegen requires all calls inlined; it fixpoints internally
+    // within its single invocation, so one iteration fully flattens nested
+    // calls.
+    auto PM = std::make_unique<PassManager>(/*MaxIterations=*/1);
+    PM->setVerifyEach(Opts.VerifyEach);
+    PM->addPass(std::make_unique<InlinerPass>());
+    PM->addPass(std::make_unique<Mem2RegPass>());
+    PM->addPass(std::make_unique<InstCombinePass>());
+    PM->addPass(std::make_unique<DCEPass>());
+    return PM;
+  }
   // Two fixpoint iterations of the scalar section are enough in practice;
   // the second run picks up opportunities exposed by unrolling.
   auto PM = std::make_unique<PassManager>(/*MaxIterations=*/3);

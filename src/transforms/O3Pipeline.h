@@ -19,9 +19,18 @@
 
 namespace proteus {
 
+/// Which pipeline to build. Full is the aggressive fixpoint pipeline; Fast
+/// is the Tier-0 baseline-compiler preset: inline (a codegen precondition —
+/// the backend requires all calls inlined), mem2reg, one InstCombine
+/// constant-fold sweep, and DCE, run exactly once. Everything costly
+/// (SimplifyCFG/CSE/LICM/unroll and fixpoint iteration) is deferred to the
+/// background Tier-1 recompile.
+enum class O3Preset { Full, Fast };
+
 /// Pipeline configuration. Defaults correspond to the full O3 behaviour.
 struct O3Options {
   UnrollOptions Unroll;
+  O3Preset Preset = O3Preset::Full;
   /// Verify IR after every pass (slow; enabled by tests).
   bool VerifyEach = false;
 };

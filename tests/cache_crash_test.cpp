@@ -180,4 +180,104 @@ TEST(CacheCrashTest, EndToEndJitRecompilesAfterCorruption) {
   RunOnce(0); // the re-persisted entry is valid again
 }
 
+TEST(CacheCrashTest, TierTagAndFingerprintSurviveDiskRoundTrip) {
+  TempDir Tmp;
+  const std::vector<uint8_t> Obj = objBlob();
+  const uint64_t Fp0 = jitPipelineFingerprint(CodeTier::Tier0);
+  const uint64_t FpF = jitPipelineFingerprint(CodeTier::Final);
+  {
+    CodeCache C(false, true, Tmp.Path);
+    C.insert(21, Obj, CodeTier::Tier0, Fp0);
+    C.insert(22, Obj, CodeTier::Final, FpF);
+  }
+  // A fresh cache (fresh process) must decode both tags from the frame.
+  CodeCache C2(false, true, Tmp.Path);
+  auto T0 = C2.lookupEntry(21);
+  ASSERT_TRUE(T0.has_value());
+  EXPECT_EQ(T0->Object, Obj);
+  EXPECT_EQ(T0->Tier, CodeTier::Tier0);
+  EXPECT_EQ(T0->PipelineFingerprint, Fp0);
+  auto Fin = C2.lookupEntry(22);
+  ASSERT_TRUE(Fin.has_value());
+  EXPECT_EQ(Fin->Tier, CodeTier::Final);
+  EXPECT_EQ(Fin->PipelineFingerprint, FpF);
+}
+
+TEST(CacheCrashTest, FlippedTierMetadataIsRejectedByIntegrityHash) {
+  // The integrity hash covers the tier tag and pipeline fingerprint, not
+  // just the payload: flipping either turns the entry into a detected
+  // corruption, never a Final-masquerading Tier-0 (or stale-pipeline)
+  // binary.
+  for (size_t Offset : {size_t(32) /* fingerprint */, size_t(40) /* tier */}) {
+    TempDir Tmp;
+    CodeCache C(false, true, Tmp.Path);
+    C.insert(33, objBlob(), CodeTier::Tier0,
+             jitPipelineFingerprint(CodeTier::Tier0));
+    std::string Path = onlyCacheFile(Tmp.Path);
+    auto Bytes = fs::readFile(Path);
+    ASSERT_TRUE(Bytes.has_value());
+    (*Bytes)[Offset] ^= 0x01;
+    ASSERT_TRUE(fs::writeFile(Path, *Bytes));
+    EXPECT_FALSE(C.lookupEntry(33).has_value())
+        << "flipped metadata byte at " << Offset << " must be a miss";
+    EXPECT_EQ(C.stats().CorruptPersistentEntries, 1u);
+    EXPECT_FALSE(fs::exists(Path)) << "corrupt entry must be deleted";
+  }
+}
+
+TEST(CacheCrashTest, Tier0InsertNeverDowngradesFinalEntry) {
+  // A racing Tier-0 compile finishing after the Tier-1 promotion (or a
+  // replayed persist) must not replace the better artifact at either level.
+  TempDir Tmp;
+  std::vector<uint8_t> FinalObj = objBlob();
+  std::vector<uint8_t> Tier0Obj(128, 0x5A);
+  CodeCache C(true, true, Tmp.Path);
+  C.insert(55, FinalObj, CodeTier::Final,
+           jitPipelineFingerprint(CodeTier::Final));
+  C.insert(55, Tier0Obj, CodeTier::Tier0,
+           jitPipelineFingerprint(CodeTier::Tier0));
+
+  auto Mem = C.lookupEntry(55); // served by the memory level
+  ASSERT_TRUE(Mem.has_value());
+  EXPECT_EQ(Mem->Tier, CodeTier::Final);
+  EXPECT_EQ(Mem->Object, FinalObj);
+
+  C.clearMemory(); // force the persistent level
+  auto Disk = C.lookupEntry(55);
+  ASSERT_TRUE(Disk.has_value());
+  EXPECT_EQ(Disk->Tier, CodeTier::Final) << "disk level was downgraded";
+  EXPECT_EQ(Disk->Object, FinalObj);
+}
+
+TEST(CacheCrashTest, CrashBetweenTier0PersistAndPromotionRecovers) {
+  // A run that persisted its Tier-0 baseline and died before the Tier-1
+  // promotion leaves a valid, loadable Tier-0 entry — the next run serves
+  // it and completes the promotion by re-inserting in place.
+  TempDir Tmp;
+  const std::vector<uint8_t> Baseline = objBlob();
+  {
+    CodeCache DyingRun(false, true, Tmp.Path);
+    DyingRun.insert(77, Baseline, CodeTier::Tier0,
+                    jitPipelineFingerprint(CodeTier::Tier0));
+  } // promotion never happened
+
+  CodeCache NextRun(false, true, Tmp.Path);
+  auto Recovered = NextRun.lookupEntry(77);
+  ASSERT_TRUE(Recovered.has_value()) << "Tier-0 baseline lost";
+  EXPECT_EQ(Recovered->Object, Baseline);
+  EXPECT_EQ(Recovered->Tier, CodeTier::Tier0);
+  EXPECT_EQ(NextRun.stats().CorruptPersistentEntries, 0u);
+
+  // The promotion this run performs overwrites the slot with the Final
+  // artifact; yet another run must see only the promoted entry.
+  std::vector<uint8_t> Promoted(192, 0x3C);
+  NextRun.insert(77, Promoted, CodeTier::Final,
+                 jitPipelineFingerprint(CodeTier::Final));
+  CodeCache ThirdRun(false, true, Tmp.Path);
+  auto Entry = ThirdRun.lookupEntry(77);
+  ASSERT_TRUE(Entry.has_value());
+  EXPECT_EQ(Entry->Tier, CodeTier::Final);
+  EXPECT_EQ(Entry->Object, Promoted);
+}
+
 } // namespace

@@ -117,17 +117,23 @@ struct Harness {
   }
 };
 
-/// Single-threaded synchronous reference execution.
+/// Single-threaded synchronous reference execution. Async mode is forced
+/// to Sync regardless of the environment (the CI battery re-runs this file
+/// with PROTEUS_ASYNC set) so the baseline stays a synchronous reference;
+/// tiering may still be enabled, in which case the drain below lets every
+/// background Tier-1 promotion land before the compile count is checked.
 std::vector<std::vector<uint8_t>> baselineResults(const CompiledProgram &Prog,
                                                   GpuArch Arch) {
   JitConfig JC = JitConfig::fromEnvironment();
   JC.UsePersistentCache = false;
+  JC.Async = JitConfig::AsyncMode::Sync;
   Harness H(Prog, Arch, JC);
   std::vector<std::vector<uint8_t>> Out;
   for (const WorkItem &W : makeWorkItems()) {
     std::string Err;
     EXPECT_EQ(H.launch(W, &Err), GpuError::Success) << Err;
   }
+  H.Jit.drain();
   EXPECT_EQ(H.Jit.stats().Compilations, uint64_t(NumKernels * NumSpecs));
   for (unsigned I = 0; I != NumKernels * NumSpecs; ++I)
     Out.push_back(H.readOut(I));

@@ -287,6 +287,52 @@ TEST(JitRuntimeTest, SameSpecializationHitsCacheDifferentMisses) {
   EXPECT_GT(Jit.cache().memoryBytes(), 0u);
 }
 
+TEST(JitRuntimeTest, SpecializationHashIsMemoizedPerArgValues) {
+  // The launch fast path must not rehash the full specialization key on
+  // every call: the hash is memoized per (kernel, annotated-arg values,
+  // launch-bounds threads), and HashMemoHits proves the memo serves
+  // repeated launches while distinct specializations still miss it.
+  Context Ctx;
+  Module M(Ctx, "app");
+  buildDaxpyKernel(M);
+  AotOptions AO;
+  AO.Arch = GpuArch::AmdGcnSim;
+  AO.EnableProteusExtensions = true;
+  CompiledProgram Prog = aotCompile(M, AO);
+
+  Device Dev(getAmdGcnSimTarget(), 1 << 22);
+  JitConfig JC;
+  JC.UsePersistentCache = false;
+  JitRuntime Jit(Dev, Prog.ModuleId, JC);
+  LoadedProgram LP(Dev, Prog, &Jit);
+  ASSERT_TRUE(LP.ok()) << LP.error();
+
+  DevicePtr X = 0, Y = 0;
+  gpuMalloc(Dev, &X, 64 * 8);
+  gpuMalloc(Dev, &Y, 64 * 8);
+  std::string Err;
+  auto Launch = [&](double A, uint32_t N) {
+    std::vector<KernelArg> Args = {{sem::boxF64(A)}, {X}, {Y}, {N}};
+    ASSERT_EQ(LP.launch("daxpy", Dim3{2, 1, 1}, Dim3{32, 1, 1}, Args, &Err),
+              GpuError::Success)
+        << Err;
+  };
+
+  Launch(3.0, 64); // first sighting of this key: computes and memoizes
+  EXPECT_EQ(Jit.stats().HashMemoHits, 0u);
+  Launch(3.0, 64);
+  Launch(3.0, 64);
+  EXPECT_EQ(Jit.stats().HashMemoHits, 2u)
+      << "repeat launches must be served by the memo";
+  Launch(4.0, 64); // different folded value: a genuine memo miss
+  EXPECT_EQ(Jit.stats().HashMemoHits, 2u);
+  Launch(4.0, 64);
+  EXPECT_EQ(Jit.stats().HashMemoHits, 3u);
+  // The memo only short-circuits hashing — cache behaviour is unchanged.
+  EXPECT_EQ(Jit.stats().Compilations, 2u);
+  EXPECT_EQ(Jit.stats().Launches, 5u);
+}
+
 TEST(JitRuntimeTest, PersistentCacheSurvivesProcessRestart) {
   TempDir Tmp;
   Context Ctx;

@@ -25,6 +25,7 @@ TESTS=(
   cache_crash_test
   jit_test
   jit_concurrency_test
+  tiered_jit_test
   trace_test
   observability_test
   analysis_test
@@ -67,6 +68,17 @@ echo "== TSan: jit_concurrency_test (PROTEUS_ANALYZE=error, PROTEUS_VERIFY_EACH=
 if ! PROTEUS_ANALYZE=error PROTEUS_VERIFY_EACH=1 \
      "${BUILD_DIR}/tests/jit_concurrency_test"; then
   echo "!! jit_concurrency_test FAILED under ThreadSanitizer with analysis enabled"
+  STATUS=1
+fi
+
+# Tiered compilation under contention: every launch-path miss compiles
+# Tier-0 while the generic binary covers the launch, and the background
+# Tier-1 promotion hot-swaps loaded kernels racing against the launch
+# storm — the richest cross-thread interleaving the runtime has.
+echo "== TSan: jit_concurrency_test (PROTEUS_TIER=on, PROTEUS_ASYNC=fallback) =="
+if ! PROTEUS_TIER=on PROTEUS_ASYNC=fallback \
+     "${BUILD_DIR}/tests/jit_concurrency_test"; then
+  echo "!! jit_concurrency_test FAILED under ThreadSanitizer with tiering enabled"
   STATUS=1
 fi
 
