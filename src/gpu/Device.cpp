@@ -77,8 +77,16 @@ void L2Cache::reset() {
 }
 
 Device::Device(const TargetInfo &Target, uint64_t MemoryBytes)
-    : Target(Target), Memory(MemoryBytes, 0),
-      L2(Target.L2Bytes, 128, 16) {}
+    : Target(Target), Memory(MemoryBytes, 0), L2(Target.L2Bytes, 128, 16) {
+  // Stream 0 is the legacy default stream; it always exists.
+  Streams.emplace_back(new Stream(*this, 0));
+}
+
+Stream *Device::createStream() {
+  Streams.emplace_back(
+      new Stream(*this, static_cast<unsigned>(Streams.size())));
+  return Streams.back().get();
+}
 
 DevicePtr Device::allocate(uint64_t Bytes) {
   if (Bytes == 0)
@@ -107,12 +115,22 @@ DevicePtr Device::allocate(uint64_t Bytes) {
   return P;
 }
 
-void Device::free(DevicePtr P) {
+FreeStatus Device::free(DevicePtr P) {
   auto It = Allocations.find(P);
-  if (It == Allocations.end())
-    return;
+  if (It == Allocations.end()) {
+    // Distinguish a double free (the block is sitting on the free list)
+    // from a pointer that was never an allocation start.
+    for (const auto &Blk : FreeList)
+      if (Blk.first == P) {
+        ++DoubleFreeCount;
+        return FreeStatus::DoubleFree;
+      }
+    ++UnknownFreeCount;
+    return FreeStatus::Unknown;
+  }
   FreeList.push_back({It->first, It->second});
   Allocations.erase(It);
+  return FreeStatus::Ok;
 }
 
 DevicePtr Device::registerGlobal(const std::string &Symbol, uint64_t Bytes,

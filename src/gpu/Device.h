@@ -7,9 +7,9 @@
 /// \file
 /// The simulated GPU device: global memory with a bump-with-free-list
 /// allocator, a symbol table for device global variables, loaded code
-/// modules, an L2 cache model, and the simulated clock that accumulates
-/// kernel and transfer time. The HIP/CUDA-like entry points in Runtime.h
-/// operate on this object.
+/// modules, an L2 cache model, and the per-stream simulated timelines that
+/// track kernel and transfer time (see Stream.h for the timeline model).
+/// The HIP/CUDA-like entry points in Runtime.h operate on this object.
 ///
 //===----------------------------------------------------------------------===//
 
@@ -19,6 +19,7 @@
 #include "codegen/MachineIR.h"
 #include "codegen/Target.h"
 #include "gpu/LaunchStats.h"
+#include "gpu/Stream.h"
 
 #include <map>
 #include <memory>
@@ -55,6 +56,15 @@ struct LoadedKernel {
   GpuArch Arch;
 };
 
+/// Outcome of Device::free — unknown and double frees are counted and
+/// reported instead of silently ignored, so leak/double-free bugs in
+/// multi-stream programs fail loudly.
+enum class FreeStatus {
+  Ok,
+  Unknown,    ///< pointer was never a live allocation start
+  DoubleFree, ///< pointer matches an allocation already on the free list
+};
+
 /// One simulated GPU.
 class Device {
 public:
@@ -62,13 +72,23 @@ public:
 
   const TargetInfo &target() const { return Target; }
 
+  /// Index of this device within its DeviceManager (0 for standalone
+  /// devices); used as the device half of trace lane ids.
+  unsigned ordinal() const { return Ordinal; }
+  void setOrdinal(unsigned O) { Ordinal = O; }
+
   // -- Memory --------------------------------------------------------------
 
   /// Allocates \p Bytes of device memory; returns 0 on exhaustion.
   DevicePtr allocate(uint64_t Bytes);
 
-  /// Frees a prior allocation (no-op for unknown pointers).
-  void free(DevicePtr P);
+  /// Frees a prior allocation. Unknown pointers and double frees are
+  /// diagnosed (counted, see unknownFrees()/doubleFrees()) instead of
+  /// silently ignored.
+  FreeStatus free(DevicePtr P);
+
+  uint64_t unknownFrees() const { return UnknownFreeCount; }
+  uint64_t doubleFrees() const { return DoubleFreeCount; }
 
   std::vector<uint8_t> &memory() { return Memory; }
 
@@ -94,21 +114,64 @@ public:
   LoadedKernel *loadKernel(const std::vector<uint8_t> &Object,
                            std::string *Error = nullptr);
 
-  // -- Simulated time ---------------------------------------------------------
+  // -- Streams ---------------------------------------------------------------
 
-  /// Total simulated device seconds (kernels + transfers).
-  double simulatedSeconds() const { return SimSeconds; }
-  void addSimulatedSeconds(double S) { SimSeconds += S; }
-  void resetSimulatedTime() { SimSeconds = 0.0; }
+  /// The legacy default stream (id 0); target of the synchronous API.
+  Stream &defaultStream() { return *Streams.front(); }
 
-  /// Accumulated kernel-only simulated time.
+  /// Creates a new independent stream (hip/cudaStreamCreate).
+  Stream *createStream();
+
+  /// Stream by id, or null when out of range.
+  Stream *stream(unsigned Id) {
+    return Id < Streams.size() ? Streams[Id].get() : nullptr;
+  }
+
+  unsigned numStreams() const { return static_cast<unsigned>(Streams.size()); }
+
+  // -- Simulated time --------------------------------------------------------
+
+  /// Simulated device makespan: the completion time of all work enqueued on
+  /// any stream. With only the default stream in use this equals the old
+  /// serial accumulate-everything clock.
+  double simulatedSeconds() const {
+    double Max = 0.0;
+    for (const auto &S : Streams)
+      if (S->tailSeconds() > Max)
+        Max = S->tailSeconds();
+    return Max;
+  }
+
+  /// Charges \p S seconds of serial (full-barrier) work: the op starts at
+  /// the current makespan — after everything on every stream — and lands on
+  /// the default stream's timeline, like a CUDA legacy-default-stream op.
+  void chargeSerial(double S, const char *TraceName = nullptr) {
+    defaultStream().waitUntil(simulatedSeconds());
+    defaultStream().enqueue(S, TraceName);
+  }
+
+  /// Legacy name for chargeSerial (pre-stream callers).
+  void addSimulatedSeconds(double S) { chargeSerial(S); }
+
+  void resetSimulatedTime() {
+    for (auto &S : Streams)
+      S->resetTimeline();
+  }
+
+  /// Accumulated kernel-only simulated time (sum over all streams).
   double kernelSeconds() const { return KernelSeconds; }
   void addKernelSeconds(double S) { KernelSeconds += S; }
 
   /// Restores both clocks to a prior reading (used by the auto-tuner to
-  /// exclude trial launches from program accounting).
+  /// exclude trial launches from program accounting). Trial launches are
+  /// synchronous, so rewinding collapses onto the default stream: its tail
+  /// is set to \p Sim and every other stream is clamped down to it.
   void restoreClock(double Sim, double Kernel) {
-    SimSeconds = Sim;
+    for (auto &S : Streams)
+      if (S->tailSeconds() > Sim)
+        S->resetTimeline();
+    defaultStream().resetTimeline();
+    defaultStream().waitUntil(Sim);
     KernelSeconds = Kernel;
   }
 
@@ -129,8 +192,11 @@ private:
   std::unordered_map<std::string, DevicePtr> Symbols;
   std::vector<std::unique_ptr<LoadedKernel>> Kernels;
   L2Cache L2;
-  double SimSeconds = 0.0;
+  std::vector<std::unique_ptr<Stream>> Streams;
   double KernelSeconds = 0.0;
+  unsigned Ordinal = 0;
+  uint64_t UnknownFreeCount = 0;
+  uint64_t DoubleFreeCount = 0;
 };
 
 } // namespace gpu

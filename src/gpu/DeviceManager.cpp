@@ -1,0 +1,110 @@
+//===- DeviceManager.cpp - pool of simulated devices -----------------------------===//
+//
+// Part of the Proteus reproduction project.
+//
+//===----------------------------------------------------------------------===//
+
+#include "gpu/DeviceManager.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+
+using namespace proteus;
+using namespace proteus::gpu;
+
+namespace {
+
+void emitConfigWarning(std::vector<std::string> *Warnings, std::string Msg) {
+  if (Warnings)
+    Warnings->push_back(std::move(Msg));
+  else
+    std::fprintf(stderr, "proteus: warning: %s\n", Msg.c_str());
+}
+
+/// Strict unsigned parse in [Lo, Hi]; returns false on any malformation.
+bool parseBounded(const std::string &S, unsigned long Lo, unsigned long Hi,
+                  unsigned *Out) {
+  if (S.empty() || S.find_first_not_of("0123456789") != std::string::npos)
+    return false;
+  unsigned long N = std::strtoul(S.c_str(), nullptr, 10);
+  if (N < Lo || N > Hi)
+    return false;
+  *Out = static_cast<unsigned>(N);
+  return true;
+}
+
+} // namespace
+
+DeviceManager::Config
+DeviceManager::configFromEnvironment(std::vector<std::string> *Warnings) {
+  Config C;
+  if (const char *N = std::getenv("PROTEUS_NUM_DEVICES")) {
+    if (!parseBounded(N, 1, 64, &C.NumDevices))
+      emitConfigWarning(Warnings,
+                        "ignoring invalid PROTEUS_NUM_DEVICES value '" +
+                            std::string(N) +
+                            "' (expected an integer in [1, 64])");
+  }
+  if (const char *S = std::getenv("PROTEUS_DEFAULT_STREAMS")) {
+    if (!parseBounded(S, 1, 256, &C.StreamsPerDevice))
+      emitConfigWarning(Warnings,
+                        "ignoring invalid PROTEUS_DEFAULT_STREAMS value '" +
+                            std::string(S) +
+                            "' (expected an integer in [1, 256])");
+  }
+  if (const char *A = std::getenv("PROTEUS_DEVICE_ARCHS")) {
+    std::vector<GpuArch> Archs;
+    bool Ok = true;
+    std::string Rest = A;
+    while (!Rest.empty()) {
+      size_t Comma = Rest.find(',');
+      std::string Tok = Rest.substr(0, Comma);
+      Rest = Comma == std::string::npos ? "" : Rest.substr(Comma + 1);
+      if (Tok == gpuArchName(GpuArch::AmdGcnSim))
+        Archs.push_back(GpuArch::AmdGcnSim);
+      else if (Tok == gpuArchName(GpuArch::NvPtxSim))
+        Archs.push_back(GpuArch::NvPtxSim);
+      else {
+        Ok = false;
+        break;
+      }
+    }
+    if (Ok && !Archs.empty())
+      C.Archs = std::move(Archs);
+    else
+      emitConfigWarning(
+          Warnings, "ignoring invalid PROTEUS_DEVICE_ARCHS value '" +
+                        std::string(A) +
+                        "' (expected a comma-separated list of "
+                        "amdgcn-sim|nvptx-sim)");
+  }
+  return C;
+}
+
+DeviceManager::DeviceManager(const Config &C) {
+  std::vector<GpuArch> Archs =
+      C.Archs.empty() ? std::vector<GpuArch>{GpuArch::AmdGcnSim} : C.Archs;
+  unsigned N = C.NumDevices ? C.NumDevices : 1;
+  for (unsigned I = 0; I != N; ++I) {
+    const TargetInfo &TI = getTarget(Archs[I % Archs.size()]);
+    Devices.emplace_back(new Device(TI, C.MemoryBytesPerDevice));
+    Devices.back()->setOrdinal(I);
+    for (unsigned S = 1; S < C.StreamsPerDevice; ++S)
+      Devices.back()->createStream();
+  }
+}
+
+double DeviceManager::totalSimulatedSeconds() const {
+  double Sum = 0.0;
+  for (const auto &D : Devices)
+    Sum += D->simulatedSeconds();
+  return Sum;
+}
+
+double DeviceManager::makespanSeconds() const {
+  double Max = 0.0;
+  for (const auto &D : Devices)
+    Max = std::max(Max, D->simulatedSeconds());
+  return Max;
+}

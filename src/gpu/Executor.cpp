@@ -395,10 +395,11 @@ LaunchResult proteus::gpu::launchKernel(Device &Dev,
   if (!Out.Error.empty())
     return Out;
 
+  // The executor computes the launch's cost but does not charge any stream
+  // timeline: the Runtime.h wrappers decide which timeline pays (serial
+  // barrier for gpuLaunchKernel, the target stream for the Async variant).
   applyPerfModel(Dev.target(), S);
   Dev.LastLaunch = S;
-  Dev.addSimulatedSeconds(S.DurationSec);
-  Dev.addKernelSeconds(S.DurationSec);
   auto It = Dev.Profile.find(S.Kernel);
   if (It == Dev.Profile.end()) {
     Dev.Profile[S.Kernel] = S;

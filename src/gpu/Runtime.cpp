@@ -8,6 +8,8 @@
 
 #include "gpu/PerfModel.h"
 #include "support/Error.h"
+#include "support/Metrics.h"
+#include "support/Trace.h"
 
 #include <cstring>
 
@@ -42,8 +44,17 @@ GpuError proteus::gpu::gpuMalloc(Device &Dev, DevicePtr *Out,
 }
 
 GpuError proteus::gpu::gpuFree(Device &Dev, DevicePtr P) {
-  Dev.free(P);
-  return GpuError::Success;
+  switch (Dev.free(P)) {
+  case FreeStatus::Ok:
+    return GpuError::Success;
+  case FreeStatus::Unknown:
+    metrics::processRegistry().counter("gpu.free_unknown").add();
+    return GpuError::InvalidValue;
+  case FreeStatus::DoubleFree:
+    metrics::processRegistry().counter("gpu.free_double").add();
+    return GpuError::InvalidValue;
+  }
+  proteus_unreachable("unknown free status");
 }
 
 GpuError proteus::gpu::gpuMemcpyHtoD(Device &Dev, DevicePtr Dst,
@@ -51,7 +62,7 @@ GpuError proteus::gpu::gpuMemcpyHtoD(Device &Dev, DevicePtr Dst,
   if (!Dev.validRange(Dst, Bytes))
     return GpuError::InvalidValue;
   std::memcpy(Dev.memory().data() + Dst, Src, Bytes);
-  Dev.addSimulatedSeconds(transferSeconds(Dev.target(), Bytes));
+  Dev.chargeSerial(transferSeconds(Dev.target(), Bytes), "memcpyHtoD");
   return GpuError::Success;
 }
 
@@ -60,7 +71,7 @@ GpuError proteus::gpu::gpuMemcpyDtoH(Device &Dev, void *Dst, DevicePtr Src,
   if (!Dev.validRange(Src, Bytes))
     return GpuError::InvalidValue;
   std::memcpy(Dst, Dev.memory().data() + Src, Bytes);
-  Dev.addSimulatedSeconds(transferSeconds(Dev.target(), Bytes));
+  Dev.chargeSerial(transferSeconds(Dev.target(), Bytes), "memcpyDtoH");
   return GpuError::Success;
 }
 
@@ -69,7 +80,7 @@ GpuError proteus::gpu::gpuMemset(Device &Dev, DevicePtr Dst, uint8_t Value,
   if (!Dev.validRange(Dst, Bytes))
     return GpuError::InvalidValue;
   std::memset(Dev.memory().data() + Dst, Value, Bytes);
-  Dev.addSimulatedSeconds(transferSeconds(Dev.target(), Bytes) / 2);
+  Dev.chargeSerial(transferSeconds(Dev.target(), Bytes) / 2, "memset");
   return GpuError::Success;
 }
 
@@ -101,10 +112,16 @@ GpuError proteus::gpu::gpuModuleLoad(Device &Dev, LoadedKernel **Out,
     return GpuError::InvalidValue;
   // Module loading costs simulated time proportional to the binary size
   // (driver upload + setup).
-  Dev.addSimulatedSeconds(20e-6 +
-                          transferSeconds(Dev.target(), Object.size()));
+  Dev.chargeSerial(20e-6 + transferSeconds(Dev.target(), Object.size()),
+                   "moduleLoad");
   *Out = K;
   return GpuError::Success;
+}
+
+// Trace-lane label for a kernel launch; interning keeps the pointer valid
+// for the session. Null when tracing is off so Stream::enqueue skips it.
+static const char *kernelTraceName(const LoadedKernel &Kernel) {
+  return trace::enabled() ? trace::internName(Kernel.MF.Name) : nullptr;
 }
 
 GpuError proteus::gpu::gpuLaunchKernel(Device &Dev,
@@ -118,5 +135,106 @@ GpuError proteus::gpu::gpuLaunchKernel(Device &Dev,
       *Error = R.Error;
     return GpuError::LaunchFailure;
   }
+  Dev.chargeSerial(R.Stats.DurationSec, kernelTraceName(Kernel));
+  Dev.addKernelSeconds(R.Stats.DurationSec);
+  return GpuError::Success;
+}
+
+GpuError proteus::gpu::gpuStreamCreate(Device &Dev, Stream **Out) {
+  if (!Out)
+    return GpuError::InvalidValue;
+  *Out = Dev.createStream();
+  return GpuError::Success;
+}
+
+GpuError proteus::gpu::gpuStreamSynchronize(Device &Dev, Stream *S) {
+  if (S && &S->device() != &Dev)
+    return GpuError::InvalidValue;
+  // Functional effects are applied at enqueue time, so draining a stream
+  // has nothing left to do in either the value or timing model.
+  return GpuError::Success;
+}
+
+GpuError proteus::gpu::gpuDeviceSynchronize(Device &) {
+  return GpuError::Success;
+}
+
+GpuError proteus::gpu::gpuMemcpyHtoDAsync(Device &Dev, DevicePtr Dst,
+                                          const void *Src, uint64_t Bytes,
+                                          Stream *S) {
+  if (!S)
+    return gpuMemcpyHtoD(Dev, Dst, Src, Bytes);
+  if (&S->device() != &Dev || !Dev.validRange(Dst, Bytes))
+    return GpuError::InvalidValue;
+  std::memcpy(Dev.memory().data() + Dst, Src, Bytes);
+  S->enqueue(transferSeconds(Dev.target(), Bytes), "memcpyHtoD");
+  return GpuError::Success;
+}
+
+GpuError proteus::gpu::gpuMemcpyDtoHAsync(Device &Dev, void *Dst,
+                                          DevicePtr Src, uint64_t Bytes,
+                                          Stream *S) {
+  if (!S)
+    return gpuMemcpyDtoH(Dev, Dst, Src, Bytes);
+  if (&S->device() != &Dev || !Dev.validRange(Src, Bytes))
+    return GpuError::InvalidValue;
+  std::memcpy(Dst, Dev.memory().data() + Src, Bytes);
+  S->enqueue(transferSeconds(Dev.target(), Bytes), "memcpyDtoH");
+  return GpuError::Success;
+}
+
+GpuError proteus::gpu::gpuMemsetAsync(Device &Dev, DevicePtr Dst,
+                                      uint8_t Value, uint64_t Bytes,
+                                      Stream *S) {
+  if (!S)
+    return gpuMemset(Dev, Dst, Value, Bytes);
+  if (&S->device() != &Dev || !Dev.validRange(Dst, Bytes))
+    return GpuError::InvalidValue;
+  std::memset(Dev.memory().data() + Dst, Value, Bytes);
+  S->enqueue(transferSeconds(Dev.target(), Bytes) / 2, "memset");
+  return GpuError::Success;
+}
+
+GpuError proteus::gpu::gpuLaunchKernelAsync(
+    Device &Dev, const LoadedKernel &Kernel, Dim3 Grid, Dim3 Block,
+    const std::vector<KernelArg> &Args, Stream *S, std::string *Error) {
+  if (!S)
+    return gpuLaunchKernel(Dev, Kernel, Grid, Block, Args, Error);
+  if (&S->device() != &Dev)
+    return GpuError::InvalidValue;
+  LaunchResult R = launchKernel(Dev, Kernel, Grid, Block, Args);
+  if (!R.Ok) {
+    if (Error)
+      *Error = R.Error;
+    return GpuError::LaunchFailure;
+  }
+  S->enqueue(R.Stats.DurationSec, kernelTraceName(Kernel));
+  Dev.addKernelSeconds(R.Stats.DurationSec);
+  return GpuError::Success;
+}
+
+GpuError proteus::gpu::gpuEventRecord(Device &Dev, Event &Ev, Stream *S) {
+  if (S && &S->device() != &Dev)
+    return GpuError::InvalidValue;
+  Ev.TimeSec = S ? S->tailSeconds() : Dev.defaultStream().tailSeconds();
+  return GpuError::Success;
+}
+
+GpuError proteus::gpu::gpuStreamWaitEvent(Stream *S, const Event &Ev) {
+  if (!S || !Ev.recorded())
+    return GpuError::InvalidValue;
+  S->waitUntil(Ev.TimeSec);
+  return GpuError::Success;
+}
+
+GpuError proteus::gpu::gpuEventSynchronize(const Event &Ev) {
+  return Ev.recorded() ? GpuError::Success : GpuError::InvalidValue;
+}
+
+GpuError proteus::gpu::gpuEventElapsedTime(double *Ms, const Event &Start,
+                                           const Event &End) {
+  if (!Ms || !Start.recorded() || !End.recorded())
+    return GpuError::InvalidValue;
+  *Ms = (End.TimeSec - Start.TimeSec) * 1e3;
   return GpuError::Success;
 }

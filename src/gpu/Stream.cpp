@@ -1,0 +1,24 @@
+//===- Stream.cpp - streams and events on the simulated device --------------------===//
+//
+// Part of the Proteus reproduction project.
+//
+//===----------------------------------------------------------------------===//
+
+#include "gpu/Stream.h"
+
+#include "gpu/Device.h"
+#include "support/Trace.h"
+
+using namespace proteus;
+using namespace proteus::gpu;
+
+double Stream::enqueue(double DurSec, const char *TraceName) {
+  double Start = Tail;
+  if (DurSec > 0)
+    Tail = Start + DurSec;
+  if (trace::enabled() && TraceName)
+    trace::lane(TraceName, "gpu", trace::laneTid(Dev.ordinal(), Id),
+                static_cast<uint64_t>(Start * 1e9),
+                static_cast<uint64_t>(DurSec > 0 ? DurSec * 1e9 : 0));
+  return Start;
+}

@@ -1,0 +1,99 @@
+//===- Stream.h - streams and events on the simulated device ----*- C++ -*-===//
+//
+// Part of the Proteus reproduction project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Streams and events for the simulated GPU — the concurrency substrate of
+/// the vendor-runtime facade (hip/cudaStream_t, hip/cudaEvent_t).
+///
+/// The simulator is *functional-first, timing-after*: an operation's memory
+/// effects are applied eagerly, in host enqueue order (which keeps
+/// multi-stream runs deterministic and bit-reproducible), while its
+/// simulated cost is charged to the owning stream's private timeline.
+/// Timelines of different streams — and of different devices — advance
+/// independently, so independent work legally overlaps and the device's
+/// reported simulated time is the *makespan* (max over stream tails), not
+/// the sum of durations. Ordering edges are explicit:
+///
+///   * same stream: FIFO — each op starts at the stream's current tail;
+///   * legacy sync API (gpuMemcpy*/gpuLaunchKernel/...): full barrier —
+///     the op starts at the device makespan, like the CUDA legacy default
+///     stream;
+///   * events: gpuEventRecord stamps a stream's tail; gpuStreamWaitEvent
+///     advances the waiting stream's tail to at least that stamp — the
+///     happens-before edge of the timeline model.
+///
+/// When tracing is active, every charged op is also recorded as a span on a
+/// synthetic per-lane track (tid = device:stream, see trace::laneTid), so
+/// chrome://tracing renders overlapping launches as parallel lanes.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PROTEUS_GPU_STREAM_H
+#define PROTEUS_GPU_STREAM_H
+
+#include <cstdint>
+
+namespace proteus {
+namespace gpu {
+
+class Device;
+
+/// A marker on a stream's timeline (hip/cudaEvent_t). Plain value type: the
+/// host owns it; gpuEventRecord stamps it with the recording stream's tail.
+struct Event {
+  /// Simulated time at which all work preceding the record completes;
+  /// negative until recorded.
+  double TimeSec = -1.0;
+
+  bool recorded() const { return TimeSec >= 0.0; }
+};
+
+/// One in-order work queue on a device (hip/cudaStream_t). Owns a private
+/// simulated timeline: Tail is the time at which everything enqueued so far
+/// has completed. Streams are created and owned by their Device; stream 0
+/// is the device's default (legacy-synchronous) stream.
+///
+/// Thread safety: a Stream is as thread-oblivious as its Device. Callers
+/// that share a device across threads must serialize operations against it
+/// (the JIT runtime holds its per-device lock around every enqueue).
+class Stream {
+public:
+  unsigned id() const { return Id; }
+  Device &device() { return Dev; }
+
+  /// Simulated completion time of all work enqueued so far.
+  double tailSeconds() const { return Tail; }
+
+  /// Charges an operation of \p DurSec to this stream's timeline (FIFO:
+  /// starts at the current tail) and records it on the stream's trace lane.
+  /// Returns the op's start time.
+  double enqueue(double DurSec, const char *TraceName);
+
+  /// Advances the tail to at least \p TimeSec — the receiving end of an
+  /// event/ordering edge. Never moves the tail backwards.
+  void waitUntil(double TimeSec) {
+    if (TimeSec > Tail)
+      Tail = TimeSec;
+  }
+
+  void resetTimeline() { Tail = 0.0; }
+
+private:
+  friend class Device;
+  Stream(Device &Dev, unsigned Id) : Dev(Dev), Id(Id) {}
+
+  Stream(const Stream &) = delete;
+  Stream &operator=(const Stream &) = delete;
+
+  Device &Dev;
+  unsigned Id;
+  double Tail = 0.0;
+};
+
+} // namespace gpu
+} // namespace proteus
+
+#endif // PROTEUS_GPU_STREAM_H

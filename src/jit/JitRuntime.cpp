@@ -42,10 +42,14 @@ constexpr uint64_t PipelineVersion = 1;
 
 } // namespace
 
-uint64_t proteus::jitPipelineFingerprint(CodeTier Tier) {
+uint64_t proteus::jitPipelineFingerprint(CodeTier Tier,
+                                         bool SymbolicGlobals) {
   FNV1aHash H;
   H.update(PipelineVersion);
   H.update(static_cast<uint8_t>(Tier));
+  // Linkage mode is part of the pipeline identity: an object with baked
+  // global addresses is only valid on the device it was linked against.
+  H.update(static_cast<uint8_t>(SymbolicGlobals));
   return H.digest();
 }
 
@@ -168,6 +172,8 @@ JitRuntime::JitRuntime(Device &Dev, uint64_t ModuleId, JitConfig Config)
     : Dev(Dev), ModuleId(ModuleId), Config(Config),
       Cache(Config.UseMemoryCache, Config.UsePersistentCache,
             Config.CacheDir, Config.Limits) {
+  Devices.emplace_back(new DeviceState);
+  Devices.back()->Dev = &Dev;
 #define PROTEUS_JIT_STAT_REGISTER(Field, Name)                                 \
   Stat.Field = &Metrics.counter(Name);
   PROTEUS_JIT_COUNTERS(PROTEUS_JIT_STAT_REGISTER)
@@ -189,23 +195,43 @@ JitRuntime::~JitRuntime() {
     Pool->shutdown(); // drain compiles that still reference this runtime
 }
 
+unsigned JitRuntime::attachDevice(Device &D) {
+  for (unsigned I = 0; I != Devices.size(); ++I)
+    if (Devices[I]->Dev == &D)
+      return I;
+  Devices.emplace_back(new DeviceState);
+  Devices.back()->Dev = &D;
+  Devices.back()->Index = static_cast<unsigned>(Devices.size() - 1);
+  return Devices.back()->Index;
+}
+
 void JitRuntime::registerKernel(JitKernelInfo Info) {
-  // In Fallback mode the generic binary is loaded eagerly, at registration
-  // time, so the tier-0 path of a cold launch is a plain kernel launch with
-  // no module load on it.
+  {
+    // First registration wins: per-device program loads re-register the
+    // same kernels, and the first device's bitcode location must stay
+    // authoritative (fetchBitcode reads from that device).
+    std::lock_guard<std::mutex> Lock(RegistryMutex);
+    if (Kernels.count(Info.Symbol))
+      return;
+  }
+  // In Fallback mode the generic binary is loaded eagerly on the primary
+  // device, at registration time, so the tier-0 path of a cold launch is a
+  // plain kernel launch with no module load on it. Other devices load it
+  // lazily in launchGeneric.
   if (Config.Async == JitConfig::AsyncMode::Fallback &&
       !Info.GenericObject.empty()) {
-    std::lock_guard<std::mutex> Lock(DevMutex);
-    if (!GenericLoaded.count(Info.Symbol)) {
+    DeviceState &DS = *Devices.front();
+    std::lock_guard<std::mutex> Lock(DS.Lock);
+    if (!DS.GenericLoaded.count(Info.Symbol)) {
       LoadedKernel *K = nullptr;
-      if (gpuModuleLoad(Dev, &K, Info.GenericObject, nullptr) ==
+      if (gpuModuleLoad(*DS.Dev, &K, Info.GenericObject, nullptr) ==
           GpuError::Success)
-        GenericLoaded[Info.Symbol] = K;
+        DS.GenericLoaded[Info.Symbol] = K;
       // On failure fall back to the lazy load in launchGeneric.
     }
   }
   std::lock_guard<std::mutex> Lock(RegistryMutex);
-  Kernels[Info.Symbol] = std::move(Info);
+  Kernels.emplace(Info.Symbol, std::move(Info));
 }
 
 void JitRuntime::registerVar(const std::string &Symbol, DevicePtr Address) {
@@ -234,10 +260,15 @@ void JitRuntime::drain() {
 
 void JitRuntime::resetInMemoryState() {
   drain();
+  // Ascending-ordinal visit, one device lock at a time (lock order).
+  for (auto &DS : Devices) {
+    std::lock_guard<std::mutex> Lock(DS->Lock);
+    DS->Loaded.clear();
+    DS->GenericLoaded.clear();
+  }
   {
-    std::lock_guard<std::mutex> Lock(DevMutex);
-    Loaded.clear();
-    GenericLoaded.clear();
+    std::lock_guard<std::mutex> Lock(OriginMutex);
+    FirstLoadedOn.clear();
   }
   {
     std::lock_guard<std::mutex> Lock(IndexMutex);
@@ -251,12 +282,12 @@ void JitRuntime::resetInMemoryState() {
 }
 
 bool JitRuntime::buildKey(const JitKernelInfo &Info, Dim3 Block,
-                          const std::vector<KernelArg> &Args,
+                          const std::vector<KernelArg> &Args, GpuArch Arch,
                           SpecializationKey &Out, std::string *Error) const {
   SpecializationKey Key;
   Key.ModuleId = ModuleId;
   Key.KernelSymbol = Info.Symbol;
-  Key.Arch = Dev.target().Arch;
+  Key.Arch = Arch;
   if (Config.EnableRCF) {
     for (uint32_t OneBased : Info.AnnotatedArgs) {
       if (OneBased == 0 || OneBased > Args.size()) {
@@ -291,11 +322,16 @@ GpuError JitRuntime::fetchBitcode(const JitKernelInfo &Info,
   if (!Info.HostBitcode.empty()) {
     Out = Info.HostBitcode;
   } else if (Info.DeviceBitcodeAddr) {
+    // Read back from the device whose program load uploaded the bitcode.
+    DeviceState *BDS = Devices.front().get();
+    for (auto &DS : Devices)
+      if (DS->Dev == Info.BitcodeDevice)
+        BDS = DS.get();
     Out.resize(Info.DeviceBitcodeSize);
     GpuError E;
     {
-      std::lock_guard<std::mutex> Lock(DevMutex);
-      E = gpuMemcpyDtoH(Dev, Out.data(), Info.DeviceBitcodeAddr,
+      std::lock_guard<std::mutex> Lock(BDS->Lock);
+      E = gpuMemcpyDtoH(*BDS->Dev, Out.data(), Info.DeviceBitcodeAddr,
                         Info.DeviceBitcodeSize);
     }
     if (E != GpuError::Success) {
@@ -412,17 +448,21 @@ JitRuntime::compileSpecialization(const std::string &Symbol,
     Out.Message = "bitcode for @" + Symbol + " does not contain the kernel";
     return Out;
   }
-  // (2) Link device globals: replace references with their resolved device
-  // addresses so JIT code shares state with AOT code. Addresses registered
+  // (2) Link device globals. Single-device mode replaces references with
+  // their resolved device addresses (so JIT code shares state with AOT
+  // code, and O3 can fold the constant addresses): addresses registered
   // through __jit_register_var are snapshotted; unknown symbols fall back
   // to the vendor runtime's table (a device operation, taken under the
-  // device lock).
-  std::map<std::string, DevicePtr> Globals;
-  {
-    std::lock_guard<std::mutex> Lock(RegistryMutex);
-    Globals = GlobalAddresses;
-  }
-  {
+  // primary device's lock). Multi-device mode keeps the references
+  // symbolic — one object serves every same-arch device, and the backend
+  // emits load-time relocations the loader resolves against each device's
+  // own symbol table.
+  if (!symbolicGlobals()) {
+    std::map<std::string, DevicePtr> Globals;
+    {
+      std::lock_guard<std::mutex> Lock(RegistryMutex);
+      Globals = GlobalAddresses;
+    }
     trace::Span Sp("compile.link_globals", "jit");
     metrics::ScopedTimer T(*Stat.LinkGlobalsSeconds);
     for (const auto &G : M.globals()) {
@@ -431,8 +471,9 @@ JitRuntime::compileSpecialization(const std::string &Symbol,
       auto AIt = Globals.find(G->getName());
       DevicePtr Addr = AIt != Globals.end() ? AIt->second : 0;
       if (!Addr) {
-        std::lock_guard<std::mutex> Lock(DevMutex);
-        gpuGetSymbolAddress(Dev, &Addr, G->getName());
+        DeviceState &DS = *Devices.front();
+        std::lock_guard<std::mutex> Lock(DS.Lock);
+        gpuGetSymbolAddress(*DS.Dev, &Addr, G->getName());
       }
       if (!Addr) {
         Out.Err = GpuError::NotFound;
@@ -528,24 +569,32 @@ JitRuntime::compileSpecialization(const std::string &Symbol,
     BackendStats BS;
     BackendOptions BO;
     BO.RegAlloc.Fast = Tier0;
-    Out.Object = compileKernelToObject(*F, Dev.target(), &BS, BO);
+    // The backend target comes from the specialization key, not from any
+    // particular device: the object is compiled once per arch and loaded
+    // onto every device of that arch.
+    Out.Object = compileKernelToObject(*F, getTarget(Key.Arch), &BS, BO);
   }
 
   // (6) Publish: insert into both cache levels before the in-flight entry
   // is retired, so no launch can miss both. The tier tag and pipeline
   // fingerprint travel with the entry (including its persisted form), so
-  // a Tier-0 baseline is never mistaken for a final artifact later.
-  Cache.insert(Hash, Out.Object, Tier, jitPipelineFingerprint(Tier));
+  // a Tier-0 baseline is never mistaken for a final artifact later — and
+  // a baked-address object is never served in symbolic-globals mode.
+  Cache.insert(Hash, Out.Object, Tier,
+               jitPipelineFingerprint(Tier, symbolicGlobals()));
   return Out;
 }
 
 uint64_t JitRuntime::lookupSpecHash(const std::string &Symbol,
                                     const SpecializationKey &Key) {
-  // Memo key: only the hash inputs that vary per launch. ModuleId, Arch
-  // and each kernel's annotated-argument indices are fixed for the
-  // runtime's lifetime, so they are implied by the symbol.
+  // Memo key: only the hash inputs that vary per launch. ModuleId and each
+  // kernel's annotated-argument indices are fixed for the runtime's
+  // lifetime, so they are implied by the symbol — but Arch is not: a
+  // heterogeneous device pool launches the same symbol for several
+  // architectures through one runtime.
   std::vector<uint64_t> MemoKey;
-  MemoKey.reserve(Key.FoldedArgs.size() + 1);
+  MemoKey.reserve(Key.FoldedArgs.size() + 2);
+  MemoKey.push_back(static_cast<uint64_t>(Key.Arch));
   for (const RuntimeArgValue &V : Key.FoldedArgs)
     MemoKey.push_back(V.Bits);
   MemoKey.push_back(Key.LaunchBoundsThreads);
@@ -603,14 +652,34 @@ void JitRuntime::scheduleTier1Promotion(const JitKernelInfo &Info,
                                                  Hash, CodeTier::Final);
         if (O.Err == GpuError::Success) {
           // Hot-swap: load the promoted binary and atomically replace the
-          // Tier-0 mapping under the device lock, so the next launch runs
-          // Tier-1 code. A racing launch either still maps Tier-0
+          // Tier-0 mapping on every device currently holding this
+          // specialization, so the next launch on any of them runs Tier-1
+          // code. Devices are visited in ascending ordinal, one lock at a
+          // time (lock order); a racing launch either still maps Tier-0
           // (correct, just unpromoted) or already sees the new kernel.
-          std::lock_guard<std::mutex> Lock(DevMutex);
-          LoadedKernel *K = nullptr;
-          if (gpuModuleLoad(Dev, &K, O.Object, nullptr) ==
-              GpuError::Success) {
-            Loaded[Hash] = K;
+          bool Promoted = false;
+          unsigned Origin = recordLoadOrigin(Hash, 0);
+          for (unsigned I = 0; I != Devices.size(); ++I) {
+            DeviceState &DS = *Devices[I];
+            std::lock_guard<std::mutex> Lock(DS.Lock);
+            // The origin device is always promoted — the racing launch
+            // that triggered this promotion may not have finished its own
+            // Tier-0 load yet. Other devices only when they hold the
+            // specialization.
+            if (I != Origin && !DS.Loaded.count(Hash))
+              continue;
+            LoadedKernel *K = nullptr;
+            if (gpuModuleLoad(*DS.Dev, &K, O.Object, nullptr) ==
+                GpuError::Success) {
+              DS.Loaded[Hash] = K;
+              Promoted = true;
+              if (I != Origin)
+                Stat.CrossDeviceLoads->add();
+            }
+          }
+          if (Promoted) {
+            // One promotion per specialization, however many devices the
+            // hot-swap reached.
             Stat.Tier1Promotions->add();
             trace::instant("jit.tier1_promotion");
           }
@@ -636,63 +705,105 @@ void JitRuntime::completeJob(uint64_t Hash,
 }
 
 std::optional<GpuError>
-JitRuntime::launchGeneric(const JitKernelInfo &Info, Dim3 Grid, Dim3 Block,
-                          const std::vector<KernelArg> &Args,
+JitRuntime::launchGeneric(DeviceState &DS, const JitKernelInfo &Info,
+                          Dim3 Grid, Dim3 Block,
+                          const std::vector<KernelArg> &Args, Stream *S,
                           std::string *Error) {
-  std::lock_guard<std::mutex> Lock(DevMutex);
+  std::lock_guard<std::mutex> Lock(DS.Lock);
   LoadedKernel *K = nullptr;
-  if (auto It = GenericLoaded.find(Info.Symbol); It != GenericLoaded.end()) {
+  if (auto It = DS.GenericLoaded.find(Info.Symbol);
+      It != DS.GenericLoaded.end()) {
     K = It->second;
   } else {
     if (Info.GenericObject.empty())
       return std::nullopt; // no tier-0 binary: caller must wait instead
     std::string LoadErr;
-    if (gpuModuleLoad(Dev, &K, Info.GenericObject, &LoadErr) !=
+    if (gpuModuleLoad(*DS.Dev, &K, Info.GenericObject, &LoadErr) !=
         GpuError::Success) {
       if (Error)
         *Error = "failed to load generic binary for @" + Info.Symbol + ": " +
                  LoadErr;
       return GpuError::LaunchFailure;
     }
-    GenericLoaded[Info.Symbol] = K;
+    DS.GenericLoaded[Info.Symbol] = K;
   }
   Stat.FallbackLaunches->add();
   trace::instant("jit.fallback_launch");
   trace::Span Sp("jit.kernel_launch", "jit");
-  return gpuLaunchKernel(Dev, *K, Grid, Block, Args, Error);
+  return gpuLaunchKernelAsync(*DS.Dev, *K, Grid, Block, Args, S, Error);
 }
 
-GpuError JitRuntime::loadAndLaunch(uint64_t Hash,
+unsigned JitRuntime::recordLoadOrigin(uint64_t Hash, unsigned Ordinal) {
+  std::lock_guard<std::mutex> Lock(OriginMutex);
+  auto [It, Inserted] = FirstLoadedOn.emplace(Hash, Ordinal);
+  (void)Inserted;
+  return It->second;
+}
+
+GpuError JitRuntime::loadAndLaunch(DeviceState &DS, uint64_t Hash,
                                    const std::vector<uint8_t> &Object,
                                    const std::string &Symbol, Dim3 Grid,
                                    Dim3 Block,
                                    const std::vector<KernelArg> &Args,
-                                   std::string *Error) {
-  std::lock_guard<std::mutex> Lock(DevMutex);
+                                   Stream *S, std::string *Error) {
+  std::lock_guard<std::mutex> Lock(DS.Lock);
   LoadedKernel *K = nullptr;
-  if (auto It = Loaded.find(Hash); It != Loaded.end()) {
+  if (auto It = DS.Loaded.find(Hash); It != DS.Loaded.end()) {
     K = It->second;
   } else {
     trace::Span Sp("jit.module_load", "jit");
     std::string LoadError;
-    if (gpuModuleLoad(Dev, &K, Object, &LoadError) != GpuError::Success) {
+    if (gpuModuleLoad(*DS.Dev, &K, Object, &LoadError) != GpuError::Success) {
       if (Error)
         *Error = "failed to load JIT object for @" + Symbol + ": " +
                  LoadError;
       return GpuError::LaunchFailure;
     }
-    Loaded[Hash] = K;
+    DS.Loaded[Hash] = K;
+    // Cross-device accounting: the first device to load a specialization
+    // is its origin; any other device loading the same object reused the
+    // per-arch compile instead of triggering its own.
+    unsigned Origin = recordLoadOrigin(Hash, DS.Index);
+    if (Origin != DS.Index) {
+      Stat.CrossDeviceLoads->add();
+      Stat.PerArchCompileReuse->add();
+      trace::instant("jit.cross_device_load");
+    }
   }
   trace::Span Sp("jit.kernel_launch", "jit");
-  return gpuLaunchKernel(Dev, *K, Grid, Block, Args, Error);
+  return gpuLaunchKernelAsync(*DS.Dev, *K, Grid, Block, Args, S, Error);
 }
 
 GpuError JitRuntime::launchKernel(const std::string &Symbol, Dim3 Grid,
                                   Dim3 Block,
                                   const std::vector<KernelArg> &Args,
                                   std::string *Error) {
+  return launchKernelOn(0, Symbol, Grid, Block, Args, nullptr, Error);
+}
+
+GpuError JitRuntime::launchKernelOn(unsigned DeviceIndex,
+                                    const std::string &Symbol, Dim3 Grid,
+                                    Dim3 Block,
+                                    const std::vector<KernelArg> &Args,
+                                    Stream *S, std::string *Error) {
+  if (DeviceIndex >= Devices.size()) {
+    if (Error)
+      *Error = "device index " + std::to_string(DeviceIndex) +
+               " out of range (" + std::to_string(Devices.size()) +
+               " device(s) attached)";
+    return GpuError::InvalidValue;
+  }
+  DeviceState &DS = *Devices[DeviceIndex];
+  if (S && &S->device() != DS.Dev) {
+    if (Error)
+      *Error = "stream does not belong to device " +
+               std::to_string(DeviceIndex);
+    return GpuError::InvalidValue;
+  }
   trace::Span LaunchSp("jit.launch", "jit");
   Stat.Launches->add();
+  if (S)
+    Stat.StreamLaunches->add();
   const JitKernelInfo *Info = nullptr;
   {
     std::lock_guard<std::mutex> Lock(RegistryMutex);
@@ -709,17 +820,18 @@ GpuError JitRuntime::launchKernel(const std::string &Symbol, Dim3 Grid,
   SpecializationKey Key;
   {
     trace::Span Sp("jit.build_key", "jit");
-    if (!buildKey(*Info, Block, Args, Key, Error))
+    if (!buildKey(*Info, Block, Args, DS.Dev->target().Arch, Key, Error))
       return GpuError::InvalidValue;
   }
   uint64_t Hash = lookupSpecHash(Symbol, Key);
 
-  // --- Already loaded? -------------------------------------------------------
+  // --- Already loaded on this device? ---------------------------------------
   {
-    std::lock_guard<std::mutex> Lock(DevMutex);
-    if (auto LIt = Loaded.find(Hash); LIt != Loaded.end()) {
+    std::lock_guard<std::mutex> Lock(DS.Lock);
+    if (auto LIt = DS.Loaded.find(Hash); LIt != DS.Loaded.end()) {
       trace::Span Sp("jit.kernel_launch", "jit");
-      return gpuLaunchKernel(Dev, *LIt->second, Grid, Block, Args, Error);
+      return gpuLaunchKernelAsync(*DS.Dev, *LIt->second, Grid, Block, Args,
+                                  S, Error);
     }
   }
 
@@ -742,7 +854,8 @@ GpuError JitRuntime::launchKernel(const std::string &Symbol, Dim3 Grid,
         trace::Span Sp("jit.cache_lookup", "jit");
         metrics::ScopedTimer T(*Stat.CacheLookupSeconds);
         if (std::optional<CachedCode> CC = Cache.lookupEntry(Hash)) {
-          if (CC->PipelineFingerprint != jitPipelineFingerprint(CC->Tier)) {
+          if (CC->PipelineFingerprint !=
+              jitPipelineFingerprint(CC->Tier, symbolicGlobals())) {
             // Produced by a different pipeline composition: recompile
             // instead of serving a stale artifact (the insert replaces
             // the entry in place).
@@ -852,7 +965,7 @@ GpuError JitRuntime::launchKernel(const std::string &Symbol, Dim3 Grid,
         }
         Object = O.Object;
       } else if (std::optional<GpuError> GE =
-                     launchGeneric(*Info, Grid, Block, Args, Error)) {
+                     launchGeneric(DS, *Info, Grid, Block, Args, S, Error)) {
         // Tier-0 launch; the specialized binary is hot-swapped in by a
         // later launch once the background compile lands in the cache.
         return *GE;
@@ -882,5 +995,6 @@ GpuError JitRuntime::launchKernel(const std::string &Symbol, Dim3 Grid,
   }
 
   // --- Load and launch ---------------------------------------------------------
-  return loadAndLaunch(Hash, *Object, Symbol, Grid, Block, Args, Error);
+  return loadAndLaunch(DS, Hash, *Object, Symbol, Grid, Block, Args, S,
+                       Error);
 }

@@ -46,6 +46,25 @@
 /// Kernels are materialized from a parse-once module index that clones
 /// only the launched kernel's reachable call closure per specialization.
 ///
+/// Multi-device: additional devices (attachDevice) share one runtime, one
+/// code cache and one module index. Specializations are keyed by GpuArch,
+/// so a kernel is compiled once per architecture and the same object is
+/// loaded onto every same-arch device that launches it (PerArchCompileReuse
+/// / CrossDeviceLoads count this). With more than one device attached,
+/// device-global references stay symbolic in the object and are resolved
+/// per device at module-load time through the loader's relocation patching;
+/// with a single device the compiler keeps baking resolved addresses into
+/// the IR (cheaper, and lets O3 fold address arithmetic). The two linkage
+/// modes carry different pipeline fingerprints, so cached objects of one
+/// mode are never served in the other.
+///
+/// Lock order (deadlock discipline): the runtime's table mutexes
+/// (RegistryMutex, InFlightMutex, IndexMutex, MemoMutex, OriginMutex) are
+/// leaves taken before any per-device lock, never while one is held — and
+/// no two device locks are ever held at once. Work that visits several
+/// devices (Tier-1 promotion hot-swap, resetInMemoryState) iterates them in
+/// ascending ordinal, locking one at a time.
+///
 //===----------------------------------------------------------------------===//
 
 #ifndef PROTEUS_JIT_JITRUNTIME_H
@@ -137,8 +156,11 @@ const char *tierModeName(bool TierEnabled);
 /// Fingerprint of the pipeline composition that produces \p Tier objects.
 /// Stored in every cache entry the runtime writes; an entry whose recorded
 /// fingerprint does not match the current value for its tier is treated as
-/// a miss (stale pipeline) instead of being served.
-uint64_t jitPipelineFingerprint(CodeTier Tier);
+/// a miss (stale pipeline) instead of being served. \p SymbolicGlobals
+/// distinguishes multi-device objects (global references left as load-time
+/// relocations) from single-device objects (addresses baked into the IR):
+/// an object of one linkage mode must never be served in the other.
+uint64_t jitPipelineFingerprint(CodeTier Tier, bool SymbolicGlobals = false);
 
 /// Every JitRuntime statistic, defined exactly once: (field name, registry
 /// metric name). The lists expand into the JitRuntimeStats snapshot fields,
@@ -164,11 +186,22 @@ uint64_t jitPipelineFingerprint(CodeTier Tier);
 /// module-index functions skipped by closure-pruned materialization;
 /// HashMemoHits counts launches whose specialization hash was served by
 /// the per-kernel memo instead of being recomputed.
+///
+/// Multi-device counters: StreamLaunches counts launches dispatched to an
+/// explicit (non-default) stream; CrossDeviceLoads counts module loads of a
+/// JIT object onto a device other than the one whose launch first loaded
+/// that specialization (launch path and promotion hot-swaps alike);
+/// PerArchCompileReuse counts, once per (specialization, device) pair, a
+/// launch-path load that reused the per-arch compiled object instead of
+/// recompiling — the compile-once/load-everywhere proof.
 #define PROTEUS_JIT_COUNTERS(X)                                                \
   X(Launches, "jit.launches")                                                  \
+  X(StreamLaunches, "jit.stream_launches")                                     \
   X(Compilations, "jit.compilations")                                          \
   X(Tier0Compiles, "jit.tier0_compiles")                                       \
   X(Tier1Promotions, "jit.tier1_promotions")                                   \
+  X(CrossDeviceLoads, "jit.cross_device_loads")                                \
+  X(PerArchCompileReuse, "jit.per_arch_compile_reuse")                         \
   X(PrunedFunctions, "jit.pruned_functions")                                   \
   X(HashMemoHits, "jit.hash_memo_hits")                                        \
   X(AsyncCompiles, "jit.async_compiles")                                       \
@@ -240,12 +273,16 @@ struct JitKernelInfo {
   /// nvptx-sim: device address/size of __jit_bc_<symbol> to read back.
   gpu::DevicePtr DeviceBitcodeAddr = 0;
   uint64_t DeviceBitcodeSize = 0;
+  /// Device holding __jit_bc_<symbol> (set by program load); null means
+  /// the runtime's primary device.
+  gpu::Device *BitcodeDevice = nullptr;
   /// The kernel's generic (unspecialized) AOT binary, used as the tier-0
   /// launch target in AsyncMode::Fallback while a specialization compiles.
   std::vector<uint8_t> GenericObject;
 };
 
-/// The runtime library instance bound to one device.
+/// The runtime library instance bound to one *primary* device, optionally
+/// serving a pool of further devices attached with attachDevice().
 class JitRuntime {
 public:
   JitRuntime(gpu::Device &Dev, uint64_t ModuleId, JitConfig Config);
@@ -254,7 +291,21 @@ public:
   JitRuntime(const JitRuntime &) = delete;
   JitRuntime &operator=(const JitRuntime &) = delete;
 
-  /// Registers a JIT-annotated kernel (done by program load).
+  /// Attaches another device to this runtime (idempotent). Attached devices
+  /// share the code cache and module indexes: a specialization is compiled
+  /// once per GpuArch and loaded per device. Returns the device's index for
+  /// launchKernelOn. Must complete before concurrent launches begin —
+  /// attachment is program-setup work, like kernel registration.
+  unsigned attachDevice(gpu::Device &Dev);
+
+  unsigned numDevices() const {
+    return static_cast<unsigned>(Devices.size());
+  }
+  gpu::Device &device(unsigned Index) { return *Devices[Index]->Dev; }
+
+  /// Registers a JIT-annotated kernel (done by program load). Re-registering
+  /// a symbol keeps the first registration (the kernels are identical; the
+  /// first device's bitcode location stays authoritative).
   void registerKernel(JitKernelInfo Info);
 
   /// __jit_register_var: makes a device global's address resolvable when
@@ -262,11 +313,25 @@ public:
   void registerVar(const std::string &Symbol, gpu::DevicePtr Address);
 
   /// __jit_launch_kernel: the entry point replacing direct kernel launches.
-  /// Safe to call concurrently from multiple threads.
+  /// Safe to call concurrently from multiple threads. Launches on the
+  /// primary device's default stream (legacy barrier semantics).
   gpu::GpuError launchKernel(const std::string &Symbol, gpu::Dim3 Grid,
                              gpu::Dim3 Block,
                              const std::vector<gpu::KernelArg> &Args,
                              std::string *Error = nullptr);
+
+  /// Launches on device \p DeviceIndex (attachDevice order; 0 = primary),
+  /// optionally on an explicit stream of that device. A null \p S targets
+  /// the device's default stream with full-barrier semantics; a non-null
+  /// stream enqueues FIFO on its private timeline (StreamLaunches counts
+  /// these). Compilation is shared: same arch -> same specialization object,
+  /// loaded per device.
+  gpu::GpuError launchKernelOn(unsigned DeviceIndex,
+                               const std::string &Symbol, gpu::Dim3 Grid,
+                               gpu::Dim3 Block,
+                               const std::vector<gpu::KernelArg> &Args,
+                               gpu::Stream *S = nullptr,
+                               std::string *Error = nullptr);
 
   /// Snapshot of the counters. Lock-free with respect to the hot paths:
   /// reads the relaxed-atomic instruments, no stats mutex exists.
@@ -291,11 +356,32 @@ private:
   struct CompileOutcome;
   struct InFlightCompile;
 
-  /// Builds the specialization key. Returns false (with \p Error set and
-  /// AnnotationRangeErrors counted) when an annotated 1-based argument
-  /// index is out of range for \p Args instead of silently skipping it.
+  /// Everything the runtime holds per attached device: the device itself,
+  /// the lock serializing operations against it (module loads, launches,
+  /// symbol resolution, bitcode readback), and the per-device loaded-kernel
+  /// maps. Elements are heap-allocated so attachDevice never moves them.
+  /// See the file comment for the lock order.
+  struct DeviceState {
+    gpu::Device *Dev = nullptr;
+    unsigned Index = 0; ///< position in Devices (attach order)
+    std::mutex Lock;
+    /// Specialization hash -> kernel loaded on this device.
+    std::map<uint64_t, gpu::LoadedKernel *> Loaded;
+    /// Kernel symbol -> loaded generic (unspecialized) binary.
+    std::map<std::string, gpu::LoadedKernel *> GenericLoaded;
+  };
+
+  /// True once more than one device is attached: compiled objects keep
+  /// device-global references symbolic (resolved per device at load time)
+  /// instead of baking the primary device's addresses into the IR.
+  bool symbolicGlobals() const { return Devices.size() > 1; }
+
+  /// Builds the specialization key for a launch targeting \p Arch. Returns
+  /// false (with \p Error set and AnnotationRangeErrors counted) when an
+  /// annotated 1-based argument index is out of range for \p Args instead
+  /// of silently skipping it.
   bool buildKey(const JitKernelInfo &Info, gpu::Dim3 Block,
-                const std::vector<gpu::KernelArg> &Args,
+                const std::vector<gpu::KernelArg> &Args, GpuArch Arch,
                 SpecializationKey &Out, std::string *Error) const;
   gpu::GpuError fetchBitcode(const JitKernelInfo &Info,
                              std::vector<uint8_t> &Out, std::string *Error);
@@ -323,23 +409,29 @@ private:
   /// Enqueues the Tier-1 promotion compile for \p Hash at low pool
   /// priority (deduplicated; at most one promotion per hash in flight).
   /// On success the promoted binary replaces the cache entry in place and
-  /// hot-swaps the loaded kernel under DevMutex. Fetches bitcode on the
-  /// calling thread first when the kernel's module index is not built yet.
+  /// hot-swaps the loaded kernel on every device currently holding it,
+  /// visiting devices in ascending ordinal, one lock at a time. Fetches
+  /// bitcode on the calling thread first when the kernel's module index is
+  /// not built yet.
   void scheduleTier1Promotion(const JitKernelInfo &Info,
                               const SpecializationKey &Key, uint64_t Hash);
   void completeJob(uint64_t Hash, const std::shared_ptr<InFlightCompile> &Job,
                    CompileOutcome Outcome);
-  /// Loads the generic AOT binary (once) and launches it; returns
-  /// std::nullopt when the kernel carries no generic binary.
+  /// Loads the generic AOT binary (once per device) and launches it on
+  /// \p DS; returns std::nullopt when the kernel carries no generic binary.
   std::optional<gpu::GpuError>
-  launchGeneric(const JitKernelInfo &Info, gpu::Dim3 Grid, gpu::Dim3 Block,
-                const std::vector<gpu::KernelArg> &Args, std::string *Error);
-  gpu::GpuError loadAndLaunch(uint64_t Hash,
+  launchGeneric(DeviceState &DS, const JitKernelInfo &Info, gpu::Dim3 Grid,
+                gpu::Dim3 Block, const std::vector<gpu::KernelArg> &Args,
+                gpu::Stream *S, std::string *Error);
+  gpu::GpuError loadAndLaunch(DeviceState &DS, uint64_t Hash,
                               const std::vector<uint8_t> &Object,
                               const std::string &Symbol, gpu::Dim3 Grid,
                               gpu::Dim3 Block,
                               const std::vector<gpu::KernelArg> &Args,
-                              std::string *Error);
+                              gpu::Stream *S, std::string *Error);
+  /// Records that \p Hash was first loaded via device \p Ordinal; returns
+  /// the origin ordinal (the existing one on a repeat call).
+  unsigned recordLoadOrigin(uint64_t Hash, unsigned Ordinal);
 
   gpu::Device &Dev;
   const uint64_t ModuleId;
@@ -365,14 +457,16 @@ private:
   std::map<std::string, JitKernelInfo> Kernels;
   std::map<std::string, gpu::DevicePtr> GlobalAddresses;
 
-  /// DevMutex serializes every operation against the (thread-oblivious)
-  /// simulated device: module loads, launches, symbol resolution and
-  /// device-memory bitcode readback — and guards the two loaded-kernel maps.
-  std::mutex DevMutex;
-  /// Specialization hash -> kernel already loaded on the device.
-  std::map<uint64_t, gpu::LoadedKernel *> Loaded;
-  /// Kernel symbol -> loaded generic (unspecialized) binary.
-  std::map<std::string, gpu::LoadedKernel *> GenericLoaded;
+  /// The device pool, in attachDevice order; [0] is the primary device the
+  /// runtime was constructed with. Grown only during setup (attachDevice
+  /// must precede concurrent launches), read lock-free afterwards; each
+  /// element carries its own device lock (see the lock-order file comment).
+  std::vector<std::unique_ptr<DeviceState>> Devices;
+
+  /// Which device first loaded each specialization, for the
+  /// CrossDeviceLoads / PerArchCompileReuse accounting.
+  std::mutex OriginMutex;
+  std::unordered_map<uint64_t, unsigned> FirstLoadedOn;
 
   /// In-flight compilation table: one compile per specialization hash, any
   /// number of waiters (the dedup structure of the async pipeline).

@@ -12,6 +12,12 @@ using namespace proteus::gpu;
 LoadedProgram::LoadedProgram(Device &Dev, const CompiledProgram &Program,
                              JitRuntime *Jit)
     : Dev(Dev), Jit(Jit) {
+  // Loading a program on a device the runtime has not seen attaches it:
+  // one JitRuntime can serve a program image loaded on several devices
+  // (idempotent for the primary device).
+  if (Jit)
+    Jit->attachDevice(Dev);
+
   // 1) Register device globals (program-init constructors).
   for (const ImageGlobal &G : Program.Image.Globals) {
     if (gpuRegisterVar(Dev, G.Name, G.Bytes, G.Init) != GpuError::Success) {
@@ -69,6 +75,7 @@ LoadedProgram::LoadedProgram(Device &Dev, const CompiledProgram &Program,
                  DIt != DeviceBitcode.end()) {
         Info.DeviceBitcodeAddr = DIt->second.first; // NVIDIA path
         Info.DeviceBitcodeSize = DIt->second.second;
+        Info.BitcodeDevice = &Dev; // readback must target this device
       } else {
         LoadError = "no bitcode found for JIT kernel @" + Symbol;
         return;

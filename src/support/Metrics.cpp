@@ -34,6 +34,13 @@ std::vector<std::pair<std::string, uint64_t>> Registry::counterValues() const {
   return Out;
 }
 
+Registry &proteus::metrics::processRegistry() {
+  // Intentionally leaked: counters may be bumped from atexit hooks after
+  // function-local static destructors have run.
+  static Registry *R = new Registry;
+  return *R;
+}
+
 std::vector<std::pair<std::string, double>> Registry::timerValues() const {
   std::lock_guard<std::mutex> Lock(Mutex);
   std::vector<std::pair<std::string, double>> Out;

@@ -92,6 +92,13 @@ private:
   std::map<std::string, std::unique_ptr<TimerMetric>> Timers;
 };
 
+/// Process-global registry for subsystems that have no natural per-instance
+/// owner — e.g. the simulated GPU runtime's allocation diagnostics
+/// ("gpu.free_unknown" / "gpu.free_double"), which must be visible even to
+/// code that never constructs a JitRuntime. Never destroyed (safe to update
+/// from atexit paths).
+Registry &processRegistry();
+
 } // namespace metrics
 } // namespace proteus
 

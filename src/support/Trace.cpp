@@ -245,6 +245,21 @@ void trace::complete(const char *Name, const char *Cat, uint64_t StartNs,
   record(E);
 }
 
+void trace::lane(const char *Name, const char *Cat, uint32_t Tid,
+                 uint64_t TsNs, uint64_t DurNs) {
+  if (!enabled())
+    return;
+  Event E;
+  E.Name = Name;
+  E.Cat = Cat;
+  E.TsNs = TsNs;
+  E.DurNs = DurNs;
+  E.Tid = Tid;
+  E.Depth = 0; // lanes carry flat FIFO spans, no nesting
+  E.Ph = 'X';
+  record(E);
+}
+
 trace::Span::Span(const char *Name, const char *Cat)
     : Name(Name), Cat(Cat), StartNs(0), Active(enabled()) {
   if (!Active)

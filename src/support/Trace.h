@@ -92,6 +92,25 @@ void counterValue(const char *Name, double Value);
 void complete(const char *Name, const char *Cat, uint64_t StartNs,
               uint64_t DurNs);
 
+/// Synthetic track ids for simulated GPU stream timelines. Lane spans are
+/// recorded with an explicit tid (instead of the calling thread's) so
+/// chrome://tracing renders one horizontal lane per device:stream and
+/// overlapping launches on independent streams show up as parallel bars.
+/// The base keeps lanes clear of real thread ids (which count up from 1).
+constexpr uint32_t LaneTidBase = 1u << 20;
+
+/// Track id for device \p DeviceOrdinal, stream \p StreamId.
+inline uint32_t laneTid(unsigned DeviceOrdinal, unsigned StreamId) {
+  return LaneTidBase + DeviceOrdinal * 1024u + StreamId;
+}
+
+/// Records a complete span on an explicit synthetic track. Timestamps are
+/// the caller's own coordinate space (the GPU engine uses simulated-time
+/// nanoseconds); spans on one lane must not partially overlap, which stream
+/// FIFO timelines guarantee by construction.
+void lane(const char *Name, const char *Cat, uint32_t Tid, uint64_t TsNs,
+          uint64_t DurNs);
+
 /// Monotonic nanoseconds since the session started.
 uint64_t nowNs();
 

@@ -26,6 +26,7 @@ TESTS=(
   jit_test
   jit_concurrency_test
   tiered_jit_test
+  stream_test
   trace_test
   observability_test
   analysis_test
@@ -79,6 +80,18 @@ echo "== TSan: jit_concurrency_test (PROTEUS_TIER=on, PROTEUS_ASYNC=fallback) ==
 if ! PROTEUS_TIER=on PROTEUS_ASYNC=fallback \
      "${BUILD_DIR}/tests/jit_concurrency_test"; then
   echo "!! jit_concurrency_test FAILED under ThreadSanitizer with tiering enabled"
+  STATUS=1
+fi
+
+# Multi-stream + multi-device launch storm: threads spray launches across
+# a 4-device pool with 4 streams each while tiering hot-swaps loaded
+# kernels on every device and fallback serves generics — per-device locks,
+# per-stream timelines, and the cross-device promotion path all race here.
+echo "== TSan: stream_test (PROTEUS_NUM_DEVICES=4, PROTEUS_DEFAULT_STREAMS=4, PROTEUS_TIER=on, PROTEUS_ASYNC=fallback) =="
+if ! PROTEUS_NUM_DEVICES=4 PROTEUS_DEFAULT_STREAMS=4 \
+     PROTEUS_TIER=on PROTEUS_ASYNC=fallback \
+     "${BUILD_DIR}/tests/stream_test"; then
+  echo "!! stream_test FAILED under ThreadSanitizer with a multi-device pool"
   STATUS=1
 fi
 
