@@ -1,0 +1,264 @@
+//===- capture_overhead.cpp - launch-path cost of PROTEUS_CAPTURE ---------===//
+//
+// Part of the Proteus reproduction project.
+//
+//===----------------------------------------------------------------------===//
+//
+// Measures what capture recording costs on the steady-state launch path:
+// the same warm-cache launch loop is timed with capture off and with
+// capture on in its default configuration (launch-shape dedup: each
+// distinct specialization/geometry/argument shape is recorded once, every
+// repeat is a counted skip), repeated several times with the minimum taken
+// so scheduler noise cannot inflate either side. At steady state the loop
+// re-launches shapes that are already on disk, so capture must cost one
+// hash probe per launch — the capture-on loop must shed nothing
+// (drops == 0) and stay within a few percent of the capture-off loop.
+//
+// A third, ungated row times the capture-every-launch stress mode
+// (PROTEUS_CAPTURE_DEDUP=off) for reference: it snapshots memory and
+// persists an artifact per launch, so its cost scales with writer
+// throughput, not with the launch path.
+//
+// Emits the self-validated BENCH_capture.json and exits non-zero when the
+// acceptance floor is missed: capture-on overhead <= 5% at steady state
+// with zero drops. `--smoke` reduces the batch for the ctest wiring
+// (bench_smoke_capture) and applies the same validation.
+//
+//===----------------------------------------------------------------------===//
+
+#include "BenchUtil.h"
+
+#include "capture/Capture.h"
+#include "ir/Context.h"
+#include "ir/IRBuilder.h"
+#include "ir/OpSemantics.h"
+#include "jit/Program.h"
+#include "support/FileSystem.h"
+#include "support/Timer.h"
+
+#include <algorithm>
+#include <cstring>
+#include <memory>
+#include <string>
+#include <vector>
+
+using namespace pir;
+using namespace proteus;
+using namespace proteus::bench;
+using namespace proteus::gpu;
+
+namespace {
+
+constexpr uint32_t N = 256; // elements / threads per launch
+
+/// scale(in, out, n, sf, si) with sf/si annotated — enough per-launch work
+/// that the measured loop is dominated by kernel execution, as in a real
+/// application's steady state.
+std::unique_ptr<Module> buildScaleKernel(Context &Ctx) {
+  auto M = std::make_unique<Module>(Ctx, "capture_overhead_app");
+  IRBuilder B(Ctx);
+  Type *F64 = Ctx.getF64Ty();
+  Type *I32 = Ctx.getI32Ty();
+  Function *F = M->createFunction(
+      "scale", Ctx.getVoidTy(),
+      {Ctx.getPtrTy(), Ctx.getPtrTy(), I32, F64, I32},
+      {"in", "out", "n", "sf", "si"}, FunctionKind::Kernel);
+  F->setJitAnnotation(JitAnnotation{{4, 5}});
+  Value *In = F->getArg(0), *Out = F->getArg(1), *Nv = F->getArg(2);
+  Value *Sf = F->getArg(3), *Si = F->getArg(4);
+  BasicBlock *Entry = F->createBlock("entry", Ctx.getVoidTy());
+  BasicBlock *Work = F->createBlock("work", Ctx.getVoidTy());
+  BasicBlock *Exit = F->createBlock("exit", Ctx.getVoidTy());
+  B.setInsertPoint(Entry);
+  Value *Gtid = B.createGlobalThreadIdX();
+  B.createCondBr(B.createICmp(ICmpPred::SLT, Gtid, Nv), Work, Exit);
+  B.setInsertPoint(Exit);
+  B.createRet();
+  B.setInsertPoint(Work);
+  Value *V = B.createLoad(F64, B.createGep(F64, In, Gtid), "v");
+  for (unsigned I = 0; I != 24; ++I)
+    V = B.createFAdd(B.createFMul(V, Sf), B.createSIToFP(Si, F64));
+  B.createStore(V, B.createGep(F64, Out, Gtid));
+  B.createRet();
+  return M;
+}
+
+struct LoopResult {
+  double BestSeconds = 0; // minimum over repetitions
+  uint64_t Drops = 0;
+  uint64_t Dedup = 0;
+  uint64_t Artifacts = 0;
+};
+
+uint64_t counterValue(const metrics::Registry &R, const std::string &Name) {
+  for (const auto &[K, V] : R.counterValues())
+    if (K == Name)
+      return V;
+  return 0;
+}
+
+/// Times \p Launches warm-cache launches, \p Reps times, returning the
+/// fastest repetition. With capture on, the runtime drains between
+/// repetitions so the ring starts each timed loop empty — steady state
+/// with a writer that keeps up.
+LoopResult runLoop(const CompiledProgram &Prog, bool Capture, bool Dedup,
+                   const std::string &CaptureDir, unsigned Launches,
+                   unsigned Reps) {
+  JitConfig JC;
+  JC.UsePersistentCache = false;
+  JC.Capture = Capture;
+  JC.CaptureDir = CaptureDir;
+  JC.CaptureRing = 1024;
+  JC.CaptureDedup = Dedup;
+
+  Device Dev(getTarget(GpuArch::AmdGcnSim), 1 << 22);
+  JitRuntime Jit(Dev, Prog.ModuleId, JC);
+  LoadedProgram LP(Dev, Prog, &Jit);
+  if (!LP.ok()) {
+    std::fprintf(stderr, "FATAL: program load failed: %s\n",
+                 LP.error().c_str());
+    std::exit(1);
+  }
+  DevicePtr In = 0, Out = 0;
+  gpuMalloc(Dev, &In, N * 8);
+  gpuMalloc(Dev, &Out, N * 8);
+  std::vector<double> H(N, 1.25);
+  gpuMemcpyHtoD(Dev, In, H.data(), N * 8);
+  std::vector<KernelArg> Args = {
+      {In}, {Out}, {N}, {sem::boxF64(1.0009765625)}, {uint64_t(3)}};
+
+  auto LaunchOnce = [&] {
+    std::string Error;
+    if (LP.launch("scale", Dim3{1, 1, 1}, Dim3{N, 1, 1}, Args, &Error) !=
+        GpuError::Success) {
+      std::fprintf(stderr, "FATAL: launch failed: %s\n", Error.c_str());
+      std::exit(1);
+    }
+  };
+
+  LaunchOnce(); // compile + load once; everything after is the warm path
+  Jit.drain();
+
+  LoopResult R;
+  R.BestSeconds = 1e30;
+  for (unsigned Rep = 0; Rep != Reps; ++Rep) {
+    Timer T;
+    for (unsigned L = 0; L != Launches; ++L)
+      LaunchOnce();
+    R.BestSeconds = std::min(R.BestSeconds, T.seconds());
+    Jit.drain(); // writer catches up off the clock, ring returns to empty
+  }
+  R.Drops = counterValue(Jit.metricsRegistry(), "capture.drops");
+  R.Dedup = counterValue(Jit.metricsRegistry(), "capture.dedup");
+  R.Artifacts = counterValue(Jit.metricsRegistry(), "capture.artifacts");
+  return R;
+}
+
+} // namespace
+
+int main(int Argc, char **Argv) {
+  bool Smoke = false;
+  for (int I = 1; I < Argc; ++I)
+    if (std::strcmp(Argv[I], "--smoke") == 0)
+      Smoke = true;
+
+  const unsigned Launches = Smoke ? 64 : 512; // <= ring: shedding impossible
+  const unsigned Reps = Smoke ? 3 : 7;
+
+  Context Ctx;
+  std::unique_ptr<Module> M = buildScaleKernel(Ctx);
+  AotOptions AO;
+  AO.Arch = GpuArch::AmdGcnSim;
+  AO.EnableProteusExtensions = true;
+  CompiledProgram Prog = aotCompile(*M, AO);
+
+  std::string CaptureDir = fs::makeTempDirectory("proteus-capture-bench");
+
+  LoopResult Off =
+      runLoop(Prog, false, true, CaptureDir, Launches, Reps);
+  LoopResult On = runLoop(Prog, true, true, CaptureDir, Launches, Reps);
+  LoopResult All = runLoop(Prog, true, false, CaptureDir, Launches, Reps);
+  fs::removeAllFiles(CaptureDir);
+
+  double PerLaunchOffUs = Off.BestSeconds / Launches * 1e6;
+  double PerLaunchOnUs = On.BestSeconds / Launches * 1e6;
+  double PerLaunchAllUs = All.BestSeconds / Launches * 1e6;
+  double OverheadPct =
+      (On.BestSeconds - Off.BestSeconds) / Off.BestSeconds * 100.0;
+  double AllOverheadPct =
+      (All.BestSeconds - Off.BestSeconds) / Off.BestSeconds * 100.0;
+
+  std::printf("capture_overhead: %u launches x %u reps (best rep)\n",
+              Launches, Reps);
+  std::printf("  capture off        %8.2f us/launch\n", PerLaunchOffUs);
+  std::printf("  capture on (dedup) %8.2f us/launch  (%+.2f%%, %llu artifacts, "
+              "%llu dedup skips, %llu drops)\n",
+              PerLaunchOnUs, OverheadPct,
+              static_cast<unsigned long long>(On.Artifacts),
+              static_cast<unsigned long long>(On.Dedup),
+              static_cast<unsigned long long>(On.Drops));
+  std::printf("  capture all        %8.2f us/launch  (%+.2f%%, %llu artifacts, "
+              "%llu drops; stress mode, ungated)\n",
+              PerLaunchAllUs, AllOverheadPct,
+              static_cast<unsigned long long>(All.Artifacts),
+              static_cast<unsigned long long>(All.Drops));
+
+  JsonReporter Report("capture");
+  Report.beginRow("steady_state")
+      .label("arch", "amdgcn-sim")
+      .label("mode", Smoke ? "smoke" : "full")
+      .metric("launches", Launches)
+      .metric("reps", Reps)
+      .metric("off_us_per_launch", PerLaunchOffUs)
+      .metric("on_us_per_launch", PerLaunchOnUs)
+      .metric("overhead_pct", OverheadPct)
+      .metric("drops", static_cast<double>(On.Drops))
+      .metric("dedup_skips", static_cast<double>(On.Dedup))
+      .metric("artifacts", static_cast<double>(On.Artifacts));
+  Report.beginRow("capture_all")
+      .label("arch", "amdgcn-sim")
+      .label("mode", Smoke ? "smoke" : "full")
+      .metric("launches", Launches)
+      .metric("reps", Reps)
+      .metric("on_us_per_launch", PerLaunchAllUs)
+      .metric("overhead_pct", AllOverheadPct)
+      .metric("drops", static_cast<double>(All.Drops))
+      .metric("artifacts", static_cast<double>(All.Artifacts));
+  std::string Error;
+  if (!Report.write("BENCH_capture.json", &Error)) {
+    std::fprintf(stderr, "FATAL: %s\n", Error.c_str());
+    return 1;
+  }
+
+  int Status = 0;
+  if (On.Drops != 0 || All.Drops != 0) {
+    std::fprintf(stderr,
+                 "FAIL: capture shed launches at steady state "
+                 "(ring 1024, %u in flight max; dedup %llu drops, "
+                 "all %llu drops)\n",
+                 Launches, static_cast<unsigned long long>(On.Drops),
+                 static_cast<unsigned long long>(All.Drops));
+    Status = 1;
+  }
+  // The dedup loop re-launches one shape: exactly the priming launch's
+  // artifact, every timed launch a dedup skip.
+  if (On.Artifacts != 1 || All.Artifacts == 0) {
+    std::fprintf(stderr,
+                 "FAIL: unexpected artifact counts (dedup %llu, want 1; "
+                 "all %llu, want > 0)\n",
+                 static_cast<unsigned long long>(On.Artifacts),
+                 static_cast<unsigned long long>(All.Artifacts));
+    Status = 1;
+  }
+  // The acceptance floor, on the default (dedup) mode. The smoke batch is
+  // small enough that a single scheduler hiccup can dominate a 5% band, so
+  // it gets headroom while still catching a capture path that turned from
+  // a hash probe into per-launch snapshot work.
+  double Ceiling = Smoke ? 50.0 : 5.0;
+  if (OverheadPct > Ceiling) {
+    std::fprintf(stderr, "FAIL: capture-on overhead %.2f%% exceeds %.1f%%\n",
+                 OverheadPct, Ceiling);
+    Status = 1;
+  }
+  return Status;
+}

@@ -69,6 +69,17 @@ KernelModuleIndex::create(const std::vector<uint8_t> &Bitcode,
   return Index;
 }
 
+std::vector<std::string>
+KernelModuleIndex::closureGlobalNames(const std::string &KernelSymbol) const {
+  std::vector<std::string> Names;
+  auto It = Closures.find(KernelSymbol);
+  if (It == Closures.end())
+    return Names;
+  for (const GlobalVariable *G : It->second.Globals)
+    Names.push_back(G->getName());
+  return Names;
+}
+
 std::unique_ptr<Module>
 KernelModuleIndex::materialize(Context &Ctx, const std::string &KernelSymbol,
                                uint64_t *PrunedFunctions) const {

@@ -70,6 +70,14 @@ public:
     return Closures.count(KernelSymbol) != 0;
   }
 
+  /// Names of the device globals in \p KernelSymbol's closure, in the same
+  /// deterministic source order materialize() clones them. Empty when the
+  /// kernel is unknown. Thread-safe (the closures are immutable after
+  /// create()). The capture subsystem uses this to record which global
+  /// symbols an artifact must rebind at replay time.
+  std::vector<std::string>
+  closureGlobalNames(const std::string &KernelSymbol) const;
+
 private:
   KernelModuleIndex();
 

@@ -1,0 +1,162 @@
+//===- Capture.h - bounded launch-capture ring ------------------*- C++ -*-===//
+//
+// Part of the Proteus reproduction project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The live half of the capture/replay harness. When PROTEUS_CAPTURE=on the
+/// JIT's launch path records every captured launch as a PendingRecord and
+/// hands it to a CaptureSession, which persists artifacts from a dedicated
+/// writer thread. The hand-off is a bounded ring: the launch path reserves a
+/// slot *before* doing any snapshot work and, if the ring is full, sheds the
+/// capture entirely (counted as capture.drops in the runtime's metrics
+/// registry) — a slow disk can never stall a launch. Bitcode serialization
+/// (the expensive part: materializing the pruned closure and re-encoding it)
+/// happens on the writer thread, memoized per kernel symbol, so the launch
+/// path only pays for memcpy-ing memory snapshots.
+///
+/// Artifacts are written via atomic rename, so a shed, a crash, or a racing
+/// reader can never observe a partially written .pcap file.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PROTEUS_CAPTURE_CAPTURE_H
+#define PROTEUS_CAPTURE_CAPTURE_H
+
+#include "capture/Artifact.h"
+
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <set>
+#include <string>
+#include <thread>
+#include <vector>
+
+namespace proteus {
+
+class KernelModuleIndex;
+
+namespace gpu {
+class Device;
+}
+
+namespace metrics {
+class Registry;
+}
+
+namespace capture {
+
+/// A captured launch queued for persistence. The artifact's Bitcode field is
+/// left empty on the launch path; the writer thread fills it by serializing
+/// the kernel's pruned closure out of \p Index.
+struct PendingRecord {
+  CaptureArtifact Artifact;
+  std::shared_ptr<const KernelModuleIndex> Index;
+  /// Session-local sequence number used in the artifact file name
+  /// (assigned by submit(); not part of the serialized payload).
+  uint64_t Sequence = 0;
+};
+
+/// Owns the capture directory, the bounded ring, and the writer thread.
+/// Launch-path protocol: tryReserve() → build record → submit() on success /
+/// release() if the launch itself failed. All entry points are thread-safe.
+class CaptureSession {
+public:
+  /// \p Metrics is the owning runtime's registry; the session bumps
+  /// capture.records / capture.drops / capture.dedup / capture.artifacts /
+  /// capture.bytes / capture.write_failures / capture.skips on it.
+  CaptureSession(std::string Dir, unsigned RingCapacity,
+                 metrics::Registry &Metrics);
+  ~CaptureSession();
+
+  CaptureSession(const CaptureSession &) = delete;
+  CaptureSession &operator=(const CaptureSession &) = delete;
+
+  /// Claims a ring slot without blocking. Returns false — and counts a
+  /// drop — when the ring is full; the caller then skips capture for this
+  /// launch and proceeds normally.
+  ///
+  /// A non-zero \p DedupKey identifies the launch shape (specialization
+  /// hash + geometry + argument bits). Each key is captured at most once
+  /// per session: a repeat returns false without claiming a slot, counted
+  /// as capture.dedup rather than a drop — nothing was lost, the shape is
+  /// already on disk. Pass 0 to capture every launch (the pressure-test /
+  /// stress mode).
+  bool tryReserve(uint64_t DedupKey = 0);
+
+  /// Returns a slot claimed by tryReserve() without submitting a record
+  /// (the launch failed, so there is nothing worth persisting). Counted as
+  /// capture.skips. Pass the same \p DedupKey given to tryReserve() so the
+  /// shape is un-marked and a later successful launch can still capture it.
+  void release(uint64_t DedupKey = 0);
+
+  /// Enqueues a record against a slot claimed by tryReserve(). Assigns the
+  /// artifact's sequence number and wakes the writer.
+  void submit(PendingRecord Record);
+
+  /// Blocks until every submitted record has been persisted (or failed).
+  void flush();
+
+  /// Test hook: while paused the writer thread holds off persisting, so
+  /// tests can fill the ring deterministically and observe shedding.
+  void pauseWriterForTest(bool Paused);
+
+  const std::string &directory() const { return Dir; }
+  unsigned ringCapacity() const { return Capacity; }
+
+  /// False when the capture directory could not be created; the session
+  /// still sheds gracefully (every tryReserve() drops).
+  bool ok() const { return DirOk; }
+
+private:
+  void writerMain();
+  void persist(PendingRecord &Record);
+
+  std::string Dir;
+  unsigned Capacity;
+  metrics::Registry &Metrics;
+  bool DirOk = false;
+
+  std::mutex Mutex;
+  std::condition_variable WriterCV; // work available / unpaused / shutdown
+  std::condition_variable DrainCV;  // a slot was retired (flush waiters)
+  std::deque<PendingRecord> Queue;
+  unsigned Reserved = 0; // claimed slots: queued + in-flight + pre-submit
+  bool Paused = false;
+  bool Shutdown = false;
+  uint64_t NextSequence = 0;
+  /// Launch shapes already claimed this session (dedup mode). Guarded by
+  /// Mutex; keys are inserted by tryReserve() and erased only when the
+  /// launch itself fails (release()).
+  std::set<uint64_t> SeenShapes;
+
+  /// Writer-thread-only memo of serialized pruned bitcode per kernel symbol
+  /// (keyed by index identity + symbol so a re-registered module is not
+  /// served stale bitcode). No lock: only writerMain() touches it.
+  std::map<std::pair<const void *, std::string>, std::vector<uint8_t>>
+      BitcodeMemo;
+
+  std::thread Writer;
+};
+
+/// Snapshots the full live allocation containing each candidate address
+/// (argument bits and global addresses; non-pointer values that don't fall
+/// inside any allocation are skipped). Regions are deduplicated, sorted by
+/// base address, and returned with PreBytes filled.
+std::vector<MemoryRegion>
+snapshotRegions(const gpu::Device &Dev,
+                const std::vector<uint64_t> &CandidateAddresses);
+
+/// Fills each region's PostBytes from the device's current memory (call
+/// after the launch has executed).
+void fillPostBytes(const gpu::Device &Dev, std::vector<MemoryRegion> &Regions);
+
+} // namespace capture
+} // namespace proteus
+
+#endif // PROTEUS_CAPTURE_CAPTURE_H

@@ -133,6 +133,32 @@ FreeStatus Device::free(DevicePtr P) {
   return FreeStatus::Ok;
 }
 
+bool Device::findAllocation(DevicePtr P, DevicePtr *Base,
+                            uint64_t *Size) const {
+  for (const auto &Alloc : Allocations) {
+    if (P >= Alloc.first && P < Alloc.first + Alloc.second) {
+      if (Base)
+        *Base = Alloc.first;
+      if (Size)
+        *Size = Alloc.second;
+      return true;
+    }
+  }
+  return false;
+}
+
+bool Device::claimRange(DevicePtr Base, uint64_t Bytes) {
+  if (Base == 0 || Bytes == 0 || !validRange(Base, Bytes))
+    return false;
+  for (const auto &Alloc : Allocations)
+    if (Base < Alloc.first + Alloc.second && Alloc.first < Base + Bytes)
+      return false;
+  Allocations[Base] = Bytes;
+  if (Base + Bytes > Brk)
+    Brk = Base + Bytes;
+  return true;
+}
+
 DevicePtr Device::registerGlobal(const std::string &Symbol, uint64_t Bytes,
                                  const std::vector<uint8_t> &Init) {
   auto It = Symbols.find(Symbol);

@@ -91,10 +91,21 @@ public:
   uint64_t doubleFrees() const { return DoubleFreeCount; }
 
   std::vector<uint8_t> &memory() { return Memory; }
+  const std::vector<uint8_t> &memory() const { return Memory; }
 
   bool validRange(DevicePtr P, uint64_t Bytes) const {
     return P + Bytes <= Memory.size() && P + Bytes >= P;
   }
+
+  /// If \p P points inside a live allocation, reports its base and size and
+  /// returns true. Lets the capture subsystem decide whether an argument's
+  /// raw bits name device memory worth snapshotting.
+  bool findAllocation(DevicePtr P, DevicePtr *Base, uint64_t *Size) const;
+
+  /// Reconstructs an allocation at an exact prior address (capture replay
+  /// rebuilds the captured device's address map verbatim). Fails when the
+  /// range is invalid or overlaps an existing allocation.
+  bool claimRange(DevicePtr Base, uint64_t Bytes);
 
   // -- Globals --------------------------------------------------------------
 
@@ -106,6 +117,13 @@ public:
   /// Device address of \p Symbol, or 0 when unknown (mirrors
   /// cuda/hipGetSymbolAddress).
   DevicePtr getSymbolAddress(const std::string &Symbol) const;
+
+  /// Binds \p Symbol to an existing address without allocating (capture
+  /// replay pins globals to their capture-time addresses inside ranges it
+  /// already claimed). Overwrites any previous binding.
+  void defineSymbol(const std::string &Symbol, DevicePtr Address) {
+    Symbols[Symbol] = Address;
+  }
 
   // -- Modules / kernels -----------------------------------------------------
 

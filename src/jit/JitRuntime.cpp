@@ -8,6 +8,7 @@
 
 #include "analysis/KernelAnalyzer.h"
 #include "bitcode/ModuleIndex.h"
+#include "capture/Capture.h"
 #include "codegen/Compiler.h"
 #include "ir/Context.h"
 #include "ir/Module.h"
@@ -28,6 +29,10 @@ using namespace proteus::gpu;
 namespace {
 
 void emitConfigWarning(std::vector<std::string> *Warnings, std::string Msg) {
+  // Every rejected-but-defaulted value is also counted process-wide, so
+  // tests and CI can assert that no configuration mistake slipped through
+  // silently (the warn-don't-coerce contract).
+  metrics::processRegistry().counter("config.errors").add();
   if (Warnings)
     Warnings->push_back(std::move(Msg));
   else
@@ -120,6 +125,48 @@ JitConfig JitConfig::fromEnvironment(std::vector<std::string> *Warnings) {
                         "ignoring invalid PROTEUS_VERIFY_EACH value '" + S +
                             "' (expected 0 or 1)");
   }
+  if (const char *Cap = std::getenv("PROTEUS_CAPTURE")) {
+    std::string S = Cap;
+    if (S == "off")
+      C.Capture = false;
+    else if (S == "on")
+      C.Capture = true;
+    else
+      emitConfigWarning(Warnings, "ignoring invalid PROTEUS_CAPTURE value '" +
+                                      S + "' (expected off|on)");
+  }
+  if (const char *Dir = std::getenv("PROTEUS_CAPTURE_DIR")) {
+    std::string S = Dir;
+    if (!S.empty())
+      C.CaptureDir = S;
+    else
+      emitConfigWarning(Warnings,
+                        "ignoring empty PROTEUS_CAPTURE_DIR (expected a "
+                        "directory path)");
+  }
+  if (const char *Dedup = std::getenv("PROTEUS_CAPTURE_DEDUP")) {
+    std::string S = Dedup;
+    if (S == "off")
+      C.CaptureDedup = false;
+    else if (S == "on")
+      C.CaptureDedup = true;
+    else
+      emitConfigWarning(Warnings,
+                        "ignoring invalid PROTEUS_CAPTURE_DEDUP value '" + S +
+                            "' (expected off|on)");
+  }
+  if (const char *Ring = std::getenv("PROTEUS_CAPTURE_RING")) {
+    std::string S = Ring;
+    bool AllDigits =
+        !S.empty() && S.find_first_not_of("0123456789") == std::string::npos;
+    unsigned long N = AllDigits ? std::strtoul(S.c_str(), nullptr, 10) : 0;
+    if (AllDigits && N >= 1 && N <= 65536)
+      C.CaptureRing = static_cast<unsigned>(N);
+    else
+      emitConfigWarning(Warnings,
+                        "ignoring invalid PROTEUS_CAPTURE_RING value '" + S +
+                            "' (expected an integer in [1, 65536])");
+  }
   C.Limits = CacheLimits::fromEnvironment();
   return C;
 }
@@ -188,6 +235,9 @@ JitRuntime::JitRuntime(Device &Dev, uint64_t ModuleId, JitConfig Config)
   if (this->Config.Async != JitConfig::AsyncMode::Sync || this->Config.Tier)
     Pool = std::make_unique<ThreadPool>(
         this->Config.AsyncWorkers ? this->Config.AsyncWorkers : 1u);
+  if (this->Config.Capture)
+    CaptureSess = std::make_unique<capture::CaptureSession>(
+        this->Config.CaptureDir, this->Config.CaptureRing, Metrics);
 }
 
 JitRuntime::~JitRuntime() {
@@ -256,6 +306,8 @@ JitRuntimeStats JitRuntime::stats() const {
 void JitRuntime::drain() {
   if (Pool)
     Pool->waitIdle();
+  if (CaptureSess)
+    CaptureSess->flush(); // every submitted capture persisted (or failed)
 }
 
 void JitRuntime::resetInMemoryState() {
@@ -740,12 +792,12 @@ unsigned JitRuntime::recordLoadOrigin(uint64_t Hash, unsigned Ordinal) {
   return It->second;
 }
 
-GpuError JitRuntime::loadAndLaunch(DeviceState &DS, uint64_t Hash,
-                                   const std::vector<uint8_t> &Object,
-                                   const std::string &Symbol, Dim3 Grid,
-                                   Dim3 Block,
-                                   const std::vector<KernelArg> &Args,
-                                   Stream *S, std::string *Error) {
+GpuError JitRuntime::loadAndLaunch(
+    DeviceState &DS, uint64_t Hash, const std::vector<uint8_t> &Object,
+    const JitKernelInfo &Info,
+    const std::shared_ptr<const KernelModuleIndex> &CaptureIndex, Dim3 Grid,
+    Dim3 Block, const std::vector<KernelArg> &Args, Stream *S,
+    std::string *Error) {
   std::lock_guard<std::mutex> Lock(DS.Lock);
   LoadedKernel *K = nullptr;
   if (auto It = DS.Loaded.find(Hash); It != DS.Loaded.end()) {
@@ -755,7 +807,7 @@ GpuError JitRuntime::loadAndLaunch(DeviceState &DS, uint64_t Hash,
     std::string LoadError;
     if (gpuModuleLoad(*DS.Dev, &K, Object, &LoadError) != GpuError::Success) {
       if (Error)
-        *Error = "failed to load JIT object for @" + Symbol + ": " +
+        *Error = "failed to load JIT object for @" + Info.Symbol + ": " +
                  LoadError;
       return GpuError::LaunchFailure;
     }
@@ -770,8 +822,86 @@ GpuError JitRuntime::loadAndLaunch(DeviceState &DS, uint64_t Hash,
       trace::instant("jit.cross_device_load");
     }
   }
+  return launchLoaded(DS, *K, Info, Hash, CaptureIndex, Grid, Block, Args, S,
+                      Error);
+}
+
+GpuError JitRuntime::launchLoaded(
+    DeviceState &DS, LoadedKernel &K, const JitKernelInfo &Info,
+    uint64_t Hash,
+    const std::shared_ptr<const KernelModuleIndex> &CaptureIndex, Dim3 Grid,
+    Dim3 Block, const std::vector<KernelArg> &Args, Stream *S,
+    std::string *Error) {
   trace::Span Sp("jit.kernel_launch", "jit");
-  return gpuLaunchKernelAsync(*DS.Dev, *K, Grid, Block, Args, S, Error);
+  // Skip capture when it is off, the kernel's closure is unavailable, this
+  // launch shape was already recorded (dedup mode counts capture.dedup), or
+  // the ring is full (tryReserve counts the drop) — the launch itself must
+  // never block or fail on account of capture.
+  uint64_t DedupKey = 0;
+  if (CaptureSess && Config.CaptureDedup) {
+    FNV1aHash KeyHash;
+    KeyHash.update(Hash);
+    KeyHash.update(Grid.X);
+    KeyHash.update(Grid.Y);
+    KeyHash.update(Grid.Z);
+    KeyHash.update(Block.X);
+    KeyHash.update(Block.Y);
+    KeyHash.update(Block.Z);
+    for (const KernelArg &Arg : Args)
+      KeyHash.update(Arg.Bits);
+    DedupKey = KeyHash.digest();
+    if (DedupKey == 0) // 0 means "capture every launch" to the session
+      DedupKey = 1;
+  }
+  if (!CaptureSess || !CaptureIndex || !CaptureSess->tryReserve(DedupKey))
+    return gpuLaunchKernelAsync(*DS.Dev, K, Grid, Block, Args, S, Error);
+
+  capture::PendingRecord Rec;
+  Rec.Index = CaptureIndex;
+  capture::CaptureArtifact &A = Rec.Artifact;
+  A.ModuleId = ModuleId;
+  A.KernelSymbol = Info.Symbol;
+  A.Arch = DS.Dev->target().Arch;
+  A.Grid = Grid;
+  A.Block = Block;
+  A.ArgBits.reserve(Args.size());
+  for (const KernelArg &Arg : Args)
+    A.ArgBits.push_back(Arg.Bits);
+  A.AnnotatedArgs = Info.AnnotatedArgs;
+  A.EnableRCF = Config.EnableRCF;
+  A.EnableLaunchBounds = Config.EnableLaunchBounds;
+  A.TierMode = Config.Tier;
+  A.SpecializationHash = Hash;
+  A.PipelineFingerprint =
+      jitPipelineFingerprint(CodeTier::Final, symbolicGlobals());
+  A.DeviceMemoryBytes = DS.Dev->memory().size();
+  // Snapshot candidates: every argument's raw bits (non-pointer values that
+  // fall outside any allocation are skipped by snapshotRegions; a scalar
+  // that happens to alias an allocation is over-captured, which is safe)
+  // plus the device addresses of the kernel closure's globals.
+  std::vector<uint64_t> Candidates = A.ArgBits;
+  for (const std::string &G : CaptureIndex->closureGlobalNames(Info.Symbol)) {
+    DevicePtr Addr = DS.Dev->getSymbolAddress(G);
+    if (Addr) {
+      A.Globals.push_back({G, Addr});
+      Candidates.push_back(Addr);
+    }
+  }
+  A.Regions = capture::snapshotRegions(*DS.Dev, Candidates);
+
+  GpuError E = gpuLaunchKernelAsync(*DS.Dev, K, Grid, Block, Args, S, Error);
+  if (E != GpuError::Success) {
+    // A failed launch has no output state worth replaying; return the ring
+    // slot without persisting anything (counted as capture.skips) and
+    // un-mark the shape so a later successful launch can capture it.
+    CaptureSess->release(DedupKey);
+    return E;
+  }
+  // The simulator applies memory effects synchronously in host enqueue
+  // order, even on async streams, so the post snapshot here is exact.
+  capture::fillPostBytes(*DS.Dev, A.Regions);
+  CaptureSess->submit(std::move(Rec));
+  return E;
 }
 
 GpuError JitRuntime::launchKernel(const std::string &Symbol, Dim3 Grid,
@@ -825,14 +955,27 @@ GpuError JitRuntime::launchKernelOn(unsigned DeviceIndex,
   }
   uint64_t Hash = lookupSpecHash(Symbol, Key);
 
+  // Capture needs the kernel's module index (the pruned-bitcode source) in
+  // hand before any device lock is taken: building it may fetch bitcode,
+  // and the NVIDIA readback locks the bitcode-holding device. Once built
+  // the index is a map lookup; failure just means this launch goes
+  // uncaptured.
+  std::shared_ptr<const KernelModuleIndex> CaptureIndex;
+  if (CaptureSess) {
+    CaptureIndex = getOrBuildIndex(Symbol, {}, nullptr);
+    if (!CaptureIndex) {
+      std::vector<uint8_t> Bitcode;
+      if (fetchBitcode(*Info, Bitcode, nullptr) == GpuError::Success)
+        CaptureIndex = getOrBuildIndex(Symbol, Bitcode, nullptr);
+    }
+  }
+
   // --- Already loaded on this device? ---------------------------------------
   {
     std::lock_guard<std::mutex> Lock(DS.Lock);
-    if (auto LIt = DS.Loaded.find(Hash); LIt != DS.Loaded.end()) {
-      trace::Span Sp("jit.kernel_launch", "jit");
-      return gpuLaunchKernelAsync(*DS.Dev, *LIt->second, Grid, Block, Args,
-                                  S, Error);
-    }
+    if (auto LIt = DS.Loaded.find(Hash); LIt != DS.Loaded.end())
+      return launchLoaded(DS, *LIt->second, *Info, Hash, CaptureIndex, Grid,
+                          Block, Args, S, Error);
   }
 
   // --- Cache lookup + in-flight dedup, atomically ----------------------------
@@ -995,6 +1138,6 @@ GpuError JitRuntime::launchKernelOn(unsigned DeviceIndex,
   }
 
   // --- Load and launch ---------------------------------------------------------
-  return loadAndLaunch(DS, Hash, *Object, Symbol, Grid, Block, Args, S,
-                       Error);
+  return loadAndLaunch(DS, Hash, *Object, *Info, CaptureIndex, Grid, Block,
+                       Args, S, Error);
 }

@@ -86,6 +86,10 @@ namespace proteus {
 
 class KernelModuleIndex;
 
+namespace capture {
+class CaptureSession;
+}
+
 /// Runtime configuration (environment-variable equivalents).
 struct JitConfig {
   /// How a launch that misses the code cache obtains its binary.
@@ -138,9 +142,31 @@ struct JitConfig {
   /// emitting a miscompiled kernel (PROTEUS_VERIFY_EACH=1).
   bool VerifyEachPass = false;
 
+  /// Launch capture (PROTEUS_CAPTURE=off|on): record specialized launches
+  /// into self-contained replayable artifacts (pruned bitcode, arg values,
+  /// memory snapshots, geometry, arch, pipeline fingerprint) via a bounded
+  /// ring that sheds load instead of ever blocking the launch path.
+  /// Generic-fallback launches (unspecialized tier-0 covers) are not
+  /// captured. See src/capture and tools/proteus-replay.
+  bool Capture = false;
+  /// Directory receiving .pcap artifacts (PROTEUS_CAPTURE_DIR).
+  std::string CaptureDir = "proteus-captures";
+  /// Capture-ring capacity: captures that may be queued or in flight before
+  /// new ones are shed (PROTEUS_CAPTURE_RING, in [1, 65536]).
+  unsigned CaptureRing = 64;
+  /// Capture each distinct launch shape (specialization hash + geometry +
+  /// argument bits) only once per runtime; repeats are counted as
+  /// capture.dedup and skip all snapshot work, so a steady-state launch
+  /// loop pays nothing after its first iteration. Set to false
+  /// (PROTEUS_CAPTURE_DEDUP=off) to record every launch — the stress mode
+  /// the pressure tests use to exercise ring shedding.
+  bool CaptureDedup = true;
+
   /// Applies the PROTEUS_* environment variables on top of the defaults
   /// (PROTEUS_NO_RCF, PROTEUS_NO_LAUNCH_BOUNDS, PROTEUS_CACHE_DIR,
-  /// PROTEUS_ASYNC, PROTEUS_ASYNC_WORKERS and the CacheLimits variables).
+  /// PROTEUS_ASYNC, PROTEUS_ASYNC_WORKERS, PROTEUS_CAPTURE,
+  /// PROTEUS_CAPTURE_DIR, PROTEUS_CAPTURE_RING, PROTEUS_CAPTURE_DEDUP and
+  /// the CacheLimits variables).
   /// Unrecognized or out-of-range values are rejected: the default is kept
   /// and a diagnostic is appended to \p Warnings (or printed to stderr as
   /// "proteus: warning: ..." when \p Warnings is null) instead of being
@@ -344,6 +370,10 @@ public:
   CodeCache &cache() { return Cache; }
   const JitConfig &config() const { return Config; }
 
+  /// The live capture session when JitConfig::Capture is on, else null
+  /// (test/flush access; the launch path reaches it internally).
+  capture::CaptureSession *captureSession() { return CaptureSess.get(); }
+
   /// Waits until every background compilation dispatched so far has
   /// finished (no-op in Sync mode).
   void drain();
@@ -425,10 +455,24 @@ private:
                 gpu::Stream *S, std::string *Error);
   gpu::GpuError loadAndLaunch(DeviceState &DS, uint64_t Hash,
                               const std::vector<uint8_t> &Object,
-                              const std::string &Symbol, gpu::Dim3 Grid,
-                              gpu::Dim3 Block,
+                              const JitKernelInfo &Info,
+                              const std::shared_ptr<const KernelModuleIndex>
+                                  &CaptureIndex,
+                              gpu::Dim3 Grid, gpu::Dim3 Block,
                               const std::vector<gpu::KernelArg> &Args,
                               gpu::Stream *S, std::string *Error);
+  /// Launches an already-loaded specialized kernel, recording a capture
+  /// artifact around it when capture is on: reserve a ring slot (shed and
+  /// launch plain when full), snapshot input regions, launch, snapshot
+  /// outputs, submit. Called with DS.Lock held; \p CaptureIndex supplies
+  /// the pruned-bitcode closure and may be null (capture skipped).
+  gpu::GpuError launchLoaded(DeviceState &DS, gpu::LoadedKernel &K,
+                             const JitKernelInfo &Info, uint64_t Hash,
+                             const std::shared_ptr<const KernelModuleIndex>
+                                 &CaptureIndex,
+                             gpu::Dim3 Grid, gpu::Dim3 Block,
+                             const std::vector<gpu::KernelArg> &Args,
+                             gpu::Stream *S, std::string *Error);
   /// Records that \p Hash was first loaded via device \p Ordinal; returns
   /// the origin ordinal (the existing one on a repeat call).
   unsigned recordLoadOrigin(uint64_t Hash, unsigned Ordinal);
@@ -491,6 +535,12 @@ private:
   std::mutex MemoMutex;
   std::unordered_map<std::string, std::map<std::vector<uint64_t>, uint64_t>>
       HashMemo;
+
+  /// Live capture session (JitConfig::Capture); null when capture is off.
+  /// Declared before the pool: background compiles never touch it, but the
+  /// session's writer thread must outlive nothing of the runtime it reads
+  /// (the module indexes it serializes are shared_ptr-held per record).
+  std::unique_ptr<capture::CaptureSession> CaptureSess;
 
   /// Worker pool for Block/Fallback modes and for Tier-1 promotions when
   /// tiering is on; null otherwise. Declared last so it is destroyed

@@ -30,6 +30,8 @@ TESTS=(
   trace_test
   observability_test
   analysis_test
+  capture_replay_test
+  capture_pressure_test
 )
 
 echo "== Configuring TSan build in ${BUILD_DIR} =="
@@ -93,6 +95,31 @@ if ! PROTEUS_NUM_DEVICES=4 PROTEUS_DEFAULT_STREAMS=4 \
      "${BUILD_DIR}/tests/stream_test"; then
   echo "!! stream_test FAILED under ThreadSanitizer with a multi-device pool"
   STATUS=1
+fi
+
+# The same storm with launch capture recording into a bounded ring: the
+# launch path snapshots device memory under per-device locks while the
+# capture writer thread serializes bitcode and persists artifacts — the
+# ring hand-off, the shedding counters, and the writer race the storm.
+CAPTURE_TMP="${TRACE_TMP}/captures"
+echo "== TSan: stream_test (capture enabled during the multi-device storm) =="
+if ! PROTEUS_NUM_DEVICES=4 PROTEUS_DEFAULT_STREAMS=4 \
+     PROTEUS_TIER=on PROTEUS_ASYNC=fallback \
+     PROTEUS_CAPTURE=on PROTEUS_CAPTURE_DIR="${CAPTURE_TMP}" \
+     "${BUILD_DIR}/tests/stream_test"; then
+  echo "!! stream_test FAILED under ThreadSanitizer with capture enabled"
+  STATUS=1
+fi
+
+# Every artifact the storm recorded must replay byte-identical — capture
+# under contention may shed, but must never corrupt.
+if compgen -G "${CAPTURE_TMP}/*.pcap" > /dev/null; then
+  echo "== TSan: replaying storm-captured artifacts =="
+  cmake --build "${BUILD_DIR}" -j "$(nproc)" --target proteus-replay
+  if ! "${BUILD_DIR}/tools/proteus-replay" "${CAPTURE_TMP}"/*.pcap; then
+    echo "!! storm-captured artifacts failed differential replay"
+    STATUS=1
+  fi
 fi
 
 if [ "${STATUS}" -eq 0 ]; then

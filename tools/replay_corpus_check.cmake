@@ -1,0 +1,95 @@
+# Replays every checked-in capture artifact (tests/corpus/*.pcap) with
+# proteus-replay — each must re-execute byte-identical with a matching
+# specialization hash — and re-lints each artifact's pruned kernel bitcode
+# against its .expect file (the exact sanitizer findings recorded when the
+# corpus was generated; an empty .expect means lint-clean). Invoked by the
+# replay_corpus_check ctest (see tools/CMakeLists.txt) with -DREPLAY=...,
+# -DLINT=..., -DCORPUS_DIR=..., -DWORK_DIR=...
+
+file(GLOB Artifacts "${CORPUS_DIR}/*.pcap")
+if(NOT Artifacts)
+  message(FATAL_ERROR "no capture artifacts found in ${CORPUS_DIR}")
+endif()
+list(SORT Artifacts)
+file(MAKE_DIRECTORY "${WORK_DIR}")
+
+foreach(Artifact IN LISTS Artifacts)
+  get_filename_component(Base "${Artifact}" NAME_WE)
+
+  # 1. Differential replay: byte-identical output, identical spec hash.
+  execute_process(
+    COMMAND "${REPLAY}" "${Artifact}"
+    RESULT_VARIABLE ReplayResult
+    OUTPUT_VARIABLE ReplayOut
+    ERROR_VARIABLE ReplayErr)
+  if(NOT ReplayResult EQUAL 0)
+    message(FATAL_ERROR
+      "replay of ${Base}.pcap failed (rc=${ReplayResult}):\n"
+      "${ReplayOut}\n${ReplayErr}")
+  endif()
+  message(STATUS "${ReplayOut}")
+
+  # 2. Sanitizer expectations: dump the artifact's pruned module as PIR,
+  # lint it, and require the exact recorded finding kinds and counts.
+  set(ExpectFile "${CORPUS_DIR}/${Base}.expect")
+  if(NOT EXISTS "${ExpectFile}")
+    message(FATAL_ERROR "missing ${Base}.expect next to ${Base}.pcap")
+  endif()
+
+  set(PirFile "${WORK_DIR}/${Base}.pir")
+  execute_process(
+    COMMAND "${REPLAY}" --dump-pir "${Artifact}"
+    RESULT_VARIABLE DumpResult
+    OUTPUT_FILE "${PirFile}"
+    ERROR_VARIABLE DumpErr)
+  if(NOT DumpResult EQUAL 0)
+    message(FATAL_ERROR
+      "--dump-pir of ${Base}.pcap failed (rc=${DumpResult}):\n${DumpErr}")
+  endif()
+
+  execute_process(
+    COMMAND "${LINT}" "${PirFile}"
+    RESULT_VARIABLE LintResult
+    OUTPUT_VARIABLE LintOut
+    ERROR_VARIABLE LintErr)
+
+  file(READ "${ExpectFile}" Expected)
+  string(STRIP "${Expected}" Expected)
+
+  # pir-lint prints "<file>: [kind] @kernel(block): message" per finding
+  # plus a trailing summary; reduce to the bare rendered findings so the
+  # comparison is path-independent.
+  set(Findings "")
+  string(REPLACE "\n" ";" LintLines "${LintOut}")
+  foreach(Line IN LISTS LintLines)
+    if(Line MATCHES "^.*\\.pir: (.*)$")
+      list(APPEND Findings "${CMAKE_MATCH_1}")
+    endif()
+  endforeach()
+  string(REPLACE ";" "\n" Findings "${Findings}")
+  string(STRIP "${Findings}" Findings)
+
+  if(Expected STREQUAL "")
+    if(NOT LintResult EQUAL 0)
+      message(FATAL_ERROR
+        "${Base}.pcap expected lint-clean, got findings (rc=${LintResult}):\n"
+        "${LintOut}\n${LintErr}")
+    endif()
+  else()
+    if(NOT LintResult EQUAL 1)
+      message(FATAL_ERROR
+        "${Base}.pcap expected sanitizer findings, pir-lint rc=${LintResult}:\n"
+        "${LintOut}\n${LintErr}")
+    endif()
+    if(NOT Findings STREQUAL Expected)
+      message(FATAL_ERROR
+        "${Base}.pcap sanitizer findings diverge from ${Base}.expect\n"
+        "expected:\n${Expected}\n"
+        "actual:\n${Findings}")
+    endif()
+  endif()
+  message(STATUS "${Base}: sanitizer expectations hold")
+endforeach()
+
+list(LENGTH Artifacts Count)
+message(STATUS "replay_corpus_check: ${Count} artifact(s) verified")
