@@ -10,7 +10,14 @@
 // the best block size is not obvious. The auto-tuner JIT-compiles one
 // specialization per candidate block size — launch bounds make each one a
 // distinct cache entry — times them on the simulator with side effects
-// rolled back, and pins the winner, whose binary is already cached.
+// rolled back (device memory and per-stream timelines restored, trials
+// pinned to the final compilation tier, any attached device accepted),
+// and pins the winner, whose binary is already cached.
+//
+// This is the legacy live-device protocol. The replay-driven
+// VariantManager (same header) additionally races pipeline variants on
+// captured launches without touching a live device at all, and persists
+// its decisions — see bench/autotune_speedup and DESIGN.md section 2h.
 //
 // Build and run:   ./examples/autotune_launch
 //

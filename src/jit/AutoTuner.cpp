@@ -1,10 +1,13 @@
-//===- AutoTuner.cpp - launch-configuration auto-tuning ---------------------------===//
+//===- AutoTuner.cpp - kernel variant manager and auto-tuning ----------------------===//
 //
 // Part of the Proteus reproduction project.
 //
 //===----------------------------------------------------------------------===//
 
 #include "jit/AutoTuner.h"
+
+#include "support/FileSystem.h"
+#include "support/Timer.h"
 
 using namespace proteus;
 using namespace proteus::gpu;
@@ -18,10 +21,24 @@ TuningResult proteus::autotuneBlockSize(
     Out.Error = "autotune requires work and candidates";
     return Out;
   }
+  // Trials must run on the device the caller handed us. The runtime's
+  // plain launchKernel always targets device 0, so resolve Dev's attach
+  // index and route every trial through launchKernelOn — tuning a
+  // non-primary device used to time (and mutate!) device 0 while
+  // snapshotting Dev.
+  const int Index = Jit.deviceIndexOf(Dev);
+  if (Index < 0) {
+    Jit.noteTunerError();
+    Out.Error = "device is not attached to this JIT runtime";
+    return Out;
+  }
 
   // Snapshot device state: trial launches must not leak side effects.
+  // Per-stream timelines are captured individually so multi-stream
+  // programs get their exact tails back (restoreClock collapsed
+  // everything onto the default stream).
   std::vector<uint8_t> Snapshot = Dev.memory();
-  const double SimBefore = Dev.simulatedSeconds();
+  const std::vector<double> Tails = Dev.streamTails();
   const double KernelBefore = Dev.kernelSeconds();
 
   for (uint32_t Block : Candidates) {
@@ -32,14 +49,23 @@ TuningResult proteus::autotuneBlockSize(
       continue;
     TuningTrial Trial;
     Trial.ThreadsPerBlock = Block;
+    // Pin the trial to the final compilation tier before timing it: under
+    // PROTEUS_TIER=on a cold launch would otherwise run the Tier-0
+    // baseline, so early candidates would race handicapped code while
+    // later ones might catch their background promotions.
     std::string Err;
-    GpuError E = Jit.launchKernel(
-        Symbol, Dim3{static_cast<uint32_t>(Blocks), 1, 1},
-        Dim3{Block, 1, 1}, Args, &Err);
+    GpuError E = Jit.installFinalTier(Symbol, Dim3{Block, 1, 1}, Args,
+                                      /*O3Override=*/nullptr, Index,
+                                      /*ReuseCached=*/true, &Err);
+    if (E == GpuError::Success)
+      E = Jit.launchKernelOn(static_cast<unsigned>(Index), Symbol,
+                             Dim3{static_cast<uint32_t>(Blocks), 1, 1},
+                             Dim3{Block, 1, 1}, Args, nullptr, &Err);
     if (E == GpuError::Success) {
       Trial.Ok = true;
       Trial.KernelSeconds = Dev.LastLaunch.DurationSec;
     }
+    Jit.noteTunerTrials(1);
     Out.Trials.push_back(Trial);
     // Roll back side effects of the trial.
     Dev.memory() = Snapshot;
@@ -47,7 +73,7 @@ TuningResult proteus::autotuneBlockSize(
 
   // Restore the simulated clocks: tuning happens once at startup; its
   // trial time is the caller's to report, not program device time.
-  Dev.restoreClock(SimBefore, KernelBefore);
+  Dev.restoreTimelines(Tails, KernelBefore);
 
   for (const TuningTrial &T : Out.Trials) {
     if (!T.Ok)
@@ -61,4 +87,242 @@ TuningResult proteus::autotuneBlockSize(
   if (!Out.Ok)
     Out.Error = "no candidate produced a successful launch";
   return Out;
+}
+
+std::vector<VariantSpec>
+VariantManager::generateVariants(const capture::CaptureArtifact &A) const {
+  std::vector<VariantSpec> Specs;
+  const O3Options DefaultO3 = Jit.config().O3;
+
+  // Variant 0: the recorded configuration under the runtime's own pipeline
+  // — the status quo always races, so the winner can never be slower than
+  // what the program would have run anyway.
+  VariantSpec Default;
+  Default.Name = "default";
+  Default.Grid = A.Grid;
+  Default.Block = A.Block;
+  Default.O3 = DefaultO3;
+  Specs.push_back(Default);
+
+  // Launch-geometry variants: reshape the same total work into 1-D grids
+  // of each candidate block size (each implies its own launch-bounds
+  // specialization, hence its own register budget in the backend).
+  const uint64_t Total = A.Grid.count() * A.Block.count();
+  for (uint32_t Block : Opts.BlockCandidates) {
+    if (Block == 0 || Block > 1024)
+      continue;
+    uint64_t Blocks = (Total + Block - 1) / Block;
+    if (Blocks == 0 || Blocks > (1ull << 31))
+      continue;
+    if (Blocks == A.Grid.X && A.Grid.Y == 1 && A.Grid.Z == 1 &&
+        Block == A.Block.X && A.Block.Y == 1 && A.Block.Z == 1)
+      continue; // identical to the recorded default
+    VariantSpec V;
+    V.Name = "block" + std::to_string(Block);
+    V.Grid = Dim3{static_cast<uint32_t>(Blocks), 1, 1};
+    V.Block = Dim3{Block, 1, 1};
+    V.O3 = DefaultO3;
+    Specs.push_back(V);
+  }
+
+  // Pipeline variants at the recorded geometry: compile-pipeline
+  // aggressiveness is a launch-performance axis of its own (unrolling
+  // trades instruction count for register pressure, LICM hoisting
+  // lengthens live ranges, the fast preset skips both).
+  if (DefaultO3.Preset != O3Preset::Fast) {
+    VariantSpec V = Default;
+    V.Name = "o3-fast";
+    V.O3.Preset = O3Preset::Fast;
+    Specs.push_back(V);
+  }
+  if (DefaultO3.EnableLICM) {
+    VariantSpec V = Default;
+    V.Name = "no-licm";
+    V.O3.EnableLICM = false;
+    Specs.push_back(V);
+  }
+  {
+    VariantSpec V = Default;
+    V.Name = "unroll-wide";
+    V.O3.Unroll.MaxTripCount = DefaultO3.Unroll.MaxTripCount * 4;
+    V.O3.Unroll.MaxExpandedInstructions =
+        DefaultO3.Unroll.MaxExpandedInstructions * 4;
+    Specs.push_back(V);
+  }
+
+  // Budget cap (PROTEUS_TUNE_BUDGET); the default variant always stays.
+  const size_t Budget = Opts.Budget > 0 ? Opts.Budget : 1;
+  if (Specs.size() > Budget)
+    Specs.resize(Budget);
+  return Specs;
+}
+
+VariantTuningResult
+VariantManager::tuneArtifact(const capture::CaptureArtifact &A) {
+  VariantTuningResult R;
+  if (!Opts.Enabled) {
+    R.Error = "tuning is disabled (PROTEUS_TUNE=off)";
+    return R;
+  }
+  if (A.KernelSymbol.empty() || A.Bitcode.empty()) {
+    Jit.noteTunerError();
+    R.Error = "artifact carries no kernel bitcode";
+    return R;
+  }
+  Timer Wall;
+  const uint64_t Total = A.Grid.count() * A.Block.count();
+  R.DecisionKey = computeTuningKeyHash(A.ModuleId, A.KernelSymbol, A.Arch,
+                                       Total, A.ArgBits);
+
+  std::vector<KernelArg> Args;
+  Args.reserve(A.ArgBits.size());
+  for (uint64_t Bits : A.ArgBits)
+    Args.push_back(KernelArg{Bits});
+
+  // Warm path: a persisted decision means a previous run already raced
+  // this (kernel, args, arch, shape). Install its winner — out of the
+  // persistent code cache when warm, so nothing compiles — and race
+  // nothing (TunerCacheHits counts the skip).
+  if (std::optional<TuningDecision> D =
+          Jit.lookupTuningDecision(R.DecisionKey)) {
+    R.FromCache = true;
+    R.Winner.Name = "cached";
+    R.Winner.Grid = Dim3{D->GridX, D->GridY, D->GridZ};
+    R.Winner.Block = Dim3{D->BlockX, D->BlockY, D->BlockZ};
+    R.Winner.O3 = Jit.config().O3;
+    R.Winner.O3.Preset = D->Preset ? O3Preset::Fast : O3Preset::Full;
+    R.Winner.O3.EnableLICM = D->EnableLICM != 0;
+    R.Winner.O3.Unroll.MaxTripCount = D->UnrollMaxTripCount;
+    R.Winner.O3.Unroll.MaxExpandedInstructions =
+        D->UnrollMaxExpandedInstructions;
+    R.WinnerSeconds = D->ExpectedSeconds;
+    if (Opts.Promote) {
+      std::string Err;
+      if (Jit.installFinalTier(A.KernelSymbol, R.Winner.Block, Args,
+                               &R.Winner.O3, /*DeviceIndex=*/-1,
+                               /*ReuseCached=*/true,
+                               &Err) != GpuError::Success) {
+        R.Error = "cached winner install failed: " + Err;
+        R.TuningWallSeconds = Wall.seconds();
+        return R;
+      }
+      R.Promoted = true;
+    }
+    R.Ok = true;
+    R.TuningWallSeconds = Wall.seconds();
+    return R;
+  }
+
+  // Cold path: race the variants on the replay substrate. Every trial
+  // rebuilds a throwaway device from the artifact's pre-launch images, so
+  // trials are side-effect-free by construction; the output check against
+  // the recorded post-images gates eligibility. Trials share one base
+  // configuration that forces fairness and isolation: synchronous
+  // final-tier compiles only (no Tier-0 head start), no capture of the
+  // trials themselves, and a memory-only code cache so variant objects
+  // never pollute the persistent cache — only the promoted winner does.
+  ReplayOptions Base;
+  Base.Jit = Jit.config();
+  Base.Jit.Tier = false;
+  Base.Jit.Async = JitConfig::AsyncMode::Sync;
+  Base.Jit.Capture = false;
+  Base.Jit.Tune = false;
+  Base.Jit.UseMemoryCache = true;
+  Base.Jit.UsePersistentCache = false;
+  Base.Jit.CacheDir.clear();
+  Base.CacheDir.clear();
+  Base.OverrideGeometry = true;
+
+  std::vector<VariantSpec> Specs = generateVariants(A);
+  for (const VariantSpec &S : Specs) {
+    ReplayOptions RO = Base;
+    RO.Grid = S.Grid;
+    RO.Block = S.Block;
+    RO.Jit.O3 = S.O3;
+    ReplayResult RR = replayArtifact(A, RO);
+    Jit.noteTunerTrials(1);
+    VariantTrial T;
+    T.Spec = S;
+    T.Ok = RR.Ok;
+    T.OutputMatch = RR.OutputMatch;
+    T.KernelSeconds = RR.KernelSeconds;
+    T.Compilations = RR.CompilationsUsed;
+    T.Stats = RR.Launch;
+    T.Error = RR.Error;
+    R.TuningSeconds += RR.SimulatedSeconds;
+    R.Trials.push_back(std::move(T));
+  }
+
+  if (!R.Trials.empty() && R.Trials.front().Ok &&
+      R.Trials.front().OutputMatch)
+    R.BaselineSeconds = R.Trials.front().KernelSeconds;
+
+  // The winner: fastest correct trial; the earliest wins ties, which
+  // keeps the recorded default ahead of exotic variants that merely match
+  // it.
+  const VariantTrial *Best = nullptr;
+  for (const VariantTrial &T : R.Trials)
+    if (T.Ok && T.OutputMatch &&
+        (!Best || T.KernelSeconds < Best->KernelSeconds))
+      Best = &T;
+  if (!Best) {
+    Jit.noteTunerError();
+    R.Error = "no variant produced a correct replay";
+    R.TuningWallSeconds = Wall.seconds();
+    return R;
+  }
+  R.Winner = Best->Spec;
+  R.WinnerSeconds = Best->KernelSeconds;
+
+  // Promote the winner through the Tier-1 hot-swap path on every attached
+  // device, compiled fresh under the winning pipeline knobs (this is also
+  // what lands it in the persistent code cache for the warm path).
+  if (Opts.Promote) {
+    std::string Err;
+    if (Jit.installFinalTier(A.KernelSymbol, R.Winner.Block, Args,
+                             &R.Winner.O3, /*DeviceIndex=*/-1,
+                             /*ReuseCached=*/false,
+                             &Err) != GpuError::Success) {
+      R.Error = "winner promotion failed: " + Err;
+      R.TuningWallSeconds = Wall.seconds();
+      return R;
+    }
+    R.Promoted = true;
+  }
+
+  if (Opts.PersistDecision) {
+    TuningDecision D;
+    D.GridX = R.Winner.Grid.X;
+    D.GridY = R.Winner.Grid.Y;
+    D.GridZ = R.Winner.Grid.Z;
+    D.BlockX = R.Winner.Block.X;
+    D.BlockY = R.Winner.Block.Y;
+    D.BlockZ = R.Winner.Block.Z;
+    D.Preset = R.Winner.O3.Preset == O3Preset::Fast ? 1 : 0;
+    D.EnableLICM = R.Winner.O3.EnableLICM ? 1 : 0;
+    D.UnrollMaxTripCount = R.Winner.O3.Unroll.MaxTripCount;
+    D.UnrollMaxExpandedInstructions =
+        R.Winner.O3.Unroll.MaxExpandedInstructions;
+    D.ExpectedSeconds = R.WinnerSeconds;
+    D.TrialsRun = static_cast<uint32_t>(R.Trials.size());
+    Jit.storeTuningDecision(R.DecisionKey, D);
+  }
+
+  R.Ok = true;
+  R.TuningWallSeconds = Wall.seconds();
+  return R;
+}
+
+std::vector<VariantTuningResult>
+VariantManager::tuneDirectory(const std::string &Dir) {
+  std::vector<VariantTuningResult> Results;
+  for (const std::string &Name : fs::listFiles(Dir)) {
+    std::string Error;
+    std::optional<capture::CaptureArtifact> A =
+        capture::readArtifactFile(Dir + "/" + Name, &Error);
+    if (!A)
+      continue; // not an artifact (or corrupt): nothing to tune
+    Results.push_back(tuneArtifact(*A));
+  }
+  return Results;
 }

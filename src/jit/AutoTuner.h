@@ -1,4 +1,4 @@
-//===- AutoTuner.h - launch-configuration auto-tuning -----------*- C++ -*-===//
+//===- AutoTuner.h - kernel variant manager and auto-tuning -----*- C++ -*-===//
 //
 // Part of the Proteus reproduction project.
 //
@@ -7,31 +7,51 @@
 /// \file
 /// The paper's section 6 future-work item "exploring runtime optimizations
 /// like kernel scheduling and auto-tuning", built on the pieces Proteus
-/// already has: because the JIT can produce one specialization *per launch
-/// configuration* (launch bounds!), an auto-tuner can try several block
-/// sizes for the same total work, time them, and pin the winner for all
-/// subsequent launches. Device memory is snapshotted and restored around
-/// the trial launches so tuning is externally side-effect-free; every trial
-/// specialization lands in the regular code cache, so the winning
-/// configuration's binary is already warm when real execution proceeds.
+/// already has — grown here into a kernel *variant manager*:
+///
+/// For one (kernel, args, arch) specialization the manager generates
+/// several competing variants — block-size / launch-bounds budgets, the
+/// fast vs. full O3 preset, LICM on/off, wider loop unrolling — and races
+/// them on *replayed* capture artifacts (src/capture + Replay.h): each
+/// trial rebuilds a fresh simulated device from the artifact's pre-launch
+/// images, so trials are side-effect-free by construction, never touch a
+/// live device, and every trial's output is differentially checked against
+/// the recorded post-launch images. A kernel whose result depends on its
+/// launch geometry simply fails the output check and disqualifies that
+/// variant — correctness gates the race, not heuristics.
+///
+/// The empirical winner is promoted through the Tier-1 hot-swap path
+/// (JitRuntime::installFinalTier) on every attached device holding the
+/// kernel, and the decision is persisted in the code cache keyed by
+/// (module, kernel, arch, total threads, argument bits) — the rocFFT
+/// "kernel repo" idea — so a warm fleet never re-tunes: the next run loads
+/// the decision, installs the winner from the persistent code cache with
+/// zero compiles, and records a TunerCacheHits.
+///
+/// The legacy entry point autotuneBlockSize() remains for callers holding a
+/// live device: it times candidate block sizes on the device itself (memory
+/// snapshot/restore around trials, per-stream timelines restored after),
+/// now correctly targeting whichever attached device it is handed.
 ///
 //===----------------------------------------------------------------------===//
 
 #ifndef PROTEUS_JIT_AUTOTUNER_H
 #define PROTEUS_JIT_AUTOTUNER_H
 
+#include "capture/Artifact.h"
 #include "jit/JitRuntime.h"
+#include "jit/Replay.h"
 
 namespace proteus {
 
-/// Result of one tuning trial.
+/// Result of one legacy on-device tuning trial.
 struct TuningTrial {
   uint32_t ThreadsPerBlock = 0;
   double KernelSeconds = 0;
   bool Ok = false;
 };
 
-/// Outcome of a tuning session.
+/// Outcome of a legacy on-device tuning session.
 struct TuningResult {
   bool Ok = false;
   std::string Error;
@@ -41,15 +61,122 @@ struct TuningResult {
 };
 
 /// Tries each candidate block size for \p Symbol over \p TotalThreads
-/// work items (grid = ceil(total / block)), restoring device memory after
-/// every trial, and returns the fastest configuration. Candidates that do
-/// not divide into a valid launch are skipped.
+/// work items (grid = ceil(total / block)) on \p Dev — which may be any
+/// device attached to \p Jit, not just the primary — restoring device
+/// memory and per-stream timelines after the trials, and returns the
+/// fastest configuration. Each trial is pinned to the final compilation
+/// tier (JitRuntime::installFinalTier) before it is timed, so under
+/// PROTEUS_TIER=on every candidate races the same Tier-1 code instead of
+/// early candidates being timed on Tier-0 baselines. Candidates that do
+/// not form a valid launch are skipped. Handing a device that is not
+/// attached to \p Jit is a counted error (TunerErrors).
 TuningResult autotuneBlockSize(gpu::Device &Dev, JitRuntime &Jit,
                                const std::string &Symbol,
                                uint64_t TotalThreads,
                                const std::vector<gpu::KernelArg> &Args,
                                const std::vector<uint32_t> &Candidates = {
                                    64, 128, 256, 512, 1024});
+
+/// One competing configuration of a kernel specialization.
+struct VariantSpec {
+  std::string Name;
+  gpu::Dim3 Grid{1, 1, 1};
+  gpu::Dim3 Block{1, 1, 1};
+  O3Options O3;
+};
+
+/// Outcome of racing one variant on the replay substrate.
+struct VariantTrial {
+  VariantSpec Spec;
+  bool Ok = false;
+  /// Replayed output bytes matched the artifact's recorded post-images
+  /// (a variant that changes results is never eligible to win).
+  bool OutputMatch = false;
+  double KernelSeconds = 0;
+  uint64_t Compilations = 0;
+  gpu::LaunchStats Stats;
+  std::string Error;
+};
+
+/// Outcome of one variant-manager tuning session.
+struct VariantTuningResult {
+  bool Ok = false;
+  /// The decision came from the persisted store: nothing was raced.
+  bool FromCache = false;
+  /// The winner was installed (hot-swapped) on the runtime's devices.
+  bool Promoted = false;
+  std::string Error;
+  VariantSpec Winner;
+  double WinnerSeconds = 0;
+  /// The recorded default configuration's trial time (variant 0), for
+  /// speedup reporting. 0 when the default trial failed.
+  double BaselineSeconds = 0;
+  /// Simulated device seconds spent across all trials — the tuning cost,
+  /// reported separately from program device time (trials run on throwaway
+  /// replay devices and never advance a live device's clock).
+  double TuningSeconds = 0;
+  /// Host wall-clock seconds the tuning session took.
+  double TuningWallSeconds = 0;
+  /// Persisted-decision key (computeTuningKeyHash inputs from the
+  /// artifact).
+  uint64_t DecisionKey = 0;
+  std::vector<VariantTrial> Trials;
+};
+
+/// Races competing variants of captured kernel launches and manages the
+/// persisted per-(arch, shape) decisions. One instance serves one
+/// JitRuntime; tuning sessions are independent per artifact.
+class VariantManager {
+public:
+  struct Options {
+    /// Master switch (PROTEUS_TUNE). Disabled sessions return immediately.
+    bool Enabled = true;
+    /// Maximum trials per specialization (PROTEUS_TUNE_BUDGET). The
+    /// recorded default configuration always races, so the budget is
+    /// effectively clamped to at least 1.
+    unsigned Budget = 8;
+    /// Block sizes to race (each with grid = ceil(total work / block)).
+    std::vector<uint32_t> BlockCandidates{64, 128, 256, 512};
+    /// Persist the winning decision in the code cache.
+    bool PersistDecision = true;
+    /// Hot-swap the winner onto every attached device after the race.
+    bool Promote = true;
+
+    /// Derives the tuning knobs from a runtime configuration
+    /// (PROTEUS_TUNE / PROTEUS_TUNE_BUDGET land here).
+    static Options fromConfig(const JitConfig &C) {
+      Options O;
+      O.Enabled = C.Tune;
+      O.Budget = C.TuneBudget;
+      return O;
+    }
+  };
+
+  explicit VariantManager(JitRuntime &Jit) : Jit(Jit) {}
+  VariantManager(JitRuntime &Jit, Options Opts)
+      : Jit(Jit), Opts(std::move(Opts)) {}
+
+  /// The competing variants for \p A, budget-capped. Variant 0 is always
+  /// the recorded default (the artifact's geometry under the runtime's own
+  /// O3 configuration) so the race always includes the status quo.
+  std::vector<VariantSpec> generateVariants(
+      const capture::CaptureArtifact &A) const;
+
+  /// Tunes one captured launch: consults the persisted decision store
+  /// first (a hit installs the winner warm and races nothing), otherwise
+  /// races generateVariants() on the replay substrate, promotes the
+  /// winner on every attached device, and persists the decision.
+  VariantTuningResult tuneArtifact(const capture::CaptureArtifact &A);
+
+  /// Reads every capture artifact in \p Dir and tunes each in turn
+  /// (unreadable files are skipped). Returns one result per artifact
+  /// tuned.
+  std::vector<VariantTuningResult> tuneDirectory(const std::string &Dir);
+
+private:
+  JitRuntime &Jit;
+  Options Opts;
+};
 
 } // namespace proteus
 

@@ -8,14 +8,40 @@
 
 #include "support/FileSystem.h"
 #include "support/Hashing.h"
+#include "support/Metrics.h"
 #include "support/StringUtils.h"
 #include "support/Trace.h"
 
 #include <algorithm>
+#include <cstdio>
 #include <cstdlib>
 #include <cstring>
 
 using namespace proteus;
+
+namespace {
+
+/// The warn-don't-coerce reporting shared with JitConfig::fromEnvironment:
+/// rejected values keep the default, are counted process-wide, and surface
+/// as a warning instead of being silently remapped.
+void emitCacheConfigWarning(std::vector<std::string> *Warnings,
+                            std::string Msg) {
+  metrics::processRegistry().counter("config.errors").add();
+  if (Warnings)
+    Warnings->push_back(std::move(Msg));
+  else
+    std::fprintf(stderr, "proteus: warning: %s\n", Msg.c_str());
+}
+
+bool parseByteLimit(const char *Raw, uint64_t &Out) {
+  std::string S = Raw;
+  if (S.empty() || S.find_first_not_of("0123456789") != std::string::npos)
+    return false;
+  Out = std::strtoull(S.c_str(), nullptr, 10);
+  return true;
+}
+
+} // namespace
 
 uint64_t proteus::computeSpecializationHash(const SpecializationKey &Key) {
   FNV1aHash H;
@@ -31,15 +57,56 @@ uint64_t proteus::computeSpecializationHash(const SpecializationKey &Key) {
   return H.digest();
 }
 
-CacheLimits CacheLimits::fromEnvironment() {
+uint64_t proteus::computeTuningKeyHash(uint64_t ModuleId,
+                                       const std::string &KernelSymbol,
+                                       GpuArch Arch, uint64_t TotalThreads,
+                                       const std::vector<uint64_t> &ArgBits) {
+  FNV1aHash H;
+  H.update(ModuleId);
+  H.update(KernelSymbol);
+  H.update(static_cast<uint8_t>(Arch));
+  H.update(TotalThreads);
+  H.update(static_cast<uint64_t>(ArgBits.size()));
+  for (uint64_t Bits : ArgBits)
+    H.update(Bits);
+  return H.digest();
+}
+
+CacheLimits CacheLimits::fromEnvironment(std::vector<std::string> *Warnings) {
   CacheLimits L;
-  if (const char *Mem = std::getenv("PROTEUS_CACHE_MEM_LIMIT"))
-    L.MaxMemoryBytes = std::strtoull(Mem, nullptr, 10);
-  if (const char *Disk = std::getenv("PROTEUS_CACHE_DISK_LIMIT"))
-    L.MaxPersistentBytes = std::strtoull(Disk, nullptr, 10);
-  if (const char *Policy = std::getenv("PROTEUS_CACHE_POLICY"))
-    L.Policy = std::string(Policy) == "lfu" ? EvictionPolicy::LFU
-                                            : EvictionPolicy::LRU;
+  if (const char *Mem = std::getenv("PROTEUS_CACHE_MEM_LIMIT")) {
+    uint64_t V;
+    if (parseByteLimit(Mem, V))
+      L.MaxMemoryBytes = V;
+    else
+      emitCacheConfigWarning(
+          Warnings, "ignoring invalid PROTEUS_CACHE_MEM_LIMIT value '" +
+                        std::string(Mem) + "' (expected a byte count)");
+  }
+  if (const char *Disk = std::getenv("PROTEUS_CACHE_DISK_LIMIT")) {
+    uint64_t V;
+    if (parseByteLimit(Disk, V))
+      L.MaxPersistentBytes = V;
+    else
+      emitCacheConfigWarning(
+          Warnings, "ignoring invalid PROTEUS_CACHE_DISK_LIMIT value '" +
+                        std::string(Disk) + "' (expected a byte count)");
+  }
+  if (const char *Policy = std::getenv("PROTEUS_CACHE_POLICY")) {
+    // Accept every documented spelling: "runtime" is the README's name for
+    // the runtime-informed (execution-frequency) policy, i.e. LFU. Anything
+    // else used to be silently coerced to LRU — including "runtime" itself,
+    // which quietly selected the opposite of what the docs promised.
+    std::string S = Policy;
+    if (S == "lru")
+      L.Policy = EvictionPolicy::LRU;
+    else if (S == "lfu" || S == "runtime")
+      L.Policy = EvictionPolicy::LFU;
+    else
+      emitCacheConfigWarning(Warnings,
+                             "ignoring invalid PROTEUS_CACHE_POLICY value '" +
+                                 S + "' (expected lru|lfu|runtime)");
+  }
   return L;
 }
 
@@ -108,6 +175,89 @@ struct DecodedEntry {
   uint64_t Fingerprint = 0;
 };
 
+// --- Tuning-decision framing -------------------------------------------------
+//
+// cache-tune-<hex> files persist one TuningDecision in a fixed 80-byte
+// frame: magic "PJITTD1\0", an FNV-1a integrity hash over the 64-byte
+// payload, then the payload itself. Corrupt or truncated files are deleted
+// and treated as "never tuned", forcing a clean re-race.
+
+constexpr char TuneMagic[8] = {'P', 'J', 'I', 'T', 'T', 'D', '1', '\0'};
+constexpr size_t TunePayloadBytes = 64;
+constexpr size_t TuneFileBytes = 16 + TunePayloadBytes;
+
+void putU32(std::vector<uint8_t> &Buf, size_t Offset, uint32_t V) {
+  std::memcpy(Buf.data() + Offset, &V, sizeof(V));
+}
+
+uint32_t getU32(const std::vector<uint8_t> &Buf, size_t Offset) {
+  uint32_t V;
+  std::memcpy(&V, Buf.data() + Offset, sizeof(V));
+  return V;
+}
+
+std::vector<uint8_t> encodeTuningPayload(const TuningDecision &D) {
+  std::vector<uint8_t> P(TunePayloadBytes, 0);
+  putU32(P, 0, D.GridX);
+  putU32(P, 4, D.GridY);
+  putU32(P, 8, D.GridZ);
+  putU32(P, 12, D.BlockX);
+  putU32(P, 16, D.BlockY);
+  putU32(P, 20, D.BlockZ);
+  P[24] = D.Preset;
+  P[25] = D.EnableLICM;
+  putU64(P, 32, D.UnrollMaxTripCount);
+  putU64(P, 40, D.UnrollMaxExpandedInstructions);
+  uint64_t SecondsBits;
+  std::memcpy(&SecondsBits, &D.ExpectedSeconds, sizeof(SecondsBits));
+  putU64(P, 48, SecondsBits);
+  putU32(P, 56, D.TrialsRun);
+  return P;
+}
+
+TuningDecision decodeTuningPayload(const std::vector<uint8_t> &P) {
+  TuningDecision D;
+  D.GridX = getU32(P, 0);
+  D.GridY = getU32(P, 4);
+  D.GridZ = getU32(P, 8);
+  D.BlockX = getU32(P, 12);
+  D.BlockY = getU32(P, 16);
+  D.BlockZ = getU32(P, 20);
+  D.Preset = P[24];
+  D.EnableLICM = P[25];
+  D.UnrollMaxTripCount = getU64(P, 32);
+  D.UnrollMaxExpandedInstructions = getU64(P, 40);
+  uint64_t SecondsBits = getU64(P, 48);
+  std::memcpy(&D.ExpectedSeconds, &SecondsBits, sizeof(D.ExpectedSeconds));
+  D.TrialsRun = getU32(P, 56);
+  return D;
+}
+
+std::vector<uint8_t> encodeTuningFile(const TuningDecision &D) {
+  std::vector<uint8_t> Payload = encodeTuningPayload(D);
+  std::vector<uint8_t> Buf(TuneFileBytes);
+  std::memcpy(Buf.data(), TuneMagic, sizeof(TuneMagic));
+  FNV1aHash H;
+  H.updateBytes(Payload.data(), Payload.size());
+  putU64(Buf, 8, H.digest());
+  std::memcpy(Buf.data() + 16, Payload.data(), Payload.size());
+  return Buf;
+}
+
+std::optional<TuningDecision>
+decodeTuningFile(const std::vector<uint8_t> &Bytes) {
+  if (Bytes.size() != TuneFileBytes)
+    return std::nullopt;
+  if (std::memcmp(Bytes.data(), TuneMagic, sizeof(TuneMagic)) != 0)
+    return std::nullopt;
+  std::vector<uint8_t> Payload(Bytes.begin() + 16, Bytes.end());
+  FNV1aHash H;
+  H.updateBytes(Payload.data(), Payload.size());
+  if (getU64(Bytes, 8) != H.digest())
+    return std::nullopt;
+  return decodeTuningPayload(Payload);
+}
+
 std::optional<DecodedEntry> decodeEntry(const std::vector<uint8_t> &Bytes) {
   if (Bytes.size() < EntryHeaderBytes)
     return std::nullopt;
@@ -142,6 +292,43 @@ CodeCache::CodeCache(bool UseMemory, bool UsePersistent,
 
 std::string CodeCache::pathFor(uint64_t Hash) const {
   return Dir + "/cache-jit-" + hashToHex(Hash) + ".o";
+}
+
+std::string CodeCache::tunePathFor(uint64_t Key) const {
+  return Dir + "/cache-tune-" + hashToHex(Key);
+}
+
+std::optional<TuningDecision> CodeCache::lookupTuningDecision(uint64_t Key) {
+  std::lock_guard<std::mutex> Lock(Mutex);
+  if (UseMemory) {
+    auto It = Tuning.find(Key);
+    if (It != Tuning.end())
+      return It->second;
+  }
+  if (UsePersistent) {
+    std::string Path = tunePathFor(Key);
+    if (auto Bytes = fs::readFile(Path)) {
+      if (auto D = decodeTuningFile(*Bytes)) {
+        if (UseMemory)
+          Tuning.emplace(Key, *D);
+        return D;
+      }
+      // Corrupt decision: delete and re-tune, mirroring corrupt code
+      // entries.
+      ++Stats.CorruptPersistentEntries;
+      trace::instant("cache.corrupt", "cache");
+      fs::removeFile(Path);
+    }
+  }
+  return std::nullopt;
+}
+
+void CodeCache::storeTuningDecision(uint64_t Key, const TuningDecision &D) {
+  std::lock_guard<std::mutex> Lock(Mutex);
+  if (UseMemory)
+    Tuning[Key] = D;
+  if (UsePersistent)
+    fs::writeFileAtomic(tunePathFor(Key), encodeTuningFile(D));
 }
 
 void CodeCache::touchEntry(uint64_t Hash, Entry &E) {
@@ -359,6 +546,7 @@ void CodeCache::clearMemory() {
   Memory.clear();
   LruOrder.clear();
   MemoryBytesTotal = 0;
+  Tuning.clear();
 }
 
 void CodeCache::clearPersistent() {
@@ -366,6 +554,6 @@ void CodeCache::clearPersistent() {
   if (!UsePersistent)
     return;
   for (const std::string &Name : fs::listFiles(Dir))
-    if (startsWith(Name, "cache-jit-"))
+    if (startsWith(Name, "cache-jit-") || startsWith(Name, "cache-tune-"))
       fs::removeFile(Dir + "/" + Name);
 }

@@ -106,9 +106,43 @@ struct CacheLimits {
   EvictionPolicy Policy = EvictionPolicy::LRU;
 
   /// Reads PROTEUS_CACHE_MEM_LIMIT / PROTEUS_CACHE_DISK_LIMIT (bytes) and
-  /// PROTEUS_CACHE_POLICY ("lru"/"lfu") from the environment.
-  static CacheLimits fromEnvironment();
+  /// PROTEUS_CACHE_POLICY from the environment. The policy accepts the
+  /// documented spellings "lru", "lfu" and "runtime" (the runtime-informed
+  /// policy, an alias for LFU); anything else keeps the default and is
+  /// reported per the warn-don't-coerce contract — appended to \p Warnings
+  /// (or printed to stderr when null) and counted in the process-wide
+  /// "config.errors" counter. Non-numeric limit values are rejected the
+  /// same way instead of being read as 0 (= unlimited).
+  static CacheLimits fromEnvironment(std::vector<std::string> *Warnings =
+                                         nullptr);
 };
+
+/// The variant manager's persisted verdict for one (kernel, args, arch,
+/// launch shape) tuning key: the winning launch geometry and O3 pipeline
+/// knobs, plus provenance (measured time, trial count). Stored alongside
+/// the code cache (cache-tune-<hex> files) so a warm fleet never re-races
+/// variants it has already tuned — the rocFFT "kernel repo" pattern.
+struct TuningDecision {
+  uint32_t GridX = 1, GridY = 1, GridZ = 1;
+  uint32_t BlockX = 1, BlockY = 1, BlockZ = 1;
+  /// O3Preset of the winning pipeline (0 = Full, 1 = Fast).
+  uint8_t Preset = 0;
+  uint8_t EnableLICM = 1;
+  uint64_t UnrollMaxTripCount = 64;
+  uint64_t UnrollMaxExpandedInstructions = 4096;
+  /// The winner's measured kernel seconds on the replay substrate.
+  double ExpectedSeconds = 0;
+  /// How many variants were raced to reach this decision.
+  uint32_t TrialsRun = 0;
+};
+
+/// Deterministic key for a tuning decision: the specialization identity
+/// minus the launch geometry (which the decision chooses) — module, kernel,
+/// arch, total thread count, and every argument's raw bits.
+uint64_t computeTuningKeyHash(uint64_t ModuleId,
+                              const std::string &KernelSymbol, GpuArch Arch,
+                              uint64_t TotalThreads,
+                              const std::vector<uint64_t> &ArgBits);
 
 /// Two-level object cache.
 class CodeCache {
@@ -155,8 +189,18 @@ public:
   void clearMemory();
 
   /// Deletes cache-jit-*.o files (the "clear on rebuild" workflow), along
-  /// with any stale cache-jit-*.o.tmp-* leftovers from interrupted writes.
+  /// with any stale cache-jit-*.o.tmp-* leftovers from interrupted writes,
+  /// and cache-tune-* decision records.
   void clearPersistent();
+
+  /// Looks up a persisted tuning decision: in-memory first, then the
+  /// persistent cache-tune-<hex> file (promoting it into memory). Corrupt
+  /// files are deleted and counted like corrupt code entries.
+  std::optional<TuningDecision> lookupTuningDecision(uint64_t Key);
+
+  /// Stores \p D under \p Key in both enabled levels (write-to-temp +
+  /// atomic-rename on disk, like code entries).
+  void storeTuningDecision(uint64_t Key, const TuningDecision &D);
 
   const std::string &persistentDir() const { return Dir; }
 
@@ -170,6 +214,7 @@ private:
   };
 
   std::string pathFor(uint64_t Hash) const;
+  std::string tunePathFor(uint64_t Key) const;
   void touchEntry(uint64_t Hash, Entry &E);
   void insertMemoryEntry(uint64_t Hash, std::vector<uint8_t> Object,
                          uint64_t HitCount, CodeTier Tier,
@@ -188,6 +233,9 @@ private:
   /// Recency order: front = most recent.
   std::list<uint64_t> LruOrder;
   uint64_t MemoryBytesTotal = 0;
+  /// In-memory level of the tuning-decision store (cleared by
+  /// clearMemory, like code entries; the persistent level backs it).
+  std::unordered_map<uint64_t, TuningDecision> Tuning;
   CodeCacheStats Stats;
 };
 

@@ -167,7 +167,29 @@ JitConfig JitConfig::fromEnvironment(std::vector<std::string> *Warnings) {
                         "ignoring invalid PROTEUS_CAPTURE_RING value '" + S +
                             "' (expected an integer in [1, 65536])");
   }
-  C.Limits = CacheLimits::fromEnvironment();
+  if (const char *Tune = std::getenv("PROTEUS_TUNE")) {
+    std::string S = Tune;
+    if (S == "off")
+      C.Tune = false;
+    else if (S == "on")
+      C.Tune = true;
+    else
+      emitConfigWarning(Warnings, "ignoring invalid PROTEUS_TUNE value '" + S +
+                                      "' (expected off|on)");
+  }
+  if (const char *Budget = std::getenv("PROTEUS_TUNE_BUDGET")) {
+    std::string S = Budget;
+    bool AllDigits =
+        !S.empty() && S.find_first_not_of("0123456789") == std::string::npos;
+    unsigned long N = AllDigits ? std::strtoul(S.c_str(), nullptr, 10) : 0;
+    if (AllDigits && N >= 1 && N <= 256)
+      C.TuneBudget = static_cast<unsigned>(N);
+    else
+      emitConfigWarning(Warnings,
+                        "ignoring invalid PROTEUS_TUNE_BUDGET value '" + S +
+                            "' (expected an integer in [1, 256])");
+  }
+  C.Limits = CacheLimits::fromEnvironment(Warnings);
   return C;
 }
 
@@ -452,7 +474,8 @@ JitRuntime::CompileOutcome
 JitRuntime::compileSpecialization(const std::string &Symbol,
                                   std::vector<uint8_t> Bitcode,
                                   const SpecializationKey &Key,
-                                  uint64_t Hash, CodeTier Tier) {
+                                  uint64_t Hash, CodeTier Tier,
+                                  const O3Options *O3Override) {
   CompileOutcome Out;
   const bool Tier0 = Tier == CodeTier::Tier0;
   if (Tier0)
@@ -559,8 +582,10 @@ JitRuntime::compileSpecialization(const std::string &Symbol,
     trace::Span Sp("compile.o3", "jit");
     metrics::ScopedTimer T(*Stat.OptimizeSeconds);
     // Tier-0 swaps in the fast preset (inline + mem2reg + one InstCombine
-    // + DCE, single iteration) while keeping every other O3 knob.
-    O3Options O3Opts = Config.O3;
+    // + DCE, single iteration) while keeping every other O3 knob. The
+    // variant manager overrides the whole knob set when compiling a trial
+    // or a tuned winner.
+    O3Options O3Opts = O3Override ? *O3Override : Config.O3;
     if (Tier0)
       O3Opts.Preset = O3Preset::Fast;
     std::unique_ptr<PassManager> PM = buildO3Pipeline(O3Opts);
@@ -1140,4 +1165,150 @@ GpuError JitRuntime::launchKernelOn(unsigned DeviceIndex,
   // --- Load and launch ---------------------------------------------------------
   return loadAndLaunch(DS, Hash, *Object, *Info, CaptureIndex, Grid, Block,
                        Args, S, Error);
+}
+
+int JitRuntime::deviceIndexOf(const Device &D) const {
+  for (unsigned I = 0; I != Devices.size(); ++I)
+    if (Devices[I]->Dev == &D)
+      return static_cast<int>(I);
+  return -1;
+}
+
+std::optional<TuningDecision> JitRuntime::lookupTuningDecision(uint64_t Key) {
+  std::optional<TuningDecision> D = Cache.lookupTuningDecision(Key);
+  if (D) {
+    Stat.TunerCacheHits->add();
+    trace::instant("jit.tuner_cache_hit");
+  }
+  return D;
+}
+
+void JitRuntime::storeTuningDecision(uint64_t Key, const TuningDecision &D) {
+  Cache.storeTuningDecision(Key, D);
+}
+
+GpuError JitRuntime::installFinalTier(const std::string &Symbol, Dim3 Block,
+                                      const std::vector<KernelArg> &Args,
+                                      const O3Options *O3Override,
+                                      int DeviceIndex, bool ReuseCached,
+                                      std::string *Error) {
+  const JitKernelInfo *Info = nullptr;
+  {
+    std::lock_guard<std::mutex> Lock(RegistryMutex);
+    auto KIt = Kernels.find(Symbol);
+    if (KIt != Kernels.end())
+      Info = &KIt->second;
+  }
+  if (!Info) {
+    Stat.TunerErrors->add();
+    if (Error)
+      *Error = "kernel @" + Symbol + " is not registered for JIT";
+    return GpuError::NotFound;
+  }
+  if (DeviceIndex >= static_cast<int>(Devices.size())) {
+    Stat.TunerErrors->add();
+    if (Error)
+      *Error = "device index " + std::to_string(DeviceIndex) +
+               " out of range (" + std::to_string(Devices.size()) +
+               " device(s) attached)";
+    return GpuError::InvalidValue;
+  }
+  std::vector<unsigned> Targets;
+  if (DeviceIndex >= 0)
+    Targets.push_back(static_cast<unsigned>(DeviceIndex));
+  else
+    for (unsigned I = 0; I != Devices.size(); ++I)
+      Targets.push_back(I);
+
+  // One compile (or cache fetch) per distinct architecture in the target
+  // set; like the launch path, the same object then serves every device of
+  // that arch. Devices are visited in ascending ordinal, one lock at a
+  // time (lock order), and the load replaces any previous mapping for the
+  // specialization — the Tier-1 hot-swap semantic, so a Tier-0 binary a
+  // racing launch installed can never outlive this promotion.
+  std::map<GpuArch, std::pair<uint64_t, std::vector<uint8_t>>> PerArch;
+  bool AnyLoaded = false;
+  for (unsigned T : Targets) {
+    DeviceState &DS = *Devices[T];
+    GpuArch Arch = DS.Dev->target().Arch;
+    auto AIt = PerArch.find(Arch);
+    if (AIt == PerArch.end()) {
+      SpecializationKey Key;
+      std::string KeyError;
+      if (!buildKey(*Info, Block, Args, Arch, Key, &KeyError)) {
+        Stat.TunerErrors->add();
+        if (Error)
+          *Error = KeyError;
+        return GpuError::InvalidValue;
+      }
+      uint64_t Hash = lookupSpecHash(Symbol, Key);
+      std::optional<std::vector<uint8_t>> Object;
+      if (ReuseCached) {
+        // Only a final-tier entry from the current pipeline qualifies: the
+        // warm-decision path must not pin a Tier-0 baseline or a stale
+        // artifact as "the tuned winner".
+        if (std::optional<CachedCode> CC = Cache.lookupEntry(Hash))
+          if (CC->Tier == CodeTier::Final &&
+              CC->PipelineFingerprint ==
+                  jitPipelineFingerprint(CodeTier::Final, symbolicGlobals()))
+            Object = std::move(CC->Object);
+      }
+      if (!Object) {
+        std::vector<uint8_t> Bitcode;
+        bool HaveIndex;
+        {
+          std::lock_guard<std::mutex> Lock(IndexMutex);
+          HaveIndex = ModuleIndexes.count(Symbol) != 0;
+        }
+        if (!HaveIndex) {
+          std::string FetchError;
+          GpuError FE = fetchBitcode(*Info, Bitcode, &FetchError);
+          if (FE != GpuError::Success) {
+            Stat.TunerErrors->add();
+            if (Error)
+              *Error = FetchError;
+            return FE;
+          }
+        }
+        CompileOutcome O = compileSpecialization(
+            Symbol, std::move(Bitcode), Key, Hash, CodeTier::Final, O3Override);
+        if (O.Err != GpuError::Success) {
+          Stat.TunerErrors->add();
+          if (Error)
+            *Error = O.Message;
+          return O.Err;
+        }
+        Object = std::move(O.Object);
+      }
+      AIt = PerArch.emplace(Arch, std::make_pair(Hash, std::move(*Object)))
+                .first;
+    }
+    const uint64_t Hash = AIt->second.first;
+    const std::vector<uint8_t> &Object = AIt->second.second;
+    unsigned Origin = recordLoadOrigin(Hash, T);
+    std::lock_guard<std::mutex> Lock(DS.Lock);
+    LoadedKernel *K = nullptr;
+    std::string LoadError;
+    trace::Span Sp("jit.module_load", "jit");
+    if (gpuModuleLoad(*DS.Dev, &K, Object, &LoadError) != GpuError::Success) {
+      Stat.TunerErrors->add();
+      if (Error)
+        *Error = "failed to load JIT object for @" + Info->Symbol + ": " +
+                 LoadError;
+      return GpuError::LaunchFailure;
+    }
+    DS.Loaded[Hash] = K;
+    AnyLoaded = true;
+    if (T != Origin) {
+      Stat.CrossDeviceLoads->add();
+      Stat.PerArchCompileReuse->add();
+    }
+  }
+  if (AnyLoaded && O3Override) {
+    // One promotion per tuning decision, however many devices (and arches)
+    // the install reached.
+    Stat.TunerPromotions->add();
+    trace::instant("jit.tuner_promotion");
+  }
+  return GpuError::Success;
 }

@@ -162,11 +162,22 @@ struct JitConfig {
   /// the pressure tests use to exercise ring shedding.
   bool CaptureDedup = true;
 
+  /// Kernel variant tuning (PROTEUS_TUNE=off|on): whether the variant
+  /// manager (jit/AutoTuner.h) races competing specializations — block
+  /// sizes, pipeline presets, unroll/LICM aggressiveness — on replayed
+  /// capture artifacts and promotes the empirical winner. Off by default;
+  /// the VariantManager honors this through Options::fromConfig.
+  bool Tune = false;
+  /// Upper bound on variants raced per specialization
+  /// (PROTEUS_TUNE_BUDGET, in [1, 256]). The default/recorded
+  /// configuration always races, so the budget caps the extra trials.
+  unsigned TuneBudget = 8;
+
   /// Applies the PROTEUS_* environment variables on top of the defaults
   /// (PROTEUS_NO_RCF, PROTEUS_NO_LAUNCH_BOUNDS, PROTEUS_CACHE_DIR,
   /// PROTEUS_ASYNC, PROTEUS_ASYNC_WORKERS, PROTEUS_CAPTURE,
-  /// PROTEUS_CAPTURE_DIR, PROTEUS_CAPTURE_RING, PROTEUS_CAPTURE_DEDUP and
-  /// the CacheLimits variables).
+  /// PROTEUS_CAPTURE_DIR, PROTEUS_CAPTURE_RING, PROTEUS_CAPTURE_DEDUP,
+  /// PROTEUS_TUNE, PROTEUS_TUNE_BUDGET and the CacheLimits variables).
   /// Unrecognized or out-of-range values are rejected: the default is kept
   /// and a diagnostic is appended to \p Warnings (or printed to stderr as
   /// "proteus: warning: ..." when \p Warnings is null) instead of being
@@ -220,6 +231,13 @@ uint64_t jitPipelineFingerprint(CodeTier Tier, bool SymbolicGlobals = false);
 /// PerArchCompileReuse counts, once per (specialization, device) pair, a
 /// launch-path load that reused the per-arch compiled object instead of
 /// recompiling — the compile-once/load-everywhere proof.
+///
+/// Tuner counters: TunerTrials counts variant trials raced (replayed or
+/// live); TunerCacheHits counts tuning sessions served by a persisted
+/// decision (zero trials ran); TunerPromotions counts tuned winners
+/// installed through installFinalTier with pipeline overrides;
+/// TunerErrors counts tuning requests that failed outright (unattached
+/// device, unknown kernel, compile failure during promotion).
 #define PROTEUS_JIT_COUNTERS(X)                                                \
   X(Launches, "jit.launches")                                                  \
   X(StreamLaunches, "jit.stream_launches")                                     \
@@ -236,7 +254,11 @@ uint64_t jitPipelineFingerprint(CodeTier Tier, bool SymbolicGlobals = false);
   X(AnnotationRangeErrors, "jit.annotation_range_errors")                      \
   X(AnalysisDiagnostics, "jit.analysis_diagnostics")                           \
   X(AnalysisRejects, "jit.analysis_rejects")                                   \
-  X(VerifyFailures, "jit.verify_failures")
+  X(VerifyFailures, "jit.verify_failures")                                     \
+  X(TunerTrials, "jit.tuner_trials")                                           \
+  X(TunerCacheHits, "jit.tuner_cache_hits")                                    \
+  X(TunerPromotions, "jit.tuner_promotions")                                   \
+  X(TunerErrors, "jit.tuner_errors")
 
 /// Timers: BitcodeFetchSeconds includes the simulated device readback
 /// (NVIDIA); QueueWaitSeconds is enqueue -> worker pickup latency;
@@ -329,6 +351,11 @@ public:
   }
   gpu::Device &device(unsigned Index) { return *Devices[Index]->Dev; }
 
+  /// Index of \p D in the attached-device pool, or -1 when \p D is not
+  /// attached to this runtime (callers targeting a specific device must
+  /// check, not assume device 0 — the bug the old tuner had).
+  int deviceIndexOf(const gpu::Device &D) const;
+
   /// Registers a JIT-annotated kernel (done by program load). Re-registering
   /// a symbol keeps the first registration (the kernels are identical; the
   /// first device's bitcode location stays authoritative).
@@ -358,6 +385,38 @@ public:
                                const std::vector<gpu::KernelArg> &Args,
                                gpu::Stream *S = nullptr,
                                std::string *Error = nullptr);
+
+  /// Compiles (or serves from the cache) the *final-tier* object for the
+  /// specialization that (\p Symbol, \p Block, \p Args) resolve to, and
+  /// loads it onto the target devices — the variant manager's promotion
+  /// and trial-pinning primitive. \p DeviceIndex >= 0 scopes the install
+  /// to that one device (trial pinning); -1 installs on every attached
+  /// device (winner promotion), compiling once per distinct GpuArch.
+  ///
+  /// With \p ReuseCached, a valid final-tier cache entry short-circuits
+  /// the compile (the warm-decision path compiles nothing); otherwise the
+  /// specialization is recompiled. A non-null \p O3Override replaces
+  /// JitConfig::O3 for the compile — the winner's pipeline knobs — and
+  /// marks the install as a tuner promotion (TunerPromotions). The loaded
+  /// kernel replaces any previous mapping for the specialization hash on
+  /// each target device (the Tier-1 hot-swap semantic), so the next launch
+  /// of this shape runs the installed binary with zero compiles.
+  gpu::GpuError installFinalTier(const std::string &Symbol, gpu::Dim3 Block,
+                                 const std::vector<gpu::KernelArg> &Args,
+                                 const O3Options *O3Override = nullptr,
+                                 int DeviceIndex = -1,
+                                 bool ReuseCached = false,
+                                 std::string *Error = nullptr);
+
+  /// Tuning-decision store, wrapped so the TunerCacheHits counter is
+  /// exact: a hit here is precisely "a tuning session that raced nothing".
+  std::optional<TuningDecision> lookupTuningDecision(uint64_t Key);
+  void storeTuningDecision(uint64_t Key, const TuningDecision &D);
+
+  /// Tuner accounting hooks (the variant manager is a separate layer but
+  /// its counters live on this runtime's registry with the JIT stats).
+  void noteTunerTrials(uint64_t N) { Stat.TunerTrials->add(N); }
+  void noteTunerError() { Stat.TunerErrors->add(); }
 
   /// Snapshot of the counters. Lock-free with respect to the hot paths:
   /// reads the relaxed-atomic instruments, no stats mutex exists.
@@ -419,12 +478,17 @@ private:
   /// preset and fast register allocation and counts Tier0Compiles; Final
   /// runs the full pipeline and counts Compilations. Both tag their cache
   /// insert with the tier and its pipeline fingerprint. \p Bitcode may be
-  /// empty when the kernel's module index was already built.
+  /// empty when the kernel's module index was already built. A non-null
+  /// \p O3Override replaces Config.O3 (the variant manager compiling a
+  /// winner under its tuned pipeline knobs); the cache entry still carries
+  /// the standard final-tier fingerprint — for a tuned specialization the
+  /// decision record, not the fingerprint, is the pipeline's provenance.
   CompileOutcome compileSpecialization(const std::string &Symbol,
                                        std::vector<uint8_t> Bitcode,
                                        const SpecializationKey &Key,
                                        uint64_t Hash,
-                                       CodeTier Tier = CodeTier::Final);
+                                       CodeTier Tier = CodeTier::Final,
+                                       const O3Options *O3Override = nullptr);
   /// Returns the kernel's parse-once module index, building (and caching)
   /// it from \p Bitcode on first use. Null with \p Error set on parse
   /// failure or when no index exists and \p Bitcode is empty.

@@ -16,9 +16,11 @@ using namespace proteus::gpu;
 
 namespace {
 
-/// Recomputes the specialization hash from the artifact's recorded inputs,
-/// through the same computeSpecializationHash the live runtime used.
-uint64_t replayedSpecHash(const capture::CaptureArtifact &A) {
+/// Recomputes the specialization hash from the artifact's recorded inputs
+/// — with \p Block as the launched block shape, which a geometry override
+/// may have changed — through the same computeSpecializationHash the live
+/// runtime used.
+uint64_t replayedSpecHash(const capture::CaptureArtifact &A, Dim3 Block) {
   SpecializationKey Key;
   Key.ModuleId = A.ModuleId;
   Key.KernelSymbol = A.KernelSymbol;
@@ -32,7 +34,7 @@ uint64_t replayedSpecHash(const capture::CaptureArtifact &A) {
     }
   }
   if (A.EnableLaunchBounds)
-    Key.LaunchBoundsThreads = static_cast<uint32_t>(A.Block.count());
+    Key.LaunchBoundsThreads = static_cast<uint32_t>(Block.count());
   return computeSpecializationHash(Key);
 }
 
@@ -102,9 +104,11 @@ ReplayResult proteus::replayArtifact(const capture::CaptureArtifact &A,
   for (uint64_t Bits : A.ArgBits)
     Args.push_back(KernelArg{Bits});
 
+  const Dim3 Grid = Opts.OverrideGeometry ? Opts.Grid : A.Grid;
+  const Dim3 Block = Opts.OverrideGeometry ? Opts.Block : A.Block;
   std::string LaunchError;
-  GpuError E =
-      Jit.launchKernel(A.KernelSymbol, A.Grid, A.Block, Args, &LaunchError);
+  GpuError E = Jit.launchKernel(A.KernelSymbol, Grid, Block, Args,
+                                &LaunchError);
   if (E != GpuError::Success) {
     R.Error = "replay launch failed: " +
               (LaunchError.empty() ? std::string("unknown error")
@@ -114,8 +118,11 @@ ReplayResult proteus::replayArtifact(const capture::CaptureArtifact &A,
   Jit.drain(); // tier promotions etc. must settle before reading stats
   R.Ok = true;
 
-  R.ReplayedHash = replayedSpecHash(A);
+  R.ReplayedHash = replayedSpecHash(A, Block);
   R.HashMatch = R.ReplayedHash == R.RecordedHash;
+  R.Launch = Dev.LastLaunch;
+  R.KernelSeconds = Dev.kernelSeconds();
+  R.SimulatedSeconds = Dev.simulatedSeconds();
 
   // Byte-exact differential check of every captured region.
   const std::vector<uint8_t> &Mem = Dev.memory();

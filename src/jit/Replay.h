@@ -47,6 +47,16 @@ struct ReplayOptions {
   /// directory (artifact-aware warm load: a second replay of the same
   /// artifact against the same directory compiles nothing).
   std::string CacheDir;
+  /// Launch-geometry override: when set, the replay launches Grid x Block
+  /// instead of the recorded geometry (the variant manager races block-size
+  /// variants this way; the replayed specialization hash then incorporates
+  /// the overridden launch bounds, so HashMatch is only meaningful without
+  /// an override). The differential output check still runs — a kernel
+  /// whose result depends on its launch geometry fails OutputMatch and
+  /// disqualifies itself as a variant.
+  bool OverrideGeometry = false;
+  gpu::Dim3 Grid{1, 1, 1};
+  gpu::Dim3 Block{1, 1, 1};
 };
 
 /// Outcome of one replay.
@@ -70,6 +80,14 @@ struct ReplayResult {
   /// Compiles the replay actually performed (full-pipeline + Tier-0); 0
   /// means every object came out of the (persistent) code cache.
   uint64_t CompilationsUsed = 0;
+
+  /// Performance readings from the replay device — the variant manager's
+  /// scoring inputs. Launch is the executed launch's counter set
+  /// (Device::LastLaunch); KernelSeconds is the device's kernel-only
+  /// simulated time, SimulatedSeconds its makespan.
+  gpu::LaunchStats Launch;
+  double KernelSeconds = 0;
+  double SimulatedSeconds = 0;
 
   /// Full success: ran, outputs match, hash matches.
   bool passed() const { return Ok && OutputMatch && HashMatch; }

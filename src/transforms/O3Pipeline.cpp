@@ -40,7 +40,8 @@ std::unique_ptr<PassManager> proteus::buildO3Pipeline(const O3Options &Opts) {
   PM->addPass(std::make_unique<InstCombinePass>());
   PM->addPass(std::make_unique<SimplifyCFGPass>());
   PM->addPass(std::make_unique<CSEPass>());
-  PM->addPass(std::make_unique<LICMPass>());
+  if (Opts.EnableLICM)
+    PM->addPass(std::make_unique<LICMPass>());
   PM->addPass(std::make_unique<DCEPass>());
   PM->addPass(std::make_unique<LoopUnrollPass>(Opts.Unroll));
   PM->addPass(std::make_unique<InstCombinePass>());

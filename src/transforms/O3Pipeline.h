@@ -28,9 +28,17 @@ namespace proteus {
 enum class O3Preset { Full, Fast };
 
 /// Pipeline configuration. Defaults correspond to the full O3 behaviour.
+/// The unroll knobs, the preset and EnableLICM are the variant axes the
+/// kernel variant manager (jit/AutoTuner.h) races against each other: LICM
+/// and unrolling both trade register pressure for instruction count, so
+/// whether they pay off depends on the kernel and the launch shape.
 struct O3Options {
   UnrollOptions Unroll;
   O3Preset Preset = O3Preset::Full;
+  /// Run loop-invariant code motion in the full pipeline. Hoisting
+  /// lengthens live ranges; register-pressure-bound kernels can be faster
+  /// without it.
+  bool EnableLICM = true;
   /// Verify IR after every pass (slow; enabled by tests).
   bool VerifyEach = false;
 };

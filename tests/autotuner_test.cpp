@@ -1,4 +1,4 @@
-//===- autotuner_test.cpp - launch auto-tuning tests ------------------------------===//
+//===- autotuner_test.cpp - variant manager / auto-tuning tests -------------------===//
 //
 // Part of the Proteus reproduction project.
 //
@@ -6,12 +6,17 @@
 
 #include "TestUtil.h"
 
+#include "gpu/DeviceManager.h"
 #include "ir/Context.h"
 #include "jit/AutoTuner.h"
 #include "jit/Program.h"
 #include "support/FileSystem.h"
+#include "support/Metrics.h"
 
 #include <gtest/gtest.h>
+
+#include <functional>
+#include <thread>
 
 using namespace pir;
 using namespace proteus;
@@ -20,42 +25,103 @@ using namespace proteus_test;
 
 namespace {
 
+uint64_t processCounter(const std::string &Name) {
+  for (const auto &[K, V] : metrics::processRegistry().counterValues())
+    if (K == Name)
+      return V;
+  return 0;
+}
+
 struct Harness {
   Context Ctx;
   Module M{Ctx, "tune"};
   Function *F = nullptr;
-  std::unique_ptr<Device> Dev;
+  std::unique_ptr<DeviceManager> Mgr;
+  Device *Dev = nullptr; // device 0 convenience
   std::unique_ptr<JitRuntime> Jit;
-  std::unique_ptr<LoadedProgram> LP;
+  std::vector<std::unique_ptr<LoadedProgram>> LPs;
   std::string CacheDir;
-  DevicePtr X = 0, Y = 0;
+  std::string CaptureDir;
+  bool OwnsCacheDir = true;
+  std::vector<DevicePtr> Xs, Ys; // per-device buffers
+  DevicePtr X = 0, Y = 0;        // device 0 convenience
   static constexpr uint32_t N = 2048;
 
-  Harness() {
+  explicit Harness(unsigned NumDevices = 1, bool Capture = false,
+                   std::function<void(JitConfig &)> Tweak = nullptr,
+                   std::string SharedCacheDir = std::string()) {
     F = buildDaxpyKernel(M);
     AotOptions AO;
     AO.Arch = GpuArch::AmdGcnSim;
     AO.EnableProteusExtensions = true;
     CompiledProgram Prog = aotCompile(M, AO);
-    Dev = std::make_unique<Device>(getAmdGcnSimTarget(), 1 << 22);
-    CacheDir = fs::makeTempDirectory("proteus-tune");
+    DeviceManager::Config DC;
+    DC.NumDevices = NumDevices;
+    DC.MemoryBytesPerDevice = 1 << 22;
+    Mgr = std::make_unique<DeviceManager>(DC);
+    Dev = &Mgr->device(0);
+    OwnsCacheDir = SharedCacheDir.empty();
+    CacheDir = OwnsCacheDir ? fs::makeTempDirectory("proteus-tune")
+                            : std::move(SharedCacheDir);
     JitConfig JC;
     JC.CacheDir = CacheDir;
+    if (Capture) {
+      CaptureDir = fs::makeTempDirectory("proteus-tune-cap");
+      JC.Capture = true;
+      JC.CaptureDir = CaptureDir;
+    }
+    if (Tweak)
+      Tweak(JC);
     Jit = std::make_unique<JitRuntime>(*Dev, Prog.ModuleId, JC);
-    LP = std::make_unique<LoadedProgram>(*Dev, Prog, Jit.get());
-    gpuMalloc(*Dev, &X, N * 8);
-    gpuMalloc(*Dev, &Y, N * 8);
+    Xs.resize(NumDevices);
+    Ys.resize(NumDevices);
     std::vector<double> H(N, 1.0);
-    gpuMemcpyHtoD(*Dev, X, H.data(), N * 8);
-    gpuMemcpyHtoD(*Dev, Y, H.data(), N * 8);
+    for (unsigned D = 0; D != NumDevices; ++D) {
+      LPs.emplace_back(new LoadedProgram(Mgr->device(D), Prog, Jit.get()));
+      EXPECT_TRUE(LPs.back()->ok()) << LPs.back()->error();
+      gpuMalloc(Mgr->device(D), &Xs[D], N * 8);
+      gpuMalloc(Mgr->device(D), &Ys[D], N * 8);
+      gpuMemcpyHtoD(Mgr->device(D), Xs[D], H.data(), N * 8);
+      gpuMemcpyHtoD(Mgr->device(D), Ys[D], H.data(), N * 8);
+    }
+    X = Xs[0];
+    Y = Ys[0];
   }
 
-  ~Harness() { fs::removeAllFiles(CacheDir); }
+  ~Harness() {
+    Jit.reset(); // drain workers before tearing down directories
+    if (OwnsCacheDir)
+      fs::removeAllFiles(CacheDir);
+    if (!CaptureDir.empty())
+      fs::removeAllFiles(CaptureDir);
+  }
 
-  std::vector<KernelArg> args() const {
-    return {{sem::boxF64(2.0)}, {X}, {Y}, {N}};
+  std::vector<KernelArg> args() const { return argsFor(0); }
+  std::vector<KernelArg> argsFor(unsigned D) const {
+    return {{sem::boxF64(2.0)}, {Xs[D]}, {Ys[D]}, {N}};
+  }
+
+  /// Launches daxpy once on device 0 (capture must be enabled) and returns
+  /// the recorded artifact.
+  capture::CaptureArtifact captureOne(Dim3 Grid, Dim3 Block) {
+    std::string Err;
+    EXPECT_EQ(Jit->launchKernel("daxpy", Grid, Block, args(), &Err),
+              GpuError::Success)
+        << Err;
+    Jit->drain();
+    std::vector<std::string> Files = fs::listFiles(CaptureDir);
+    EXPECT_EQ(Files.size(), 1u);
+    if (Files.empty())
+      return {};
+    std::string RErr;
+    std::optional<capture::CaptureArtifact> A =
+        capture::readArtifactFile(CaptureDir + "/" + Files[0], &RErr);
+    EXPECT_TRUE(A.has_value()) << RErr;
+    return A ? *A : capture::CaptureArtifact{};
   }
 };
+
+// ---- Legacy on-device tuner -------------------------------------------------
 
 TEST(AutoTunerTest, PicksAValidCandidateAndLeavesStateClean) {
   Harness H;
@@ -76,6 +142,7 @@ TEST(AutoTunerTest, PicksAValidCandidateAndLeavesStateClean) {
     EXPECT_GE(T.KernelSeconds, R.BestSeconds);
   }
   EXPECT_TRUE(Found);
+  EXPECT_EQ(H.Jit->stats().TunerTrials, 4u);
 
   // No side effects: memory and the simulated clock are restored.
   EXPECT_EQ(H.Dev->memory(), Before);
@@ -114,6 +181,307 @@ TEST(AutoTunerTest, UnknownKernelFailsCleanly) {
   TuningResult R = autotuneBlockSize(*H.Dev, *H.Jit, "ghost", Harness::N,
                                      H.args(), {128});
   EXPECT_FALSE(R.Ok);
+  EXPECT_GE(H.Jit->stats().TunerErrors, 1u);
+}
+
+TEST(AutoTunerTest, NonPrimaryDeviceTrialsLeaveDeviceZeroUntouched) {
+  Harness H(/*NumDevices=*/2);
+  Device &Dev0 = H.Mgr->device(0);
+  Device &Dev1 = H.Mgr->device(1);
+  std::vector<uint8_t> Before0 = Dev0.memory();
+  std::vector<uint8_t> Before1 = Dev1.memory();
+  const double Sim0 = Dev0.simulatedSeconds();
+  const double Kern0 = Dev0.kernelSeconds();
+
+  // Tune on the *second* device. The old tuner snapshotted Dev but routed
+  // every trial through launchKernel — i.e. device 0 — so device 0's
+  // memory was mutated and its clock advanced while device 1's snapshot
+  // was pointlessly restored.
+  TuningResult R = autotuneBlockSize(Dev1, *H.Jit, "daxpy", Harness::N,
+                                     H.argsFor(1), {64, 128, 256});
+  ASSERT_TRUE(R.Ok) << R.Error;
+  EXPECT_EQ(R.Trials.size(), 3u);
+
+  EXPECT_EQ(Dev0.memory(), Before0) << "trials must not touch device 0";
+  EXPECT_DOUBLE_EQ(Dev0.simulatedSeconds(), Sim0);
+  EXPECT_DOUBLE_EQ(Dev0.kernelSeconds(), Kern0);
+  // And the tuned device itself is restored too.
+  EXPECT_EQ(Dev1.memory(), Before1);
+}
+
+TEST(AutoTunerTest, UnattachedDeviceTuningIsACountedError) {
+  Harness H;
+  Device Stray(getAmdGcnSimTarget(), 1 << 20);
+  const uint64_t ErrsBefore = H.Jit->stats().TunerErrors;
+  TuningResult R = autotuneBlockSize(Stray, *H.Jit, "daxpy", Harness::N,
+                                     H.args(), {128});
+  EXPECT_FALSE(R.Ok);
+  EXPECT_NE(R.Error.find("not attached"), std::string::npos) << R.Error;
+  EXPECT_EQ(H.Jit->stats().TunerErrors, ErrsBefore + 1);
+  EXPECT_TRUE(R.Trials.empty());
+}
+
+TEST(AutoTunerTest, TierOnTrialsRaceFinalTierAndRestoreStreamTails) {
+  Harness H(1, false, [](JitConfig &JC) { JC.Tier = true; });
+  // Park work on a non-default stream: the legacy restoreClock collapsed
+  // every stream onto the default timeline, losing this tail.
+  Stream *S = H.Dev->createStream();
+  S->enqueue(0.5, nullptr);
+  const std::vector<double> TailsBefore = H.Dev->streamTails();
+
+  TuningResult R = autotuneBlockSize(*H.Dev, *H.Jit, "daxpy", Harness::N,
+                                     H.args(), {128, 256, 512});
+  ASSERT_TRUE(R.Ok) << R.Error;
+  H.Jit->drain();
+
+  // Every trial was pinned to the final tier before timing: no Tier-0
+  // compile ever ran, so no candidate raced baseline code while another
+  // raced promoted code.
+  JitRuntimeStats Stats = H.Jit->stats();
+  EXPECT_EQ(Stats.Tier0Compiles, 0u);
+  EXPECT_EQ(Stats.Compilations, 3u);
+
+  // Per-stream timelines come back exactly.
+  const std::vector<double> TailsAfter = H.Dev->streamTails();
+  ASSERT_EQ(TailsAfter.size(), TailsBefore.size());
+  for (size_t I = 0; I != TailsBefore.size(); ++I)
+    EXPECT_DOUBLE_EQ(TailsAfter[I], TailsBefore[I]) << "stream " << I;
+  EXPECT_DOUBLE_EQ(S->tailSeconds(), 0.5);
+}
+
+// ---- Configuration validation ----------------------------------------------
+
+TEST(AutoTunerTest, CachePolicyEnvAcceptsDocumentedSpellings) {
+  struct Case {
+    const char *Value;
+    EvictionPolicy Expected;
+  } Cases[] = {{"lru", EvictionPolicy::LRU},
+               {"lfu", EvictionPolicy::LFU},
+               {"runtime", EvictionPolicy::LFU}};
+  for (const Case &C : Cases) {
+    setenv("PROTEUS_CACHE_POLICY", C.Value, 1);
+    std::vector<std::string> Warnings;
+    CacheLimits L = CacheLimits::fromEnvironment(&Warnings);
+    EXPECT_EQ(L.Policy, C.Expected) << C.Value;
+    EXPECT_TRUE(Warnings.empty())
+        << "documented spelling '" << C.Value << "' warned: " << Warnings[0];
+  }
+  unsetenv("PROTEUS_CACHE_POLICY");
+}
+
+TEST(AutoTunerTest, CachePolicyEnvWarnsInsteadOfCoercing) {
+  // "mru" is not a policy; the old parser silently coerced anything that
+  // was not exactly "lfu" — including the README-documented "runtime" — to
+  // LRU. Now: keep the default, warn, count a config error.
+  setenv("PROTEUS_CACHE_POLICY", "mru", 1);
+  const uint64_t ErrsBefore = processCounter("config.errors");
+  std::vector<std::string> Warnings;
+  CacheLimits L = CacheLimits::fromEnvironment(&Warnings);
+  EXPECT_EQ(L.Policy, EvictionPolicy::LRU) << "default kept, not coerced";
+  ASSERT_EQ(Warnings.size(), 1u);
+  EXPECT_NE(Warnings[0].find("PROTEUS_CACHE_POLICY"), std::string::npos);
+  EXPECT_NE(Warnings[0].find("lru|lfu|runtime"), std::string::npos)
+      << Warnings[0];
+  EXPECT_EQ(processCounter("config.errors"), ErrsBefore + 1);
+  unsetenv("PROTEUS_CACHE_POLICY");
+}
+
+TEST(AutoTunerTest, TuneEnvKnobs) {
+  setenv("PROTEUS_TUNE", "on", 1);
+  setenv("PROTEUS_TUNE_BUDGET", "3", 1);
+  std::vector<std::string> Warnings;
+  JitConfig C = JitConfig::fromEnvironment(&Warnings);
+  EXPECT_TRUE(C.Tune);
+  EXPECT_EQ(C.TuneBudget, 3u);
+  EXPECT_TRUE(Warnings.empty());
+
+  VariantManager::Options O = VariantManager::Options::fromConfig(C);
+  EXPECT_TRUE(O.Enabled);
+  EXPECT_EQ(O.Budget, 3u);
+
+  setenv("PROTEUS_TUNE", "maybe", 1);
+  setenv("PROTEUS_TUNE_BUDGET", "0", 1);
+  Warnings.clear();
+  C = JitConfig::fromEnvironment(&Warnings);
+  EXPECT_FALSE(C.Tune) << "invalid value keeps the default";
+  EXPECT_EQ(C.TuneBudget, 8u);
+  EXPECT_EQ(Warnings.size(), 2u);
+  unsetenv("PROTEUS_TUNE");
+  unsetenv("PROTEUS_TUNE_BUDGET");
+}
+
+// ---- Variant manager --------------------------------------------------------
+
+TEST(AutoTunerTest, VariantManagerRacesReplayedArtifact) {
+  Harness H(1, /*Capture=*/true);
+  capture::CaptureArtifact A = H.captureOne(Dim3{16, 1, 1}, Dim3{128, 1, 1});
+  ASSERT_FALSE(A.KernelSymbol.empty());
+
+  // Snapshot the live device after the capture launch: the race must not
+  // touch it at all — trials run on throwaway replay devices. (The winner
+  // promotion does charge the live device its module-upload time, so the
+  // makespan may grow by that install cost; no kernel time may.)
+  std::vector<uint8_t> Before = H.Dev->memory();
+  const double KernBefore = H.Dev->kernelSeconds();
+  const uint64_t TrialsBefore = H.Jit->stats().TunerTrials;
+
+  VariantManager VM(*H.Jit);
+  VariantTuningResult R = VM.tuneArtifact(A);
+  ASSERT_TRUE(R.Ok) << R.Error;
+  EXPECT_FALSE(R.FromCache);
+  EXPECT_TRUE(R.Promoted);
+  ASSERT_GE(R.Trials.size(), 3u) << "at least 3 variants must race";
+  for (const VariantTrial &T : R.Trials) {
+    EXPECT_TRUE(T.Ok) << T.Spec.Name << ": " << T.Error;
+    EXPECT_TRUE(T.OutputMatch)
+        << T.Spec.Name << " changed the kernel's output";
+    EXPECT_GT(T.KernelSeconds, 0.0) << T.Spec.Name;
+  }
+  EXPECT_EQ(H.Jit->stats().TunerTrials, TrialsBefore + R.Trials.size());
+  EXPECT_GT(R.BaselineSeconds, 0.0);
+  EXPECT_LE(R.WinnerSeconds, R.BaselineSeconds)
+      << "the recorded default races too, so the winner can never lose "
+         "to it";
+  EXPECT_GT(R.TuningSeconds, 0.0) << "tuning cost is accounted";
+
+  EXPECT_EQ(H.Dev->memory(), Before);
+  EXPECT_DOUBLE_EQ(H.Dev->kernelSeconds(), KernBefore)
+      << "no trial kernel may run on the live device";
+}
+
+TEST(AutoTunerTest, BudgetCapsTrialsAndDisabledRacesNothing) {
+  Harness H(1, /*Capture=*/true);
+  capture::CaptureArtifact A = H.captureOne(Dim3{16, 1, 1}, Dim3{128, 1, 1});
+
+  VariantManager::Options O;
+  O.Budget = 2;
+  O.PersistDecision = false; // keep the decision store cold for this test
+  VariantManager VM(*H.Jit, O);
+  VariantTuningResult R = VM.tuneArtifact(A);
+  ASSERT_TRUE(R.Ok) << R.Error;
+  EXPECT_EQ(R.Trials.size(), 2u) << "PROTEUS_TUNE_BUDGET caps the race";
+  EXPECT_EQ(R.Trials[0].Spec.Name, "default")
+      << "the recorded default always stays in the race";
+
+  VariantManager::Options Off;
+  Off.Enabled = false;
+  VariantManager Disabled(*H.Jit, Off);
+  VariantTuningResult R2 = Disabled.tuneArtifact(A);
+  EXPECT_FALSE(R2.Ok);
+  EXPECT_TRUE(R2.Trials.empty());
+  EXPECT_NE(R2.Error.find("disabled"), std::string::npos) << R2.Error;
+}
+
+TEST(AutoTunerTest, WinnerHotSwappedOnEveryDevice) {
+  Harness H(/*NumDevices=*/2, /*Capture=*/true);
+  capture::CaptureArtifact A = H.captureOne(Dim3{16, 1, 1}, Dim3{128, 1, 1});
+  ASSERT_FALSE(A.KernelSymbol.empty());
+
+  VariantManager VM(*H.Jit);
+  VariantTuningResult R = VM.tuneArtifact(A);
+  ASSERT_TRUE(R.Ok) << R.Error;
+  ASSERT_TRUE(R.Promoted);
+  EXPECT_EQ(H.Jit->stats().TunerPromotions, 1u)
+      << "one promotion per decision, however many devices it reached";
+
+  // The winner is installed on *every* attached device: launching its
+  // shape anywhere compiles nothing (the per-arch object was hot-swapped
+  // onto each device's loaded-kernel table).
+  const uint64_t Compiles =
+      H.Jit->stats().Compilations + H.Jit->stats().Tier0Compiles;
+  for (unsigned D = 0; D != H.Mgr->numDevices(); ++D) {
+    std::string Err;
+    ASSERT_EQ(H.Jit->launchKernelOn(D, "daxpy", R.Winner.Grid,
+                                    R.Winner.Block, H.argsFor(D), nullptr,
+                                    &Err),
+              GpuError::Success)
+        << "device " << D << ": " << Err;
+  }
+  EXPECT_EQ(H.Jit->stats().Compilations + H.Jit->stats().Tier0Compiles,
+            Compiles)
+      << "winner launches must not compile on any device";
+}
+
+TEST(AutoTunerTest, PersistedDecisionWarmPathCompilesNothing) {
+  std::string SharedCache = fs::makeTempDirectory("proteus-tune-shared");
+  capture::CaptureArtifact A;
+  VariantTuningResult Cold;
+  {
+    Harness HA(1, /*Capture=*/true, nullptr, SharedCache);
+    A = HA.captureOne(Dim3{16, 1, 1}, Dim3{128, 1, 1});
+    ASSERT_FALSE(A.KernelSymbol.empty());
+    VariantManager VM(*HA.Jit);
+    Cold = VM.tuneArtifact(A);
+    ASSERT_TRUE(Cold.Ok) << Cold.Error;
+    ASSERT_FALSE(Cold.FromCache);
+    ASSERT_GE(Cold.Trials.size(), 3u);
+  } // runtime A gone; the decision + winner object live in SharedCache
+
+  {
+    // A fresh "fleet member" warm-starts from the shared cache: the tuning
+    // session must race nothing and compile nothing.
+    Harness HB(1, /*Capture=*/false, nullptr, SharedCache);
+    VariantManager VM(*HB.Jit);
+    VariantTuningResult Warm = VM.tuneArtifact(A);
+    ASSERT_TRUE(Warm.Ok) << Warm.Error;
+    EXPECT_TRUE(Warm.FromCache);
+    EXPECT_TRUE(Warm.Promoted);
+    EXPECT_TRUE(Warm.Trials.empty());
+    EXPECT_EQ(Warm.DecisionKey, Cold.DecisionKey);
+    EXPECT_EQ(Warm.Winner.Block.count(), Cold.Winner.Block.count());
+
+    JitRuntimeStats Stats = HB.Jit->stats();
+    EXPECT_EQ(Stats.TunerCacheHits, 1u);
+    EXPECT_EQ(Stats.TunerTrials, 0u) << "a warm fleet never re-tunes";
+    EXPECT_EQ(Stats.Compilations, 0u)
+        << "the winner object comes out of the persistent code cache";
+    EXPECT_EQ(Stats.Tier0Compiles, 0u);
+    EXPECT_EQ(Stats.Launches, 0u) << "zero tuning launches on the warm path";
+
+    // And the installed winner serves real launches without compiling.
+    std::string Err;
+    ASSERT_EQ(HB.Jit->launchKernel("daxpy", Warm.Winner.Grid,
+                                   Warm.Winner.Block, HB.args(), &Err),
+              GpuError::Success)
+        << Err;
+    EXPECT_EQ(HB.Jit->stats().Compilations, 0u);
+    EXPECT_EQ(HB.Jit->stats().Tier0Compiles, 0u);
+  }
+  fs::removeAllFiles(SharedCache);
+}
+
+TEST(AutoTunerTest, ConcurrentTuningStorm) {
+  // Concurrent tuning sessions and launches against one runtime: the
+  // decision store, the counters, and the hot-swap path must be
+  // data-race-free (this test is in the TSan lane's storm set).
+  Harness H(/*NumDevices=*/2, /*Capture=*/true,
+            [](JitConfig &JC) { JC.Tier = true; });
+  capture::CaptureArtifact A = H.captureOne(Dim3{16, 1, 1}, Dim3{128, 1, 1});
+  ASSERT_FALSE(A.KernelSymbol.empty());
+
+  std::vector<std::thread> Threads;
+  for (unsigned T = 0; T != 4; ++T)
+    Threads.emplace_back([&H, &A, T] {
+      if (T % 2 == 0) {
+        VariantManager VM(*H.Jit);
+        VariantTuningResult R = VM.tuneArtifact(A);
+        EXPECT_TRUE(R.Ok || R.FromCache) << R.Error;
+      } else {
+        for (unsigned I = 0; I != 8; ++I) {
+          std::string Err;
+          EXPECT_EQ(H.Jit->launchKernelOn(T % H.Mgr->numDevices(), "daxpy",
+                                          Dim3{16, 1, 1}, Dim3{128, 1, 1},
+                                          H.argsFor(T % H.Mgr->numDevices()),
+                                          nullptr, &Err),
+                    GpuError::Success)
+              << Err;
+        }
+      }
+    });
+  for (std::thread &T : Threads)
+    T.join();
+  H.Jit->drain();
+  EXPECT_GE(H.Jit->stats().TunerTrials + H.Jit->stats().TunerCacheHits, 2u);
 }
 
 } // namespace

@@ -32,6 +32,7 @@ TESTS=(
   analysis_test
   capture_replay_test
   capture_pressure_test
+  autotuner_test
 )
 
 echo "== Configuring TSan build in ${BUILD_DIR} =="
@@ -108,6 +109,19 @@ if ! PROTEUS_NUM_DEVICES=4 PROTEUS_DEFAULT_STREAMS=4 \
      PROTEUS_CAPTURE=on PROTEUS_CAPTURE_DIR="${CAPTURE_TMP}" \
      "${BUILD_DIR}/tests/stream_test"; then
   echo "!! stream_test FAILED under ThreadSanitizer with capture enabled"
+  STATUS=1
+fi
+
+# Tuning enabled during a tiered multi-device storm: concurrent variant
+# races replay artifacts on throwaway devices while the decision store,
+# the tuner counters, and the installFinalTier hot-swap path contend with
+# live launches and background promotions (ConcurrentTuningStorm drives
+# the threads; the env turns every knob the tuner interacts with).
+echo "== TSan: autotuner_test (PROTEUS_NUM_DEVICES=4, PROTEUS_TIER=on, PROTEUS_ASYNC=fallback, PROTEUS_TUNE=on) =="
+if ! PROTEUS_NUM_DEVICES=4 PROTEUS_TIER=on PROTEUS_ASYNC=fallback \
+     PROTEUS_TUNE=on \
+     "${BUILD_DIR}/tests/autotuner_test"; then
+  echo "!! autotuner_test FAILED under ThreadSanitizer with tuning enabled"
   STATUS=1
 fi
 
