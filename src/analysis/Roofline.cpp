@@ -1,0 +1,319 @@
+//===- Roofline.cpp - static roofline classifier ------------------------------------===//
+//
+// Part of the Proteus reproduction project.
+//
+//===----------------------------------------------------------------------===//
+
+#include "analysis/Roofline.h"
+
+#include "analysis/Uniformity.h"
+#include "ir/Dominators.h"
+#include "ir/Function.h"
+#include "ir/Instructions.h"
+#include "support/StringUtils.h"
+#include "transforms/LoopInfo.h"
+
+#include <cmath>
+#include <limits>
+#include <unordered_map>
+
+using namespace pir;
+using namespace pir::analysis;
+
+const char *pir::analysis::bottleneckClassName(BottleneckClass C) {
+  switch (C) {
+  case BottleneckClass::MemoryBound:
+    return "MemoryBound";
+  case BottleneckClass::ComputeBound:
+    return "ComputeBound";
+  case BottleneckClass::RegPressureBound:
+    return "RegPressureBound";
+  case BottleneckClass::LatencyBound:
+    return "LatencyBound";
+  }
+  return "unknown";
+}
+
+std::optional<BottleneckClass>
+pir::analysis::parseBottleneckClass(std::string_view Name) {
+  if (Name == "MemoryBound")
+    return BottleneckClass::MemoryBound;
+  if (Name == "ComputeBound")
+    return BottleneckClass::ComputeBound;
+  if (Name == "RegPressureBound")
+    return BottleneckClass::RegPressureBound;
+  if (Name == "LatencyBound")
+    return BottleneckClass::LatencyBound;
+  return std::nullopt;
+}
+
+RooflineModel pir::analysis::rooflineFor(const proteus::TargetInfo &T) {
+  RooflineModel M;
+  M.PeakGFlops = T.peakGFlops();
+  M.PeakBandwidthGBs = T.MemBandwidthGBs;
+  return M;
+}
+
+namespace {
+
+/// Issue weights of the expensive arithmetic forms, in FLOP-equivalents.
+/// Mirrors the simulator's CostModel ratios (Transcendental 8x, Divide 4x
+/// the ALU cost) so the static estimate and the dynamic perf model agree
+/// on what "a lot of compute" means.
+constexpr double TranscendentalFlops = 8.0;
+constexpr double DivideFlops = 4.0;
+
+/// Body weight for a loop whose trip count the phi-evolution simulation
+/// cannot determine: a deliberate middle ground — large enough that loop
+/// bodies dominate straight-line prologues, small enough that an unknown
+/// loop cannot masquerade as unbounded compute.
+constexpr double UnknownTripWeight = 16.0;
+
+/// Trip counts above this are clamped (and counted as if constant): the
+/// classification is a ratio, so magnitudes beyond this add nothing.
+constexpr uint64_t MaxTripCount = 1u << 20;
+
+/// Execution weight of \p BB: the product of the trip counts of every loop
+/// enclosing it, innermost to outermost. Trip counts are memoized per loop
+/// so the walk stays linear.
+double blockWeight(pir::BasicBlock *BB, const proteus::LoopInfo &LI,
+                   std::unordered_map<const proteus::Loop *, double> &TripMemo,
+                   uint64_t &UnknownTripLoops) {
+  double W = 1.0;
+  for (proteus::Loop *L = LI.getLoopFor(BB); L; L = L->Parent) {
+    auto It = TripMemo.find(L);
+    if (It == TripMemo.end()) {
+      double Trip = UnknownTripWeight;
+      if (std::optional<proteus::TripCount> TC =
+              proteus::computeConstantTripCount(*L, MaxTripCount))
+        Trip = static_cast<double>(TC->Count ? TC->Count : 1);
+      else
+        ++UnknownTripLoops;
+      It = TripMemo.emplace(L, Trip).first;
+    }
+    W *= It->second;
+  }
+  return W;
+}
+
+bool isFloatingPointResult(const Instruction &I) {
+  return I.getType() && I.getType()->isFloatingPoint();
+}
+
+} // namespace
+
+KernelStaticProfile pir::analysis::computeStaticProfile(Function &F) {
+  KernelStaticProfile P;
+  if (F.isDeclaration())
+    return P;
+
+  DominatorTree DT(F);
+  proteus::LoopInfo LI(F, DT);
+  UniformityAnalysis UA(F);
+  std::unordered_map<const proteus::Loop *, double> TripMemo;
+
+  for (BasicBlock &BB : F) {
+    if (!DT.isReachable(&BB))
+      continue;
+    const double W = blockWeight(&BB, LI, TripMemo, P.UnknownTripLoops);
+    for (Instruction &I : BB) {
+      switch (I.getKind()) {
+      // FP arithmetic: one FLOP per lane.
+      case ValueKind::FAdd:
+      case ValueKind::FSub:
+      case ValueKind::FMul:
+      case ValueKind::FNeg:
+      case ValueKind::FMin:
+      case ValueKind::FMax:
+      case ValueKind::Fabs:
+      case ValueKind::Floor:
+      case ValueKind::FCmp:
+        P.Flops += W;
+        break;
+      case ValueKind::FDiv:
+        P.Flops += W * DivideFlops;
+        P.Divides += W;
+        break;
+      case ValueKind::Pow:
+      case ValueKind::Sqrt:
+      case ValueKind::Exp:
+      case ValueKind::Log:
+      case ValueKind::Sin:
+      case ValueKind::Cos:
+        P.Flops += W * TranscendentalFlops;
+        P.Transcendentals += W;
+        break;
+      // Integer divides are the slow integer form.
+      case ValueKind::SDiv:
+      case ValueKind::UDiv:
+      case ValueKind::SRem:
+      case ValueKind::URem:
+        P.IntOps += W * DivideFlops;
+        P.Divides += W;
+        break;
+      // Everything else integer-ish: address math, compares, casts,
+      // selects, geometry reads.
+      case ValueKind::Add:
+      case ValueKind::Sub:
+      case ValueKind::Mul:
+      case ValueKind::And:
+      case ValueKind::Or:
+      case ValueKind::Xor:
+      case ValueKind::Shl:
+      case ValueKind::LShr:
+      case ValueKind::AShr:
+      case ValueKind::SMin:
+      case ValueKind::SMax:
+      case ValueKind::ICmp:
+      case ValueKind::Select:
+      case ValueKind::Trunc:
+      case ValueKind::ZExt:
+      case ValueKind::SExt:
+      case ValueKind::FPExt:
+      case ValueKind::FPTrunc:
+      case ValueKind::SIToFP:
+      case ValueKind::UIToFP:
+      case ValueKind::FPToSI:
+      case ValueKind::IntToPtr:
+      case ValueKind::PtrToInt:
+      case ValueKind::PtrAdd:
+      case ValueKind::ThreadIdx:
+      case ValueKind::BlockIdx:
+      case ValueKind::BlockDim:
+      case ValueKind::GridDim:
+        P.IntOps += W;
+        break;
+      case ValueKind::Load: {
+        auto &L = static_cast<LoadInst &>(I);
+        const double Bytes = W * L.getType()->sizeInBytes();
+        if (UA.isUniform(L.getPointer()))
+          P.UniformBytesLoaded += Bytes;
+        else
+          P.BytesLoaded += Bytes;
+        break;
+      }
+      case ValueKind::Store: {
+        auto &S = static_cast<StoreInst &>(I);
+        const double Bytes = W * S.getValue()->getType()->sizeInBytes();
+        if (UA.isUniform(S.getPointer()))
+          P.UniformBytesStored += Bytes;
+        else
+          P.BytesStored += Bytes;
+        break;
+      }
+      case ValueKind::AtomicAdd: {
+        auto &A = static_cast<AtomicAddInst &>(I);
+        const double Bytes = W * A.getValue()->getType()->sizeInBytes();
+        // Read-modify-write: bytes both ways, never broadcast (the whole
+        // point of an atomic is per-lane serialization).
+        P.BytesLoaded += Bytes;
+        P.BytesStored += Bytes;
+        P.Atomics += W;
+        if (isFloatingPointResult(I))
+          P.Flops += W;
+        else
+          P.IntOps += W;
+        break;
+      }
+      case ValueKind::Alloca:
+        P.AllocaBytes += static_cast<AllocaInst &>(I).allocationSizeBytes();
+        break;
+      case ValueKind::Barrier:
+        P.Barriers += W;
+        break;
+      case ValueKind::CondBr:
+        P.Branches += W;
+        break;
+      default:
+        break; // br/ret/phi/call carry no modeled cost
+      }
+    }
+  }
+  return P;
+}
+
+RooflineReport pir::analysis::classifyProfile(const KernelStaticProfile &P,
+                                              const proteus::TargetInfo &T,
+                                              const RegPressureFeedback *Reg,
+                                              uint64_t TotalThreads) {
+  RooflineReport R;
+  R.Profile = P;
+  R.Model = rooflineFor(T);
+
+  const double Bytes = P.bytesMoved(T.WaveSize);
+  if (Bytes > 0)
+    R.ArithmeticIntensity = P.Flops / Bytes;
+  else
+    R.ArithmeticIntensity = P.Flops > 0
+                                ? std::numeric_limits<double>::infinity()
+                                : 0.0;
+  R.AttainableGFlops = Bytes > 0 ? R.Model.attainableGFlops(
+                                       R.ArithmeticIntensity)
+                                 : R.Model.PeakGFlops;
+
+  const double Ridge = R.Model.ridgeFlopsPerByte();
+
+  // 1. Spill feedback overrides the roofline: scratch round-trips serialize
+  // every lane regardless of arithmetic intensity, and the launch-bounds
+  // budget — not a ceiling — is the knob that moves the kernel.
+  if (Reg && (Reg->SpillSlots > 0 ||
+              (Reg->RegisterBudget > 0 && Reg->RegsUsed >= Reg->RegisterBudget))) {
+    R.Class = BottleneckClass::RegPressureBound;
+    R.Reason = proteus::formatString(
+        "register allocation spilled %u slot(s) with %u/%u registers used",
+        Reg->SpillSlots, Reg->RegsUsed, Reg->RegisterBudget);
+    return R;
+  }
+
+  // 2. A launch smaller than one wave per CU cannot fill the machine: the
+  // limiter is launch/latency overhead, not either roofline ceiling.
+  const uint64_t FillThreads =
+      static_cast<uint64_t>(T.WaveSize) * T.NumCUs;
+  if (TotalThreads > 0 && TotalThreads < FillThreads) {
+    R.Class = BottleneckClass::LatencyBound;
+    R.Reason = proteus::formatString(
+        "launch of %llu thread(s) cannot fill %u CUs x %u lanes",
+        static_cast<unsigned long long>(TotalThreads), T.NumCUs, T.WaveSize);
+    return R;
+  }
+
+  // 3. No measurable work at all: launch latency dominates.
+  if (P.Flops <= 0 && P.IntOps <= 0 && Bytes <= 0) {
+    R.Class = BottleneckClass::LatencyBound;
+    R.Reason = "kernel performs no modeled work";
+    return R;
+  }
+
+  // 4. Roofline position, with a +/-25% dead band around the ridge: well
+  // under it the bandwidth ceiling binds, well over it the compute ceiling
+  // binds, inside the band neither clearly does.
+  if (R.ArithmeticIntensity < 0.75 * Ridge) {
+    R.Class = BottleneckClass::MemoryBound;
+    R.Reason = proteus::formatString(
+        "intensity %.3f flops/byte under 0.75x ridge %.3f",
+        R.ArithmeticIntensity, Ridge);
+    return R;
+  }
+  if (R.ArithmeticIntensity > 1.25 * Ridge) {
+    R.Class = BottleneckClass::ComputeBound;
+    R.Reason = std::isinf(R.ArithmeticIntensity)
+                   ? std::string("kernel moves no bytes; compute ceiling binds")
+                   : proteus::formatString(
+                         "intensity %.3f flops/byte over 1.25x ridge %.3f",
+                         R.ArithmeticIntensity, Ridge);
+    return R;
+  }
+  R.Class = BottleneckClass::LatencyBound;
+  R.Reason = proteus::formatString(
+      "intensity %.3f flops/byte within 25%% of ridge %.3f; neither ceiling "
+      "clearly binds",
+      R.ArithmeticIntensity, Ridge);
+  return R;
+}
+
+RooflineReport pir::analysis::classifyKernel(Function &F,
+                                             const proteus::TargetInfo &T,
+                                             const RegPressureFeedback *Reg,
+                                             uint64_t TotalThreads) {
+  return classifyProfile(computeStaticProfile(F), T, Reg, TotalThreads);
+}

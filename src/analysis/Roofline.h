@@ -1,0 +1,161 @@
+//===- Roofline.h - static roofline classifier ------------------*- C++ -*-===//
+//
+// Part of the Proteus reproduction project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A per-kernel *static* instruction-mix and memory-footprint estimator over
+/// PIR, feeding an architecture-aware roofline model: the estimator walks
+/// the kernel once, weighting each block by the trip counts of its
+/// enclosing loops (constant counts from LoopInfo's phi-evolution
+/// simulation; a fixed heuristic weight for loops with unknown bounds) and
+/// accumulating per-thread FLOPs and bytes moved. Uniformity analysis
+/// (the Dataflow.h framework) refines bytes-moved: a load through a
+/// wave-uniform address is one broadcast transaction shared by every lane,
+/// not WaveSize independent ones.
+///
+/// The resulting arithmetic intensity is placed against a target's roofline
+/// (TargetInfo::peakGFlops / MemBandwidthGBs; the per-arch Fp32ValuWidth
+/// scales the compute ceiling, so the two sim arches have different ridge
+/// points) and classified:
+///
+///   * RegPressureBound — register-allocation feedback shows spills or a
+///     saturated budget: occupancy, not the roofline, is the limiter.
+///   * MemoryBound      — intensity well under the ridge: the bandwidth
+///     ceiling binds; compile-side axes that do not reduce bytes moved
+///     (unrolling, LICM, preset) cannot help.
+///   * ComputeBound     — intensity well over the ridge: the compute
+///     ceiling binds; pipeline aggressiveness is the lever.
+///   * LatencyBound     — near the ridge, a launch too small to fill the
+///     machine, or a kernel with no measurable work: neither ceiling
+///     clearly binds and latency hiding / scheduling dominates.
+///
+/// The classification is deterministic (a pure function of the IR and the
+/// target) and consumed by the JIT's CompilationPolicy, the pir-roofline
+/// CLI, and the pinned-corpus golden checks.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PROTEUS_ANALYSIS_ROOFLINE_H
+#define PROTEUS_ANALYSIS_ROOFLINE_H
+
+#include "codegen/Target.h"
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+
+namespace pir {
+
+class Function;
+
+namespace analysis {
+
+/// What limits the kernel on a given target.
+enum class BottleneckClass : uint8_t {
+  MemoryBound,
+  ComputeBound,
+  RegPressureBound,
+  LatencyBound,
+};
+
+const char *bottleneckClassName(BottleneckClass C);
+std::optional<BottleneckClass> parseBottleneckClass(std::string_view Name);
+
+/// Arch-neutral per-thread execution estimate of one kernel. Weighted by
+/// loop trip counts; bytes through wave-uniform addresses are kept apart so
+/// the wave-broadcast discount can be applied per target (wave sizes
+/// differ).
+struct KernelStaticProfile {
+  double Flops = 0;   ///< weighted FP operations (divides and
+                      ///< transcendentals count at their issue weight)
+  double IntOps = 0;  ///< weighted integer/address/compare operations
+  double BytesLoaded = 0;  ///< per-thread bytes read (divergent addresses)
+  double BytesStored = 0;  ///< per-thread bytes written (divergent addresses)
+  double UniformBytesLoaded = 0;  ///< bytes read through wave-uniform
+                                  ///< addresses (one transaction per wave)
+  double UniformBytesStored = 0;
+  double Transcendentals = 0; ///< weighted sqrt/exp/log/sin/cos/pow count
+  double Divides = 0;         ///< weighted integer+FP divide/rem count
+  double Atomics = 0;
+  double Branches = 0; ///< weighted conditional branches
+  double Barriers = 0;
+  uint64_t AllocaBytes = 0;     ///< thread-private scratch footprint
+  uint64_t UnknownTripLoops = 0; ///< loops estimated with the heuristic
+                                 ///< weight instead of a constant trip
+
+  /// Effective per-thread bytes moved on a target with \p WaveSize lanes:
+  /// uniform traffic is one broadcast shared by the wave.
+  double bytesMoved(unsigned WaveSize) const {
+    double Broadcast =
+        (UniformBytesLoaded + UniformBytesStored) /
+        static_cast<double>(WaveSize ? WaveSize : 1);
+    return BytesLoaded + BytesStored + Broadcast;
+  }
+};
+
+/// One target's roofline ceilings.
+struct RooflineModel {
+  double PeakGFlops = 0;
+  double PeakBandwidthGBs = 0;
+
+  double ridgeFlopsPerByte() const {
+    return PeakBandwidthGBs > 0 ? PeakGFlops / PeakBandwidthGBs : 0;
+  }
+  /// Attainable GFLOP/s at arithmetic intensity \p AI: the lower of the
+  /// two ceilings.
+  double attainableGFlops(double AI) const {
+    double BandwidthCeiling = AI * PeakBandwidthGBs;
+    return BandwidthCeiling < PeakGFlops ? BandwidthCeiling : PeakGFlops;
+  }
+};
+
+RooflineModel rooflineFor(const proteus::TargetInfo &T);
+
+/// Register-allocation feedback from the backend (BackendStats), when the
+/// kernel has been compiled: spills override the roofline verdict.
+struct RegPressureFeedback {
+  uint32_t RegsUsed = 0;
+  uint32_t SpillSlots = 0;
+  uint32_t SpillLoads = 0;
+  uint32_t SpillStores = 0;
+  uint32_t RegisterBudget = 0;
+};
+
+/// The full classification of one kernel on one target.
+struct RooflineReport {
+  KernelStaticProfile Profile;
+  RooflineModel Model;
+  /// FLOPs per byte moved; +inf for a kernel that computes without
+  /// touching memory, 0 for one that does neither.
+  double ArithmeticIntensity = 0;
+  double AttainableGFlops = 0;
+  BottleneckClass Class = BottleneckClass::LatencyBound;
+  /// One-line deterministic rationale, for diagnostics and the CLI.
+  std::string Reason;
+};
+
+/// Walks \p F once and accumulates the loop-trip-weighted static profile.
+/// \p F must have a body. Deterministic: same IR, same profile.
+KernelStaticProfile computeStaticProfile(Function &F);
+
+/// Places \p P on \p T's roofline and classifies. \p Reg, when provided,
+/// supplies register-allocation feedback (spills force RegPressureBound);
+/// \p TotalThreads, when nonzero, lets the classifier detect launches too
+/// small to fill the machine (LatencyBound).
+RooflineReport classifyProfile(const KernelStaticProfile &P,
+                               const proteus::TargetInfo &T,
+                               const RegPressureFeedback *Reg = nullptr,
+                               uint64_t TotalThreads = 0);
+
+/// computeStaticProfile + classifyProfile in one step.
+RooflineReport classifyKernel(Function &F, const proteus::TargetInfo &T,
+                              const RegPressureFeedback *Reg = nullptr,
+                              uint64_t TotalThreads = 0);
+
+} // namespace analysis
+} // namespace pir
+
+#endif // PROTEUS_ANALYSIS_ROOFLINE_H

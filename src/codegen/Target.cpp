@@ -41,6 +41,9 @@ const TargetInfo &proteus::getAmdGcnSimTarget() {
     TI.ClockGHz = 1.7;
     TI.MemBandwidthGBs = 1600.0;
     TI.L2Bytes = 8ull << 20;
+    // CDNA-style packed FP32: two FLOPs per lane-cycle. Combined with the
+    // high HBM bandwidth this puts the roofline ridge near 3.3 FLOPs/byte.
+    TI.Fp32ValuWidth = 2;
     return TI;
   }();
   return T;
@@ -67,6 +70,10 @@ const TargetInfo &proteus::getNvPtxSimTarget() {
     TI.ClockGHz = 1.38;
     TI.MemBandwidthGBs = 900.0;
     TI.L2Bytes = 6ull << 20;
+    // One FP32 result per lane-cycle; with the narrower HBM2 bandwidth the
+    // ridge lands near 0.9 FLOPs/byte — kernels between the two ridges
+    // classify differently per arch, which the tests pin.
+    TI.Fp32ValuWidth = 1;
     return TI;
   }();
   return T;

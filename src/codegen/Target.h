@@ -60,6 +60,23 @@ struct TargetInfo {
   double ClockGHz;
   double MemBandwidthGBs; // host<->device copy model
   uint64_t L2Bytes;       // shared L2 capacity (cache model + spill pollution)
+  /// FP32 results each lane retires per clock (the rocm-perf-lab
+  /// `fp32_valu_width` idea: CDNA-style dual-issue/packed-FP32 VALUs retire
+  /// more than one FLOP per lane-cycle). Scales the roofline's compute
+  /// ceiling, so the two sim arches have genuinely different ridge points.
+  unsigned Fp32ValuWidth;
+
+  /// Peak attainable compute: every lane of every CU retiring
+  /// Fp32ValuWidth FLOPs per clock.
+  double peakGFlops() const {
+    return static_cast<double>(NumCUs) * WaveSize * Fp32ValuWidth * ClockGHz;
+  }
+
+  /// Roofline ridge point (FLOPs/byte): the arithmetic intensity where the
+  /// compute and bandwidth ceilings intersect.
+  double ridgeFlopsPerByte() const {
+    return MemBandwidthGBs > 0 ? peakGFlops() / MemBandwidthGBs : 0;
+  }
 
   /// Per-thread register budget for the allocator given the kernel's launch
   /// bounds (paper: LB specialization "helps register allocation maximize

@@ -15,6 +15,25 @@ using namespace proteus::gpu;
 void proteus::gpu::applyPerfModel(const TargetInfo &Target,
                                   LaunchStats &Stats,
                                   const CostModel &Costs) {
+  // A degenerate launch that executed no instructions (an empty kernel, or
+  // a body guarded off for every thread) pays only the launch latency.
+  // Early-out before any of the ratio derivations below so none of them
+  // can divide by a zero instruction/cycle count.
+  if (Stats.TotalInstrs == 0 && Stats.SpillLoads == 0 &&
+      Stats.SpillStores == 0) {
+    const unsigned Regs = std::max(1u, Stats.RegsUsed);
+    const unsigned ResidentWaves = std::min(
+        {Target.MaxWavesPerCU,
+         std::max(1u, Target.RegFilePerCU / (Regs * Target.WaveSize)),
+         std::max(1u, Target.MaxThreadsPerCU / Target.WaveSize)});
+    Stats.Occupancy =
+        static_cast<double>(ResidentWaves) / Target.MaxWavesPerCU;
+    Stats.DurationSec = 4e-6; // launch latency only (matches below)
+    Stats.IPC = 0.0;
+    Stats.VALUBusyPct = 0.0;
+    Stats.StallPct = 0.0;
+    return;
+  }
   // --- Occupancy-dependent L2 behaviour of scratch (spill) traffic ---------
   // The functional simulation runs threads sequentially, which would give
   // per-thread scratch artificially perfect locality; on hardware, tens of

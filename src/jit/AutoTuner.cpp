@@ -6,6 +6,9 @@
 
 #include "jit/AutoTuner.h"
 
+#include "bitcode/ModuleIndex.h"
+#include "ir/Context.h"
+#include "ir/Module.h"
 #include "support/FileSystem.h"
 #include "support/Timer.h"
 
@@ -94,6 +97,23 @@ VariantManager::generateVariants(const capture::CaptureArtifact &A) const {
   std::vector<VariantSpec> Specs;
   const O3Options DefaultO3 = Jit.config().O3;
 
+  // Bottleneck pruning: with a roofline verdict recorded for this (kernel,
+  // arch), an axis the classification says cannot pay off is dropped here —
+  // before the budget cap, so PROTEUS_TUNE_BUDGET bounds *raced* trials
+  // and a pruned variant never consumes a budget slot that a viable one
+  // could have used. Only variants that would otherwise have raced are
+  // counted as pruned.
+  std::optional<PolicyVerdict> Verdict;
+  if (CompilationPolicy *P = Jit.policy())
+    Verdict = P->verdictFor(A.KernelSymbol, A.Arch);
+  uint64_t Pruned = 0;
+  auto Race = [&](VariantAxis Axis) {
+    if (!Verdict || CompilationPolicy::axisWorthRacing(Verdict->Class, Axis))
+      return true;
+    ++Pruned;
+    return false;
+  };
+
   // Variant 0: the recorded configuration under the runtime's own pipeline
   // — the status quo always races, so the winner can never be slower than
   // what the program would have run anyway.
@@ -117,6 +137,8 @@ VariantManager::generateVariants(const capture::CaptureArtifact &A) const {
     if (Blocks == A.Grid.X && A.Grid.Y == 1 && A.Grid.Z == 1 &&
         Block == A.Block.X && A.Block.Y == 1 && A.Block.Z == 1)
       continue; // identical to the recorded default
+    if (!Race(VariantAxis::BlockSize))
+      continue;
     VariantSpec V;
     V.Name = "block" + std::to_string(Block);
     V.Grid = Dim3{static_cast<uint32_t>(Blocks), 1, 1};
@@ -129,19 +151,20 @@ VariantManager::generateVariants(const capture::CaptureArtifact &A) const {
   // aggressiveness is a launch-performance axis of its own (unrolling
   // trades instruction count for register pressure, LICM hoisting
   // lengthens live ranges, the fast preset skips both).
-  if (DefaultO3.Preset != O3Preset::Fast) {
+  if (DefaultO3.Preset != O3Preset::Fast &&
+      Race(VariantAxis::PipelinePreset)) {
     VariantSpec V = Default;
     V.Name = "o3-fast";
     V.O3.Preset = O3Preset::Fast;
     Specs.push_back(V);
   }
-  if (DefaultO3.EnableLICM) {
+  if (DefaultO3.EnableLICM && Race(VariantAxis::Licm)) {
     VariantSpec V = Default;
     V.Name = "no-licm";
     V.O3.EnableLICM = false;
     Specs.push_back(V);
   }
-  {
+  if (Race(VariantAxis::Unroll)) {
     VariantSpec V = Default;
     V.Name = "unroll-wide";
     V.O3.Unroll.MaxTripCount = DefaultO3.Unroll.MaxTripCount * 4;
@@ -150,11 +173,52 @@ VariantManager::generateVariants(const capture::CaptureArtifact &A) const {
     Specs.push_back(V);
   }
 
+  if (Pruned)
+    Jit.notePolicyPrunedTrials(Pruned);
+
   // Budget cap (PROTEUS_TUNE_BUDGET); the default variant always stays.
   const size_t Budget = Opts.Budget > 0 ? Opts.Budget : 1;
   if (Specs.size() > Budget)
     Specs.resize(Budget);
   return Specs;
+}
+
+std::optional<PolicyVerdict>
+VariantManager::ensureVerdict(const capture::CaptureArtifact &A) {
+  CompilationPolicy *P = Jit.policy();
+  if (!P)
+    return std::nullopt;
+  if (std::optional<PolicyVerdict> V = P->verdictFor(A.KernelSymbol, A.Arch))
+    return V;
+  if (A.Bitcode.empty())
+    return std::nullopt;
+  // The runtime has not compiled (hence not classified) this kernel —
+  // classify the artifact's own pruned bitcode. No register-allocation
+  // feedback exists on this path, so a spill-bound kernel conservatively
+  // classifies by its roofline position instead (no pruning is lost: the
+  // reg-pressure class prunes strictly less than MemoryBound).
+  std::string Error;
+  std::shared_ptr<const KernelModuleIndex> Index =
+      KernelModuleIndex::create(A.Bitcode, Error);
+  if (!Index)
+    return std::nullopt;
+  pir::Context Ctx;
+  std::unique_ptr<pir::Module> M =
+      Index->materialize(Ctx, A.KernelSymbol, nullptr);
+  if (!M)
+    return std::nullopt;
+  pir::Function *F = M->getFunction(A.KernelSymbol);
+  if (!F)
+    return std::nullopt;
+  pir::analysis::RooflineReport RR = pir::analysis::classifyKernel(
+      *F, getTarget(A.Arch), nullptr, A.Grid.count() * A.Block.count());
+  PolicyVerdict V;
+  V.Class = RR.Class;
+  V.ArithmeticIntensity = RR.ArithmeticIntensity;
+  V.RidgeFlopsPerByte = RR.Model.ridgeFlopsPerByte();
+  P->recordVerdict(A.KernelSymbol, A.Arch, V);
+  Jit.notePolicyClassified();
+  return V;
 }
 
 VariantTuningResult
@@ -233,6 +297,12 @@ VariantManager::tuneArtifact(const capture::CaptureArtifact &A) {
   Base.CacheDir.clear();
   Base.OverrideGeometry = true;
 
+  // Make sure a roofline verdict exists before the variants are generated:
+  // when the runtime never compiled this kernel itself, the artifact's own
+  // bitcode is classified here, so the pruning table below has something
+  // to consult.
+  std::optional<PolicyVerdict> Verdict = ensureVerdict(A);
+
   std::vector<VariantSpec> Specs = generateVariants(A);
   for (const VariantSpec &S : Specs) {
     ReplayOptions RO = Base;
@@ -305,6 +375,11 @@ VariantManager::tuneArtifact(const capture::CaptureArtifact &A) {
         R.Winner.O3.Unroll.MaxExpandedInstructions;
     D.ExpectedSeconds = R.WinnerSeconds;
     D.TrialsRun = static_cast<uint32_t>(R.Trials.size());
+    // Persist the roofline verdict with the decision (class + 1; 0 stays
+    // "unclassified"), so a warm fleet can see *why* a shape raced few
+    // variants without re-running the classifier.
+    if (Verdict)
+      D.Bottleneck = static_cast<uint8_t>(Verdict->Class) + 1;
     Jit.storeTuningDecision(R.DecisionKey, D);
   }
 

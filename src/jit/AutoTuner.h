@@ -159,8 +159,20 @@ public:
   /// The competing variants for \p A, budget-capped. Variant 0 is always
   /// the recorded default (the artifact's geometry under the runtime's own
   /// O3 configuration) so the race always includes the status quo.
+  ///
+  /// With PROTEUS_POLICY=on and a roofline verdict recorded for
+  /// (A.KernelSymbol, A.Arch), tuning axes the classification says cannot
+  /// pay off are dropped *before* the budget cap — so PROTEUS_TUNE_BUDGET
+  /// bounds raced trials, and pruned variants never consume budget slots
+  /// (policy.pruned_trials counts them).
   std::vector<VariantSpec> generateVariants(
       const capture::CaptureArtifact &A) const;
+
+  /// The policy verdict for \p A's (kernel, arch), classifying the
+  /// artifact's own bitcode on the static roofline when the runtime has
+  /// not compiled (and hence classified) this kernel yet. Returns nullopt
+  /// when the policy is off or the bitcode cannot be classified.
+  std::optional<PolicyVerdict> ensureVerdict(const capture::CaptureArtifact &A);
 
   /// Tunes one captured launch: consults the persisted decision store
   /// first (a hit installs the winner warm and races nothing), otherwise

@@ -206,6 +206,7 @@ std::vector<uint8_t> encodeTuningPayload(const TuningDecision &D) {
   putU32(P, 20, D.BlockZ);
   P[24] = D.Preset;
   P[25] = D.EnableLICM;
+  P[26] = D.Bottleneck;
   putU64(P, 32, D.UnrollMaxTripCount);
   putU64(P, 40, D.UnrollMaxExpandedInstructions);
   uint64_t SecondsBits;
@@ -225,6 +226,7 @@ TuningDecision decodeTuningPayload(const std::vector<uint8_t> &P) {
   D.BlockZ = getU32(P, 20);
   D.Preset = P[24];
   D.EnableLICM = P[25];
+  D.Bottleneck = P[26];
   D.UnrollMaxTripCount = getU64(P, 32);
   D.UnrollMaxExpandedInstructions = getU64(P, 40);
   uint64_t SecondsBits = getU64(P, 48);

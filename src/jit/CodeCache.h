@@ -134,6 +134,11 @@ struct TuningDecision {
   double ExpectedSeconds = 0;
   /// How many variants were raced to reach this decision.
   uint32_t TrialsRun = 0;
+  /// Roofline verdict active when the decision was made, persisted as
+  /// BottleneckClass + 1; 0 means no classification was recorded (policy
+  /// off, or a decision written before the classifier existed — the old
+  /// frame kept this byte zeroed, so both directions decode cleanly).
+  uint8_t Bottleneck = 0;
 };
 
 /// Deterministic key for a tuning decision: the specialization identity

@@ -177,6 +177,16 @@ JitConfig JitConfig::fromEnvironment(std::vector<std::string> *Warnings) {
       emitConfigWarning(Warnings, "ignoring invalid PROTEUS_TUNE value '" + S +
                                       "' (expected off|on)");
   }
+  if (const char *Policy = std::getenv("PROTEUS_POLICY")) {
+    std::string S = Policy;
+    if (S == "off")
+      C.Policy = false;
+    else if (S == "on")
+      C.Policy = true;
+    else
+      emitConfigWarning(Warnings, "ignoring invalid PROTEUS_POLICY value '" +
+                                      S + "' (expected off|on)");
+  }
   if (const char *Budget = std::getenv("PROTEUS_TUNE_BUDGET")) {
     std::string S = Budget;
     bool AllDigits =
@@ -260,6 +270,8 @@ JitRuntime::JitRuntime(Device &Dev, uint64_t ModuleId, JitConfig Config)
   if (this->Config.Capture)
     CaptureSess = std::make_unique<capture::CaptureSession>(
         this->Config.CaptureDir, this->Config.CaptureRing, Metrics);
+  if (this->Config.Policy)
+    PolicyState = std::make_unique<CompilationPolicy>();
 }
 
 JitRuntime::~JitRuntime() {
@@ -640,16 +652,38 @@ JitRuntime::compileSpecialization(const std::string &Symbol,
 
   // (5) Backend (includes the PTX assembler detour on nvptx-sim). Tier-0
   // uses the single-pass register allocator.
+  BackendStats BS;
   {
     trace::Span Sp("compile.backend", "jit");
     metrics::ScopedTimer T(*Stat.BackendSeconds);
-    BackendStats BS;
     BackendOptions BO;
     BO.RegAlloc.Fast = Tier0;
     // The backend target comes from the specialization key, not from any
     // particular device: the object is compiled once per arch and loaded
     // onto every device of that arch.
     Out.Object = compileKernelToObject(*F, getTarget(Key.Arch), &BS, BO);
+  }
+
+  // (5b) Bottleneck classification: the JIT sees the final specialized,
+  // optimized IR and the allocator's spill feedback together, so this is
+  // the one point where a trustworthy roofline verdict exists. Recorded on
+  // the policy store for the variant manager's pruning and persisted with
+  // any later tuning decision.
+  if (PolicyState) {
+    pir::analysis::RegPressureFeedback Reg;
+    Reg.RegsUsed = BS.RA.RegsUsed;
+    Reg.SpillSlots = BS.RA.SpillSlots;
+    Reg.SpillLoads = BS.RA.SpillLoads;
+    Reg.SpillStores = BS.RA.SpillStores;
+    Reg.RegisterBudget = BS.RegisterBudget;
+    pir::analysis::RooflineReport RR =
+        pir::analysis::classifyKernel(*F, getTarget(Key.Arch), &Reg);
+    PolicyVerdict V;
+    V.Class = RR.Class;
+    V.ArithmeticIntensity = RR.ArithmeticIntensity;
+    V.RidgeFlopsPerByte = RR.Model.ridgeFlopsPerByte();
+    PolicyState->recordVerdict(Symbol, Key.Arch, V);
+    Stat.PolicyClassified->add();
   }
 
   // (6) Publish: insert into both cache levels before the in-flight entry
@@ -697,6 +731,14 @@ void JitRuntime::scheduleTier1Promotion(const JitKernelInfo &Info,
                                         uint64_t Hash) {
   if (!Pool)
     return;
+  // Critical-path gate: a kernel with timeline slack cannot shorten the
+  // run, so its Tier-0 binary is already good enough — skip the background
+  // promotion compile entirely.
+  if (PolicyState && !PolicyState->shouldPromote(Info.Symbol)) {
+    Stat.PolicyTierDemotions->add();
+    trace::instant("jit.policy_tier_demotion");
+    return;
+  }
   {
     std::lock_guard<std::mutex> Lock(InFlightMutex);
     if (!PromotionsInFlight.insert(Hash).second)

@@ -72,6 +72,7 @@
 
 #include "gpu/Runtime.h"
 #include "jit/CodeCache.h"
+#include "jit/CompilationPolicy.h"
 #include "support/Metrics.h"
 #include "support/ThreadPool.h"
 #include "transforms/O3Pipeline.h"
@@ -173,11 +174,23 @@ struct JitConfig {
   /// configuration always races, so the budget caps the extra trials.
   unsigned TuneBudget = 8;
 
+  /// Bottleneck-aware compilation policy (PROTEUS_POLICY=off|on). When on,
+  /// every compiled kernel is classified on the static roofline
+  /// (analysis/Roofline.h) with register-allocation feedback, the verdict
+  /// is recorded on the runtime's CompilationPolicy and persisted alongside
+  /// tuning decisions, the variant manager prunes tuning axes the class
+  /// says cannot pay off (policy.pruned_trials), and kernels off an
+  /// installed timeline critical path are kept at Tier-0
+  /// (policy.tier_demotions). Off by default: the tuner races every axis
+  /// blindly, exactly as before.
+  bool Policy = false;
+
   /// Applies the PROTEUS_* environment variables on top of the defaults
   /// (PROTEUS_NO_RCF, PROTEUS_NO_LAUNCH_BOUNDS, PROTEUS_CACHE_DIR,
   /// PROTEUS_ASYNC, PROTEUS_ASYNC_WORKERS, PROTEUS_CAPTURE,
   /// PROTEUS_CAPTURE_DIR, PROTEUS_CAPTURE_RING, PROTEUS_CAPTURE_DEDUP,
-  /// PROTEUS_TUNE, PROTEUS_TUNE_BUDGET and the CacheLimits variables).
+  /// PROTEUS_TUNE, PROTEUS_TUNE_BUDGET, PROTEUS_POLICY and the CacheLimits
+  /// variables).
   /// Unrecognized or out-of-range values are rejected: the default is kept
   /// and a diagnostic is appended to \p Warnings (or printed to stderr as
   /// "proteus: warning: ..." when \p Warnings is null) instead of being
@@ -238,6 +251,13 @@ uint64_t jitPipelineFingerprint(CodeTier Tier, bool SymbolicGlobals = false);
 /// installed through installFinalTier with pipeline overrides;
 /// TunerErrors counts tuning requests that failed outright (unattached
 /// device, unknown kernel, compile failure during promotion).
+///
+/// Policy counters (PROTEUS_POLICY=on): PolicyClassified counts roofline
+/// classifications performed (one per compile, plus on-demand artifact
+/// classifications by the variant manager); PolicyPrunedTrials counts
+/// tuning variants the classification pruned before racing;
+/// PolicyTierDemotions counts Tier-1 promotions skipped because the kernel
+/// was off the installed timeline critical path.
 #define PROTEUS_JIT_COUNTERS(X)                                                \
   X(Launches, "jit.launches")                                                  \
   X(StreamLaunches, "jit.stream_launches")                                     \
@@ -258,7 +278,10 @@ uint64_t jitPipelineFingerprint(CodeTier Tier, bool SymbolicGlobals = false);
   X(TunerTrials, "jit.tuner_trials")                                           \
   X(TunerCacheHits, "jit.tuner_cache_hits")                                    \
   X(TunerPromotions, "jit.tuner_promotions")                                   \
-  X(TunerErrors, "jit.tuner_errors")
+  X(TunerErrors, "jit.tuner_errors")                                           \
+  X(PolicyClassified, "policy.classified")                                     \
+  X(PolicyPrunedTrials, "policy.pruned_trials")                                \
+  X(PolicyTierDemotions, "policy.tier_demotions")
 
 /// Timers: BitcodeFetchSeconds includes the simulated device readback
 /// (NVIDIA); QueueWaitSeconds is enqueue -> worker pickup latency;
@@ -417,6 +440,16 @@ public:
   /// its counters live on this runtime's registry with the JIT stats).
   void noteTunerTrials(uint64_t N) { Stat.TunerTrials->add(N); }
   void noteTunerError() { Stat.TunerErrors->add(); }
+
+  /// The bottleneck-aware policy store, or null when JitConfig::Policy is
+  /// off. The variant manager consults it for pruning and records verdicts
+  /// it computes on demand from artifact bitcode.
+  CompilationPolicy *policy() { return PolicyState.get(); }
+
+  /// Policy accounting hooks (mirroring the tuner hooks: the variant
+  /// manager's policy counters live on this runtime's registry).
+  void notePolicyClassified() { Stat.PolicyClassified->add(); }
+  void notePolicyPrunedTrials(uint64_t N) { Stat.PolicyPrunedTrials->add(N); }
 
   /// Snapshot of the counters. Lock-free with respect to the hot paths:
   /// reads the relaxed-atomic instruments, no stats mutex exists.
@@ -599,6 +632,11 @@ private:
   std::mutex MemoMutex;
   std::unordered_map<std::string, std::map<std::vector<uint64_t>, uint64_t>>
       HashMemo;
+
+  /// Bottleneck-aware policy store (JitConfig::Policy); null when the
+  /// policy is off. Own mutex; consulted from the launch path
+  /// (scheduleTier1Promotion) and the variant manager alike.
+  std::unique_ptr<CompilationPolicy> PolicyState;
 
   /// Live capture session (JitConfig::Capture); null when capture is off.
   /// Declared before the pool: background compiles never touch it, but the

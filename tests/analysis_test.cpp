@@ -15,14 +15,20 @@
 //===----------------------------------------------------------------------===//
 
 #include "TestUtil.h"
+#include "RandomKernel.h"
 
+#include "analysis/CriticalPath.h"
 #include "analysis/KernelAnalyzer.h"
+#include "analysis/Roofline.h"
 #include "analysis/Uniformity.h"
+#include "codegen/Target.h"
 #include "hecbench/Benchmark.h"
 #include "ir/Context.h"
 #include "ir/IRParser.h"
 #include "jit/Program.h"
 #include "support/FileSystem.h"
+#include "support/Metrics.h"
+#include "support/Trace.h"
 #include "transforms/Pass.h"
 
 #include <gtest/gtest.h>
@@ -1005,6 +1011,382 @@ TEST(JitConfigEnvTest, ModeNamesRoundTrip) {
   EXPECT_STREQ(analyzeModeName(JitConfig::AnalyzeMode::Off), "off");
   EXPECT_STREQ(analyzeModeName(JitConfig::AnalyzeMode::Warn), "warn");
   EXPECT_STREQ(analyzeModeName(JitConfig::AnalyzeMode::Error), "error");
+}
+
+TEST(JitConfigEnvTest, ParsesPolicyAndWarnsWithoutCoercing) {
+  setenv("PROTEUS_POLICY", "on", 1);
+  std::vector<std::string> W;
+  EXPECT_TRUE(JitConfig::fromEnvironment(&W).Policy);
+  EXPECT_TRUE(W.empty());
+
+  setenv("PROTEUS_POLICY", "off", 1);
+  EXPECT_FALSE(JitConfig::fromEnvironment(&W).Policy);
+
+  // An invalid value keeps the default, warns, and counts a config error.
+  setenv("PROTEUS_POLICY", "auto", 1);
+  W.clear();
+  uint64_t ErrsBefore = 0;
+  for (const auto &[K, V] : metrics::processRegistry().counterValues())
+    if (K == "config.errors")
+      ErrsBefore = V;
+  EXPECT_FALSE(JitConfig::fromEnvironment(&W).Policy);
+  ASSERT_EQ(W.size(), 1u);
+  EXPECT_NE(W[0].find("PROTEUS_POLICY"), std::string::npos) << W[0];
+  EXPECT_NE(W[0].find("off|on"), std::string::npos) << W[0];
+  uint64_t ErrsAfter = 0;
+  for (const auto &[K, V] : metrics::processRegistry().counterValues())
+    if (K == "config.errors")
+      ErrsAfter = V;
+  EXPECT_EQ(ErrsAfter, ErrsBefore + 1);
+  unsetenv("PROTEUS_POLICY");
+}
+
+// ---------------------------------------------------------------------------
+// Static roofline classifier.
+// ---------------------------------------------------------------------------
+
+using pir::analysis::BottleneckClass;
+using pir::analysis::KernelStaticProfile;
+using pir::analysis::RegPressureFeedback;
+using pir::analysis::RooflineReport;
+
+/// Kernel with arithmetic intensity exactly 2 FLOPs/byte: one 8-byte load
+/// and one 8-byte store against 32 chained FAdds per thread. AI = 2 sits
+/// under amdgcn-sim's ridge (~3.26, packed FP32) and above nvptx-sim's
+/// (~0.88) — the classification genuinely depends on the target.
+Function *buildAi2Kernel(Module &M) {
+  Context &Ctx = M.getContext();
+  IRBuilder B(Ctx);
+  Type *F64 = Ctx.getF64Ty();
+  Function *F = M.createFunction("ai2", Ctx.getVoidTy(),
+                                 {Ctx.getPtrTy(), Ctx.getPtrTy()},
+                                 {"in", "out"}, FunctionKind::Kernel);
+  B.setInsertPoint(F->createBlock("entry", Ctx.getVoidTy()));
+  Value *Gtid = B.createGlobalThreadIdX();
+  Value *V = B.createLoad(F64, B.createGep(F64, F->getArg(0), Gtid), "v");
+  for (int K = 0; K != 32; ++K)
+    V = B.createFAdd(V, B.getDouble(1.5));
+  B.createStore(V, B.createGep(F64, F->getArg(1), Gtid));
+  B.createRet();
+  return F;
+}
+
+/// Kernel with one constant-trip loop holding a single FAdd, so the body's
+/// FLOP contribution is exactly Trip.
+Function *buildTripKernel(Module &M, uint32_t Trip) {
+  Context &Ctx = M.getContext();
+  IRBuilder B(Ctx);
+  Type *F64 = Ctx.getF64Ty();
+  Type *I32 = Ctx.getI32Ty();
+  Function *F = M.createFunction("trip", Ctx.getVoidTy(), {Ctx.getPtrTy()},
+                                 {"out"}, FunctionKind::Kernel);
+  BasicBlock *Entry = F->createBlock("entry", Ctx.getVoidTy());
+  BasicBlock *Header = F->createBlock("header", Ctx.getVoidTy());
+  BasicBlock *Body = F->createBlock("body", Ctx.getVoidTy());
+  BasicBlock *Exit = F->createBlock("exit", Ctx.getVoidTy());
+  B.setInsertPoint(Entry);
+  Value *Gtid = B.createGlobalThreadIdX();
+  B.createBr(Header);
+  B.setInsertPoint(Header);
+  PhiInst *I = B.createPhi(I32, "i");
+  PhiInst *Acc = B.createPhi(F64, "acc");
+  I->addIncoming(B.getInt32(0), Entry);
+  Acc->addIncoming(B.getDouble(0.0), Entry);
+  B.createCondBr(B.createICmp(ICmpPred::SLT, I,
+                              B.getInt32(static_cast<int32_t>(Trip))),
+                 Body, Exit);
+  B.setInsertPoint(Body);
+  Value *Acc2 = B.createFAdd(Acc, B.getDouble(1.5), "acc2");
+  Value *I2 = B.createAdd(I, B.getInt32(1), "i2");
+  I->addIncoming(I2, Body);
+  Acc->addIncoming(Acc2, Body);
+  B.createBr(Header);
+  B.setInsertPoint(Exit);
+  B.createStore(Acc, B.createGep(F64, F->getArg(0), Gtid));
+  B.createRet();
+  return F;
+}
+
+void expectProfilesEqual(const KernelStaticProfile &A,
+                         const KernelStaticProfile &B) {
+  EXPECT_DOUBLE_EQ(A.Flops, B.Flops);
+  EXPECT_DOUBLE_EQ(A.IntOps, B.IntOps);
+  EXPECT_DOUBLE_EQ(A.BytesLoaded, B.BytesLoaded);
+  EXPECT_DOUBLE_EQ(A.BytesStored, B.BytesStored);
+  EXPECT_DOUBLE_EQ(A.UniformBytesLoaded, B.UniformBytesLoaded);
+  EXPECT_DOUBLE_EQ(A.UniformBytesStored, B.UniformBytesStored);
+  EXPECT_DOUBLE_EQ(A.Transcendentals, B.Transcendentals);
+  EXPECT_DOUBLE_EQ(A.Divides, B.Divides);
+  EXPECT_DOUBLE_EQ(A.Atomics, B.Atomics);
+  EXPECT_DOUBLE_EQ(A.Branches, B.Branches);
+  EXPECT_DOUBLE_EQ(A.Barriers, B.Barriers);
+  EXPECT_EQ(A.AllocaBytes, B.AllocaBytes);
+  EXPECT_EQ(A.UnknownTripLoops, B.UnknownTripLoops);
+}
+
+TEST(RooflineTest, ProfileIsDeterministic) {
+  KernelStaticProfile P1, P2;
+  {
+    Context Ctx;
+    Module M(Ctx, "m");
+    P1 = pir::analysis::computeStaticProfile(*buildDaxpyKernel(M));
+  }
+  {
+    Context Ctx;
+    Module M(Ctx, "m");
+    P2 = pir::analysis::computeStaticProfile(*buildDaxpyKernel(M));
+  }
+  expectProfilesEqual(P1, P2);
+}
+
+TEST(RooflineTest, ArchSensitiveClassification) {
+  Context Ctx;
+  Module M(Ctx, "m");
+  Function *F = buildAi2Kernel(M);
+  KernelStaticProfile P = pir::analysis::computeStaticProfile(*F);
+  EXPECT_DOUBLE_EQ(P.Flops, 32.0);
+  EXPECT_DOUBLE_EQ(P.BytesLoaded + P.BytesStored, 16.0);
+
+  RooflineReport Amd =
+      pir::analysis::classifyProfile(P, getAmdGcnSimTarget());
+  RooflineReport Nv = pir::analysis::classifyProfile(P, getNvPtxSimTarget());
+  EXPECT_DOUBLE_EQ(Amd.ArithmeticIntensity, 2.0);
+  EXPECT_DOUBLE_EQ(Nv.ArithmeticIntensity, 2.0);
+  // Same kernel, same intensity — opposite sides of the two ridges.
+  EXPECT_GT(getAmdGcnSimTarget().ridgeFlopsPerByte(), 2.0 / 0.75);
+  EXPECT_LT(getNvPtxSimTarget().ridgeFlopsPerByte(), 2.0 / 1.25);
+  EXPECT_EQ(Amd.Class, BottleneckClass::MemoryBound) << Amd.Reason;
+  EXPECT_EQ(Nv.Class, BottleneckClass::ComputeBound) << Nv.Reason;
+}
+
+TEST(RooflineTest, DaxpyIsMemoryBoundEverywhere) {
+  Context Ctx;
+  Module M(Ctx, "m");
+  Function *F = buildDaxpyKernel(M);
+  for (const TargetInfo *T :
+       {&getAmdGcnSimTarget(), &getNvPtxSimTarget()}) {
+    RooflineReport R = pir::analysis::classifyKernel(*F, *T);
+    EXPECT_EQ(R.Class, BottleneckClass::MemoryBound)
+        << T->Name << ": " << R.Reason;
+    EXPECT_LT(R.ArithmeticIntensity, 0.75 * T->ridgeFlopsPerByte());
+  }
+}
+
+TEST(RooflineTest, ConstantLoopTripWeightsTheBody) {
+  Context Ctx;
+  Module M8(Ctx, "m8"), M16(Ctx, "m16");
+  KernelStaticProfile P8 =
+      pir::analysis::computeStaticProfile(*buildTripKernel(M8, 8));
+  KernelStaticProfile P16 =
+      pir::analysis::computeStaticProfile(*buildTripKernel(M16, 16));
+  // The loop body holds exactly one FAdd, so doubling the constant trip
+  // count adds exactly 8 weighted FLOPs.
+  EXPECT_DOUBLE_EQ(P16.Flops - P8.Flops, 8.0);
+  EXPECT_EQ(P8.UnknownTripLoops, 0u);
+  EXPECT_EQ(P16.UnknownTripLoops, 0u);
+}
+
+TEST(RooflineTest, RegPressureFeedbackOverridesRoofline) {
+  Context Ctx;
+  Module M(Ctx, "m");
+  Function *F = buildAi2Kernel(M);
+  KernelStaticProfile P = pir::analysis::computeStaticProfile(*F);
+
+  RegPressureFeedback Spilled;
+  Spilled.RegsUsed = 32;
+  Spilled.SpillSlots = 2;
+  Spilled.SpillLoads = 4;
+  Spilled.SpillStores = 2;
+  Spilled.RegisterBudget = 32;
+  RooflineReport R = pir::analysis::classifyProfile(
+      P, getAmdGcnSimTarget(), &Spilled);
+  EXPECT_EQ(R.Class, BottleneckClass::RegPressureBound) << R.Reason;
+  EXPECT_NE(R.Reason.find("spill"), std::string::npos) << R.Reason;
+
+  // Saturating the budget without spilling is still pressure-bound.
+  RegPressureFeedback Saturated;
+  Saturated.RegsUsed = 64;
+  Saturated.RegisterBudget = 64;
+  EXPECT_EQ(pir::analysis::classifyProfile(P, getAmdGcnSimTarget(),
+                                           &Saturated)
+                .Class,
+            BottleneckClass::RegPressureBound);
+
+  // Comfortable allocation falls through to the roofline position.
+  RegPressureFeedback Comfortable;
+  Comfortable.RegsUsed = 16;
+  Comfortable.RegisterBudget = 64;
+  EXPECT_EQ(pir::analysis::classifyProfile(P, getAmdGcnSimTarget(),
+                                           &Comfortable)
+                .Class,
+            BottleneckClass::MemoryBound);
+}
+
+TEST(RooflineTest, UnderfilledLaunchIsLatencyBound) {
+  Context Ctx;
+  Module M(Ctx, "m");
+  Function *F = buildAi2Kernel(M);
+  const TargetInfo &T = getAmdGcnSimTarget();
+  // 64 threads cannot fill 24 CUs x 64 lanes.
+  RooflineReport Small =
+      pir::analysis::classifyKernel(*F, T, nullptr, 64);
+  EXPECT_EQ(Small.Class, BottleneckClass::LatencyBound) << Small.Reason;
+  // A machine-filling launch classifies by its roofline position again.
+  RooflineReport Big = pir::analysis::classifyKernel(
+      *F, T, nullptr, static_cast<uint64_t>(T.WaveSize) * T.NumCUs * 8);
+  EXPECT_EQ(Big.Class, BottleneckClass::MemoryBound) << Big.Reason;
+}
+
+TEST(RooflineTest, EmptyKernelPerformsNoModeledWork) {
+  Context Ctx;
+  Module M(Ctx, "m");
+  IRBuilder B(Ctx);
+  Function *F = M.createFunction("empty", Ctx.getVoidTy(), {}, {},
+                                 FunctionKind::Kernel);
+  B.setInsertPoint(F->createBlock("entry", Ctx.getVoidTy()));
+  B.createRet();
+  RooflineReport R =
+      pir::analysis::classifyKernel(*F, getAmdGcnSimTarget());
+  EXPECT_EQ(R.Class, BottleneckClass::LatencyBound);
+  EXPECT_NE(R.Reason.find("no modeled work"), std::string::npos)
+      << R.Reason;
+  EXPECT_DOUBLE_EQ(R.ArithmeticIntensity, 0.0);
+}
+
+TEST(RooflineTest, RandomKernelsClassifyDeterministically) {
+  // The classifier is a pure function of (IR, target): rebuilding the same
+  // seeded kernel must reproduce the profile and the verdict exactly, on
+  // both simulated targets, across many shapes.
+  for (uint64_t Seed = 1; Seed <= 12; ++Seed) {
+    KernelStaticProfile P1, P2;
+    BottleneckClass C1[2], C2[2];
+    {
+      Context Ctx;
+      std::unique_ptr<Module> M = buildRandomKernel(Ctx, Seed);
+      Function *F = M->getFunction("rk");
+      ASSERT_NE(F, nullptr);
+      P1 = pir::analysis::computeStaticProfile(*F);
+      C1[0] = pir::analysis::classifyProfile(P1, getAmdGcnSimTarget()).Class;
+      C1[1] = pir::analysis::classifyProfile(P1, getNvPtxSimTarget()).Class;
+    }
+    {
+      Context Ctx;
+      std::unique_ptr<Module> M = buildRandomKernel(Ctx, Seed);
+      Function *F = M->getFunction("rk");
+      ASSERT_NE(F, nullptr);
+      P2 = pir::analysis::computeStaticProfile(*F);
+      C2[0] = pir::analysis::classifyProfile(P2, getAmdGcnSimTarget()).Class;
+      C2[1] = pir::analysis::classifyProfile(P2, getNvPtxSimTarget()).Class;
+    }
+    expectProfilesEqual(P1, P2);
+    EXPECT_EQ(C1[0], C2[0]) << "seed " << Seed;
+    EXPECT_EQ(C1[1], C2[1]) << "seed " << Seed;
+    EXPECT_STRNE(pir::analysis::bottleneckClassName(C1[0]), "");
+  }
+}
+
+TEST(RooflineTest, ClassNamesRoundTrip) {
+  for (BottleneckClass C :
+       {BottleneckClass::MemoryBound, BottleneckClass::ComputeBound,
+        BottleneckClass::RegPressureBound, BottleneckClass::LatencyBound}) {
+    std::optional<BottleneckClass> Back =
+        pir::analysis::parseBottleneckClass(
+            pir::analysis::bottleneckClassName(C));
+    ASSERT_TRUE(Back.has_value());
+    EXPECT_EQ(*Back, C);
+  }
+  EXPECT_FALSE(pir::analysis::parseBottleneckClass("Bound").has_value());
+}
+
+// ---------------------------------------------------------------------------
+// Cross-stream critical path.
+// ---------------------------------------------------------------------------
+
+TEST(CriticalPathTest, CrossLaneGateAndSlack) {
+  using proteus::analysis::TimelineSpan;
+  // Lane 0: A [0,100) then B [100,150). Lane 1: C [110,310) — gated by A
+  // (the latest span elsewhere finishing before C starts). Critical path
+  // is A -> C = 300 ns; B carries 150 ns of slack.
+  std::vector<TimelineSpan> Spans = {
+      {"A", 1, 0, 100},
+      {"B", 1, 100, 50},
+      {"C", 2, 110, 200},
+  };
+  proteus::analysis::CriticalPathReport R =
+      proteus::analysis::analyzeTimeline(Spans);
+  EXPECT_EQ(R.CriticalPathNs, 300u);
+  EXPECT_EQ(R.MakespanNs, 310u);
+  ASSERT_EQ(R.Spans.size(), 3u);
+  for (const proteus::analysis::SpanCriticality &S : R.Spans) {
+    if (S.Span.Name == "B") {
+      EXPECT_EQ(S.SlackNs, 150u);
+      EXPECT_FALSE(S.OnCriticalPath);
+    } else {
+      EXPECT_EQ(S.SlackNs, 0u) << S.Span.Name;
+      EXPECT_TRUE(S.OnCriticalPath) << S.Span.Name;
+    }
+  }
+  std::vector<std::string> Critical = R.criticalNames();
+  ASSERT_EQ(Critical.size(), 2u);
+  EXPECT_EQ(Critical[0], "C") << "sorted by critical nanoseconds";
+  EXPECT_EQ(Critical[1], "A");
+}
+
+TEST(CriticalPathTest, SingleLaneIsFullyCritical) {
+  using proteus::analysis::TimelineSpan;
+  std::vector<TimelineSpan> Spans = {
+      {"k1", 7, 0, 40},
+      {"k2", 7, 50, 60},
+  };
+  proteus::analysis::CriticalPathReport R =
+      proteus::analysis::analyzeTimeline(Spans);
+  // FIFO lane order chains the spans even across the idle gap.
+  EXPECT_EQ(R.CriticalPathNs, 100u);
+  EXPECT_EQ(R.MakespanNs, 110u);
+  for (const proteus::analysis::SpanCriticality &S : R.Spans)
+    EXPECT_TRUE(S.OnCriticalPath) << S.Span.Name;
+  // Every nanosecond of the chain is critical, split across the two names.
+  ASSERT_EQ(R.ByName.size(), 2u);
+  double FractionSum = 0;
+  for (const proteus::analysis::NameCriticality &N : R.ByName) {
+    EXPECT_EQ(N.CriticalNs, N.TotalNs) << N.Name;
+    FractionSum += N.CriticalityFraction;
+  }
+  EXPECT_DOUBLE_EQ(FractionSum, 1.0);
+}
+
+TEST(CriticalPathTest, ParsesOnlyDeviceLaneCompleteEvents) {
+  const uint32_t Lane0 = trace::LaneTidBase;
+  const uint32_t Lane1 = trace::LaneTidBase + 1;
+  std::string Json =
+      "{\"traceEvents\":["
+      "{\"name\":\"k1\",\"cat\":\"lane\",\"ph\":\"X\",\"pid\":1,\"tid\":" +
+      std::to_string(Lane0) +
+      ",\"ts\":0,\"dur\":100},"
+      "{\"name\":\"k2\",\"cat\":\"lane\",\"ph\":\"X\",\"pid\":1,\"tid\":" +
+      std::to_string(Lane1) +
+      ",\"ts\":100.5,\"dur\":50},"
+      "{\"name\":\"host\",\"cat\":\"jit\",\"ph\":\"X\",\"pid\":1,"
+      "\"tid\":5,\"ts\":0,\"dur\":500},"
+      "{\"name\":\"mark\",\"ph\":\"i\",\"pid\":1,\"tid\":" +
+      std::to_string(Lane0) + ",\"ts\":10}"
+      "],\"otherData\":{}}";
+  std::vector<proteus::analysis::TimelineSpan> Spans;
+  std::string Error;
+  ASSERT_TRUE(proteus::analysis::parseTraceLanes(Json, Spans, Error))
+      << Error;
+  // Host spans and instant events are filtered; microseconds became
+  // nanoseconds.
+  ASSERT_EQ(Spans.size(), 2u);
+  EXPECT_EQ(Spans[0].Name, "k1");
+  EXPECT_EQ(Spans[0].StartNs, 0u);
+  EXPECT_EQ(Spans[0].DurNs, 100000u);
+  EXPECT_EQ(Spans[1].Name, "k2");
+  EXPECT_EQ(Spans[1].StartNs, 100500u);
+  EXPECT_EQ(Spans[1].DurNs, 50000u);
+
+  ASSERT_FALSE(proteus::analysis::parseTraceLanes("not json", Spans, Error));
+  EXPECT_FALSE(Error.empty());
 }
 
 } // namespace

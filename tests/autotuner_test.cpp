@@ -450,6 +450,86 @@ TEST(AutoTunerTest, PersistedDecisionWarmPathCompilesNothing) {
   fs::removeAllFiles(SharedCache);
 }
 
+// ---- Bottleneck-aware policy ------------------------------------------------
+
+TEST(AutoTunerTest, MemoryBoundVerdictPrunesEveryAxisWithExactCounters) {
+  // Baseline: the unpruned race over a captured daxpy launch.
+  capture::CaptureArtifact A;
+  size_t TrialsUnpruned = 0;
+  {
+    Harness H(1, /*Capture=*/true);
+    A = H.captureOne(Dim3{16, 1, 1}, Dim3{128, 1, 1});
+    ASSERT_FALSE(A.KernelSymbol.empty());
+    VariantManager VM(*H.Jit);
+    VariantTuningResult R = VM.tuneArtifact(A);
+    ASSERT_TRUE(R.Ok) << R.Error;
+    TrialsUnpruned = R.Trials.size();
+    ASSERT_GE(TrialsUnpruned, 3u);
+  }
+
+  // Policy on, fresh cache: daxpy (2 FLOPs against 24 bytes per thread)
+  // classifies MemoryBound, which prunes every tuning axis — only the
+  // recorded default races, and policy.pruned_trials counts exactly the
+  // variants the unpruned race would have run.
+  Harness H(1, /*Capture=*/false,
+            [](JitConfig &JC) { JC.Policy = true; });
+  VariantManager VM(*H.Jit);
+  VariantTuningResult R = VM.tuneArtifact(A);
+  ASSERT_TRUE(R.Ok) << R.Error;
+  ASSERT_EQ(R.Trials.size(), 1u) << "only the recorded default races";
+  EXPECT_EQ(R.Trials[0].Spec.Name, "default");
+  EXPECT_TRUE(R.Promoted);
+
+  std::optional<PolicyVerdict> V =
+      H.Jit->policy()->verdictFor(A.KernelSymbol, A.Arch);
+  ASSERT_TRUE(V.has_value()) << "tuning must classify the artifact";
+  EXPECT_EQ(V->Class, pir::analysis::BottleneckClass::MemoryBound);
+
+  JitRuntimeStats Stats = H.Jit->stats();
+  EXPECT_GE(Stats.PolicyClassified, 1u);
+  EXPECT_EQ(Stats.PolicyPrunedTrials, TrialsUnpruned - 1)
+      << "every non-default variant of the unpruned race was pruned";
+  EXPECT_EQ(Stats.TunerTrials, 1u);
+}
+
+TEST(AutoTunerTest, PrunedVariantsDoNotConsumeTuneBudget) {
+  Harness H(1, /*Capture=*/true,
+            [](JitConfig &JC) { JC.Policy = true; });
+  capture::CaptureArtifact A = H.captureOne(Dim3{16, 1, 1}, Dim3{128, 1, 1});
+  ASSERT_FALSE(A.KernelSymbol.empty());
+
+  // Force a ComputeBound verdict: only the block-size axis is pruned, the
+  // pipeline variants (o3-fast, no-licm, unroll-wide) stay in the race.
+  PolicyVerdict V;
+  V.Class = pir::analysis::BottleneckClass::ComputeBound;
+  H.Jit->policy()->recordVerdict(A.KernelSymbol, A.Arch, V);
+
+  // Budget 3 with 3 pruned block variants: before the fix the pruned specs
+  // consumed budget slots and the race collapsed to the default alone; now
+  // the budget bounds *raced* trials, so 3 variants genuinely race.
+  VariantManager::Options O;
+  O.Budget = 3;
+  O.PersistDecision = false;
+  VariantManager VM(*H.Jit, O);
+  VariantTuningResult R = VM.tuneArtifact(A);
+  ASSERT_TRUE(R.Ok) << R.Error;
+  EXPECT_EQ(R.Trials.size(), 3u)
+      << "budget caps raced trials after pruning, not before";
+  EXPECT_EQ(R.Trials[0].Spec.Name, "default");
+  for (const VariantTrial &T : R.Trials)
+    EXPECT_EQ(T.Spec.Block.count(), A.Block.count())
+        << T.Spec.Name << ": block-size variants must have been pruned";
+  EXPECT_EQ(H.Jit->stats().PolicyPrunedTrials, 3u)
+      << "exactly the three non-default block candidates were pruned";
+}
+
+TEST(AutoTunerTest, PolicyOffRuntimeHasNoPolicyState) {
+  Harness H;
+  EXPECT_EQ(H.Jit->policy(), nullptr);
+  EXPECT_EQ(H.Jit->stats().PolicyClassified, 0u);
+  EXPECT_EQ(H.Jit->stats().PolicyPrunedTrials, 0u);
+}
+
 TEST(AutoTunerTest, ConcurrentTuningStorm) {
   // Concurrent tuning sessions and launches against one runtime: the
   // decision store, the counters, and the hot-swap path must be

@@ -19,6 +19,8 @@
 
 #include <gtest/gtest.h>
 
+#include <cmath>
+
 using namespace pir;
 using namespace proteus;
 using namespace proteus::gpu;
@@ -209,6 +211,28 @@ TEST(MachineIRTest, DisassemblyIsReadable) {
   EXPECT_NE(Text.find("ld.global"), std::string::npos);
   EXPECT_NE(Text.find("st.global"), std::string::npos);
   EXPECT_NE(Text.find("ret"), std::string::npos);
+}
+
+TEST(PerfModelTest, ZeroInstructionLaunchPaysOnlyLaunchLatency) {
+  // An empty kernel (or a body guarded off for every thread) retires no
+  // instructions; the model must not divide by the zero counts and the
+  // launch costs exactly the fixed launch latency.
+  for (const TargetInfo *T :
+       {&getAmdGcnSimTarget(), &getNvPtxSimTarget()}) {
+    LaunchStats S;
+    S.Kernel = "empty";
+    S.Blocks = 4;
+    S.ThreadsPerBlock = 64;
+    S.RegsUsed = 8;
+    applyPerfModel(*T, S);
+    EXPECT_DOUBLE_EQ(S.DurationSec, 4e-6) << T->Name;
+    EXPECT_EQ(S.IPC, 0.0) << T->Name;
+    EXPECT_EQ(S.VALUBusyPct, 0.0) << T->Name;
+    EXPECT_EQ(S.StallPct, 0.0) << T->Name;
+    EXPECT_TRUE(std::isfinite(S.Occupancy)) << T->Name;
+    EXPECT_GT(S.Occupancy, 0.0) << T->Name;
+    EXPECT_LE(S.Occupancy, 1.0) << T->Name;
+  }
 }
 
 TEST(DeviceTest, CrossArchObjectRejected) {

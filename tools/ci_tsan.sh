@@ -125,6 +125,19 @@ if ! PROTEUS_NUM_DEVICES=4 PROTEUS_TIER=on PROTEUS_ASYNC=fallback \
   STATUS=1
 fi
 
+# The bottleneck-aware policy during the same tiered multi-device tuning
+# storm: roofline classification runs on the compile workers, verdict
+# reads/writes hit the policy store from every tuning session, and the
+# axis-pruning counters race concurrent generateVariants calls — all while
+# tier demotion consults the policy on the promotion path.
+echo "== TSan: autotuner_test (PROTEUS_NUM_DEVICES=4, PROTEUS_TIER=on, PROTEUS_ASYNC=fallback, PROTEUS_TUNE=on, PROTEUS_POLICY=on) =="
+if ! PROTEUS_NUM_DEVICES=4 PROTEUS_TIER=on PROTEUS_ASYNC=fallback \
+     PROTEUS_TUNE=on PROTEUS_POLICY=on \
+     "${BUILD_DIR}/tests/autotuner_test"; then
+  echo "!! autotuner_test FAILED under ThreadSanitizer with the policy enabled"
+  STATUS=1
+fi
+
 # Every artifact the storm recorded must replay byte-identical — capture
 # under contention may shed, but must never corrupt.
 if compgen -G "${CAPTURE_TMP}/*.pcap" > /dev/null; then

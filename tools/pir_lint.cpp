@@ -8,13 +8,21 @@
 // and for kernel authors — the same checks PROTEUS_ANALYZE applies inside
 // the JIT, but ahead of time and over every kernel in every file:
 //
-//   pir-lint file.pir [file2.pir ...]
+//   pir-lint [--json] file.pir [file2.pir ...]
 //
 // Per file: parse, verify structural well-formedness, then report every
 // kernel-sanitizer finding (divergent barriers, shared-scratch races,
 // out-of-bounds accesses, uninitialized reads) as
 //
 //   <file>: [kind] @kernel(block): message
+//
+// With --json the report is one machine-readable document on stdout
+// (self-validated through JsonLite before it is printed), so CI can diff
+// findings structurally instead of by text match:
+//
+//   {"files":[{"file":"...","errors":[...],"findings":[
+//     {"kind":"...","kernel":"...","block":"...","message":"..."}]}],
+//    "findings":N,"clean":true|false}
 //
 // Exit status: 0 when every file is clean, 1 on any finding or parse /
 // verification error, 2 on usage errors.
@@ -27,6 +35,7 @@
 #include "ir/Module.h"
 #include "ir/Verifier.h"
 #include "support/FileSystem.h"
+#include "support/JsonLite.h"
 
 #include <cstdio>
 #include <string>
@@ -36,47 +45,158 @@ using namespace proteus;
 
 namespace {
 
-/// Lints one file; returns the number of problems (parse errors, verifier
-/// errors, or sanitizer findings).
-size_t lintFile(const std::string &Path) {
+/// Structured result of linting one file, shared by both output modes.
+struct FileReport {
+  std::string Path;
+  /// Infrastructure problems: unreadable file, parse error, verifier
+  /// errors. Any of these makes the file "not clean" without findings.
+  std::vector<std::string> Errors;
+  std::vector<pir::analysis::LintDiagnostic> Findings;
+
+  size_t problems() const { return Errors.size() + Findings.size(); }
+};
+
+FileReport lintFile(const std::string &Path) {
+  FileReport FR;
+  FR.Path = Path;
   auto Bytes = fs::readFile(Path);
   if (!Bytes) {
-    std::fprintf(stderr, "pir-lint: cannot read '%s'\n", Path.c_str());
-    return 1;
+    FR.Errors.push_back("cannot read file");
+    return FR;
   }
   pir::Context Ctx;
   std::string Text(Bytes->begin(), Bytes->end());
   pir::ParseResult R = pir::parseModule(Ctx, Text);
   if (!R) {
-    std::fprintf(stderr, "%s: parse error: %s\n", Path.c_str(),
-                 R.Error.c_str());
-    return 1;
+    FR.Errors.push_back("parse error: " + R.Error);
+    return FR;
   }
   pir::VerifyResult VR = pir::verifyModule(*R.M);
   if (!VR.ok()) {
     for (const std::string &E : VR.Errors)
-      std::fprintf(stderr, "%s: verifier: %s\n", Path.c_str(), E.c_str());
-    return VR.Errors.size();
+      FR.Errors.push_back("verifier: " + E);
+    return FR;
   }
   pir::analysis::AnalysisReport AR = pir::analysis::analyzeModule(*R.M);
-  for (const pir::analysis::LintDiagnostic &D : AR.Diags)
-    std::printf("%s: %s\n", Path.c_str(), D.render().c_str());
-  return AR.Diags.size();
+  FR.Findings = std::move(AR.Diags);
+  return FR;
+}
+
+void appendJsonString(std::string &Out, const std::string &S) {
+  Out += '"';
+  for (char C : S) {
+    switch (C) {
+    case '"':
+      Out += "\\\"";
+      break;
+    case '\\':
+      Out += "\\\\";
+      break;
+    case '\n':
+      Out += "\\n";
+      break;
+    case '\t':
+      Out += "\\t";
+      break;
+    case '\r':
+      Out += "\\r";
+      break;
+    default:
+      if (static_cast<unsigned char>(C) < 0x20) {
+        char Buf[8];
+        std::snprintf(Buf, sizeof(Buf), "\\u%04x", C);
+        Out += Buf;
+      } else {
+        Out += C;
+      }
+    }
+  }
+  Out += '"';
+}
+
+std::string renderJson(const std::vector<FileReport> &Reports,
+                       size_t Problems) {
+  std::string Out = "{\"files\":[";
+  for (size_t I = 0; I != Reports.size(); ++I) {
+    const FileReport &FR = Reports[I];
+    if (I)
+      Out += ',';
+    Out += "{\"file\":";
+    appendJsonString(Out, FR.Path);
+    Out += ",\"errors\":[";
+    for (size_t J = 0; J != FR.Errors.size(); ++J) {
+      if (J)
+        Out += ',';
+      appendJsonString(Out, FR.Errors[J]);
+    }
+    Out += "],\"findings\":[";
+    for (size_t J = 0; J != FR.Findings.size(); ++J) {
+      const pir::analysis::LintDiagnostic &D = FR.Findings[J];
+      if (J)
+        Out += ',';
+      Out += "{\"kind\":";
+      appendJsonString(Out, pir::analysis::lintKindName(D.Kind));
+      Out += ",\"kernel\":";
+      appendJsonString(Out, D.FunctionName);
+      Out += ",\"block\":";
+      appendJsonString(Out, D.BlockName);
+      Out += ",\"message\":";
+      appendJsonString(Out, D.Message);
+      Out += '}';
+    }
+    Out += "]}";
+  }
+  Out += "],\"findings\":" + std::to_string(Problems);
+  Out += ",\"clean\":";
+  Out += Problems == 0 ? "true" : "false";
+  Out += "}\n";
+  return Out;
 }
 
 } // namespace
 
 int main(int Argc, char **Argv) {
+  bool Json = false;
   std::vector<std::string> Files;
-  for (int I = 1; I < Argc; ++I)
-    Files.push_back(Argv[I]);
+  for (int I = 1; I < Argc; ++I) {
+    std::string Arg = Argv[I];
+    if (Arg == "--json")
+      Json = true;
+    else
+      Files.push_back(std::move(Arg));
+  }
   if (Files.empty()) {
-    std::fprintf(stderr, "usage: pir-lint file.pir [file2.pir ...]\n");
+    std::fprintf(stderr, "usage: pir-lint [--json] file.pir [file2.pir ...]\n");
     return 2;
   }
+
+  std::vector<FileReport> Reports;
   size_t Problems = 0;
-  for (const std::string &F : Files)
-    Problems += lintFile(F);
+  for (const std::string &F : Files) {
+    Reports.push_back(lintFile(F));
+    Problems += Reports.back().problems();
+  }
+
+  if (Json) {
+    std::string Doc = renderJson(Reports, Problems);
+    // Self-validate before emitting: a malformed document must fail the
+    // tool, never poison a CI diff downstream.
+    json::ParseResult PR = json::parse(Doc);
+    if (!PR) {
+      std::fprintf(stderr, "pir-lint: internal error: produced invalid JSON: %s\n",
+                   PR.Error.c_str());
+      return 2;
+    }
+    std::fputs(Doc.c_str(), stdout);
+    return Problems == 0 ? 0 : 1;
+  }
+
+  for (const FileReport &FR : Reports) {
+    for (const std::string &E : FR.Errors)
+      std::fprintf(stderr, "%s: %s\n", FR.Path.c_str(), E.c_str());
+    for (const pir::analysis::LintDiagnostic &D : FR.Findings)
+      std::printf("%s: %s\n", FR.Path.c_str(), D.render().c_str());
+  }
   if (Problems == 0) {
     std::printf("pir-lint: %zu file(s) clean\n", Files.size());
     return 0;

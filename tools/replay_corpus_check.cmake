@@ -2,9 +2,16 @@
 # proteus-replay — each must re-execute byte-identical with a matching
 # specialization hash — and re-lints each artifact's pruned kernel bitcode
 # against its .expect file (the exact sanitizer findings recorded when the
-# corpus was generated; an empty .expect means lint-clean). Invoked by the
-# replay_corpus_check ctest (see tools/CMakeLists.txt) with -DREPLAY=...,
-# -DLINT=..., -DCORPUS_DIR=..., -DWORK_DIR=...
+# corpus was generated; an empty .expect means lint-clean). Each .expect
+# also pins the kernel's roofline bottleneck class per simulated target on
+# a line of the form
+#
+#   roofline: amdgcn-sim=<Class> nvptx-sim=<Class>
+#
+# which is checked against pir-roofline's verdict on the dumped PIR — the
+# classifier's golden regression set. Invoked by the replay_corpus_check
+# ctest (see tools/CMakeLists.txt) with -DREPLAY=..., -DLINT=...,
+# -DROOFLINE=..., -DCORPUS_DIR=..., -DWORK_DIR=...
 
 file(GLOB Artifacts "${CORPUS_DIR}/*.pcap")
 if(NOT Artifacts)
@@ -53,7 +60,23 @@ foreach(Artifact IN LISTS Artifacts)
     OUTPUT_VARIABLE LintOut
     ERROR_VARIABLE LintErr)
 
-  file(READ "${ExpectFile}" Expected)
+  file(READ "${ExpectFile}" ExpectedRaw)
+  string(STRIP "${ExpectedRaw}" ExpectedRaw)
+
+  # Separate the pinned roofline classification from the sanitizer
+  # findings: the "roofline:" line feeds the classifier check below, the
+  # rest stays the exact lint expectation.
+  set(Expected "")
+  set(RooflineExpect "")
+  string(REPLACE "\n" ";" ExpectLines "${ExpectedRaw}")
+  foreach(Line IN LISTS ExpectLines)
+    if(Line MATCHES "^roofline: (.*)$")
+      set(RooflineExpect "${CMAKE_MATCH_1}")
+    elseif(NOT Line STREQUAL "")
+      list(APPEND Expected "${Line}")
+    endif()
+  endforeach()
+  string(REPLACE ";" "\n" Expected "${Expected}")
   string(STRIP "${Expected}" Expected)
 
   # pir-lint prints "<file>: [kind] @kernel(block): message" per finding
@@ -89,6 +112,41 @@ foreach(Artifact IN LISTS Artifacts)
     endif()
   endif()
   message(STATUS "${Base}: sanitizer expectations hold")
+
+  # 3. Roofline golden classification: pir-roofline's verdict on the dumped
+  # PIR must match the class pinned per target in the .expect file.
+  if(RooflineExpect STREQUAL "")
+    message(FATAL_ERROR
+      "${Base}.expect pins no roofline classification (expected a line "
+      "'roofline: amdgcn-sim=<Class> nvptx-sim=<Class>')")
+  endif()
+  execute_process(
+    COMMAND "${ROOFLINE}" --target=all "${PirFile}"
+    RESULT_VARIABLE RoofResult
+    OUTPUT_VARIABLE RoofOut
+    ERROR_VARIABLE RoofErr)
+  if(NOT RoofResult EQUAL 0)
+    message(FATAL_ERROR
+      "pir-roofline on ${Base}.pir failed (rc=${RoofResult}):\n"
+      "${RoofOut}\n${RoofErr}")
+  endif()
+  set(AmdClass "")
+  set(NvClass "")
+  if(RoofOut MATCHES "\\[amdgcn-sim\\] class=([A-Za-z]+)")
+    set(AmdClass "${CMAKE_MATCH_1}")
+  endif()
+  if(RoofOut MATCHES "\\[nvptx-sim\\] class=([A-Za-z]+)")
+    set(NvClass "${CMAKE_MATCH_1}")
+  endif()
+  set(RooflineActual "amdgcn-sim=${AmdClass} nvptx-sim=${NvClass}")
+  if(NOT RooflineActual STREQUAL RooflineExpect)
+    message(FATAL_ERROR
+      "${Base}.pcap roofline classification diverges from ${Base}.expect\n"
+      "expected: roofline: ${RooflineExpect}\n"
+      "actual:   roofline: ${RooflineActual}\n"
+      "full output:\n${RoofOut}")
+  endif()
+  message(STATUS "${Base}: roofline class pinned (${RooflineActual})")
 endforeach()
 
 list(LENGTH Artifacts Count)
