@@ -1,0 +1,22 @@
+//===- CacheBackend.cpp - transport-agnostic cache storage ----------------===//
+//
+// Part of the Proteus reproduction project.
+//
+//===----------------------------------------------------------------------===//
+
+#include "fleet/CacheBackend.h"
+
+using namespace proteus;
+using namespace proteus::fleet;
+
+CacheBackend::~CacheBackend() = default;
+
+const char *proteus::fleet::blobKindName(BlobKind K) {
+  switch (K) {
+  case BlobKind::Code:
+    return "code";
+  case BlobKind::Tune:
+    return "tune";
+  }
+  return "unknown";
+}

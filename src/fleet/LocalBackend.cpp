@@ -1,0 +1,212 @@
+//===- LocalBackend.cpp - sharded on-disk cache backend -------------------===//
+//
+// Part of the Proteus reproduction project.
+//
+//===----------------------------------------------------------------------===//
+
+#include "fleet/LocalBackend.h"
+
+#include "support/FileSystem.h"
+#include "support/Hashing.h"
+#include "support/StringUtils.h"
+
+#include <algorithm>
+
+#include <unistd.h>
+
+using namespace proteus;
+using namespace proteus::fleet;
+
+namespace {
+
+constexpr char CodePrefix[] = "cache-jit-";
+constexpr char CodeSuffix[] = ".o";
+constexpr char TunePrefix[] = "cache-tune-";
+constexpr char LockPrefix[] = "cache-lock-";
+
+std::string entryName(BlobKind Kind, uint64_t Key) {
+  if (Kind == BlobKind::Code)
+    return CodePrefix + hashToHex(Key) + CodeSuffix;
+  return TunePrefix + hashToHex(Key);
+}
+
+bool isEntryName(const std::string &Name) {
+  return startsWith(Name, CodePrefix) || startsWith(Name, TunePrefix);
+}
+
+} // namespace
+
+LocalDirBackend::LocalDirBackend(std::string RootDir,
+                                 LocalBackendOptions OptionsIn)
+    : Root(std::move(RootDir)), Options(OptionsIn), Index(OptionsIn.Shards) {
+  fs::createDirectories(Root);
+  if (Index.shardCount() > 1)
+    for (uint32_t S = 0; S != Index.shardCount(); ++S)
+      fs::createDirectories(Root + "/" + ShardIndex::shardDirName(S));
+}
+
+std::string LocalDirBackend::shardDir(uint64_t Key) const {
+  if (Index.shardCount() == 1)
+    return Root;
+  return Root + "/" + ShardIndex::shardDirName(Index.shardFor(Key));
+}
+
+std::string LocalDirBackend::pathFor(BlobKind Kind, uint64_t Key) const {
+  return shardDir(Key) + "/" + entryName(Kind, Key);
+}
+
+std::string LocalDirBackend::lockPathFor(uint64_t Key) const {
+  return shardDir(Key) + "/" + LockPrefix + hashToHex(Key);
+}
+
+std::vector<std::string> LocalDirBackend::allDirs() const {
+  std::vector<std::string> Dirs{Root};
+  if (Index.shardCount() > 1)
+    for (uint32_t S = 0; S != Index.shardCount(); ++S)
+      Dirs.push_back(Root + "/" + ShardIndex::shardDirName(S));
+  return Dirs;
+}
+
+std::optional<Blob> LocalDirBackend::lookup(BlobKind Kind, uint64_t Key) {
+  NLookups.fetch_add(1, std::memory_order_relaxed);
+  std::string Path = pathFor(Kind, Key);
+  auto Bytes = fs::readFile(Path);
+  if (!Bytes) {
+    NMisses.fetch_add(1, std::memory_order_relaxed);
+    return std::nullopt;
+  }
+  NHits.fetch_add(1, std::memory_order_relaxed);
+  fs::touchFile(Path); // LRU recency refresh
+  Blob B;
+  B.Bytes = std::move(*Bytes);
+  B.Remote = false;
+  return B;
+}
+
+bool LocalDirBackend::publish(BlobKind Kind, uint64_t Key,
+                              const std::vector<uint8_t> &Bytes) {
+  if (!fs::writeFileAtomic(pathFor(Kind, Key), Bytes))
+    return false;
+  NPublishes.fetch_add(1, std::memory_order_relaxed);
+  NPublishBytes.fetch_add(Bytes.size(), std::memory_order_relaxed);
+  enforceBudget();
+  return true;
+}
+
+bool LocalDirBackend::remove(BlobKind Kind, uint64_t Key) {
+  return fs::removeFile(pathFor(Kind, Key));
+}
+
+void LocalDirBackend::clear() {
+  for (const std::string &Dir : allDirs())
+    for (const std::string &Name : fs::listFiles(Dir))
+      if (isEntryName(Name) || startsWith(Name, LockPrefix) ||
+          Name.find(".tmp-") != std::string::npos)
+        fs::removeFile(Dir + "/" + Name);
+}
+
+uint64_t LocalDirBackend::totalBytes() {
+  uint64_t Total = 0;
+  for (const std::string &Dir : allDirs())
+    for (const fs::FileInfo &F : fs::listFilesWithInfo(Dir))
+      if (isEntryName(F.Name))
+        Total += F.Bytes;
+  return Total;
+}
+
+CompileClaim LocalDirBackend::beginCompile(uint64_t Key) {
+  std::string Lock = lockPathFor(Key);
+  // The lock body records the owner pid — purely diagnostic; ownership is
+  // the file's existence.
+  std::string Pid = std::to_string(::getpid());
+  std::vector<uint8_t> Body(Pid.begin(), Pid.end());
+  if (fs::createFileExclusive(Lock, Body))
+    return CompileClaim::Owner;
+  // Claimed already. Steal it only if the holder looks dead (lock older
+  // than the stale threshold — a live compile keeps finishing and releases
+  // well within it, or keeps the wait loop in waitRemoteCompile spinning).
+  auto AgeNs = fs::fileAgeNs(Lock);
+  if (AgeNs && *AgeNs > int64_t(Options.StaleLockMs) * 1000000) {
+    fs::removeFile(Lock);
+    if (fs::createFileExclusive(Lock, Body))
+      return CompileClaim::Owner;
+  }
+  NDedupHits.fetch_add(1, std::memory_order_relaxed);
+  return CompileClaim::InFlightElsewhere;
+}
+
+void LocalDirBackend::endCompile(uint64_t Key) {
+  fs::removeFile(lockPathFor(Key));
+}
+
+std::string LocalDirBackend::describe() const {
+  return "dir:" + Root + " shards=" + std::to_string(Index.shardCount());
+}
+
+BackendStats LocalDirBackend::stats() const {
+  BackendStats S;
+  S.Lookups = NLookups.load(std::memory_order_relaxed);
+  S.Hits = NHits.load(std::memory_order_relaxed);
+  S.Misses = NMisses.load(std::memory_order_relaxed);
+  S.Publishes = NPublishes.load(std::memory_order_relaxed);
+  S.PublishBytes = NPublishBytes.load(std::memory_order_relaxed);
+  S.Evictions = NEvictions.load(std::memory_order_relaxed);
+  S.DedupHits = NDedupHits.load(std::memory_order_relaxed);
+  return S;
+}
+
+void LocalDirBackend::enforceBudget() {
+  if (!Options.BudgetBytes)
+    return;
+  std::lock_guard<std::mutex> Lock(EvictMutex);
+
+  struct Victim {
+    std::string Path;
+    uint64_t Bytes;
+    int64_t WriteTimeNs;
+    uint64_t Freq;
+    BlobKind Kind;
+  };
+  std::vector<Victim> Entries;
+  uint64_t Total = 0;
+  for (const std::string &Dir : allDirs())
+    for (const fs::FileInfo &F : fs::listFilesWithInfo(Dir)) {
+      if (!isEntryName(F.Name))
+        continue; // locks and .tmp- siblings are not budgeted entries
+      Total += F.Bytes;
+      Entries.push_back(Victim{Dir + "/" + F.Name, F.Bytes, F.WriteTimeNs, 0,
+                               startsWith(F.Name, CodePrefix)
+                                   ? BlobKind::Code
+                                   : BlobKind::Tune});
+    }
+  if (Total <= Options.BudgetBytes)
+    return;
+
+  if (Options.Policy == EvictPolicy::LFU && Options.FreqOf) {
+    for (Victim &V : Entries)
+      if (auto Bytes = fs::readFile(V.Path))
+        V.Freq = Options.FreqOf(V.Kind, *Bytes);
+    std::sort(Entries.begin(), Entries.end(),
+              [](const Victim &A, const Victim &B) {
+                if (A.Freq != B.Freq)
+                  return A.Freq < B.Freq;
+                return A.WriteTimeNs < B.WriteTimeNs;
+              });
+  } else {
+    std::sort(Entries.begin(), Entries.end(),
+              [](const Victim &A, const Victim &B) {
+                return A.WriteTimeNs < B.WriteTimeNs;
+              });
+  }
+
+  size_t Remaining = Entries.size();
+  for (const Victim &V : Entries) {
+    if (Total <= Options.BudgetBytes || Remaining <= 1)
+      break;
+    if (fs::removeFile(V.Path)) {
+      Total -= V.Bytes;
+      --Remaining;
+      NEvictions.fetch_add(1, std::memory_order_relaxed);
+    }
+  }
+}

@@ -1,0 +1,135 @@
+//===- Protocol.h - fleet cache wire protocol -------------------*- C++ -*-===//
+//
+// Part of the Proteus reproduction project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The compact binary protocol between JIT client processes and the shared
+/// cache service (tools/proteus-cached). Framing: every message is a u32
+/// little-endian payload length followed by the payload; payloads larger
+/// than MaxFrameBytes are rejected (a garbage length prefix must not make
+/// the daemon allocate gigabytes). Payload layout (all little-endian, via
+/// ByteWriter/ByteReader):
+///
+///   request  := op:u8 body
+///     Ping                   —
+///     Lookup                 kind:u8 key:u64
+///     Publish                kind:u8 key:u64 bytes:[u32 n]
+///     Acquire                key:u64          (fleet-wide compile claim)
+///     Release                key:u64
+///     Remove                 kind:u8 key:u64
+///     Clear                  —
+///     Stats                  —
+///     Batch                  count:u32 { kind:u8 key:u64 }*   (lookups)
+///
+///   response := status:u8 body
+///     Ok / Error             —           (Error carries message:string)
+///     Hit                    bytes:[u32 n]
+///     Miss                   —
+///     Owner / InFlight       —           (Acquire outcomes)
+///     Ok (Stats)             count:u32 { name:string value:u64 }*
+///     Ok (Batch)             count:u32 { status:u8 [bytes if Hit] }*
+///
+/// One connection, one client thread-of-control: requests are answered in
+/// order. The batching layer in RemoteCacheBackend coalesces concurrent
+/// lookups from many launch threads into single Batch frames, which is what
+/// amortizes the round-trip under fleet-wide warm-start storms.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PROTEUS_FLEET_PROTOCOL_H
+#define PROTEUS_FLEET_PROTOCOL_H
+
+#include "fleet/CacheBackend.h"
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace proteus {
+namespace fleet {
+
+namespace wire {
+
+enum class Op : uint8_t {
+  Ping = 1,
+  Lookup = 2,
+  Publish = 3,
+  Acquire = 4,
+  Release = 5,
+  Remove = 6,
+  Clear = 7,
+  Stats = 8,
+  Batch = 9,
+};
+
+enum class Status : uint8_t {
+  Ok = 0,
+  Hit = 1,
+  Miss = 2,
+  Owner = 3,
+  InFlight = 4,
+  Error = 5,
+};
+
+/// Upper bound for one frame's payload. Large enough for any realistic
+/// compiled object (the biggest entries in the bench corpus are well under
+/// 1 MiB); small enough that a corrupted length prefix cannot drive an
+/// allocation storm.
+constexpr uint32_t MaxFrameBytes = 64u << 20;
+
+/// A decoded request.
+struct Request {
+  Op Kind = Op::Ping;
+  BlobKind Blob = BlobKind::Code;
+  uint64_t Key = 0;
+  std::vector<uint8_t> Bytes;                          // Publish payload
+  std::vector<std::pair<uint8_t, uint64_t>> BatchKeys; // Batch lookups
+};
+
+/// A decoded response.
+struct Response {
+  Status Code = Status::Ok;
+  std::vector<uint8_t> Bytes;                      // Hit payload
+  std::string Message;                             // Error detail
+  std::vector<std::pair<std::string, uint64_t>> Stats;
+  /// Per-lookup results of a Batch (status + payload when Hit).
+  std::vector<std::pair<Status, std::vector<uint8_t>>> BatchResults;
+};
+
+std::vector<uint8_t> encodeRequest(const Request &R);
+std::optional<Request> decodeRequest(const std::vector<uint8_t> &Payload);
+
+std::vector<uint8_t> encodeResponse(const Response &R);
+std::optional<Response> decodeResponse(const std::vector<uint8_t> &Payload);
+
+} // namespace wire
+
+namespace net {
+
+/// Creates, binds, and listens on a unix-domain socket at \p Path (removing
+/// any stale socket file first). Returns the listening fd or -1.
+int listenUnix(const std::string &Path);
+
+/// Connects to the unix-domain socket at \p Path with a bounded timeout.
+/// Returns the connected fd or -1.
+int connectUnix(const std::string &Path, unsigned TimeoutMs = 1000);
+
+/// Writes one length-prefixed frame. Returns false on any short write or
+/// peer reset (SIGPIPE is suppressed).
+bool writeFrame(int Fd, const std::vector<uint8_t> &Payload);
+
+/// Reads one length-prefixed frame. Returns std::nullopt on EOF, a
+/// malformed length, or a payload exceeding wire::MaxFrameBytes.
+std::optional<std::vector<uint8_t>> readFrame(int Fd);
+
+void closeFd(int Fd);
+
+} // namespace net
+
+} // namespace fleet
+} // namespace proteus
+
+#endif // PROTEUS_FLEET_PROTOCOL_H

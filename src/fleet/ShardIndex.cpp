@@ -1,0 +1,52 @@
+//===- ShardIndex.cpp - consistent-hash key sharding ------------------------===//
+//
+// Part of the Proteus reproduction project.
+//
+//===----------------------------------------------------------------------===//
+
+#include "fleet/ShardIndex.h"
+
+#include "support/Hashing.h"
+#include "support/StringUtils.h"
+
+#include <algorithm>
+
+using namespace proteus;
+using namespace proteus::fleet;
+
+ShardIndex::ShardIndex(uint32_t ShardsIn, uint32_t VirtualPoints)
+    : Shards(std::min<uint32_t>(std::max<uint32_t>(ShardsIn, 1), 256)) {
+  if (VirtualPoints == 0)
+    VirtualPoints = 1;
+  Ring.reserve(static_cast<size_t>(Shards) * VirtualPoints);
+  for (uint32_t S = 0; S != Shards; ++S)
+    for (uint32_t V = 0; V != VirtualPoints; ++V) {
+      FNV1aHash H;
+      H.update(std::string_view("proteus-shard"));
+      H.update(S);
+      H.update(V);
+      Ring.push_back(Point{H.digest(), S});
+    }
+  std::sort(Ring.begin(), Ring.end(), [](const Point &A, const Point &B) {
+    return A.Hash < B.Hash || (A.Hash == B.Hash && A.Shard < B.Shard);
+  });
+}
+
+uint32_t ShardIndex::shardFor(uint64_t Key) const {
+  if (Shards == 1)
+    return 0;
+  // Re-mix the key so consecutive cache hashes spread over the ring even if
+  // the key generator clusters them.
+  uint64_t H = hashCombine(0x9e3779b97f4a7c15ULL, Key);
+  auto It = std::lower_bound(Ring.begin(), Ring.end(), H,
+                             [](const Point &P, uint64_t V) {
+                               return P.Hash < V;
+                             });
+  if (It == Ring.end())
+    It = Ring.begin(); // wrap around the ring
+  return It->Shard;
+}
+
+std::string ShardIndex::shardDirName(uint32_t Shard) {
+  return formatString("shard-%02u", Shard);
+}

@@ -1,0 +1,56 @@
+//===- ShardIndex.h - consistent-hash key sharding --------------*- C++ -*-===//
+//
+// Part of the Proteus reproduction project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Consistent-hash mapping of the 64-bit cache key space onto K shard
+/// directories. Each shard contributes V virtual points on a hash ring; a
+/// key is owned by the first point clockwise from its own hash. Growing or
+/// shrinking K therefore remaps only the keys between the moved points
+/// (~1/K of the space per shard change) instead of reshuffling everything —
+/// the property that lets a fleet bump PROTEUS_CACHE_SHARDS without
+/// invalidating a warm cache wholesale.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PROTEUS_FLEET_SHARDINDEX_H
+#define PROTEUS_FLEET_SHARDINDEX_H
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace proteus {
+namespace fleet {
+
+class ShardIndex {
+public:
+  /// \p Shards in [1, 256]; values outside are clamped. \p VirtualPoints
+  /// per shard smooths the distribution (default 64).
+  explicit ShardIndex(uint32_t Shards, uint32_t VirtualPoints = 64);
+
+  uint32_t shardCount() const { return Shards; }
+
+  /// Shard ordinal in [0, shardCount()) owning \p Key. Deterministic and
+  /// stable across processes and runs.
+  uint32_t shardFor(uint64_t Key) const;
+
+  /// Conventional shard subdirectory name ("shard-00" ... "shard-NN").
+  static std::string shardDirName(uint32_t Shard);
+
+private:
+  struct Point {
+    uint64_t Hash;
+    uint32_t Shard;
+  };
+  uint32_t Shards;
+  /// Ring points sorted by hash.
+  std::vector<Point> Ring;
+};
+
+} // namespace fleet
+} // namespace proteus
+
+#endif // PROTEUS_FLEET_SHARDINDEX_H

@@ -13,9 +13,11 @@
 #include "support/Trace.h"
 
 #include <algorithm>
+#include <chrono>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <thread>
 
 using namespace proteus;
 
@@ -91,6 +93,24 @@ CacheLimits CacheLimits::fromEnvironment(std::vector<std::string> *Warnings) {
       emitCacheConfigWarning(
           Warnings, "ignoring invalid PROTEUS_CACHE_DISK_LIMIT value '" +
                         std::string(Disk) + "' (expected a byte count)");
+  }
+  if (const char *Budget = std::getenv("PROTEUS_CACHE_BUDGET")) {
+    uint64_t V;
+    if (parseByteLimit(Budget, V))
+      L.BudgetBytes = V;
+    else
+      emitCacheConfigWarning(
+          Warnings, "ignoring invalid PROTEUS_CACHE_BUDGET value '" +
+                        std::string(Budget) + "' (expected a byte count)");
+  }
+  if (const char *Shards = std::getenv("PROTEUS_CACHE_SHARDS")) {
+    uint64_t V;
+    if (parseByteLimit(Shards, V) && V >= 1 && V <= 64)
+      L.Shards = static_cast<uint32_t>(V);
+    else
+      emitCacheConfigWarning(
+          Warnings, "ignoring invalid PROTEUS_CACHE_SHARDS value '" +
+                        std::string(Shards) + "' (expected 1..64)");
   }
   if (const char *Policy = std::getenv("PROTEUS_CACHE_POLICY")) {
     // Accept every documented spelling: "runtime" is the README's name for
@@ -283,22 +303,45 @@ std::optional<DecodedEntry> decodeEntry(const std::vector<uint8_t> &Bytes) {
 
 } // namespace
 
+fleet::LocalBackendOptions CodeCache::backendOptions(const CacheLimits &Limits) {
+  fleet::LocalBackendOptions BO;
+  BO.Shards = Limits.Shards;
+  // BudgetBytes is the fleet-level budget (code + tune files); when unset,
+  // the historical code-object limit acts as the budget.
+  BO.BudgetBytes =
+      Limits.BudgetBytes ? Limits.BudgetBytes : Limits.MaxPersistentBytes;
+  BO.Policy = Limits.Policy == EvictionPolicy::LFU ? fleet::EvictPolicy::LFU
+                                                   : fleet::EvictPolicy::LRU;
+  // LFU victim selection needs each entry's execution count; only CodeCache
+  // knows the frame layout, so it hands the backend a decoder instead of
+  // the backend parsing frames itself.
+  BO.FreqOf = [](fleet::BlobKind Kind,
+                 const std::vector<uint8_t> &Bytes) -> uint64_t {
+    if (Kind != fleet::BlobKind::Code || Bytes.size() < EntryHeaderBytes)
+      return 0;
+    if (std::memcmp(Bytes.data(), EntryMagic, sizeof(EntryMagic)) != 0)
+      return 0;
+    return getU64(Bytes, 24);
+  };
+  return BO;
+}
+
 CodeCache::CodeCache(bool UseMemory, bool UsePersistent,
                      std::string PersistentDir, CacheLimits Limits)
+    : CodeCache(UseMemory, UsePersistent, PersistentDir, Limits, nullptr) {}
+
+CodeCache::CodeCache(bool UseMemory, bool UsePersistent,
+                     std::string PersistentDir, CacheLimits Limits,
+                     std::unique_ptr<fleet::CacheBackend> Backend)
     : UseMemory(UseMemory),
       UsePersistent(UsePersistent && !PersistentDir.empty()),
-      Dir(std::move(PersistentDir)), Limits(Limits) {
-  if (this->UsePersistent)
-    fs::createDirectories(Dir);
-}
+      Dir(std::move(PersistentDir)), Limits(Limits),
+      Backend(!this->UsePersistent ? nullptr
+              : Backend            ? std::move(Backend)
+                                   : std::make_unique<fleet::LocalDirBackend>(
+                                         Dir, backendOptions(Limits))) {}
 
-std::string CodeCache::pathFor(uint64_t Hash) const {
-  return Dir + "/cache-jit-" + hashToHex(Hash) + ".o";
-}
-
-std::string CodeCache::tunePathFor(uint64_t Key) const {
-  return Dir + "/cache-tune-" + hashToHex(Key);
-}
+CodeCache::~CodeCache() = default;
 
 std::optional<TuningDecision> CodeCache::lookupTuningDecision(uint64_t Key) {
   std::lock_guard<std::mutex> Lock(Mutex);
@@ -308,9 +351,8 @@ std::optional<TuningDecision> CodeCache::lookupTuningDecision(uint64_t Key) {
       return It->second;
   }
   if (UsePersistent) {
-    std::string Path = tunePathFor(Key);
-    if (auto Bytes = fs::readFile(Path)) {
-      if (auto D = decodeTuningFile(*Bytes)) {
+    if (auto B = Backend->lookup(fleet::BlobKind::Tune, Key)) {
+      if (auto D = decodeTuningFile(B->Bytes)) {
         if (UseMemory)
           Tuning.emplace(Key, *D);
         return D;
@@ -319,7 +361,7 @@ std::optional<TuningDecision> CodeCache::lookupTuningDecision(uint64_t Key) {
       // entries.
       ++Stats.CorruptPersistentEntries;
       trace::instant("cache.corrupt", "cache");
-      fs::removeFile(Path);
+      Backend->remove(fleet::BlobKind::Tune, Key);
     }
   }
   return std::nullopt;
@@ -330,7 +372,7 @@ void CodeCache::storeTuningDecision(uint64_t Key, const TuningDecision &D) {
   if (UseMemory)
     Tuning[Key] = D;
   if (UsePersistent)
-    fs::writeFileAtomic(tunePathFor(Key), encodeTuningFile(D));
+    Backend->publish(fleet::BlobKind::Tune, Key, encodeTuningFile(D));
 }
 
 void CodeCache::touchEntry(uint64_t Hash, Entry &E) {
@@ -375,19 +417,25 @@ std::optional<CachedCode> CodeCache::lookupEntry(uint64_t Hash) {
     }
   }
   if (UsePersistent) {
-    std::string Path = pathFor(Hash);
-    if (auto Bytes = fs::readFile(Path)) {
-      auto Decoded = decodeEntry(*Bytes);
+    if (auto B = Backend->lookup(fleet::BlobKind::Code, Hash)) {
+      auto Decoded = decodeEntry(B->Bytes);
       if (!Decoded) {
         // Truncated/corrupted entry (e.g. a crash mid-write): delete it and
         // report a miss so the JIT recompiles instead of loading garbage.
         ++Stats.CorruptPersistentEntries;
         trace::instant("cache.corrupt", "cache");
-        fs::removeFile(Path);
+        Backend->remove(fleet::BlobKind::Code, Hash);
       } else {
-        ++Stats.PersistentHits;
-        trace::instant("cache.hit.persistent", "cache");
-        fs::touchFile(Path); // persistent LRU recency
+        // Tier attribution: a daemon round-trip costs very differently from
+        // a local disk read, so the fleet service's hits get their own
+        // counter.
+        if (B->Remote) {
+          ++Stats.RemoteHits;
+          trace::instant("cache.hit.remote", "cache");
+        } else {
+          ++Stats.PersistentHits;
+          trace::instant("cache.hit.persistent", "cache");
+        }
         if (UseMemory) {
           // Preserve the execution count across the promotion so the LFU
           // policy is not biased against entries that round-tripped through
@@ -435,31 +483,29 @@ void CodeCache::insert(uint64_t Hash, const std::vector<uint8_t> &Object,
   if (UsePersistent) {
     if (Tier == CodeTier::Tier0) {
       // Same downgrade guard for the on-disk level (the memory level may be
-      // disabled, so check the file's own tier tag).
-      if (auto Bytes = fs::readFile(pathFor(Hash)))
-        if (auto Decoded = decodeEntry(*Bytes))
+      // disabled, so check the published entry's own tier tag).
+      if (auto B = Backend->lookup(fleet::BlobKind::Code, Hash))
+        if (auto Decoded = decodeEntry(B->Bytes))
           if (Decoded->Tier == CodeTier::Final)
             return;
     }
-    fs::writeFileAtomic(pathFor(Hash),
-                        encodeEntry(Object, HitCount, Tier,
-                                    PipelineFingerprint));
-    enforcePersistentLimit();
+    Backend->publish(fleet::BlobKind::Code, Hash,
+                     encodeEntry(Object, HitCount, Tier, PipelineFingerprint));
   }
 }
 
 void CodeCache::writeBackHitCount(uint64_t Hash, uint64_t Count) {
   if (!UsePersistent || Count == 0)
     return;
-  std::string Path = pathFor(Hash);
-  auto Bytes = fs::readFile(Path);
-  if (!Bytes)
+  auto B = Backend->lookup(fleet::BlobKind::Code, Hash);
+  if (!B)
     return;
-  auto Decoded = decodeEntry(*Bytes);
+  auto Decoded = decodeEntry(B->Bytes);
   if (!Decoded || Decoded->HitCount == Count)
     return;
-  fs::writeFileAtomic(Path, encodeEntry(Decoded->Payload, Count,
-                                        Decoded->Tier, Decoded->Fingerprint));
+  Backend->publish(fleet::BlobKind::Code, Hash,
+                   encodeEntry(Decoded->Payload, Count, Decoded->Tier,
+                               Decoded->Fingerprint));
 }
 
 void CodeCache::enforceMemoryLimit() {
@@ -492,36 +538,14 @@ void CodeCache::enforceMemoryLimit() {
   }
 }
 
-void CodeCache::enforcePersistentLimit() {
-  if (!Limits.MaxPersistentBytes)
-    return;
-  std::vector<fs::FileInfo> Files = fs::listFilesWithInfo(Dir);
-  uint64_t Total = 0;
-  for (const fs::FileInfo &F : Files)
-    Total += F.Bytes;
-  if (Total <= Limits.MaxPersistentBytes)
-    return;
-  // Oldest write time first (recency is refreshed on hits via touchFile).
-  std::sort(Files.begin(), Files.end(),
-            [](const fs::FileInfo &A, const fs::FileInfo &B) {
-              return A.WriteTimeNs < B.WriteTimeNs;
-            });
-  for (const fs::FileInfo &F : Files) {
-    if (Total <= Limits.MaxPersistentBytes || Files.size() <= 1)
-      break;
-    if (!startsWith(F.Name, "cache-jit-"))
-      continue;
-    if (fs::removeFile(Dir + "/" + F.Name)) {
-      Total -= F.Bytes;
-      ++Stats.PersistentEvictions;
-      trace::instant("cache.evict.persistent", "cache");
-    }
-  }
-}
-
 CodeCacheStats CodeCache::stats() const {
   std::lock_guard<std::mutex> Lock(Mutex);
-  return Stats;
+  CodeCacheStats S = Stats;
+  // Budget eviction happens inside the backend (it owns the storage);
+  // merge its count into the historical counter.
+  if (Backend)
+    S.PersistentEvictions += Backend->stats().Evictions;
+  return S;
 }
 
 uint64_t CodeCache::memoryBytes() const {
@@ -536,7 +560,7 @@ size_t CodeCache::memoryEntries() const {
 
 uint64_t CodeCache::persistentBytes() const {
   std::lock_guard<std::mutex> Lock(Mutex);
-  return UsePersistent ? fs::directorySize(Dir) : 0;
+  return UsePersistent ? Backend->totalBytes() : 0;
 }
 
 void CodeCache::clearMemory() {
@@ -555,7 +579,74 @@ void CodeCache::clearPersistent() {
   std::lock_guard<std::mutex> Lock(Mutex);
   if (!UsePersistent)
     return;
-  for (const std::string &Name : fs::listFiles(Dir))
-    if (startsWith(Name, "cache-jit-") || startsWith(Name, "cache-tune-"))
-      fs::removeFile(Dir + "/" + Name);
+  Backend->clear();
+}
+
+fleet::CompileClaim CodeCache::beginCompile(uint64_t Hash) {
+  if (!Backend)
+    return fleet::CompileClaim::Owner;
+  return Backend->beginCompile(Hash);
+}
+
+void CodeCache::endCompile(uint64_t Hash) {
+  if (Backend)
+    Backend->endCompile(Hash);
+}
+
+std::optional<CachedCode> CodeCache::waitRemoteCompile(uint64_t Hash,
+                                                       unsigned TimeoutMs) {
+  if (!Backend)
+    return std::nullopt; // no fleet level: the caller owns the compile
+  using Clock = std::chrono::steady_clock;
+  const auto Deadline = Clock::now() + std::chrono::milliseconds(TimeoutMs);
+  auto Backoff = std::chrono::microseconds(200);
+  // Poll the backend directly (not lookupEntry) so the wait loop's
+  // intermediate misses don't inflate this cache's miss statistics.
+  auto TryAdopt = [&]() -> std::optional<CachedCode> {
+    auto B = Backend->lookup(fleet::BlobKind::Code, Hash);
+    if (!B)
+      return std::nullopt;
+    if (auto Decoded = decodeEntry(B->Bytes)) {
+      std::lock_guard<std::mutex> Lock(Mutex);
+      if (B->Remote) {
+        ++Stats.RemoteHits;
+        trace::instant("cache.hit.remote", "cache");
+      } else {
+        ++Stats.PersistentHits;
+        trace::instant("cache.hit.persistent", "cache");
+      }
+      if (UseMemory && !Memory.count(Hash))
+        insertMemoryEntry(Hash, Decoded->Payload, Decoded->HitCount + 1,
+                          Decoded->Tier, Decoded->Fingerprint);
+      return CachedCode{std::move(Decoded->Payload), Decoded->Tier,
+                        Decoded->Fingerprint};
+    }
+    // A corrupt publish: delete it; the re-acquired claim below makes
+    // this caller the recovering compiler.
+    std::lock_guard<std::mutex> Lock(Mutex);
+    ++Stats.CorruptPersistentEntries;
+    Backend->remove(fleet::BlobKind::Code, Hash);
+    return std::nullopt;
+  };
+  for (;;) {
+    if (std::optional<CachedCode> CC = TryAdopt())
+      return CC;
+    // Between polls, retry the claim: if the previous owner died (crashed
+    // client, stale lock), this caller inherits the compile.
+    if (Backend->beginCompile(Hash) == fleet::CompileClaim::Owner) {
+      // Double-checked claim: the owner may have published and released
+      // between this caller's poll above and the claim retry. Without
+      // this re-lookup the waiter would win the freed claim and recompile
+      // an entry that is already in the store.
+      if (std::optional<CachedCode> CC = TryAdopt()) {
+        Backend->endCompile(Hash);
+        return CC;
+      }
+      return std::nullopt;
+    }
+    if (Clock::now() >= Deadline)
+      return std::nullopt;
+    std::this_thread::sleep_for(Backoff);
+    Backoff = std::min(Backoff * 2, decltype(Backoff)(10000));
+  }
 }

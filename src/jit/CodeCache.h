@@ -36,10 +36,12 @@
 #define PROTEUS_JIT_CODECACHE_H
 
 #include "codegen/Target.h"
+#include "fleet/LocalBackend.h"
 #include "transforms/SpecializeArgs.h"
 
 #include <cstdint>
 #include <list>
+#include <memory>
 #include <mutex>
 #include <optional>
 #include <string>
@@ -83,6 +85,11 @@ struct CachedCode {
 struct CodeCacheStats {
   uint64_t MemoryHits = 0;
   uint64_t PersistentHits = 0;
+  /// Hits served by the shared cache service (PROTEUS_CACHE_REMOTE=on)
+  /// rather than this process's memory level or a local disk read — the
+  /// three tiers cost very different latencies, so they are attributed
+  /// separately.
+  uint64_t RemoteHits = 0;
   uint64_t Misses = 0;
   uint64_t Insertions = 0;
   uint64_t MemoryEvictions = 0;
@@ -104,8 +111,16 @@ struct CacheLimits {
   uint64_t MaxMemoryBytes = 0;
   uint64_t MaxPersistentBytes = 0;
   EvictionPolicy Policy = EvictionPolicy::LRU;
+  /// Shard directories for the persistent level (consistent-hash sharded;
+  /// 1 keeps the historical flat layout).
+  uint32_t Shards = 1;
+  /// Fleet-level on-disk byte budget covering code objects AND tuning
+  /// decisions; 0 defers to MaxPersistentBytes (which historically only
+  /// accounted code objects — BudgetBytes is the strict superset).
+  uint64_t BudgetBytes = 0;
 
-  /// Reads PROTEUS_CACHE_MEM_LIMIT / PROTEUS_CACHE_DISK_LIMIT (bytes) and
+  /// Reads PROTEUS_CACHE_MEM_LIMIT / PROTEUS_CACHE_DISK_LIMIT /
+  /// PROTEUS_CACHE_BUDGET (bytes), PROTEUS_CACHE_SHARDS (1..64) and
   /// PROTEUS_CACHE_POLICY from the environment. The policy accepts the
   /// documented spellings "lru", "lfu" and "runtime" (the runtime-informed
   /// policy, an alias for LFU); anything else keeps the default and is
@@ -149,12 +164,33 @@ uint64_t computeTuningKeyHash(uint64_t ModuleId,
                               uint64_t TotalThreads,
                               const std::vector<uint64_t> &ArgBits);
 
-/// Two-level object cache.
+/// Two-level object cache. The in-memory first level lives here; the
+/// persistent level is delegated to a fleet::CacheBackend (a sharded local
+/// directory by default, the shared cache service when PROTEUS_CACHE_REMOTE
+/// is on) — CodeCache owns the entry framing, the backend owns transport
+/// and storage. All persistent access goes through the backend; nothing
+/// outside the backend implementations touches the cache directory.
 class CodeCache {
 public:
-  /// \p PersistentDir empty disables the persistent level entirely.
+  /// \p PersistentDir empty disables the persistent level entirely. Builds
+  /// the default sharded local-directory backend from \p Limits.
   CodeCache(bool UseMemory, bool UsePersistent, std::string PersistentDir,
             CacheLimits Limits = CacheLimits());
+
+  /// Same, but persists through the caller-supplied \p Backend (the remote
+  /// fleet client, or a test double); a null \p Backend falls back to the
+  /// default local backend. \p PersistentDir is still recorded as
+  /// persistentDir() for diagnostics.
+  CodeCache(bool UseMemory, bool UsePersistent, std::string PersistentDir,
+            CacheLimits Limits, std::unique_ptr<fleet::CacheBackend> Backend);
+
+  ~CodeCache();
+
+  /// LocalBackendOptions derived from \p Limits: shards, the effective
+  /// byte budget (BudgetBytes, else MaxPersistentBytes), the eviction
+  /// policy, and a frequency extractor that decodes the execution count
+  /// from framed code entries (for LFU victim selection).
+  static fleet::LocalBackendOptions backendOptions(const CacheLimits &Limits);
 
   /// Looks up \p Hash: memory first, then persistent storage (promoting the
   /// entry into memory on a persistent hit, preserving its execution count
@@ -209,6 +245,28 @@ public:
 
   const std::string &persistentDir() const { return Dir; }
 
+  /// The persistent backend (null when the persistent level is disabled).
+  fleet::CacheBackend *backend() { return Backend.get(); }
+
+  /// Claims the fleet-wide right to compile \p Hash. Owner means the caller
+  /// compiles (and must endCompile() on every exit path); InFlightElsewhere
+  /// means another thread or process already is — wait with
+  /// waitRemoteCompile(). No-op Owner when the persistent level is off
+  /// (in-process dedup is JitRuntime's in-flight table).
+  fleet::CompileClaim beginCompile(uint64_t Hash);
+
+  /// Releases a claim (idempotent).
+  void endCompile(uint64_t Hash);
+
+  /// Waits for the fleet-wide in-flight compile of \p Hash to publish:
+  /// polls the cache with exponential backoff, re-attempting the claim
+  /// between polls. Returns the published entry, or std::nullopt when this
+  /// caller became the owner instead (claim inherited from a dead owner, or
+  /// \p TimeoutMs expired — either way the caller must compile and then
+  /// endCompile()).
+  std::optional<CachedCode> waitRemoteCompile(uint64_t Hash,
+                                              unsigned TimeoutMs = 30000);
+
 private:
   struct Entry {
     std::vector<uint8_t> Object;
@@ -218,20 +276,19 @@ private:
     std::list<uint64_t>::iterator LruIt; // position in LruOrder
   };
 
-  std::string pathFor(uint64_t Hash) const;
-  std::string tunePathFor(uint64_t Key) const;
   void touchEntry(uint64_t Hash, Entry &E);
   void insertMemoryEntry(uint64_t Hash, std::vector<uint8_t> Object,
                          uint64_t HitCount, CodeTier Tier,
                          uint64_t Fingerprint);
   void enforceMemoryLimit();
-  void enforcePersistentLimit();
   void writeBackHitCount(uint64_t Hash, uint64_t Count);
 
   const bool UseMemory;
   const bool UsePersistent;
   const std::string Dir;
   const CacheLimits Limits;
+  /// Persistent storage; null iff UsePersistent is false.
+  const std::unique_ptr<fleet::CacheBackend> Backend;
 
   mutable std::mutex Mutex; // guards everything below
   std::unordered_map<uint64_t, Entry> Memory;

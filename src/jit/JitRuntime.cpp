@@ -10,6 +10,7 @@
 #include "bitcode/ModuleIndex.h"
 #include "capture/Capture.h"
 #include "codegen/Compiler.h"
+#include "fleet/RemoteBackend.h"
 #include "ir/Context.h"
 #include "ir/Module.h"
 #include "ir/Verifier.h"
@@ -66,6 +67,25 @@ JitConfig JitConfig::fromEnvironment(std::vector<std::string> *Warnings) {
     C.EnableLaunchBounds = false;
   if (const char *Dir = std::getenv("PROTEUS_CACHE_DIR"))
     C.CacheDir = Dir;
+  if (const char *Remote = std::getenv("PROTEUS_CACHE_REMOTE")) {
+    std::string S = Remote;
+    if (S == "off")
+      C.CacheRemote = false;
+    else if (S == "on")
+      C.CacheRemote = true;
+    else
+      emitConfigWarning(Warnings,
+                        "ignoring invalid PROTEUS_CACHE_REMOTE value '" + S +
+                            "' (expected off|on)");
+  }
+  if (const char *Sock = std::getenv("PROTEUS_CACHE_SOCKET")) {
+    std::string S = Sock;
+    if (!S.empty())
+      C.CacheSocket = S;
+    else
+      emitConfigWarning(Warnings, "ignoring empty PROTEUS_CACHE_SOCKET "
+                                  "(expected a unix socket path)");
+  }
   if (const char *Async = std::getenv("PROTEUS_ASYNC")) {
     std::string S = Async;
     if (S == "sync")
@@ -247,10 +267,29 @@ struct JitRuntime::InFlightCompile {
   std::shared_future<CompileOutcome> Future{Promise.get_future().share()};
 };
 
+/// Builds the persistent-level backend for \p Config: the fleet service
+/// client when PROTEUS_CACHE_REMOTE=on (socket from PROTEUS_CACHE_SOCKET,
+/// defaulting to <CacheDir>/proteus-cached.sock, with the local directory
+/// as its outage fallback), or null to let CodeCache build the default
+/// sharded local backend.
+static std::unique_ptr<fleet::CacheBackend>
+makeCacheBackend(const JitConfig &Config) {
+  if (!Config.CacheRemote || !Config.UsePersistentCache ||
+      Config.CacheDir.empty())
+    return nullptr;
+  fleet::RemoteBackendOptions RO;
+  RO.SocketPath = Config.CacheSocket.empty()
+                      ? Config.CacheDir + "/proteus-cached.sock"
+                      : Config.CacheSocket;
+  RO.FallbackDir = Config.CacheDir;
+  RO.Fallback = CodeCache::backendOptions(Config.Limits);
+  return std::make_unique<fleet::RemoteCacheBackend>(std::move(RO));
+}
+
 JitRuntime::JitRuntime(Device &Dev, uint64_t ModuleId, JitConfig Config)
     : Dev(Dev), ModuleId(ModuleId), Config(Config),
       Cache(Config.UseMemoryCache, Config.UsePersistentCache,
-            Config.CacheDir, Config.Limits) {
+            Config.CacheDir, Config.Limits, makeCacheBackend(Config)) {
   Devices.emplace_back(new DeviceState);
   Devices.back()->Dev = &Dev;
 #define PROTEUS_JIT_STAT_REGISTER(Field, Name)                                 \
@@ -490,6 +529,68 @@ JitRuntime::compileSpecialization(const std::string &Symbol,
                                   const O3Options *O3Override) {
   CompileOutcome Out;
   const bool Tier0 = Tier == CodeTier::Tier0;
+
+  // Fleet-wide compile dedup: claim the specialization hash across every
+  // process sharing the cache (lock file locally, Acquire RPC against the
+  // shared cache service). Exactly one claimant compiles; the rest wait for
+  // its publish and load that object instead of burning a redundant
+  // compile. Variant-tuning trials (O3Override) are exempt — the tuner
+  // needs the actual trial object, not whatever someone else published.
+  struct ClaimGuard {
+    CodeCache *C = nullptr;
+    uint64_t Hash = 0;
+    ~ClaimGuard() {
+      if (C)
+        C->endCompile(Hash);
+    }
+  } Claim;
+  if (!O3Override) {
+    if (Cache.beginCompile(Hash) == fleet::CompileClaim::Owner) {
+      Claim.C = &Cache;
+      Claim.Hash = Hash;
+      // Double-checked claim: another process may have published between
+      // this caller's cache miss and the claim acquisition. Serve that
+      // entry (under the same tier/pipeline rules as a waited-for publish)
+      // instead of recompiling it.
+      if (std::optional<CachedCode> CC = Cache.lookupEntry(Hash)) {
+        bool TierOk = Tier == CodeTier::Tier0 || CC->Tier == CodeTier::Final;
+        if (TierOk && CC->PipelineFingerprint ==
+                          jitPipelineFingerprint(CC->Tier, symbolicGlobals())) {
+          Stat.FleetServedCompiles->add();
+          trace::instant("jit.fleet_served", "jit");
+          Out.Object = std::move(CC->Object);
+          return Out;
+        }
+      }
+    } else {
+      Stat.FleetDedupWaits->add();
+      trace::instant("jit.fleet_wait", "jit");
+      if (std::optional<CachedCode> CC = Cache.waitRemoteCompile(Hash)) {
+        // Another process published while we waited. Serve it only if it
+        // came from the current pipeline and its tier satisfies the
+        // request (a Tier-0 baseline never substitutes for a Final
+        // compile).
+        bool TierOk = Tier == CodeTier::Tier0 || CC->Tier == CodeTier::Final;
+        if (TierOk && CC->PipelineFingerprint ==
+                          jitPipelineFingerprint(CC->Tier, symbolicGlobals())) {
+          Stat.FleetServedCompiles->add();
+          trace::instant("jit.fleet_served", "jit");
+          Out.Object = std::move(CC->Object);
+          return Out;
+        }
+        // Unusable publish (stale pipeline / insufficient tier): fall
+        // through and compile locally, unclaimed — the atomic publish
+        // tolerates the duplicate.
+      } else {
+        // waitRemoteCompile re-acquired the claim (the previous owner
+        // died) or timed out; either way this caller compiles and must
+        // release.
+        Claim.C = &Cache;
+        Claim.Hash = Hash;
+      }
+    }
+  }
+
   if (Tier0)
     Stat.Tier0Compiles->add();
   else

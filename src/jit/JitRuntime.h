@@ -108,6 +108,14 @@ struct JitConfig {
   std::string CacheDir = "proteus-jit-cache";
   /// Size limits + eviction policy (paper section 3.4); defaults unlimited.
   CacheLimits Limits;
+  /// Fleet mode (PROTEUS_CACHE_REMOTE=off|on): when on, the persistent
+  /// level speaks to the node's shared cache service (tools/proteus-cached)
+  /// over a unix socket, with batched lookups, fleet-wide compile dedup and
+  /// a local-directory fallback when the daemon is unreachable.
+  bool CacheRemote = false;
+  /// Daemon socket path (PROTEUS_CACHE_SOCKET); empty derives
+  /// "<CacheDir>/proteus-cached.sock".
+  std::string CacheSocket;
   /// Verify the deserialized kernel IR before specializing (defensive mode
   /// for untrusted persistent caches / debugging; off by default).
   bool VerifyIR = false;
@@ -187,6 +195,7 @@ struct JitConfig {
 
   /// Applies the PROTEUS_* environment variables on top of the defaults
   /// (PROTEUS_NO_RCF, PROTEUS_NO_LAUNCH_BOUNDS, PROTEUS_CACHE_DIR,
+  /// PROTEUS_CACHE_REMOTE, PROTEUS_CACHE_SOCKET,
   /// PROTEUS_ASYNC, PROTEUS_ASYNC_WORKERS, PROTEUS_CAPTURE,
   /// PROTEUS_CAPTURE_DIR, PROTEUS_CAPTURE_RING, PROTEUS_CAPTURE_DEDUP,
   /// PROTEUS_TUNE, PROTEUS_TUNE_BUDGET, PROTEUS_POLICY and the CacheLimits
@@ -271,6 +280,8 @@ uint64_t jitPipelineFingerprint(CodeTier Tier, bool SymbolicGlobals = false);
   X(AsyncCompiles, "jit.async_compiles")                                       \
   X(FallbackLaunches, "jit.fallback_launches")                                 \
   X(DedupedWaits, "jit.deduped_waits")                                         \
+  X(FleetDedupWaits, "jit.fleet_dedup_waits")                                  \
+  X(FleetServedCompiles, "jit.fleet_served_compiles")                          \
   X(AnnotationRangeErrors, "jit.annotation_range_errors")                      \
   X(AnalysisDiagnostics, "jit.analysis_diagnostics")                           \
   X(AnalysisRejects, "jit.analysis_rejects")                                   \

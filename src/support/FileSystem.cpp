@@ -12,6 +12,8 @@
 #include <filesystem>
 #include <fstream>
 #include <system_error>
+
+#include <fcntl.h>
 #include <unistd.h>
 
 namespace stdfs = std::filesystem;
@@ -41,6 +43,25 @@ std::string fs::uniqueNameToken() {
   static std::atomic<uint64_t> Counter{0};
   return std::to_string(::getpid()) + "-" +
          std::to_string(Counter.fetch_add(1));
+}
+
+bool fs::createFileExclusive(const std::string &Path,
+                             const std::vector<uint8_t> &Data) {
+  int Fd = ::open(Path.c_str(), O_CREAT | O_EXCL | O_WRONLY, 0644);
+  if (Fd < 0)
+    return false;
+  size_t Off = 0;
+  while (Off < Data.size()) {
+    ssize_t N = ::write(Fd, Data.data() + Off, Data.size() - Off);
+    if (N <= 0) {
+      ::close(Fd);
+      ::unlink(Path.c_str());
+      return false;
+    }
+    Off += static_cast<size_t>(N);
+  }
+  ::close(Fd);
+  return true;
 }
 
 bool fs::writeFileAtomic(const std::string &Path,
@@ -126,6 +147,21 @@ uint64_t fs::directorySize(const std::string &Dir) {
       Total += Entry.file_size(EC);
   }
   return Total;
+}
+
+std::optional<int64_t> fs::fileAgeNs(const std::string &Path) {
+  std::error_code EC;
+  auto T = stdfs::last_write_time(Path, EC);
+  if (EC)
+    return std::nullopt;
+  auto Now = stdfs::file_time_type::clock::now();
+  return std::chrono::duration_cast<std::chrono::nanoseconds>(Now - T).count();
+}
+
+bool fs::removeTree(const std::string &Path) {
+  std::error_code EC;
+  stdfs::remove_all(Path, EC);
+  return !stdfs::exists(Path, EC);
 }
 
 std::string fs::makeTempDirectory(const std::string &Prefix) {

@@ -42,6 +42,13 @@ bool writeFileAtomic(const std::string &Path,
 /// temporary names (shared by writeFileAtomic and makeTempDirectory).
 std::string uniqueNameToken();
 
+/// Atomically creates \p Path with \p Data only if no file exists there yet
+/// (O_CREAT|O_EXCL semantics — the cross-process mutual-exclusion primitive
+/// behind the fleet cache's compile-claim lock files). Returns false when
+/// the file already exists or on IO failure.
+bool createFileExclusive(const std::string &Path,
+                         const std::vector<uint8_t> &Data);
+
 /// Returns true if a regular file exists at \p Path.
 bool exists(const std::string &Path);
 
@@ -78,6 +85,15 @@ uint64_t directorySize(const std::string &Dir);
 
 /// Creates a fresh unique temporary directory and returns its path.
 std::string makeTempDirectory(const std::string &Prefix);
+
+/// Removes \p Path recursively (files and subdirectories — e.g. a sharded
+/// fleet-cache tree). A missing path counts as success.
+bool removeTree(const std::string &Path);
+
+/// Nanoseconds elapsed since \p Path was last written, or std::nullopt if
+/// it does not exist. Drives stale compile-claim detection: a lock file
+/// older than the steal threshold belongs to a crashed owner.
+std::optional<int64_t> fileAgeNs(const std::string &Path);
 
 } // namespace fs
 } // namespace proteus

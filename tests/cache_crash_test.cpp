@@ -16,12 +16,21 @@
 
 #include "TestUtil.h"
 
+#include "fleet/CacheServer.h"
+#include "fleet/LocalBackend.h"
+#include "fleet/RemoteBackend.h"
 #include "ir/Context.h"
 #include "jit/Program.h"
 #include "support/FileSystem.h"
 #include "support/Hashing.h"
 
 #include <gtest/gtest.h>
+
+#include <chrono>
+#include <thread>
+
+#include <sys/wait.h>
+#include <unistd.h>
 
 using namespace pir;
 using namespace proteus;
@@ -33,7 +42,7 @@ namespace {
 struct TempDir {
   std::string Path;
   TempDir() : Path(fs::makeTempDirectory("proteus-crash")) {}
-  ~TempDir() { fs::removeAllFiles(Path); }
+  ~TempDir() { fs::removeTree(Path); }
 };
 
 /// The single cache file in \p Dir (asserts there is exactly one).
@@ -223,6 +232,88 @@ TEST(CacheCrashTest, FlippedTierMetadataIsRejectedByIntegrityHash) {
     EXPECT_EQ(C.stats().CorruptPersistentEntries, 1u);
     EXPECT_FALSE(fs::exists(Path)) << "corrupt entry must be deleted";
   }
+}
+
+TEST(CacheCrashTest, ProcessCrashMidPublishIsInvisibleAndRecoverable) {
+  // A real second process claims the compile, gets as far as the temp file,
+  // and dies — no publish, no release. The atomic-rename protocol must keep
+  // the torn write invisible (a miss, not a corrupt entry), and the stale
+  // claim must be stolen so the survivor recompiles exactly once.
+  TempDir Tmp;
+  const uint64_t Hash = 0x5107;
+  fleet::LocalBackendOptions BO;
+  BO.StaleLockMs = 400;
+
+  pid_t Child = fork();
+  ASSERT_GE(Child, 0);
+  if (Child == 0) {
+    fleet::LocalDirBackend Crashing(Tmp.Path, BO);
+    bool Owner = Crashing.beginCompile(Hash) == fleet::CompileClaim::Owner;
+    // Crash mid-publish: only the half-written temp file reached the disk.
+    fs::writeFile(Tmp.Path + "/cache-jit-" + hashToHex(Hash) + ".o.tmp-99-0",
+                  {0xDE, 0xAD});
+    _exit(Owner ? 0 : 1);
+  }
+  int Status = 0;
+  ASSERT_EQ(waitpid(Child, &Status, 0), Child);
+  ASSERT_TRUE(WIFEXITED(Status) && WEXITSTATUS(Status) == 0)
+      << "child failed to take the claim";
+
+  fleet::LocalDirBackend Survivor(Tmp.Path, BO);
+  // The torn publish never became an entry.
+  EXPECT_FALSE(Survivor.lookup(fleet::BlobKind::Code, Hash).has_value());
+  // The dead owner's claim blocks until stale, then is stolen.
+  EXPECT_EQ(Survivor.beginCompile(Hash), fleet::CompileClaim::InFlightElsewhere);
+  std::this_thread::sleep_for(std::chrono::milliseconds(600));
+  ASSERT_EQ(Survivor.beginCompile(Hash), fleet::CompileClaim::Owner);
+  EXPECT_TRUE(Survivor.publish(fleet::BlobKind::Code, Hash, objBlob()));
+  Survivor.endCompile(Hash);
+  auto Hit = Survivor.lookup(fleet::BlobKind::Code, Hash);
+  ASSERT_TRUE(Hit.has_value());
+  EXPECT_EQ(Hit->Bytes, objBlob());
+  // The crash left no visible damage at the CodeCache level either; the
+  // sweep removes the orphaned temp file.
+  CodeCache C(false, true, Tmp.Path);
+  EXPECT_EQ(C.stats().CorruptPersistentEntries, 0u);
+  C.clearPersistent();
+  EXPECT_TRUE(fs::listFiles(Tmp.Path).empty());
+}
+
+TEST(CacheCrashTest, DaemonCrashMidRunFallsBackToLocalPublishes) {
+  // The shared cache service dies between two inserts: entries already
+  // published stay readable through the fallback path (same directory),
+  // new publishes divert to it, and nothing is ever served torn.
+  TempDir Tmp;
+  std::string Store = Tmp.Path + "/store";
+  fleet::CacheServerOptions SO;
+  SO.SocketPath = Tmp.Path + "/cached.sock";
+  SO.Dir = Store;
+  SO.Shards = 1; // fallback must agree on the layout
+  auto Server = fleet::CacheServer::start(SO);
+  ASSERT_TRUE(Server);
+
+  fleet::RemoteBackendOptions RO;
+  RO.SocketPath = SO.SocketPath;
+  RO.FallbackDir = Store;
+  RO.TimeoutMs = 500;
+  CodeCache C(false, true, Store, CacheLimits(),
+              std::make_unique<fleet::RemoteCacheBackend>(std::move(RO)));
+
+  C.insert(1, objBlob());
+  ASSERT_TRUE(C.lookup(1).has_value());
+
+  Server->stop(); // daemon "crashes"
+
+  C.insert(2, objBlob()); // must divert to the local fallback
+  auto H1 = C.lookup(1), H2 = C.lookup(2);
+  ASSERT_TRUE(H1.has_value()) << "daemon-published entry lost in the crash";
+  ASSERT_TRUE(H2.has_value()) << "fallback publish failed";
+  EXPECT_EQ(*H1, objBlob());
+  EXPECT_EQ(*H2, objBlob());
+  EXPECT_EQ(C.stats().CorruptPersistentEntries, 0u);
+  auto *Remote = static_cast<fleet::RemoteCacheBackend *>(C.backend());
+  EXPECT_FALSE(Remote->connected());
+  EXPECT_GT(Remote->stats().FallbackOps, 0u);
 }
 
 TEST(CacheCrashTest, Tier0InsertNeverDowngradesFinalEntry) {

@@ -10,6 +10,7 @@
 //
 //===----------------------------------------------------------------------===//
 
+#include "fleet/LocalBackend.h"
 #include "jit/CodeCache.h"
 #include "jit/JitRuntime.h"
 #include "support/FileSystem.h"
@@ -19,6 +20,9 @@
 #include <cstdlib>
 #include <thread>
 
+#include <sys/wait.h>
+#include <unistd.h>
+
 using namespace proteus;
 
 namespace {
@@ -26,7 +30,7 @@ namespace {
 struct TempDir {
   std::string Path;
   TempDir() : Path(fs::makeTempDirectory("proteus-evict")) {}
-  ~TempDir() { fs::removeAllFiles(Path); }
+  ~TempDir() { fs::removeTree(Path); }
 };
 
 std::vector<uint8_t> blob(size_t N, uint8_t Fill) {
@@ -228,6 +232,99 @@ TEST(CacheEvictionTest, ConcurrentMixedOperationsAreSafe) {
       ASSERT_EQ(Hit->size(), 512u);
       EXPECT_EQ((*Hit)[0], static_cast<uint8_t>(H));
     }
+}
+
+TEST(CacheEvictionTest, TuningDecisionsCountTowardTheByteBudget) {
+  // Regression for the unbounded-growth bug: cache-tune-<hex> files used to
+  // bypass the persistent size accounting entirely, so a "size-limited"
+  // cache grew without bound once the autotuner was on. Under BudgetBytes
+  // they are budgeted and evictable like code entries.
+  TempDir Tmp;
+  CacheLimits L;
+  L.BudgetBytes = 2048;
+  CodeCache C(false, true, Tmp.Path, L);
+  TuningDecision D;
+  D.BlockX = 128;
+  for (uint64_t Key = 1; Key <= 60; ++Key) {
+    C.storeTuningDecision(Key, D);
+    // Coarse-timestamp filesystems need distinct mtimes for eviction order.
+    if (Key % 10 == 0)
+      std::this_thread::sleep_for(std::chrono::milliseconds(12));
+  }
+  EXPECT_LE(C.persistentBytes(), L.BudgetBytes)
+      << "tune files must not grow the cache past its budget";
+  EXPECT_GT(C.stats().PersistentEvictions, 0u);
+  // Recent decisions survive; evicted ones are simply re-tuned (a miss).
+  EXPECT_TRUE(C.lookupTuningDecision(60).has_value());
+}
+
+TEST(CacheEvictionTest, BudgetCoversCodeAndTuneTogether) {
+  TempDir Tmp;
+  CacheLimits L;
+  L.BudgetBytes = 8 * 1024;
+  CodeCache C(false, true, Tmp.Path, L);
+  TuningDecision D;
+  for (uint64_t K = 1; K <= 8; ++K) {
+    C.insert(K, blob(1536, static_cast<uint8_t>(K)));
+    C.storeTuningDecision(K, D);
+  }
+  EXPECT_LE(C.persistentBytes(), L.BudgetBytes);
+  EXPECT_GT(C.stats().PersistentEvictions, 0u);
+}
+
+TEST(CacheEvictionTest, MultiProcessContentionUnderTightBudgetStaysSafe) {
+  // K real processes hammer one sharded cache directory under a budget far
+  // too small to hold every entry, so evictions race lookups and publishes
+  // constantly. Invariants: no process ever reads a torn/corrupt entry
+  // (unlink/rename semantics — an eviction yields a miss, never garbage),
+  // and the final directory respects the budget.
+  TempDir Tmp;
+  constexpr unsigned Procs = 4, Iters = 60, Keys = 16;
+  constexpr uint64_t Budget = 32 * 1024;
+  constexpr size_t EntryBytes = 4096;
+
+  std::vector<pid_t> Pids;
+  for (unsigned P = 0; P != Procs; ++P) {
+    pid_t Pid = fork();
+    ASSERT_GE(Pid, 0);
+    if (Pid == 0) {
+      CacheLimits L;
+      L.BudgetBytes = Budget;
+      L.Shards = 2;
+      CodeCache C(false, true, Tmp.Path, L);
+      unsigned Bad = 0;
+      for (unsigned I = 0; I != Iters; ++I) {
+        uint64_t Key = (I * Procs + P) % Keys;
+        if (auto Hit = C.lookup(Key)) {
+          if (*Hit != blob(EntryBytes, static_cast<uint8_t>(Key)))
+            ++Bad; // corrupt read: the invariant this test exists for
+        } else {
+          C.insert(Key, blob(EntryBytes, static_cast<uint8_t>(Key)));
+        }
+      }
+      if (C.stats().CorruptPersistentEntries != 0)
+        ++Bad;
+      _exit(Bad == 0 ? 0 : 1);
+    }
+    Pids.push_back(Pid);
+  }
+  for (pid_t Pid : Pids) {
+    int Status = 0;
+    ASSERT_EQ(waitpid(Pid, &Status, 0), Pid);
+    EXPECT_TRUE(WIFEXITED(Status) && WEXITSTATUS(Status) == 0)
+        << "a client observed a corrupt entry under eviction contention";
+  }
+  // One more publish triggers a final budget pass over whatever the races
+  // left behind; the directory must settle at or below the budget.
+  {
+    CacheLimits L;
+    L.BudgetBytes = Budget;
+    L.Shards = 2;
+    CodeCache C(false, true, Tmp.Path, L);
+    C.insert(999, blob(EntryBytes, 9));
+    EXPECT_LE(C.persistentBytes(), Budget);
+    EXPECT_EQ(C.stats().CorruptPersistentEntries, 0u);
+  }
 }
 
 TEST(CacheEvictionTest, EnvironmentConfiguration) {

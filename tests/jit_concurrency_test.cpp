@@ -332,8 +332,17 @@ TEST(JitConcurrencyTest, PersistentCacheWritesAreConcurrencySafe) {
     EXPECT_EQ(Name.find(".tmp-"), std::string::npos) << Name;
 
   // Fresh runtime, warm disk: every entry must load (0 compilations).
+  // The warm config is deliberately default (sync, untiered) so the reuse
+  // check is deterministic — but the fleet routing must follow the
+  // environment: when the battery points PROTEUS_CACHE_REMOTE at a cache
+  // daemon, the storm above published into the daemon's store, and a warm
+  // runtime that skipped the daemon would recompile everything.
+  JitConfig Env = JitConfig::fromEnvironment();
   JitConfig Warm;
   Warm.CacheDir = Tmp.Path;
+  Warm.CacheRemote = Env.CacheRemote;
+  Warm.CacheSocket = Env.CacheSocket;
+  Warm.Limits.Shards = Env.Limits.Shards;
   Harness H2(Prog, GpuArch::AmdGcnSim, Warm);
   for (const WorkItem &W : makeWorkItems()) {
     std::string Err;

@@ -33,6 +33,7 @@ TESTS=(
   capture_replay_test
   capture_pressure_test
   autotuner_test
+  fleet_cache_test
 )
 
 echo "== Configuring TSan build in ${BUILD_DIR} =="
@@ -137,6 +138,36 @@ if ! PROTEUS_NUM_DEVICES=4 PROTEUS_TIER=on PROTEUS_ASYNC=fallback \
   echo "!! autotuner_test FAILED under ThreadSanitizer with the policy enabled"
   STATUS=1
 fi
+
+# Fleet-cache storm: the full concurrency battery again, but every cache
+# operation now rides the shared-cache daemon — the group-commit lookup
+# combiner, the batch fan-out across the server's worker pool, and the
+# cross-process claim release paths all race the compile storm. The daemon
+# itself is a TSan build, so server-side races fail the lane too.
+echo "== TSan: jit_concurrency_test (PROTEUS_CACHE_REMOTE=on via proteus-cached) =="
+cmake --build "${BUILD_DIR}" -j "$(nproc)" --target proteus-cached
+FLEET_SOCK="${TRACE_TMP}/cached.sock"
+FLEET_DIR="${TRACE_TMP}/fleet-cache"
+"${BUILD_DIR}/tools/proteus-cached" \
+  "--socket=${FLEET_SOCK}" "--dir=${FLEET_DIR}" --shards=4 --workers=4 &
+FLEET_PID=$!
+trap 'kill "${FLEET_PID}" 2>/dev/null || true; rm -rf "${TRACE_TMP}"' EXIT
+for _ in $(seq 1 100); do
+  [ -S "${FLEET_SOCK}" ] && break
+  sleep 0.05
+done
+if ! PROTEUS_CACHE_REMOTE=on PROTEUS_CACHE_SOCKET="${FLEET_SOCK}" \
+     PROTEUS_CACHE_SHARDS=4 \
+     "${BUILD_DIR}/tests/jit_concurrency_test"; then
+  echo "!! jit_concurrency_test FAILED under ThreadSanitizer against the cache daemon"
+  STATUS=1
+fi
+if ! kill -0 "${FLEET_PID}" 2>/dev/null; then
+  echo "!! proteus-cached exited during the fleet storm"
+  STATUS=1
+fi
+kill "${FLEET_PID}" 2>/dev/null || true
+wait "${FLEET_PID}" 2>/dev/null || true
 
 # Every artifact the storm recorded must replay byte-identical — capture
 # under contention may shed, but must never corrupt.
