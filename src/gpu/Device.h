@@ -21,6 +21,8 @@
 #include "gpu/LaunchStats.h"
 #include "gpu/Stream.h"
 
+#include <algorithm>
+#include <atomic>
 #include <map>
 #include <memory>
 #include <unordered_map>
@@ -102,6 +104,17 @@ public:
   /// raw bits name device memory worth snapshotting.
   bool findAllocation(DevicePtr P, DevicePtr *Base, uint64_t *Size) const;
 
+  /// Every live allocation as (base, size), sorted by base address — the
+  /// deterministic enumeration the migration engine walks when it copies a
+  /// device's reachable state to another device. Caller must hold whatever
+  /// lock serializes operations against this device.
+  std::vector<std::pair<DevicePtr, uint64_t>> liveAllocations() const {
+    std::vector<std::pair<DevicePtr, uint64_t>> Out(Allocations.begin(),
+                                                    Allocations.end());
+    std::sort(Out.begin(), Out.end());
+    return Out;
+  }
+
   /// Reconstructs an allocation at an exact prior address (capture replay
   /// rebuilds the captured device's address map verbatim). Fails when the
   /// range is invalid or overlaps an existing allocation.
@@ -123,6 +136,16 @@ public:
   /// already claimed). Overwrites any previous binding.
   void defineSymbol(const std::string &Symbol, DevicePtr Address) {
     Symbols[Symbol] = Address;
+  }
+
+  /// Every symbol binding as (name, address), sorted by name — migration
+  /// re-binds these on the target device so symbolic-linkage relocations
+  /// resolve to the migrated copies of the globals.
+  std::vector<std::pair<std::string, DevicePtr>> symbolBindings() const {
+    std::vector<std::pair<std::string, DevicePtr>> Out(Symbols.begin(),
+                                                       Symbols.end());
+    std::sort(Out.begin(), Out.end());
+    return Out;
   }
 
   // -- Modules / kernels -----------------------------------------------------
@@ -174,6 +197,39 @@ public:
   void resetSimulatedTime() {
     for (auto &S : Streams)
       S->resetTimeline();
+    recomputeLoadGauge();
+  }
+
+  // -- Load gauge ------------------------------------------------------------
+  //
+  // A monotonically-published copy of the device makespan in integer
+  // nanoseconds, maintained with relaxed atomics so the heterogeneous
+  // scheduler can rank devices by queue depth WITHOUT taking the per-device
+  // lock that serializes enqueues (reading Stream::Tail directly from
+  // another thread would be a data race). Streams push tail advances here;
+  // the timeline-reset paths recompute it.
+
+  /// Published device makespan in nanoseconds; safe to read from any thread.
+  uint64_t loadGaugeNs() const {
+    return LoadGaugeNs.load(std::memory_order_relaxed);
+  }
+
+  /// Publishes a stream-tail advance (CAS-max; called by Stream under the
+  /// owner's device lock, but readers are lock-free).
+  void noteTailSeconds(double TailSec) {
+    uint64_t Ns =
+        TailSec > 0 ? static_cast<uint64_t>(TailSec * 1e9) : uint64_t(0);
+    uint64_t Cur = LoadGaugeNs.load(std::memory_order_relaxed);
+    while (Ns > Cur && !LoadGaugeNs.compare_exchange_weak(
+                           Cur, Ns, std::memory_order_relaxed))
+      ;
+  }
+
+  /// Re-derives the gauge from the current stream tails (after a reset or
+  /// rollback, when the makespan may have moved backwards).
+  void recomputeLoadGauge() {
+    LoadGaugeNs.store(static_cast<uint64_t>(simulatedSeconds() * 1e9),
+                      std::memory_order_relaxed);
   }
 
   /// Accumulated kernel-only simulated time (sum over all streams).
@@ -194,6 +250,7 @@ public:
     defaultStream().resetTimeline();
     defaultStream().waitUntil(Sim);
     KernelSeconds = Kernel;
+    recomputeLoadGauge();
   }
 
   /// Snapshot of every stream's tail, in stream-id order — the counterpart
@@ -218,6 +275,7 @@ public:
         Streams[I]->waitUntil(Tails[I]);
     }
     KernelSeconds = Kernel;
+    recomputeLoadGauge();
   }
 
   L2Cache &l2() { return L2; }
@@ -239,6 +297,7 @@ private:
   L2Cache L2;
   std::vector<std::unique_ptr<Stream>> Streams;
   double KernelSeconds = 0.0;
+  std::atomic<uint64_t> LoadGaugeNs{0};
   unsigned Ordinal = 0;
   uint64_t UnknownFreeCount = 0;
   uint64_t DoubleFreeCount = 0;

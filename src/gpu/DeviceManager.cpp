@@ -6,6 +6,8 @@
 
 #include "gpu/DeviceManager.h"
 
+#include "support/Metrics.h"
+
 #include <algorithm>
 #include <cstdio>
 #include <cstdlib>
@@ -16,6 +18,7 @@ using namespace proteus::gpu;
 namespace {
 
 void emitConfigWarning(std::vector<std::string> *Warnings, std::string Msg) {
+  metrics::processRegistry().counter("config.errors").add();
   if (Warnings)
     Warnings->push_back(std::move(Msg));
   else
@@ -54,30 +57,44 @@ DeviceManager::configFromEnvironment(std::vector<std::string> *Warnings) {
                             "' (expected an integer in [1, 256])");
   }
   if (const char *A = std::getenv("PROTEUS_DEVICE_ARCHS")) {
+    // Strict grammar: <arch> ("," <arch>)* with no empty segments — a
+    // trailing, leading, or doubled comma rejects the whole value, as does
+    // an unknown architecture name. Splitting on every comma (rather than
+    // iterating while the remainder is non-empty) is what makes a trailing
+    // comma's empty final segment visible.
     std::vector<GpuArch> Archs;
+    std::string BadSegment;
     bool Ok = true;
-    std::string Rest = A;
-    while (!Rest.empty()) {
-      size_t Comma = Rest.find(',');
-      std::string Tok = Rest.substr(0, Comma);
-      Rest = Comma == std::string::npos ? "" : Rest.substr(Comma + 1);
+    const std::string Str = A;
+    size_t Pos = 0;
+    while (true) {
+      size_t Comma = Str.find(',', Pos);
+      std::string Tok = Str.substr(
+          Pos, Comma == std::string::npos ? std::string::npos : Comma - Pos);
       if (Tok == gpuArchName(GpuArch::AmdGcnSim))
         Archs.push_back(GpuArch::AmdGcnSim);
       else if (Tok == gpuArchName(GpuArch::NvPtxSim))
         Archs.push_back(GpuArch::NvPtxSim);
       else {
         Ok = false;
+        BadSegment = Tok;
         break;
       }
+      if (Comma == std::string::npos)
+        break;
+      Pos = Comma + 1;
     }
-    if (Ok && !Archs.empty())
+    if (Ok)
       C.Archs = std::move(Archs);
     else
       emitConfigWarning(
-          Warnings, "ignoring invalid PROTEUS_DEVICE_ARCHS value '" +
-                        std::string(A) +
-                        "' (expected a comma-separated list of "
-                        "amdgcn-sim|nvptx-sim)");
+          Warnings,
+          "ignoring invalid PROTEUS_DEVICE_ARCHS value '" + Str + "': " +
+              (BadSegment.empty()
+                   ? std::string("empty segment")
+                   : "unknown architecture '" + BadSegment + "'") +
+              " (expected amdgcn-sim|nvptx-sim, comma-separated, no empty "
+              "segments)");
   }
   return C;
 }

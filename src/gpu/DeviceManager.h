@@ -17,9 +17,11 @@
 ///   * PROTEUS_NUM_DEVICES=<1..64>     — devices in the pool (default 1)
 ///   * PROTEUS_DEFAULT_STREAMS=<1..256> — streams pre-created per device,
 ///     counting the default stream (default 1)
-///   * PROTEUS_DEVICE_ARCHS=<arch>[,<arch>...] — comma-separated
-///     amdgcn-sim / nvptx-sim names cycled across devices (default: all
-///     amdgcn-sim)
+///   * PROTEUS_DEVICE_ARCHS=<arch>("," <arch>)* — strict comma-separated
+///     list of amdgcn-sim / nvptx-sim names cycled across devices
+///     (default: all amdgcn-sim). Empty segments (leading, trailing, or
+///     doubled commas) and unknown names reject the whole value with a
+///     counted "config.errors" warning.
 ///
 //===----------------------------------------------------------------------===//
 

@@ -217,6 +217,7 @@ GpuError proteus::gpu::gpuEventRecord(Device &Dev, Event &Ev, Stream *S) {
   if (S && &S->device() != &Dev)
     return GpuError::InvalidValue;
   Ev.TimeSec = S ? S->tailSeconds() : Dev.defaultStream().tailSeconds();
+  Ev.DeviceOrdinal = static_cast<int>(Dev.ordinal());
   return GpuError::Success;
 }
 
@@ -235,6 +236,13 @@ GpuError proteus::gpu::gpuEventElapsedTime(double *Ms, const Event &Start,
                                            const Event &End) {
   if (!Ms || !Start.recorded() || !End.recorded())
     return GpuError::InvalidValue;
+  // Stamps from different devices subtract cleanly — every timeline shares
+  // one global simulated-time coordinate — but real runtimes reject such
+  // pairs, so count a diagnostic to make accidental cross-device timing
+  // queries observable (migration code does this deliberately).
+  if (Start.DeviceOrdinal >= 0 && End.DeviceOrdinal >= 0 &&
+      Start.DeviceOrdinal != End.DeviceOrdinal)
+    metrics::processRegistry().counter("gpu.event_cross_device").add();
   *Ms = (End.TimeSec - Start.TimeSec) * 1e3;
   return GpuError::Success;
 }

@@ -137,6 +137,11 @@ GpuError gpuEventSynchronize(const Event &Ev);
 
 /// Elapsed simulated milliseconds from \p Start to \p End (like
 /// hip/cudaEventElapsedTime). InvalidValue when either is unrecorded.
+/// Events recorded on *different* devices still yield a well-defined delta
+/// (all timelines share one global simulated-time coordinate), but the
+/// query is counted in metrics::processRegistry() as
+/// "gpu.event_cross_device" — real runtimes reject such pairs, so the
+/// diagnostic makes accidental cross-device timing observable.
 GpuError gpuEventElapsedTime(double *Ms, const Event &Start,
                              const Event &End);
 

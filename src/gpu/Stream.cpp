@@ -14,11 +14,20 @@ using namespace proteus::gpu;
 
 double Stream::enqueue(double DurSec, const char *TraceName) {
   double Start = Tail;
-  if (DurSec > 0)
+  if (DurSec > 0) {
     Tail = Start + DurSec;
+    Dev.noteTailSeconds(Tail);
+  }
   if (trace::enabled() && TraceName)
     trace::lane(TraceName, "gpu", trace::laneTid(Dev.ordinal(), Id),
                 static_cast<uint64_t>(Start * 1e9),
                 static_cast<uint64_t>(DurSec > 0 ? DurSec * 1e9 : 0));
   return Start;
+}
+
+void Stream::waitUntil(double TimeSec) {
+  if (TimeSec > Tail) {
+    Tail = TimeSec;
+    Dev.noteTailSeconds(Tail);
+  }
 }

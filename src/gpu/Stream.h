@@ -48,6 +48,13 @@ struct Event {
   /// negative until recorded.
   double TimeSec = -1.0;
 
+  /// Ordinal of the device whose stream recorded this event; -1 until
+  /// recorded. Because every stream on every device shares one global
+  /// simulated-time coordinate, cross-device event arithmetic stays
+  /// well-defined — the ordinal exists so gpuEventElapsedTime can count a
+  /// diagnostic when a query pairs stamps from different devices.
+  int DeviceOrdinal = -1;
+
   bool recorded() const { return TimeSec >= 0.0; }
 };
 
@@ -73,11 +80,9 @@ public:
   double enqueue(double DurSec, const char *TraceName);
 
   /// Advances the tail to at least \p TimeSec — the receiving end of an
-  /// event/ordering edge. Never moves the tail backwards.
-  void waitUntil(double TimeSec) {
-    if (TimeSec > Tail)
-      Tail = TimeSec;
-  }
+  /// event/ordering edge. Never moves the tail backwards. Out of line: it
+  /// publishes the new tail to the owning device's load gauge.
+  void waitUntil(double TimeSec);
 
   void resetTimeline() { Tail = 0.0; }
 

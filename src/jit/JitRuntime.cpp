@@ -337,12 +337,16 @@ void JitRuntime::registerKernel(JitKernelInfo Info) {
     if (Kernels.count(Info.Symbol))
       return;
   }
+  if (!Info.GenericObject.empty())
+    Info.GenericArch = readObject(Info.GenericObject).Arch;
   // In Fallback mode the generic binary is loaded eagerly on the primary
   // device, at registration time, so the tier-0 path of a cold launch is a
   // plain kernel launch with no module load on it. Other devices load it
-  // lazily in launchGeneric.
+  // lazily in launchGeneric (matching arch only — a mixed pool's foreign
+  // devices block on the compile instead).
   if (Config.Async == JitConfig::AsyncMode::Fallback &&
-      !Info.GenericObject.empty()) {
+      !Info.GenericObject.empty() &&
+      Info.GenericArch == Devices.front()->Dev->target().Arch) {
     DeviceState &DS = *Devices.front();
     std::lock_guard<std::mutex> Lock(DS.Lock);
     if (!DS.GenericLoaded.count(Info.Symbol)) {
@@ -493,6 +497,7 @@ JitRuntime::getOrBuildIndex(const std::string &Symbol,
   // serialize on parsing. Racing builders of the same kernel both parse;
   // the first insert wins and the loser's copy is dropped.
   std::string ParseError;
+  Stat.BitcodeParses->add();
   std::shared_ptr<const KernelModuleIndex> Index = [&] {
     trace::Span Sp("compile.parse", "jit");
     metrics::ScopedTimer T(*Stat.BitcodeParseSeconds);
@@ -935,8 +940,11 @@ JitRuntime::launchGeneric(DeviceState &DS, const JitKernelInfo &Info,
       It != DS.GenericLoaded.end()) {
     K = It->second;
   } else {
-    if (Info.GenericObject.empty())
-      return std::nullopt; // no tier-0 binary: caller must wait instead
+    // No tier-0 binary — or one compiled for a different architecture than
+    // this device runs — means the caller must wait on the compile instead.
+    if (Info.GenericObject.empty() ||
+        Info.GenericArch != DS.Dev->target().Arch)
+      return std::nullopt;
     std::string LoadErr;
     if (gpuModuleLoad(*DS.Dev, &K, Info.GenericObject, &LoadErr) !=
         GpuError::Success) {
@@ -1330,10 +1338,13 @@ void JitRuntime::storeTuningDecision(uint64_t Key, const TuningDecision &D) {
   Cache.storeTuningDecision(Key, D);
 }
 
-GpuError JitRuntime::installFinalTier(const std::string &Symbol, Dim3 Block,
+GpuError JitRuntime::installOnTargets(const std::string &Symbol, Dim3 Block,
                                       const std::vector<KernelArg> &Args,
                                       const O3Options *O3Override,
-                                      int DeviceIndex, bool ReuseCached,
+                                      const std::vector<unsigned> &Targets,
+                                      bool ReuseCached,
+                                      unsigned *CompiledArches,
+                                      unsigned *ReusedArches, bool *AnyLoaded,
                                       std::string *Error) {
   const JitKernelInfo *Info = nullptr;
   {
@@ -1343,11 +1354,105 @@ GpuError JitRuntime::installFinalTier(const std::string &Symbol, Dim3 Block,
       Info = &KIt->second;
   }
   if (!Info) {
-    Stat.TunerErrors->add();
     if (Error)
       *Error = "kernel @" + Symbol + " is not registered for JIT";
     return GpuError::NotFound;
   }
+
+  // One compile (or cache fetch) per distinct architecture in the target
+  // set; like the launch path, the same object then serves every device of
+  // that arch. Devices are visited in ascending ordinal, one lock at a
+  // time (lock order), and the load replaces any previous mapping for the
+  // specialization — the Tier-1 hot-swap semantic, so a Tier-0 binary a
+  // racing launch installed can never outlive this install.
+  std::map<GpuArch, std::pair<uint64_t, std::vector<uint8_t>>> PerArch;
+  for (unsigned T : Targets) {
+    DeviceState &DS = *Devices[T];
+    GpuArch Arch = DS.Dev->target().Arch;
+    auto AIt = PerArch.find(Arch);
+    if (AIt == PerArch.end()) {
+      SpecializationKey Key;
+      std::string KeyError;
+      if (!buildKey(*Info, Block, Args, Arch, Key, &KeyError)) {
+        if (Error)
+          *Error = KeyError;
+        return GpuError::InvalidValue;
+      }
+      uint64_t Hash = lookupSpecHash(Symbol, Key);
+      std::optional<std::vector<uint8_t>> Object;
+      if (ReuseCached) {
+        // Only a final-tier entry from the current pipeline qualifies: the
+        // warm path must not pin a Tier-0 baseline or a stale artifact —
+        // in particular, a retarget racing an in-flight Tier-1 promotion
+        // recompiles rather than loading the Tier-0 placeholder.
+        if (std::optional<CachedCode> CC = Cache.lookupEntry(Hash))
+          if (CC->Tier == CodeTier::Final &&
+              CC->PipelineFingerprint ==
+                  jitPipelineFingerprint(CodeTier::Final, symbolicGlobals())) {
+            Object = std::move(CC->Object);
+            if (ReusedArches)
+              ++*ReusedArches;
+          }
+      }
+      if (!Object) {
+        std::vector<uint8_t> Bitcode;
+        bool HaveIndex;
+        {
+          std::lock_guard<std::mutex> Lock(IndexMutex);
+          HaveIndex = ModuleIndexes.count(Symbol) != 0;
+        }
+        if (!HaveIndex) {
+          std::string FetchError;
+          GpuError FE = fetchBitcode(*Info, Bitcode, &FetchError);
+          if (FE != GpuError::Success) {
+            if (Error)
+              *Error = FetchError;
+            return FE;
+          }
+        }
+        CompileOutcome O = compileSpecialization(
+            Symbol, std::move(Bitcode), Key, Hash, CodeTier::Final, O3Override);
+        if (O.Err != GpuError::Success) {
+          if (Error)
+            *Error = O.Message;
+          return O.Err;
+        }
+        Object = std::move(O.Object);
+        if (CompiledArches)
+          ++*CompiledArches;
+      }
+      AIt = PerArch.emplace(Arch, std::make_pair(Hash, std::move(*Object)))
+                .first;
+    }
+    const uint64_t Hash = AIt->second.first;
+    const std::vector<uint8_t> &Object = AIt->second.second;
+    unsigned Origin = recordLoadOrigin(Hash, T);
+    std::lock_guard<std::mutex> Lock(DS.Lock);
+    LoadedKernel *K = nullptr;
+    std::string LoadError;
+    trace::Span Sp("jit.module_load", "jit");
+    if (gpuModuleLoad(*DS.Dev, &K, Object, &LoadError) != GpuError::Success) {
+      if (Error)
+        *Error = "failed to load JIT object for @" + Info->Symbol + ": " +
+                 LoadError;
+      return GpuError::LaunchFailure;
+    }
+    DS.Loaded[Hash] = K;
+    if (AnyLoaded)
+      *AnyLoaded = true;
+    if (T != Origin) {
+      Stat.CrossDeviceLoads->add();
+      Stat.PerArchCompileReuse->add();
+    }
+  }
+  return GpuError::Success;
+}
+
+GpuError JitRuntime::installFinalTier(const std::string &Symbol, Dim3 Block,
+                                      const std::vector<KernelArg> &Args,
+                                      const O3Options *O3Override,
+                                      int DeviceIndex, bool ReuseCached,
+                                      std::string *Error) {
   if (DeviceIndex >= static_cast<int>(Devices.size())) {
     Stat.TunerErrors->add();
     if (Error)
@@ -1363,89 +1468,13 @@ GpuError JitRuntime::installFinalTier(const std::string &Symbol, Dim3 Block,
     for (unsigned I = 0; I != Devices.size(); ++I)
       Targets.push_back(I);
 
-  // One compile (or cache fetch) per distinct architecture in the target
-  // set; like the launch path, the same object then serves every device of
-  // that arch. Devices are visited in ascending ordinal, one lock at a
-  // time (lock order), and the load replaces any previous mapping for the
-  // specialization — the Tier-1 hot-swap semantic, so a Tier-0 binary a
-  // racing launch installed can never outlive this promotion.
-  std::map<GpuArch, std::pair<uint64_t, std::vector<uint8_t>>> PerArch;
   bool AnyLoaded = false;
-  for (unsigned T : Targets) {
-    DeviceState &DS = *Devices[T];
-    GpuArch Arch = DS.Dev->target().Arch;
-    auto AIt = PerArch.find(Arch);
-    if (AIt == PerArch.end()) {
-      SpecializationKey Key;
-      std::string KeyError;
-      if (!buildKey(*Info, Block, Args, Arch, Key, &KeyError)) {
-        Stat.TunerErrors->add();
-        if (Error)
-          *Error = KeyError;
-        return GpuError::InvalidValue;
-      }
-      uint64_t Hash = lookupSpecHash(Symbol, Key);
-      std::optional<std::vector<uint8_t>> Object;
-      if (ReuseCached) {
-        // Only a final-tier entry from the current pipeline qualifies: the
-        // warm-decision path must not pin a Tier-0 baseline or a stale
-        // artifact as "the tuned winner".
-        if (std::optional<CachedCode> CC = Cache.lookupEntry(Hash))
-          if (CC->Tier == CodeTier::Final &&
-              CC->PipelineFingerprint ==
-                  jitPipelineFingerprint(CodeTier::Final, symbolicGlobals()))
-            Object = std::move(CC->Object);
-      }
-      if (!Object) {
-        std::vector<uint8_t> Bitcode;
-        bool HaveIndex;
-        {
-          std::lock_guard<std::mutex> Lock(IndexMutex);
-          HaveIndex = ModuleIndexes.count(Symbol) != 0;
-        }
-        if (!HaveIndex) {
-          std::string FetchError;
-          GpuError FE = fetchBitcode(*Info, Bitcode, &FetchError);
-          if (FE != GpuError::Success) {
-            Stat.TunerErrors->add();
-            if (Error)
-              *Error = FetchError;
-            return FE;
-          }
-        }
-        CompileOutcome O = compileSpecialization(
-            Symbol, std::move(Bitcode), Key, Hash, CodeTier::Final, O3Override);
-        if (O.Err != GpuError::Success) {
-          Stat.TunerErrors->add();
-          if (Error)
-            *Error = O.Message;
-          return O.Err;
-        }
-        Object = std::move(O.Object);
-      }
-      AIt = PerArch.emplace(Arch, std::make_pair(Hash, std::move(*Object)))
-                .first;
-    }
-    const uint64_t Hash = AIt->second.first;
-    const std::vector<uint8_t> &Object = AIt->second.second;
-    unsigned Origin = recordLoadOrigin(Hash, T);
-    std::lock_guard<std::mutex> Lock(DS.Lock);
-    LoadedKernel *K = nullptr;
-    std::string LoadError;
-    trace::Span Sp("jit.module_load", "jit");
-    if (gpuModuleLoad(*DS.Dev, &K, Object, &LoadError) != GpuError::Success) {
-      Stat.TunerErrors->add();
-      if (Error)
-        *Error = "failed to load JIT object for @" + Info->Symbol + ": " +
-                 LoadError;
-      return GpuError::LaunchFailure;
-    }
-    DS.Loaded[Hash] = K;
-    AnyLoaded = true;
-    if (T != Origin) {
-      Stat.CrossDeviceLoads->add();
-      Stat.PerArchCompileReuse->add();
-    }
+  GpuError E = installOnTargets(Symbol, Block, Args, O3Override, Targets,
+                                ReuseCached, nullptr, nullptr, &AnyLoaded,
+                                Error);
+  if (E != GpuError::Success) {
+    Stat.TunerErrors->add();
+    return E;
   }
   if (AnyLoaded && O3Override) {
     // One promotion per tuning decision, however many devices (and arches)
@@ -1454,4 +1483,36 @@ GpuError JitRuntime::installFinalTier(const std::string &Symbol, Dim3 Block,
     trace::instant("jit.tuner_promotion");
   }
   return GpuError::Success;
+}
+
+GpuError JitRuntime::retargetKernel(const std::string &Symbol, Dim3 Block,
+                                    const std::vector<KernelArg> &Args,
+                                    unsigned DeviceIndex, bool *ReusedCache,
+                                    std::string *Error) {
+  if (DeviceIndex >= Devices.size()) {
+    if (Error)
+      *Error = "device index " + std::to_string(DeviceIndex) +
+               " out of range (" + std::to_string(Devices.size()) +
+               " device(s) attached)";
+    return GpuError::InvalidValue;
+  }
+  unsigned Compiled = 0, Reused = 0;
+  GpuError E = installOnTargets(Symbol, Block, Args, /*O3Override=*/nullptr,
+                                {DeviceIndex}, /*ReuseCached=*/true, &Compiled,
+                                &Reused, /*AnyLoaded=*/nullptr, Error);
+  if (E != GpuError::Success)
+    return E;
+  Stat.RetargetCompiles->add(Compiled);
+  Stat.RetargetCacheReuse->add(Reused);
+  if (ReusedCache)
+    *ReusedCache = Reused > 0;
+  trace::instant("sched.retarget");
+  return GpuError::Success;
+}
+
+void JitRuntime::withDeviceLocked(
+    unsigned DeviceIndex, const std::function<void(Device &)> &Fn) {
+  DeviceState &DS = *Devices[DeviceIndex];
+  std::lock_guard<std::mutex> Lock(DS.Lock);
+  Fn(*DS.Dev);
 }

@@ -77,6 +77,7 @@
 #include "support/ThreadPool.h"
 #include "transforms/O3Pipeline.h"
 
+#include <functional>
 #include <map>
 #include <memory>
 #include <mutex>
@@ -267,6 +268,15 @@ uint64_t jitPipelineFingerprint(CodeTier Tier, bool SymbolicGlobals = false);
 /// tuning variants the classification pruned before racing;
 /// PolicyTierDemotions counts Tier-1 promotions skipped because the kernel
 /// was off the installed timeline critical path.
+///
+/// Retarget counters (the cross-arch migration path, src/sched):
+/// RetargetCompiles counts retargetKernel calls that had to run the
+/// backend for the target arch; RetargetCacheReuse counts retargets served
+/// entirely from a warm final-tier cache entry (local or fleet) — together
+/// they prove migration recompiles at most once per arch. BitcodeParses
+/// counts KernelModuleIndex builds — the front-end parse — so a retarget
+/// that reuses the parse-once index keeps this at one per kernel (the
+/// zero-re-parse property the migration differential test asserts).
 #define PROTEUS_JIT_COUNTERS(X)                                                \
   X(Launches, "jit.launches")                                                  \
   X(StreamLaunches, "jit.stream_launches")                                     \
@@ -292,7 +302,10 @@ uint64_t jitPipelineFingerprint(CodeTier Tier, bool SymbolicGlobals = false);
   X(TunerErrors, "jit.tuner_errors")                                           \
   X(PolicyClassified, "policy.classified")                                     \
   X(PolicyPrunedTrials, "policy.pruned_trials")                                \
-  X(PolicyTierDemotions, "policy.tier_demotions")
+  X(PolicyTierDemotions, "policy.tier_demotions")                              \
+  X(RetargetCompiles, "sched.retarget_compiles")                               \
+  X(RetargetCacheReuse, "sched.retarget_reuse")                                \
+  X(BitcodeParses, "jit.bitcode_parses")
 
 /// Timers: BitcodeFetchSeconds includes the simulated device readback
 /// (NVIDIA); QueueWaitSeconds is enqueue -> worker pickup latency;
@@ -361,6 +374,11 @@ struct JitKernelInfo {
   /// The kernel's generic (unspecialized) AOT binary, used as the tier-0
   /// launch target in AsyncMode::Fallback while a specialization compiles.
   std::vector<uint8_t> GenericObject;
+  /// Architecture GenericObject was compiled for (read from the object
+  /// header at registration). In a mixed-arch pool fallback only serves
+  /// the generic on matching devices; launches on other arches block on
+  /// the compile future instead of loading a foreign-arch object.
+  GpuArch GenericArch = GpuArch::AmdGcnSim;
 };
 
 /// The runtime library instance bound to one *primary* device, optionally
@@ -441,6 +459,33 @@ public:
                                  int DeviceIndex = -1,
                                  bool ReuseCached = false,
                                  std::string *Error = nullptr);
+
+  /// Retargets the specialization that (\p Symbol, \p Block, \p Args)
+  /// resolve to onto device \p DeviceIndex — the cross-arch migration
+  /// primitive (src/sched). The final-tier object for the target device's
+  /// arch is served from a warm cache entry when one exists (local or
+  /// fleet; RetargetCacheReuse) and otherwise recompiled from the cached
+  /// parse-once module index (RetargetCompiles) — never by re-parsing
+  /// bitcode the runtime has already parsed. The loaded kernel replaces any
+  /// previous mapping for the hash on the target device, so subsequent
+  /// launchKernelOn(DeviceIndex, ...) calls of this shape run it with zero
+  /// compiles. \p ReusedCache (optional) reports whether the object came
+  /// from the cache.
+  gpu::GpuError retargetKernel(const std::string &Symbol, gpu::Dim3 Block,
+                               const std::vector<gpu::KernelArg> &Args,
+                               unsigned DeviceIndex,
+                               bool *ReusedCache = nullptr,
+                               std::string *Error = nullptr);
+
+  /// Runs \p Fn on device \p DeviceIndex with that device's runtime lock
+  /// held — the primitive external engines (the migration protocol in
+  /// src/sched) use to operate on a device's memory, streams and events
+  /// without racing concurrent launches, which the runtime serializes under
+  /// the same lock. \p Fn must not call back into this runtime (the lock is
+  /// not recursive) and must not touch any other device (the lock order
+  /// forbids holding two device locks at once).
+  void withDeviceLocked(unsigned DeviceIndex,
+                        const std::function<void(gpu::Device &)> &Fn);
 
   /// Tuning-decision store, wrapped so the TunerCacheHits counter is
   /// exact: a hit here is precisely "a tuning session that raced nothing".
@@ -584,6 +629,20 @@ private:
   /// Records that \p Hash was first loaded via device \p Ordinal; returns
   /// the origin ordinal (the existing one on a repeat call).
   unsigned recordLoadOrigin(uint64_t Hash, unsigned Ordinal);
+  /// Shared body of installFinalTier and retargetKernel: resolves the
+  /// specialization for (\p Symbol, \p Block, \p Args), obtains one
+  /// final-tier object per distinct GpuArch among \p Targets (serving a
+  /// valid cached entry when \p ReuseCached, else compiling), and loads it
+  /// onto every target device, hot-swapping any previous mapping.
+  /// \p CompiledArches / \p ReusedArches report how many arches were
+  /// compiled vs served warm; callers do their own error accounting.
+  gpu::GpuError installOnTargets(const std::string &Symbol, gpu::Dim3 Block,
+                                 const std::vector<gpu::KernelArg> &Args,
+                                 const O3Options *O3Override,
+                                 const std::vector<unsigned> &Targets,
+                                 bool ReuseCached, unsigned *CompiledArches,
+                                 unsigned *ReusedArches, bool *AnyLoaded,
+                                 std::string *Error);
 
   gpu::Device &Dev;
   const uint64_t ModuleId;

@@ -20,11 +20,12 @@ namespace {
 /// — with \p Block as the launched block shape, which a geometry override
 /// may have changed — through the same computeSpecializationHash the live
 /// runtime used.
-uint64_t replayedSpecHash(const capture::CaptureArtifact &A, Dim3 Block) {
+uint64_t replayedSpecHash(const capture::CaptureArtifact &A, Dim3 Block,
+                          GpuArch Arch) {
   SpecializationKey Key;
   Key.ModuleId = A.ModuleId;
   Key.KernelSymbol = A.KernelSymbol;
-  Key.Arch = A.Arch;
+  Key.Arch = Arch;
   if (A.EnableRCF) {
     for (uint32_t OneBased : A.AnnotatedArgs) {
       if (OneBased == 0 || OneBased > A.ArgBits.size())
@@ -54,10 +55,14 @@ ReplayResult proteus::replayArtifact(const capture::CaptureArtifact &A,
     return R;
   }
 
-  // Rebuild the captured device: same arch, same memory size, every
-  // captured allocation claimed at its original address with its pre-launch
-  // image restored, every global pinned to its original symbol binding.
-  Device Dev(getTarget(A.Arch), A.DeviceMemoryBytes);
+  // Rebuild the captured device: same memory size, every captured
+  // allocation claimed at its original address with its pre-launch image
+  // restored, every global pinned to its original symbol binding. The arch
+  // is the recorded one unless overridden — the retarget-exercising mode,
+  // where the recorded bitcode recompiles through the other backend and
+  // must still reproduce the captured bytes.
+  const GpuArch Arch = Opts.ArchOverride.value_or(A.Arch);
+  Device Dev(getTarget(Arch), A.DeviceMemoryBytes);
   for (const capture::MemoryRegion &Region : A.Regions) {
     if (Region.PostBytes.size() != Region.PreBytes.size()) {
       R.Error = "artifact region at address " +
@@ -118,7 +123,7 @@ ReplayResult proteus::replayArtifact(const capture::CaptureArtifact &A,
   Jit.drain(); // tier promotions etc. must settle before reading stats
   R.Ok = true;
 
-  R.ReplayedHash = replayedSpecHash(A, Block);
+  R.ReplayedHash = replayedSpecHash(A, Block, Arch);
   R.HashMatch = R.ReplayedHash == R.RecordedHash;
   R.Launch = Dev.LastLaunch;
   R.KernelSeconds = Dev.kernelSeconds();

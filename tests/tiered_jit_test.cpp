@@ -213,7 +213,11 @@ struct Harness {
 
   std::vector<uint8_t> readOut(unsigned Index) {
     std::vector<uint8_t> Bytes(BufN * 8);
-    gpuMemcpyDtoH(Dev, Bytes.data(), Outs[Index], BufN * 8);
+    // A background Tier-1 promotion may be charging device time right now;
+    // device timelines are serialized under the runtime's per-device lock.
+    Jit.withDeviceLocked(0, [&](Device &D) {
+      gpuMemcpyDtoH(D, Bytes.data(), Outs[Index], BufN * 8);
+    });
     return Bytes;
   }
 };

@@ -34,6 +34,7 @@ TESTS=(
   capture_pressure_test
   autotuner_test
   fleet_cache_test
+  sched_test
 )
 
 echo "== Configuring TSan build in ${BUILD_DIR} =="
@@ -136,6 +137,19 @@ if ! PROTEUS_NUM_DEVICES=4 PROTEUS_TIER=on PROTEUS_ASYNC=fallback \
      PROTEUS_TUNE=on PROTEUS_POLICY=on \
      "${BUILD_DIR}/tests/autotuner_test"; then
   echo "!! autotuner_test FAILED under ThreadSanitizer with the policy enabled"
+  STATUS=1
+fi
+
+# Migration storm over a bigger heterogeneous pool: launcher threads spray
+# scheduler-placed launches across 4 mixed-arch devices while a migrator
+# thread bounces the kernel (and its reachable state) between arches under
+# tiering — the withDeviceLocked protocol, the retarget hot-swap, and the
+# lock-free load gauges all race here.
+echo "== TSan: sched_test (PROTEUS_NUM_DEVICES=4, PROTEUS_DEVICE_ARCHS=amdgcn-sim,nvptx-sim, PROTEUS_TIER=on, PROTEUS_ASYNC=fallback) =="
+if ! PROTEUS_NUM_DEVICES=4 PROTEUS_DEVICE_ARCHS=amdgcn-sim,nvptx-sim \
+     PROTEUS_TIER=on PROTEUS_ASYNC=fallback \
+     "${BUILD_DIR}/tests/sched_test"; then
+  echo "!! sched_test FAILED under ThreadSanitizer with a heterogeneous pool"
   STATUS=1
 fi
 

@@ -17,6 +17,16 @@
 //                (pipe into pir-lint for sanitizer checks) without replaying
 //   --cache-dir=DIR  use DIR as the replay runtime's persistent code cache
 //                (a second replay against the same DIR compiles nothing)
+//   --publish    compile each artifact's specialization through the
+//                configured cache backend (requires --cache-dir; honors the
+//                PROTEUS_CACHE_* remote/fleet settings) so a fresh fleet
+//                starts warm — prints a PUBLISHED line per artifact
+//   --device-arch=ARCH  replay on ARCH (amdgcn-sim|nvptx-sim) instead of
+//                the recorded architecture, exercising the cross-arch
+//                retarget path; the differential output check still applies
+//                in full, but the specialization hash keys the overridden
+//                arch, so hash equality is only enforced when ARCH matches
+//                the recording
 //
 // The replay honors the usual PROTEUS_* environment overrides (PROTEUS_TIER,
 // PROTEUS_ANALYZE, PROTEUS_VERIFY_EACH, ...), so a captured workload can be
@@ -48,8 +58,20 @@ namespace {
 int usage() {
   std::fprintf(stderr,
                "usage: proteus-replay [--info] [--dump-pir] "
-               "[--cache-dir=DIR] artifact.pcap [more.pcap ...]\n");
+               "[--cache-dir=DIR] [--publish] [--device-arch=ARCH] "
+               "artifact.pcap [more.pcap ...]\n");
   return 2;
+}
+
+/// Maps an --device-arch operand to the simulated architecture it names.
+bool parseArch(const std::string &Name, GpuArch *Out) {
+  for (GpuArch A : {GpuArch::AmdGcnSim, GpuArch::NvPtxSim}) {
+    if (Name == gpuArchName(A)) {
+      *Out = A;
+      return true;
+    }
+  }
+  return false;
 }
 
 void printInfo(const std::string &Path, const capture::CaptureArtifact &A) {
@@ -106,7 +128,9 @@ bool dumpPir(const std::string &Path, const capture::CaptureArtifact &A) {
 int main(int Argc, char **Argv) {
   bool Info = false;
   bool DumpPir = false;
+  bool Publish = false;
   std::string CacheDir;
+  std::optional<GpuArch> ArchOverride;
   std::vector<std::string> Files;
   for (int I = 1; I < Argc; ++I) {
     std::string Arg = Argv[I];
@@ -114,19 +138,36 @@ int main(int Argc, char **Argv) {
       Info = true;
     else if (Arg == "--dump-pir")
       DumpPir = true;
+    else if (Arg == "--publish")
+      Publish = true;
     else if (Arg.rfind("--cache-dir=", 0) == 0)
       CacheDir = Arg.substr(12);
-    else if (!Arg.empty() && Arg[0] == '-')
+    else if (Arg.rfind("--device-arch=", 0) == 0) {
+      GpuArch A;
+      if (!parseArch(Arg.substr(14), &A)) {
+        std::fprintf(stderr,
+                     "proteus-replay: unknown architecture '%s' "
+                     "(expected amdgcn-sim|nvptx-sim)\n",
+                     Arg.substr(14).c_str());
+        return 2;
+      }
+      ArchOverride = A;
+    } else if (!Arg.empty() && Arg[0] == '-')
       return usage();
     else
       Files.push_back(Arg);
   }
   if (Files.empty())
     return usage();
+  if (Publish && CacheDir.empty()) {
+    std::fprintf(stderr, "proteus-replay: --publish requires --cache-dir\n");
+    return 2;
+  }
 
   ReplayOptions Opts;
   Opts.Jit = JitConfig::fromEnvironment();
   Opts.CacheDir = CacheDir;
+  Opts.ArchOverride = ArchOverride;
 
   size_t Failures = 0;
   for (const std::string &Path : Files) {
@@ -149,13 +190,24 @@ int main(int Argc, char **Argv) {
       continue;
     }
     ReplayResult R = replayArtifact(*A, Opts);
-    if (R.passed()) {
+    const GpuArch ReplayArch = ArchOverride.value_or(A->Arch);
+    // Retargeting to a different arch re-keys the specialization hash, so
+    // hash equality is only enforced when the replay arch is the recorded
+    // one; the byte-exact differential check always applies.
+    const bool Passed = ReplayArch == A->Arch ? R.passed()
+                                              : R.Ok && R.OutputMatch;
+    if (Passed) {
       std::printf("%s: OK @%s on %s (%zu region(s) byte-identical, hash %s, "
                   "%llu compile(s))\n",
                   Path.c_str(), A->KernelSymbol.c_str(),
-                  gpuArchName(A->Arch), A->Regions.size(),
+                  gpuArchName(ReplayArch), A->Regions.size(),
                   hashToHex(R.ReplayedHash).c_str(),
                   static_cast<unsigned long long>(R.CompilationsUsed));
+      if (Publish)
+        std::printf("%s: PUBLISHED @%s for %s (%llu compile(s) into cache)\n",
+                    Path.c_str(), A->KernelSymbol.c_str(),
+                    gpuArchName(ReplayArch),
+                    static_cast<unsigned long long>(R.CompilationsUsed));
       continue;
     }
     ++Failures;
@@ -164,7 +216,7 @@ int main(int Argc, char **Argv) {
                    R.Error.c_str());
       continue;
     }
-    if (!R.HashMatch)
+    if (!R.HashMatch && ReplayArch == A->Arch)
       std::fprintf(stderr,
                    "%s: HASH MISMATCH: captured %s, replayed %s\n",
                    Path.c_str(), hashToHex(R.RecordedHash).c_str(),

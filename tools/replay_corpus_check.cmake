@@ -147,6 +147,25 @@ foreach(Artifact IN LISTS Artifacts)
       "full output:\n${RoofOut}")
   endif()
   message(STATUS "${Base}: roofline class pinned (${RooflineActual})")
+
+  # 4. Cross-arch retarget replay: the artifact's bitcode recompiled through
+  # each simulated backend must still reproduce the captured bytes — the
+  # migration subsystem's correctness contract, checked per arch (one of
+  # the two is the recorded arch, so this also covers the plain replay with
+  # an explicit override).
+  foreach(Arch amdgcn-sim nvptx-sim)
+    execute_process(
+      COMMAND "${REPLAY}" "--device-arch=${Arch}" "${Artifact}"
+      RESULT_VARIABLE RetargetResult
+      OUTPUT_VARIABLE RetargetOut
+      ERROR_VARIABLE RetargetErr)
+    if(NOT RetargetResult EQUAL 0)
+      message(FATAL_ERROR
+        "retargeted replay of ${Base}.pcap on ${Arch} failed "
+        "(rc=${RetargetResult}):\n${RetargetOut}\n${RetargetErr}")
+    endif()
+  endforeach()
+  message(STATUS "${Base}: retargeted replay byte-identical on both arches")
 endforeach()
 
 list(LENGTH Artifacts Count)
